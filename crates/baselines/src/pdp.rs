@@ -1,0 +1,407 @@
+//! PDP: Protecting Distance based Policy (Duong et al., MICRO 2012).
+//!
+//! PDP protects each line from eviction for a *protecting distance* (PD):
+//! a number of accesses to its set within which a reuse is statistically
+//! worth waiting for. A sampler measures the reuse-distance distribution,
+//! and a small "microcontroller" periodically recomputes the PD that
+//! maximizes hit rate per unit of cache occupancy:
+//!
+//! ```text
+//!            Σ_{i ≤ d} N_i                      (expected hits)
+//! E(d) = ─────────────────────────────────────
+//!        Σ_{i ≤ d} N_i·i + (N_total − Σ N_i)·d  (expected occupancy time)
+//! ```
+//!
+//! We implement the paper's **no-bypass** configuration at 4 bits per line
+//! (a 3-bit remaining-distance counter plus a reuse bit), the variant
+//! Jiménez compares against (GIPPR achieves ~95 % of its speedup with a
+//! small fraction of the state). Victim selection prefers unprotected
+//! lines; when every line is protected it evicts the *never-reused* line
+//! farthest from expiry — i.e. the newest streaming insertion — which
+//! approximates PDP's bypass behaviour without violating inclusion.
+
+use sim_core::{AccessContext, CacheGeometry, ReplacementPolicy};
+
+/// Tunables for [`PdpPolicy`]. The defaults mirror the configuration used
+/// in the comparison paper: 4 bits per line, no bypass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PdpConfig {
+    /// Width of the per-line remaining-protecting-distance counter.
+    pub rpd_bits: u32,
+    /// Largest measurable reuse distance (in set accesses).
+    pub max_distance: usize,
+    /// Accesses between protecting-distance recomputations.
+    pub compute_period: u64,
+    /// One in `sampler_stride` sets feeds the reuse-distance sampler.
+    pub sampler_stride: usize,
+    /// Protecting distance assumed before the first recomputation.
+    pub initial_pd: usize,
+    /// Tags remembered per sampled set.
+    pub sampler_depth: usize,
+}
+
+impl Default for PdpConfig {
+    fn default() -> Self {
+        PdpConfig {
+            rpd_bits: 3,
+            max_distance: 256,
+            compute_period: 128 * 1024,
+            sampler_stride: 64,
+            initial_pd: 64,
+            sampler_depth: 64,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct SamplerEntry {
+    tag: u64,
+    last_count: u64,
+}
+
+/// Protecting Distance based Policy, no-bypass configuration.
+///
+/// Per-line state: a quantized remaining-protecting-distance (RPD) counter.
+/// On every access to a set, a per-set tick counter advances; each time it
+/// reaches the quantization step `ceil(PD / (2^rpd_bits - 1))`, all RPDs in
+/// the set decay by one. Hits and fills re-arm a line's RPD to the maximum.
+/// The victim is an unprotected line (RPD = 0) if any exists, otherwise the
+/// line closest to expiry.
+#[derive(Debug, Clone)]
+pub struct PdpPolicy {
+    cfg: PdpConfig,
+    ways: usize,
+    line_shift: u32,
+    rpd: Vec<u8>,
+    reused: Vec<bool>,
+    rpd_max: u8,
+    tick: Vec<u8>,
+    quantum: u8,
+    /// Reuse-distance histogram: `hist[d]` counts reuses at distance `d+1`.
+    hist: Vec<u64>,
+    total_sampled: u64,
+    sampler: Vec<Vec<SamplerEntry>>,
+    set_access_count: Vec<u64>,
+    accesses: u64,
+    pd: usize,
+}
+
+impl PdpPolicy {
+    /// Creates PDP with default configuration.
+    pub fn new(geom: &CacheGeometry) -> Self {
+        Self::with_config(geom, PdpConfig::default())
+    }
+
+    /// Creates PDP with an explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rpd_bits` is 0 or greater than 8, or if the sampler
+    /// stride or depth is 0.
+    pub fn with_config(geom: &CacheGeometry, cfg: PdpConfig) -> Self {
+        assert!((1..=8).contains(&cfg.rpd_bits), "rpd_bits must be in 1..=8");
+        assert!(cfg.sampler_stride > 0 && cfg.sampler_depth > 0, "sampler dims must be nonzero");
+        let rpd_max = ((1u16 << cfg.rpd_bits) - 1) as u8;
+        let sampled_sets = geom.sets().div_ceil(cfg.sampler_stride);
+        let mut policy = PdpPolicy {
+            cfg,
+            ways: geom.ways(),
+            line_shift: geom.line_bytes().trailing_zeros(),
+            rpd: vec![0; geom.sets() * geom.ways()],
+            reused: vec![false; geom.sets() * geom.ways()],
+            rpd_max,
+            tick: vec![0; geom.sets()],
+            quantum: 1,
+            hist: vec![0; cfg.max_distance],
+            total_sampled: 0,
+            sampler: (0..sampled_sets).map(|_| Vec::new()).collect(),
+            set_access_count: vec![0; sampled_sets],
+            accesses: 0,
+            pd: cfg.initial_pd,
+        };
+        policy.quantum = policy.quantum_for(policy.pd);
+        policy
+    }
+
+    /// The protecting distance currently in force.
+    pub fn protecting_distance(&self) -> usize {
+        self.pd
+    }
+
+    /// The reuse-distance histogram accumulated so far (diagnostic aid).
+    pub fn histogram(&self) -> &[u64] {
+        &self.hist
+    }
+
+    fn quantum_for(&self, pd: usize) -> u8 {
+        (pd.max(1)).div_ceil(usize::from(self.rpd_max)).min(255) as u8
+    }
+
+    /// The paper's benefit function `E(d)`; returns the maximizing distance.
+    fn compute_pd(&self) -> usize {
+        if self.total_sampled == 0 {
+            return self.cfg.initial_pd;
+        }
+        let mut best_d = 1;
+        let mut best_e = 0.0f64;
+        let mut hits: u64 = 0;
+        let mut weighted: u64 = 0;
+        for d in 1..=self.cfg.max_distance {
+            let n = self.hist[d - 1];
+            hits += n;
+            weighted += n * d as u64;
+            let occupancy = weighted + (self.total_sampled - hits) * d as u64;
+            if occupancy == 0 {
+                continue;
+            }
+            let e = hits as f64 / occupancy as f64;
+            if e > best_e {
+                best_e = e;
+                best_d = d;
+            }
+        }
+        best_d
+    }
+
+    fn sample(&mut self, set: usize, ctx: &AccessContext) {
+        if set % self.cfg.sampler_stride != 0 {
+            return;
+        }
+        let idx = set / self.cfg.sampler_stride;
+        self.set_access_count[idx] += 1;
+        let now = self.set_access_count[idx];
+        let tag = ctx.addr >> self.line_shift;
+        let entries = &mut self.sampler[idx];
+        if let Some(e) = entries.iter_mut().find(|e| e.tag == tag) {
+            let rd = (now - e.last_count) as usize;
+            let bucket = rd.clamp(1, self.cfg.max_distance) - 1;
+            self.hist[bucket] += 1;
+            self.total_sampled += 1;
+            e.last_count = now;
+        } else {
+            if entries.len() == self.cfg.sampler_depth {
+                entries.remove(0);
+            }
+            entries.push(SamplerEntry { tag, last_count: now });
+        }
+    }
+
+    fn on_any_access(&mut self, set: usize, ctx: &AccessContext) {
+        self.sample(set, ctx);
+        // Periodic PD recomputation ("microcontroller" duty cycle).
+        self.accesses += 1;
+        if self.accesses % self.cfg.compute_period == 0 {
+            self.pd = self.compute_pd();
+            self.quantum = self.quantum_for(self.pd);
+            // Age the histogram so PD tracks phase changes.
+            for h in &mut self.hist {
+                *h /= 2;
+            }
+            self.total_sampled /= 2;
+        }
+        // Quantized decay of the set's protection counters.
+        self.tick[set] += 1;
+        if self.tick[set] >= self.quantum {
+            self.tick[set] = 0;
+            let base = set * self.ways;
+            for w in 0..self.ways {
+                self.rpd[base + w] = self.rpd[base + w].saturating_sub(1);
+            }
+        }
+    }
+}
+
+impl ReplacementPolicy for PdpPolicy {
+    fn name(&self) -> &str {
+        "PDP"
+    }
+
+    fn victim(&mut self, set: usize, _ctx: &AccessContext) -> usize {
+        let base = set * self.ways;
+        // Unprotected line first.
+        if let Some(w) = (0..self.ways).find(|&w| self.rpd[base + w] == 0) {
+            return w;
+        }
+        // All protected: sacrifice the newest never-reused insertion (the
+        // bypass-like choice); if everything has been reused, the newest
+        // line overall.
+        (0..self.ways)
+            .max_by_key(|&w| (!self.reused[base + w], self.rpd[base + w]))
+            .expect("ways > 0")
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize, ctx: &AccessContext) {
+        self.on_any_access(set, ctx);
+        self.rpd[set * self.ways + way] = self.rpd_max;
+        self.reused[set * self.ways + way] = true;
+    }
+
+    fn on_miss(&mut self, set: usize, ctx: &AccessContext) {
+        self.on_any_access(set, ctx);
+    }
+
+    fn on_fill(&mut self, set: usize, way: usize, _ctx: &AccessContext) {
+        self.rpd[set * self.ways + way] = self.rpd_max;
+        self.reused[set * self.ways + way] = false;
+    }
+
+    fn bits_per_set(&self) -> u64 {
+        // Per-line RPD counters and reuse bits, plus the per-set tick
+        // counter (4 bits per block total at the default configuration).
+        self.ways as u64 * (u64::from(self.cfg.rpd_bits) + 1) + 8
+    }
+
+    fn global_bits(&self) -> u64 {
+        // Sampler tags/counters plus the histogram and PD registers — the
+        // structures the PDP paper assigns to its dedicated microcontroller
+        // (an additional ~10K NAND gates of logic not counted here).
+        let sampler_bits = self.sampler.len() as u64 * self.cfg.sampler_depth as u64 * 32;
+        let hist_bits = self.cfg.max_distance as u64 * 16;
+        sampler_bits + hist_bits + 64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::SetAssocCache;
+
+    fn geom() -> CacheGeometry {
+        CacheGeometry::from_sets(256, 16, 64).unwrap()
+    }
+
+    fn ctx_for(addr: u64) -> AccessContext {
+        AccessContext { pc: 0, addr, is_write: false }
+    }
+
+    #[test]
+    fn fresh_lines_are_unprotected() {
+        let mut p = PdpPolicy::new(&geom());
+        assert_eq!(p.victim(0, &ctx_for(0)), 0, "all RPDs zero: first way wins");
+    }
+
+    #[test]
+    fn fill_protects_line() {
+        let mut p = PdpPolicy::new(&geom());
+        p.on_fill(0, 3, &ctx_for(0));
+        assert_ne!(p.victim(0, &ctx_for(0)), 3, "a just-filled line is protected");
+    }
+
+    #[test]
+    fn protection_expires_after_pd_accesses() {
+        let g = geom();
+        let mut p = PdpPolicy::with_config(
+            &g,
+            PdpConfig { initial_pd: 7, compute_period: u64::MAX, ..PdpConfig::default() },
+        );
+        // quantum = ceil(7/7) = 1: every access decays by 1.
+        p.on_fill(0, 3, &ctx_for(0));
+        for w in (0..16).filter(|&w| w != 3) {
+            p.on_fill(0, w, &ctx_for(0));
+        }
+        // Hammer the set with misses elsewhere: line 3's protection decays.
+        for i in 0..7 {
+            p.on_miss(0, &ctx_for(1 << 20 | i));
+        }
+        assert_eq!(p.rpd[3], 0, "protection fully decayed");
+    }
+
+    #[test]
+    fn hit_rearms_protection() {
+        let g = geom();
+        let mut p = PdpPolicy::with_config(
+            &g,
+            PdpConfig { initial_pd: 15, compute_period: u64::MAX, ..PdpConfig::default() },
+        );
+        p.on_fill(0, 3, &ctx_for(0));
+        for _ in 0..10 {
+            p.on_miss(0, &ctx_for(1 << 20));
+        }
+        let decayed = p.rpd[3];
+        assert!(decayed < p.rpd_max);
+        p.on_hit(0, 3, &ctx_for(0));
+        assert_eq!(p.rpd[3], p.rpd_max);
+    }
+
+    #[test]
+    fn sampler_builds_histogram() {
+        let g = geom();
+        let mut p = PdpPolicy::new(&g);
+        // Set 0 is sampled (stride 64). Re-reference one block every 4
+        // accesses to set 0.
+        let blk = 0u64; // maps to set 0
+        for _ in 0..100 {
+            p.on_miss(0, &ctx_for(blk << 6));
+            for f in 1..4u64 {
+                p.on_miss(0, &ctx_for((f << 40) | (blk << 6)));
+            }
+        }
+        assert!(p.total_sampled > 0, "sampler recorded reuses");
+        assert!(p.hist[3] > 0, "reuse distance 4 observed");
+    }
+
+    #[test]
+    fn pd_computation_picks_reuse_sweet_spot() {
+        let g = geom();
+        let mut p = PdpPolicy::new(&g);
+        // Synthetic histogram: strong reuse at distance 8, nothing after.
+        p.hist[7] = 1000;
+        p.total_sampled = 1200; // 200 never-reused samples
+        let pd = p.compute_pd();
+        assert_eq!(pd, 8, "protecting exactly through distance 8 maximizes E");
+    }
+
+    #[test]
+    fn pd_computation_ignores_unreachable_tail() {
+        let g = geom();
+        let mut p = PdpPolicy::new(&g);
+        // Bimodal: cheap reuse at 2, expensive reuse at 200.
+        p.hist[1] = 1000;
+        p.hist[199] = 10;
+        p.total_sampled = 1010;
+        let pd = p.compute_pd();
+        assert_eq!(pd, 2, "distant trickle not worth 100x occupancy");
+    }
+
+    #[test]
+    fn streaming_scan_cannot_displace_protected_working_set() {
+        // Working set fits; scan blocks arrive unprotected-ish and get
+        // evicted once their (short) protection lapses, like DRRIP's
+        // scan resistance but via distances.
+        let g = CacheGeometry::from_sets(64, 8, 64).unwrap();
+        let mut pdp = SetAssocCache::new(g, Box::new(PdpPolicy::new(&g)));
+        let mut lru = SetAssocCache::new(g, Box::new(crate::lru::TrueLru::new(&g)));
+        let ws = 256u64;
+        let mut scan = 1 << 20;
+        for _ in 0..300 {
+            for b in 0..ws {
+                pdp.access_block(b, &ctx_for(b << 6));
+                lru.access_block(b, &ctx_for(b << 6));
+            }
+            for _ in 0..512 {
+                pdp.access_block(scan, &ctx_for(scan << 6));
+                lru.access_block(scan, &ctx_for(scan << 6));
+                scan += 1;
+            }
+        }
+        assert!(
+            pdp.stats().misses < lru.stats().misses,
+            "PDP {} vs LRU {}",
+            pdp.stats().misses,
+            lru.stats().misses
+        );
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let p = PdpPolicy::new(&geom());
+        assert_eq!(p.bits_per_set(), 16 * 4 + 8, "4 bits/line plus tick counter");
+        assert!(p.global_bits() > 0, "sampler and histogram are global state");
+    }
+
+    #[test]
+    #[should_panic(expected = "rpd_bits")]
+    fn rejects_zero_width_counters() {
+        let _ = PdpPolicy::with_config(&geom(), PdpConfig { rpd_bits: 0, ..Default::default() });
+    }
+}

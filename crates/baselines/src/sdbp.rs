@@ -1,0 +1,330 @@
+//! SDBP: sampling dead block prediction (Khan, Tian & Jiménez, MICRO
+//! 2010) — the related-work line the comparison paper cites for
+//! dead-block-driven replacement ("dead block prediction can be used to
+//! drive replacement policy by evicting predicted dead blocks, but the
+//! implementation is costly in terms of state and/or the requirement that
+//! the address of memory instructions be passed to the LLC").
+//!
+//! A *sampler* watches a few sets and learns, per memory-instruction PC,
+//! whether blocks last touched by that PC tend to die (be evicted without
+//! reuse). A skewed three-table predictor stores the learning; each cache
+//! line carries one predicted-dead bit, refreshed on every touch. The
+//! victim is any predicted-dead block, falling back to tree PseudoLRU.
+
+use gippr::PlruTree;
+use sim_core::{AccessContext, CacheGeometry, ReplacementPolicy};
+
+/// log2 of each predictor table's entry count.
+const TABLE_BITS: u32 = 12;
+/// Saturating-counter ceiling per table entry (2-bit counters).
+const COUNTER_MAX: u8 = 3;
+/// Dead if the three counters sum to at least this.
+const DEAD_THRESHOLD: u32 = 8;
+/// One in this many sets feeds the sampler.
+const SAMPLER_STRIDE: usize = 32;
+/// Sampler associativity (partial-tag entries per sampled set).
+const SAMPLER_WAYS: usize = 12;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct SamplerEntry {
+    valid: bool,
+    partial_tag: u16,
+    pc_sig: u16,
+    lru: u8,
+}
+
+/// The skewed three-table dead-block predictor.
+#[derive(Debug, Clone)]
+struct Predictor {
+    tables: [Vec<u8>; 3],
+}
+
+impl Predictor {
+    fn new() -> Self {
+        Predictor { tables: std::array::from_fn(|_| vec![0; 1 << TABLE_BITS]) }
+    }
+
+    fn indices(sig: u16) -> [usize; 3] {
+        let s = u64::from(sig);
+        [
+            (s.wrapping_mul(0x9e37_79b9) >> 16) as usize & ((1 << TABLE_BITS) - 1),
+            (s.wrapping_mul(0x85eb_ca6b) >> 14) as usize & ((1 << TABLE_BITS) - 1),
+            (s.wrapping_mul(0xc2b2_ae35) >> 12) as usize & ((1 << TABLE_BITS) - 1),
+        ]
+    }
+
+    fn train(&mut self, sig: u16, dead: bool) {
+        for (t, i) in self.tables.iter_mut().zip(Self::indices(sig)) {
+            if dead {
+                t[i] = (t[i] + 1).min(COUNTER_MAX);
+            } else {
+                t[i] = t[i].saturating_sub(1);
+            }
+        }
+    }
+
+    fn predict_dead(&self, sig: u16) -> bool {
+        let sum: u32 = self
+            .tables
+            .iter()
+            .zip(Self::indices(sig))
+            .map(|(t, i)| u32::from(t[i]))
+            .sum();
+        sum >= DEAD_THRESHOLD
+    }
+}
+
+/// Dead-block-driven replacement on a PLRU substrate.
+///
+/// # Example
+///
+/// ```
+/// use baselines::sdbp::SdbpPolicy;
+/// use sim_core::{Access, CacheGeometry, SetAssocCache};
+///
+/// # fn main() -> Result<(), sim_core::GeometryError> {
+/// let geom = CacheGeometry::new(128 * 1024, 16, 64)?;
+/// let mut llc = SetAssocCache::new(geom, Box::new(SdbpPolicy::new(&geom)));
+/// llc.access(&Access::read(0x1000, 0x400));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SdbpPolicy {
+    trees: Vec<PlruTree>,
+    dead: Vec<bool>,
+    ways: usize,
+    line_shift: u32,
+    predictor: Predictor,
+    sampler: Vec<[SamplerEntry; SAMPLER_WAYS]>,
+}
+
+impl SdbpPolicy {
+    /// Creates SDBP for `geom`.
+    pub fn new(geom: &CacheGeometry) -> Self {
+        let sampled = geom.sets().div_ceil(SAMPLER_STRIDE);
+        SdbpPolicy {
+            trees: vec![PlruTree::new(geom.ways()); geom.sets()],
+            dead: vec![false; geom.sets() * geom.ways()],
+            ways: geom.ways(),
+            line_shift: geom.line_bytes().trailing_zeros(),
+            predictor: Predictor::new(),
+            sampler: vec![[SamplerEntry::default(); SAMPLER_WAYS]; sampled],
+        }
+    }
+
+    /// The PC signature used to index the predictor.
+    pub fn signature_of(pc: u64) -> u16 {
+        ((pc >> 2) ^ (pc >> 18) ^ (pc >> 34)) as u16
+    }
+
+    /// Whether the predictor currently believes `pc`'s blocks die.
+    pub fn predicts_dead(&self, pc: u64) -> bool {
+        self.predictor.predict_dead(Self::signature_of(pc))
+    }
+
+    fn sample(&mut self, set: usize, ctx: &AccessContext) {
+        if set % SAMPLER_STRIDE != 0 {
+            return;
+        }
+        let entries = &mut self.sampler[set / SAMPLER_STRIDE];
+        let tag = ((ctx.addr >> self.line_shift) >> 8) as u16;
+        let sig = Self::signature_of(ctx.pc);
+        if let Some(idx) = entries.iter().position(|e| e.valid && e.partial_tag == tag) {
+            // Sampler hit: the previous toucher was not dead.
+            let prev_sig = entries[idx].pc_sig;
+            self.predictor.train(prev_sig, false);
+            entries[idx].pc_sig = sig;
+            let old = entries[idx].lru;
+            for e in entries.iter_mut() {
+                if e.valid && e.lru < old {
+                    e.lru += 1;
+                }
+            }
+            entries[idx].lru = 0;
+            return;
+        }
+        // Sampler miss: evict the sampler-LRU entry, training its last
+        // toucher as dead.
+        let victim = (0..SAMPLER_WAYS)
+            .find(|&i| !entries[i].valid)
+            .unwrap_or_else(|| {
+                (0..SAMPLER_WAYS)
+                    .max_by_key(|&i| entries[i].lru)
+                    .expect("sampler has entries")
+            });
+        if entries[victim].valid {
+            let dead_sig = entries[victim].pc_sig;
+            self.predictor.train(dead_sig, true);
+        }
+        for e in entries.iter_mut() {
+            if e.valid {
+                e.lru = e.lru.saturating_add(1);
+            }
+        }
+        entries[victim] = SamplerEntry { valid: true, partial_tag: tag, pc_sig: sig, lru: 0 };
+    }
+}
+
+impl ReplacementPolicy for SdbpPolicy {
+    fn name(&self) -> &str {
+        "SDBP"
+    }
+
+    fn victim(&mut self, set: usize, _ctx: &AccessContext) -> usize {
+        let base = set * self.ways;
+        // Predicted-dead block first; else PseudoLRU.
+        (0..self.ways)
+            .find(|&w| self.dead[base + w])
+            .unwrap_or_else(|| self.trees[set].victim())
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize, ctx: &AccessContext) {
+        self.sample(set, ctx);
+        self.trees[set].promote(way);
+        self.dead[set * self.ways + way] = self.predicts_dead(ctx.pc);
+    }
+
+    fn on_miss(&mut self, set: usize, ctx: &AccessContext) {
+        self.sample(set, ctx);
+    }
+
+    fn on_fill(&mut self, set: usize, way: usize, ctx: &AccessContext) {
+        self.trees[set].promote(way);
+        self.dead[set * self.ways + way] = self.predicts_dead(ctx.pc);
+    }
+
+    fn bits_per_set(&self) -> u64 {
+        // PLRU bits plus one dead bit per line.
+        self.trees[0].bit_count() + self.ways as u64
+    }
+
+    fn global_bits(&self) -> u64 {
+        let tables = 3 * (1u64 << TABLE_BITS) * 2;
+        let sampler =
+            self.sampler.len() as u64 * SAMPLER_WAYS as u64 * (1 + 16 + 16 + 4);
+        tables + sampler
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::SetAssocCache;
+
+    fn geom() -> CacheGeometry {
+        CacheGeometry::from_sets(64, 8, 64).unwrap()
+    }
+
+    fn ctx(addr: u64, pc: u64) -> AccessContext {
+        AccessContext { pc, addr, is_write: false }
+    }
+
+    #[test]
+    fn predictor_trains_toward_dead_and_back() {
+        let mut p = Predictor::new();
+        let sig = 0x1234;
+        assert!(!p.predict_dead(sig), "fresh predictor says alive");
+        for _ in 0..4 {
+            p.train(sig, true);
+        }
+        assert!(p.predict_dead(sig));
+        for _ in 0..4 {
+            p.train(sig, false);
+        }
+        assert!(!p.predict_dead(sig));
+    }
+
+    #[test]
+    fn streaming_pc_becomes_predicted_dead() {
+        let g = geom();
+        let mut p = SdbpPolicy::new(&g);
+        let stream_pc = 0x4000u64;
+        // Stream distinct blocks through sampled set 0: every sampler
+        // eviction trains "dead".
+        for i in 0..2000u64 {
+            let addr = i << 14; // all map to set 0 region, distinct tags
+            p.on_miss(0, &ctx(addr, stream_pc));
+        }
+        assert!(p.predicts_dead(stream_pc));
+    }
+
+    #[test]
+    fn reused_pc_stays_alive() {
+        let g = geom();
+        let mut p = SdbpPolicy::new(&g);
+        let loop_pc = 0x8000u64;
+        // Touch the same 4 blocks over and over in sampled set 0.
+        for i in 0..2000u64 {
+            let addr = (i % 4) << 14;
+            p.on_miss(0, &ctx(addr, loop_pc));
+        }
+        assert!(!p.predicts_dead(loop_pc));
+    }
+
+    #[test]
+    fn predicted_dead_blocks_are_victimized_first() {
+        let g = geom();
+        let mut p = SdbpPolicy::new(&g);
+        // Force the predictor to call pc_dead dead.
+        let dead_pc = 0xdead0u64;
+        let sig = SdbpPolicy::signature_of(dead_pc);
+        for _ in 0..4 {
+            p.predictor.train(sig, true);
+        }
+        // Fill set 3: way 5 filled by the dead PC, others by a live PC.
+        for w in 0..8 {
+            let pc = if w == 5 { dead_pc } else { 0x10 };
+            p.on_fill(3, w, &ctx(0, pc));
+        }
+        assert_eq!(p.victim(3, &ctx(0, 0)), 5);
+    }
+
+    #[test]
+    fn falls_back_to_plru_when_nothing_dead() {
+        let g = geom();
+        let mut p = SdbpPolicy::new(&g);
+        for w in 0..8 {
+            p.on_fill(2, w, &ctx(0, 0x10));
+        }
+        let v = p.victim(2, &ctx(0, 0));
+        assert_eq!(p.trees[2].position(v), 7, "PLRU fallback victim");
+    }
+
+    #[test]
+    fn beats_plain_plru_on_scan_mix() {
+        let g = CacheGeometry::from_sets(64, 8, 64).unwrap();
+        let mut sdbp = SetAssocCache::new(g, Box::new(SdbpPolicy::new(&g)));
+        let mut plru = SetAssocCache::new(g, Box::new(gippr::PlruPolicy::new(&g)));
+        let loop_pc = 0x10u64;
+        let scan_pc = 0x20u64;
+        let ws = 384u64;
+        let mut scan = 1 << 24;
+        for _ in 0..150 {
+            for b in 0..ws {
+                let c = AccessContext { pc: loop_pc, addr: b << 6, is_write: false };
+                sdbp.access_block(b, &c);
+                plru.access_block(b, &c);
+            }
+            for _ in 0..256 {
+                let c = AccessContext { pc: scan_pc, addr: scan << 6, is_write: false };
+                sdbp.access_block(scan, &c);
+                plru.access_block(scan, &c);
+                scan += 1;
+            }
+        }
+        assert!(
+            sdbp.stats().misses <= plru.stats().misses,
+            "SDBP {} vs PLRU {}",
+            sdbp.stats().misses,
+            plru.stats().misses
+        );
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let p = SdbpPolicy::new(&geom());
+        assert_eq!(p.bits_per_set(), 7 + 8, "PLRU bits + dead bits");
+        assert!(p.global_bits() > 3 * 4096 * 2, "tables plus sampler");
+    }
+}

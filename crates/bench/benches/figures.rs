@@ -1,0 +1,101 @@
+//! One benchmark per paper figure/table: each regenerates its artifact at
+//! micro scale, so `cargo bench` demonstrates every experiment end-to-end
+//! and tracks the harness's performance over time. Full-size regeneration
+//! is done by the `harness` binaries (`--scale quick|medium|paper`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use harness::experiments::{fig01, fig04, fig10, fig11, fig13, overhead, vectors_tab, VectorMode};
+use harness::Scale;
+use std::hint::black_box;
+
+fn bench_fig01(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig01_random_design_space", |b| {
+        b.iter(|| black_box(fig01::run(Scale::Micro)))
+    });
+    g.finish();
+}
+
+fn bench_fig04(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig04_giplr_speedup", |b| b.iter(|| black_box(fig04::run(Scale::Micro))));
+    g.finish();
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig10_mpki_gippr_family", |b| {
+        b.iter(|| black_box(fig10::run(Scale::Micro, VectorMode::Published)))
+    });
+    g.finish();
+}
+
+fn bench_fig11(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig11_mpki_vs_drrip_pdp", |b| {
+        b.iter(|| black_box(fig11::run(Scale::Micro, VectorMode::Published)))
+    });
+    g.finish();
+}
+
+fn bench_fig12_component(c: &mut Criterion) {
+    // Full Figure 12 runs 3 + 87 genetic algorithms; here we benchmark its
+    // workload-inclusive component (one GA run per vector count) at micro
+    // scale. The binary `fig12-wn-vs-wi` regenerates the whole figure.
+    use evolve::{FitnessContext, Ga, Substrate, VectorSet};
+    use traces::spec2006::Spec2006;
+    let scale = Scale::Micro;
+    let ctx = FitnessContext::for_benchmarks(
+        &[Spec2006::Libquantum, Spec2006::CactusADM, Spec2006::DealII, Spec2006::Mcf],
+        1,
+        scale.ga_accesses(),
+        scale.fitness(),
+    );
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig12_wi_ga_component", |b| {
+        b.iter(|| {
+            let ga = Ga::new(scale.ga(1));
+            let single = ga.run_single(&ctx, Substrate::Plru);
+            let pair = ga.run_set(
+                &ctx,
+                2,
+                vec![VectorSet::new(gippr::vectors::wi_2dgippr().to_vec())],
+            );
+            black_box((single.best_fitness, pair.best_fitness))
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig13(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig13_speedup_vs_drrip_pdp", |b| {
+        b.iter(|| black_box(fig13::run(Scale::Micro, VectorMode::Published)))
+    });
+    g.finish();
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.bench_function("tab_overhead", |b| b.iter(|| black_box(overhead::run())));
+    g.bench_function("tab_vectors", |b| b.iter(|| black_box(vectors_tab::run())));
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_fig01,
+    bench_fig04,
+    bench_fig10,
+    bench_fig11,
+    bench_fig12_component,
+    bench_fig13,
+    bench_tables
+);
+criterion_main!(figures);

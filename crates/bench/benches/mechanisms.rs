@@ -1,0 +1,150 @@
+//! Microbenchmarks of the core mechanisms: the PLRU position algebra, the
+//! recency stack, IPV operations, Belady MIN, the trace container, and the
+//! LLC-stream capture path.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gippr::{Ipv, PlruTree, RecencyStack};
+use mem_model::{capture_llc_stream, min_misses, HierarchyConfig};
+use sim_core::{Access, CacheGeometry};
+use std::hint::black_box;
+use traces::spec2006::Spec2006;
+use traces::{TraceReader, TraceWriter};
+
+fn bench_plru_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("plru");
+    g.throughput(Throughput::Elements(16));
+    g.bench_function("victim_promote_16way", |b| {
+        let mut t = PlruTree::new(16);
+        b.iter(|| {
+            for w in 0..16 {
+                t.promote(black_box(w));
+                black_box(t.victim());
+            }
+        })
+    });
+    g.bench_function("position_read_16way", |b| {
+        let t = PlruTree::new(16);
+        b.iter(|| {
+            for w in 0..16 {
+                black_box(t.position(black_box(w)));
+            }
+        })
+    });
+    g.bench_function("set_position_16way", |b| {
+        let mut t = PlruTree::new(16);
+        b.iter(|| {
+            for w in 0..16 {
+                t.set_position(black_box(w), black_box((w * 7) % 16));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_recency_stack(c: &mut Criterion) {
+    let mut g = c.benchmark_group("recency_stack");
+    g.throughput(Throughput::Elements(16));
+    g.bench_function("move_to_16way", |b| {
+        let mut s = RecencyStack::new(16);
+        b.iter(|| {
+            for w in 0..16 {
+                s.move_to(black_box(w), black_box((w * 11) % 16));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_ipv(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ipv");
+    g.bench_function("parse", |b| {
+        b.iter(|| black_box("0 0 1 0 3 0 1 2 1 0 5 1 0 0 1 11 13".parse::<Ipv>().unwrap()))
+    });
+    g.bench_function("degeneracy_check", |b| {
+        let v = gippr::vectors::wi_gippr();
+        b.iter(|| black_box(v.is_degenerate()))
+    });
+    g.finish();
+}
+
+fn bench_min(c: &mut Criterion) {
+    let geom = CacheGeometry::from_sets(64, 16, 64).unwrap();
+    let stream: Vec<Access> =
+        (0..50_000u64).map(|i| Access::read((i * 2654435761) % (1 << 22), 0)).collect();
+    let mut g = c.benchmark_group("optimal");
+    g.throughput(Throughput::Elements(stream.len() as u64));
+    g.bench_function("belady_min_50k", |b| {
+        b.iter(|| black_box(min_misses(&stream, geom, 0)))
+    });
+    g.finish();
+}
+
+fn bench_capture(c: &mut Criterion) {
+    let config = HierarchyConfig::paper_scaled(6).unwrap();
+    let spec = Spec2006::Mcf.workload().scaled_down(6);
+    let mut g = c.benchmark_group("capture");
+    g.throughput(Throughput::Elements(20_000));
+    g.bench_function("llc_stream_20k", |b| {
+        b.iter(|| black_box(capture_llc_stream(config, spec.generator(0).take(20_000))))
+    });
+    g.finish();
+}
+
+fn bench_trace_format(c: &mut Criterion) {
+    let accesses: Vec<Access> =
+        (0..10_000u64).map(|i| Access::read(i * 64, 0x400).with_icount_delta(3)).collect();
+    let mut encoded = Vec::new();
+    let mut w = TraceWriter::new(&mut encoded).unwrap();
+    for a in &accesses {
+        w.write(a).unwrap();
+    }
+    w.finish().unwrap();
+
+    let mut g = c.benchmark_group("trace_format");
+    g.throughput(Throughput::Elements(accesses.len() as u64));
+    g.bench_function("write_10k", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(encoded.len());
+            let mut w = TraceWriter::new(&mut buf).unwrap();
+            for a in &accesses {
+                w.write(a).unwrap();
+            }
+            w.finish().unwrap();
+            black_box(buf)
+        })
+    });
+    g.bench_function("read_10k", |b| {
+        b.iter(|| {
+            let n = TraceReader::new(&encoded[..]).unwrap().count();
+            black_box(n)
+        })
+    });
+    g.finish();
+}
+
+fn bench_workload_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("synth");
+    g.throughput(Throughput::Elements(10_000));
+    for bench in [Spec2006::Libquantum, Spec2006::Mcf, Spec2006::Gcc] {
+        g.bench_function(format!("generate_10k_{}", bench.name()), |b| {
+            let spec = bench.workload();
+            b.iter(|| {
+                let sum: u64 = spec.generator(0).take(10_000).map(|a| a.addr).sum();
+                black_box(sum)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    mechanisms,
+    bench_plru_ops,
+    bench_recency_stack,
+    bench_ipv,
+    bench_min,
+    bench_capture,
+    bench_trace_format,
+    bench_workload_generation
+);
+criterion_main!(mechanisms);

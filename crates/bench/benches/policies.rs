@@ -1,0 +1,90 @@
+//! Policy update-path throughput: accesses per second through a full
+//! set-associative cache under each replacement policy. This is the cost
+//! the paper argues about in hardware terms (PLRU touches `log2 k` bits
+//! per access; true LRU may touch `k log2 k`); in software it shows up as
+//! per-access update work.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use harness::policies;
+use sim_core::{Access, CacheGeometry, PolicyFactory, SetAssocCache};
+use std::hint::black_box;
+
+fn mixed_stream(n: usize) -> Vec<Access> {
+    // A half-looping, half-streaming block stream that produces a healthy
+    // mix of hits, misses, and evictions.
+    (0..n as u64)
+        .map(|i| {
+            let addr = if i % 2 == 0 {
+                (i % 4096) * 64 // loop
+            } else {
+                (1 << 30) + i * 64 // stream
+            };
+            Access::read(addr, 0x400 + (i % 13) * 4)
+        })
+        .collect()
+}
+
+fn bench_policy_throughput(c: &mut Criterion) {
+    let geom = CacheGeometry::new(128 * 1024, 16, 64).unwrap();
+    let stream = mixed_stream(50_000);
+    let entries: Vec<(&str, PolicyFactory)> = vec![
+        ("LRU", policies::lru()),
+        ("PseudoLRU", policies::plru()),
+        ("Random", policies::random(7)),
+        ("FIFO", policies::fifo()),
+        ("DIP", policies::dip()),
+        ("SRRIP", policies::srrip()),
+        ("DRRIP", policies::drrip()),
+        ("PDP", policies::pdp()),
+        ("SHiP", policies::ship()),
+        ("GIPLR", policies::giplr(gippr::vectors::giplr_best(), "GIPLR")),
+        ("GIPPR", policies::gippr(gippr::vectors::wi_gippr(), "GIPPR")),
+        ("2-DGIPPR", policies::dgippr(gippr::vectors::wi_2dgippr().to_vec(), "2-DGIPPR")),
+        ("4-DGIPPR", policies::dgippr(gippr::vectors::wi_4dgippr().to_vec(), "4-DGIPPR")),
+    ];
+    let mut g = c.benchmark_group("policy_throughput");
+    g.throughput(Throughput::Elements(stream.len() as u64));
+    for (name, factory) in entries {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut cache = SetAssocCache::new(geom, factory(&geom));
+                for a in &stream {
+                    black_box(cache.access(a));
+                }
+                black_box(cache.stats().misses)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_dueling_ablation(c: &mut Criterion) {
+    // Ablation: DGIPPR runtime cost versus leader-set count (the duel's
+    // only tunable that touches the hot path via role lookups).
+    let geom = CacheGeometry::new(128 * 1024, 16, 64).unwrap();
+    let stream = mixed_stream(50_000);
+    let mut g = c.benchmark_group("dgippr_leader_ablation");
+    g.throughput(Throughput::Elements(stream.len() as u64));
+    for leaders in [4usize, 8, 16, 32] {
+        g.bench_function(format!("leaders_{leaders}"), |b| {
+            b.iter(|| {
+                let policy = gippr::DgipprPolicy::with_config(
+                    &geom,
+                    gippr::vectors::wi_4dgippr().to_vec(),
+                    leaders,
+                    "4-DGIPPR",
+                )
+                .unwrap();
+                let mut cache = SetAssocCache::new(geom, Box::new(policy));
+                for a in &stream {
+                    black_box(cache.access(a));
+                }
+                black_box(cache.stats().misses)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(policies_bench, bench_policy_throughput, bench_dueling_ablation);
+criterion_main!(policies_bench);

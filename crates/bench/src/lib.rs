@@ -1,0 +1,10 @@
+//! Criterion benchmark crate. The benchmarks live in `benches/`:
+//!
+//! * `figures` — regenerates every paper figure/table at micro scale.
+//! * `mechanisms` — microbenchmarks of the PLRU algebra, recency stack,
+//!   IPV operations, Belady MIN, trace container, and stream capture.
+//! * `policies` — cache-access throughput under every replacement policy,
+//!   plus a DGIPPR leader-count ablation.
+//!
+//! The library target is intentionally empty; shared helpers live in the
+//! `harness` crate.

@@ -1,0 +1,348 @@
+//! The genetic algorithm's fitness function (paper Section 4.3).
+//!
+//! For each workload, an LLC access stream is captured once through the
+//! fixed L1/L2 hierarchy; candidate vectors then replay the stream at the
+//! LLC only. Fitness is the workload-weighted arithmetic mean of the
+//! linear-CPI speedup over LRU — exactly the paper's recipe ("we estimate
+//! the resulting CPI as a linear function of the number of misses" and
+//! evolve for "a good arithmetic mean speedup").
+
+use baselines::TrueLru;
+use gippr::{DgipprPolicy, GiplrPolicy, GipprPolicy, Ipv};
+use mem_model::cpi::LinearCpiModel;
+use mem_model::{capture_llc_stream, replay_llc, HierarchyConfig, WindowPerfModel};
+use sim_core::{Access, CacheGeometry, ReplacementPolicy};
+use std::sync::Arc;
+use traces::spec2006::Spec2006;
+use traces::WorkloadSpec;
+
+/// Which replacement substrate a single vector drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Substrate {
+    /// Tree PseudoLRU state (GIPPR, Section 3.4).
+    Plru,
+    /// Full true-LRU recency stacks (GIPLR, Section 2).
+    Lru,
+}
+
+/// Scale knobs for fitness evaluation; the defaults fit CI-speed runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FitnessScale {
+    /// Shift applied to cache capacities and workload footprints
+    /// (`HierarchyConfig::paper_scaled`); 0 = the paper's 4 MB LLC.
+    pub shift: u32,
+    /// Worker threads for population evaluation.
+    pub threads: usize,
+}
+
+impl Default for FitnessScale {
+    fn default() -> Self {
+        FitnessScale { shift: 4, threads: available_threads() }
+    }
+}
+
+fn available_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+}
+
+/// One workload's captured LLC stream and its LRU baseline.
+#[derive(Debug, Clone)]
+pub struct WorkloadStream {
+    /// Workload display name.
+    pub name: String,
+    /// The captured LLC access stream (shared, replayed by every candidate).
+    pub stream: Arc<Vec<Access>>,
+    /// Accesses used to warm the cache before measuring.
+    pub warmup: usize,
+    /// Instructions represented by the measured portion.
+    pub instructions: u64,
+    /// LRU misses over the measured portion (the speedup denominator).
+    pub lru_misses: u64,
+    /// Simpoint/benchmark weight in the mean.
+    pub weight: f64,
+}
+
+/// Captured streams plus everything needed to score a candidate vector.
+#[derive(Debug, Clone)]
+pub struct FitnessContext {
+    streams: Vec<WorkloadStream>,
+    geom: CacheGeometry,
+    model: LinearCpiModel,
+    threads: usize,
+}
+
+impl FitnessContext {
+    /// Builds a context from explicit workload specs. `accesses_per_stream`
+    /// is the reference-trace length fed to L1 (the LLC stream is shorter).
+    pub fn from_specs(
+        specs: &[(WorkloadSpec, f64)],
+        accesses_per_stream: usize,
+        scale: FitnessScale,
+    ) -> Self {
+        let config = HierarchyConfig::paper_scaled(scale.shift)
+            .expect("scale shift leaves valid geometries");
+        let perf = WindowPerfModel::default();
+        let streams = specs
+            .iter()
+            .map(|(spec, weight)| {
+                let scaled = spec.scaled_down(scale.shift);
+                let (stream, _core_instructions) = capture_llc_stream(
+                    config,
+                    scaled.generator(0).take(accesses_per_stream),
+                );
+                let warmup = mem_model::llc::default_warmup(stream.len());
+                let lru = replay_llc(
+                    &stream,
+                    config.llc,
+                    Box::new(TrueLru::new(&config.llc)),
+                    warmup,
+                    &perf,
+                );
+                WorkloadStream {
+                    name: scaled.name.clone(),
+                    stream: Arc::new(stream),
+                    warmup,
+                    instructions: lru.instructions.max(1),
+                    lru_misses: lru.stats.misses,
+                    weight: *weight,
+                }
+            })
+            .collect();
+        FitnessContext {
+            streams,
+            geom: config.llc,
+            model: LinearCpiModel::default(),
+            threads: scale.threads.max(1),
+        }
+    }
+
+    /// Builds a context over SPEC benchmark models, `simpoints` weighted
+    /// segments each.
+    pub fn for_benchmarks(
+        benchmarks: &[Spec2006],
+        simpoints: usize,
+        accesses_per_stream: usize,
+        scale: FitnessScale,
+    ) -> Self {
+        let specs: Vec<(WorkloadSpec, f64)> = benchmarks
+            .iter()
+            .flat_map(|b| {
+                b.simpoints()
+                    .into_iter()
+                    .take(simpoints.max(1))
+                    .map(move |sp| {
+                        let mut spec = b.workload();
+                        spec.seed ^= sp.index.wrapping_mul(0x517c_c1b7_2722_0a95);
+                        (spec, sp.weight)
+                    })
+            })
+            .collect();
+        Self::from_specs(&specs, accesses_per_stream, scale)
+    }
+
+    /// The LLC geometry candidates are scored against.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geom
+    }
+
+    /// The captured workload streams.
+    pub fn streams(&self) -> &[WorkloadStream] {
+        &self.streams
+    }
+
+    /// Worker threads used by [`FitnessContext::fitness_many`].
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Returns a context restricted to streams whose names pass `keep`
+    /// (the WN1 holdout mechanism).
+    pub fn filtered<F: Fn(&str) -> bool>(&self, keep: F) -> FitnessContext {
+        FitnessContext {
+            streams: self.streams.iter().filter(|s| keep(&s.name)).cloned().collect(),
+            geom: self.geom,
+            model: self.model,
+            threads: self.threads,
+        }
+    }
+
+    fn speedup_with(&self, make: &dyn Fn() -> Box<dyn ReplacementPolicy>) -> f64 {
+        let perf = WindowPerfModel::default();
+        let mut total_weight = 0.0;
+        let mut total = 0.0;
+        for ws in &self.streams {
+            let run = replay_llc(&ws.stream, self.geom, make(), ws.warmup, &perf);
+            let speedup =
+                self.model.speedup(ws.instructions, ws.lru_misses, run.stats.misses);
+            total += speedup * ws.weight;
+            total_weight += ws.weight;
+        }
+        if total_weight == 0.0 {
+            1.0
+        } else {
+            total / total_weight
+        }
+    }
+
+    /// Mean speedup over LRU of a single vector on `substrate`.
+    pub fn fitness_single(&self, ipv: &Ipv, substrate: Substrate) -> f64 {
+        let geom = self.geom;
+        let ipv = ipv.clone();
+        match substrate {
+            Substrate::Plru => self.speedup_with(&|| {
+                Box::new(GipprPolicy::new(&geom, ipv.clone()).expect("assoc matches"))
+            }),
+            Substrate::Lru => self.speedup_with(&|| {
+                Box::new(GiplrPolicy::new(&geom, ipv.clone()).expect("assoc matches"))
+            }),
+        }
+    }
+
+    /// Mean speedup over LRU of a dueling 2- or 4-vector set (DGIPPR).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `vectors.len()` is 2 or 4.
+    pub fn fitness_set(&self, vectors: &[Ipv]) -> f64 {
+        assert!(
+            vectors.len() == 2 || vectors.len() == 4,
+            "DGIPPR duels 2 or 4 vectors, got {}",
+            vectors.len()
+        );
+        let geom = self.geom;
+        let vectors = vectors.to_vec();
+        // Smaller scaled caches have fewer sets; shrink the leader count to
+        // fit while keeping the paper's 32 for full-size runs.
+        let leaders = (geom.sets() / 64).clamp(4, 32);
+        self.speedup_with(&|| {
+            Box::new(
+                DgipprPolicy::with_config(&geom, vectors.clone(), leaders, "DGIPPR")
+                    .expect("valid duel config"),
+            )
+        })
+    }
+
+    /// Per-workload speedups (not aggregated), for reporting.
+    pub fn per_workload_single(&self, ipv: &Ipv, substrate: Substrate) -> Vec<(String, f64)> {
+        let perf = WindowPerfModel::default();
+        self.streams
+            .iter()
+            .map(|ws| {
+                let policy: Box<dyn ReplacementPolicy> = match substrate {
+                    Substrate::Plru => Box::new(
+                        GipprPolicy::new(&self.geom, ipv.clone()).expect("assoc matches"),
+                    ),
+                    Substrate::Lru => Box::new(
+                        GiplrPolicy::new(&self.geom, ipv.clone()).expect("assoc matches"),
+                    ),
+                };
+                let run = replay_llc(&ws.stream, self.geom, policy, ws.warmup, &perf);
+                (
+                    ws.name.clone(),
+                    self.model.speedup(ws.instructions, ws.lru_misses, run.stats.misses),
+                )
+            })
+            .collect()
+    }
+
+    /// Evaluates many candidates in parallel with `self.threads` workers.
+    /// `eval` must be cheap to call concurrently (it receives `self`).
+    pub fn fitness_many<G, F>(&self, genomes: &[G], eval: F) -> Vec<f64>
+    where
+        G: Sync,
+        F: Fn(&FitnessContext, &G) -> f64 + Sync,
+    {
+        if genomes.is_empty() {
+            return Vec::new();
+        }
+        let threads = self.threads.min(genomes.len());
+        let mut results = vec![0.0f64; genomes.len()];
+        let chunk = genomes.len().div_ceil(threads);
+        crossbeam::thread::scope(|scope| {
+            for (gs, rs) in genomes.chunks(chunk).zip(results.chunks_mut(chunk)) {
+                let eval = &eval;
+                scope.spawn(move |_| {
+                    for (g, r) in gs.iter().zip(rs.iter_mut()) {
+                        *r = eval(self, g);
+                    }
+                });
+            }
+        })
+        .expect("fitness worker panicked");
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_ctx() -> FitnessContext {
+        FitnessContext::for_benchmarks(
+            &[Spec2006::Libquantum, Spec2006::DealII],
+            1,
+            20_000,
+            FitnessScale { shift: 6, threads: 2 },
+        )
+    }
+
+    #[test]
+    fn lru_vector_scores_about_one() {
+        let ctx = tiny_ctx();
+        let f = ctx.fitness_single(&Ipv::lru(16), Substrate::Lru);
+        assert!((f - 1.0).abs() < 1e-9, "GIPLR with the LRU vector IS LRU: {f}");
+    }
+
+    #[test]
+    fn lip_beats_lru_on_streaming_heavy_mix() {
+        let ctx = FitnessContext::for_benchmarks(
+            &[Spec2006::Libquantum],
+            1,
+            20_000,
+            FitnessScale { shift: 6, threads: 1 },
+        );
+        let f = ctx.fitness_single(&Ipv::lru_insertion(16), Substrate::Lru);
+        assert!(f > 1.02, "LIP on pure streaming should beat LRU: {f}");
+    }
+
+    #[test]
+    fn filtered_drops_holdout() {
+        let ctx = tiny_ctx();
+        let kept = ctx.filtered(|name| !name.contains("libquantum"));
+        assert_eq!(kept.streams().len(), ctx.streams().len() - 1);
+        assert!(kept.streams().iter().all(|s| !s.name.contains("libquantum")));
+    }
+
+    #[test]
+    fn fitness_many_matches_sequential() {
+        let ctx = tiny_ctx();
+        let candidates = vec![Ipv::lru(16), Ipv::lru_insertion(16)];
+        let parallel =
+            ctx.fitness_many(&candidates, |c, g| c.fitness_single(g, Substrate::Plru));
+        let sequential: Vec<f64> =
+            candidates.iter().map(|g| ctx.fitness_single(g, Substrate::Plru)).collect();
+        assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn vector_set_fitness_runs() {
+        let ctx = tiny_ctx();
+        let f = ctx.fitness_set(&gippr::vectors::wi_2dgippr());
+        assert!(f > 0.5 && f < 3.0, "sane speedup range: {f}");
+    }
+
+    #[test]
+    #[should_panic(expected = "2 or 4")]
+    fn vector_set_rejects_three() {
+        let ctx = tiny_ctx();
+        let v = Ipv::lru(16);
+        let _ = ctx.fitness_set(&[v.clone(), v.clone(), v]);
+    }
+
+    #[test]
+    fn per_workload_reports_every_stream() {
+        let ctx = tiny_ctx();
+        let rows = ctx.per_workload_single(&Ipv::lru(16), Substrate::Plru);
+        assert_eq!(rows.len(), ctx.streams().len());
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests for the genetic operators.
+
+use evolve::{Genome, VectorSet};
+use gippr::Ipv;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn ipv16() -> impl Strategy<Value = Ipv> {
+    proptest::collection::vec(0u8..16, 17)
+        .prop_map(|entries| Ipv::new(entries, 16).expect("in range"))
+}
+
+proptest! {
+    /// Crossover children are always valid IPVs and every entry comes from
+    /// one of the parents at the same index.
+    #[test]
+    fn crossover_mixes_parent_entries(a in ipv16(), b in ipv16(), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let child = a.crossover(&b, &mut rng);
+        prop_assert_eq!(child.assoc(), 16);
+        for (i, &e) in child.entries().iter().enumerate() {
+            prop_assert!(
+                e == a.entries()[i] || e == b.entries()[i],
+                "entry {i} = {e} from neither parent"
+            );
+        }
+        // Single-point: a prefix from a, a suffix from b.
+        let split = child
+            .entries()
+            .iter()
+            .zip(a.entries())
+            .take_while(|(c, pa)| c == pa)
+            .count();
+        for i in split..17 {
+            prop_assert!(
+                child.entries()[i] == b.entries()[i] || a.entries()[i] == b.entries()[i],
+                "suffix entry {i} not from b"
+            );
+        }
+    }
+
+    /// Mutation at rate 0 is the identity; at rate 1 it changes at most
+    /// one entry and the result stays valid.
+    #[test]
+    fn mutation_rates(v in ipv16(), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut frozen = v.clone();
+        frozen.mutate(0.0, &mut rng);
+        prop_assert_eq!(&frozen, &v);
+        let mut mutated = v.clone();
+        mutated.mutate(1.0, &mut rng);
+        let diffs = mutated
+            .entries()
+            .iter()
+            .zip(v.entries())
+            .filter(|(m, o)| m != o)
+            .count();
+        prop_assert!(diffs <= 1);
+        prop_assert!(mutated.entries().iter().all(|&e| e < 16));
+    }
+
+    /// VectorSet crossover preserves member count and validity; mutation
+    /// touches at most one entry of one member.
+    #[test]
+    fn vector_set_operators(
+        a_entries in proptest::collection::vec(proptest::collection::vec(0u8..16, 17), 4),
+        b_entries in proptest::collection::vec(proptest::collection::vec(0u8..16, 17), 4),
+        seed in any::<u64>(),
+    ) {
+        let mk = |vs: Vec<Vec<u8>>| {
+            VectorSet::new(vs.into_iter().map(|e| Ipv::new(e, 16).unwrap()).collect())
+        };
+        let a = mk(a_entries);
+        let b = mk(b_entries);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let child = a.crossover(&b, &mut rng);
+        prop_assert_eq!(child.len(), 4);
+        let mut mutated = child.clone();
+        mutated.mutate(1.0, &mut rng);
+        let total_diffs: usize = mutated
+            .vectors()
+            .iter()
+            .zip(child.vectors())
+            .map(|(m, c)| {
+                m.entries().iter().zip(c.entries()).filter(|(x, y)| x != y).count()
+            })
+            .sum();
+        prop_assert!(total_diffs <= 1);
+    }
+
+    /// Sampled genomes are always valid, for both genome kinds.
+    #[test]
+    fn sampling_is_valid(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let v = <Ipv as Genome>::sample(16, &mut rng);
+        prop_assert!(v.entries().iter().all(|&e| e < 16));
+        let s = VectorSet::sample_n(4, 16, &mut rng);
+        prop_assert_eq!(s.len(), 4);
+    }
+}

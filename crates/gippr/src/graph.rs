@@ -1,0 +1,134 @@
+//! Transition graphs of insertion/promotion vectors (paper Figures 2–3).
+//!
+//! The paper visualizes an IPV as a graph over recency-stack positions:
+//! solid edges show where an accessed (or inserted) block moves, dashed
+//! edges show where a resident block is *shifted* when another block takes
+//! its position. This module derives that graph from any [`Ipv`] and
+//! renders it as Graphviz DOT, reproducing Figure 2 (classic LRU) and
+//! Figure 3 (the evolved GIPLR vector).
+
+use crate::ipv::Ipv;
+use std::fmt::Write as _;
+
+/// The transition structure of an IPV over positions `0..k` (with the
+/// paper's `insertion` and `eviction` pseudo-nodes implied).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransitionGraph {
+    /// Solid edges: `(from, to)` — an access at `from` moves the block to
+    /// `to` (deduplicated, self-loops omitted).
+    pub access: Vec<(usize, usize)>,
+    /// Dashed edges: `(from, to)` — a block at `from` may be shifted to
+    /// `to` to make room for another block's move (deduplicated).
+    pub shift: Vec<(usize, usize)>,
+    /// The insertion position (`V[k]`).
+    pub insertion: usize,
+    /// Associativity.
+    pub assoc: usize,
+}
+
+/// Derives the transition graph of `ipv` under true-LRU shifting
+/// semantics (the interpretation the paper draws).
+pub fn transition_graph(ipv: &Ipv) -> TransitionGraph {
+    let k = ipv.assoc();
+    let mut access = Vec::new();
+    let mut shift = Vec::new();
+    let push_unique = |v: &mut Vec<(usize, usize)>, e: (usize, usize)| {
+        if e.0 != e.1 && !v.contains(&e) {
+            v.push(e);
+        }
+    };
+    for i in 0..k {
+        let to = ipv.promotion(i);
+        push_unique(&mut access, (i, to));
+        if to < i {
+            for j in to..i {
+                push_unique(&mut shift, (j, j + 1));
+            }
+        } else {
+            for j in (i + 1)..=to {
+                push_unique(&mut shift, (j, j - 1));
+            }
+        }
+    }
+    // Insertion shifts occupants of V[k]..k-2 down by one.
+    for j in ipv.insertion()..k.saturating_sub(1) {
+        push_unique(&mut shift, (j, j + 1));
+    }
+    TransitionGraph { access, shift, insertion: ipv.insertion(), assoc: k }
+}
+
+/// Renders `ipv`'s transition graph as Graphviz DOT, in the visual
+/// language of the paper's Figures 2 and 3 (solid = access/insertion
+/// moves, dashed = shifts, plus `insertion` and `eviction` pseudo-nodes).
+pub fn to_dot(ipv: &Ipv, title: &str) -> String {
+    let g = transition_graph(ipv);
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{title}\" {{");
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [shape=circle];");
+    let _ = writeln!(out, "  insertion [shape=plaintext];");
+    let _ = writeln!(out, "  eviction [shape=plaintext];");
+    let _ = writeln!(out, "  insertion -> {} [style=solid];", g.insertion);
+    let _ = writeln!(out, "  {} -> eviction [style=solid];", g.assoc - 1);
+    for (from, to) in &g.access {
+        let _ = writeln!(out, "  {from} -> {to} [style=solid];");
+    }
+    for (from, to) in &g.shift {
+        let _ = writeln!(out, "  {from} -> {to} [style=dashed];");
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_lru_graph() {
+        // Figure 2: classic LRU for k = 16. Every position's access edge
+        // points to 0; shifts cascade downward.
+        let g = transition_graph(&Ipv::lru(16));
+        assert_eq!(g.insertion, 0);
+        for i in 1..16 {
+            assert!(g.access.contains(&(i, 0)), "access edge {i} -> 0");
+        }
+        for j in 0..15 {
+            assert!(g.shift.contains(&(j, j + 1)), "shift edge {j} -> {}", j + 1);
+        }
+        assert!(!g.access.iter().any(|&(a, b)| a == b), "no self loops");
+    }
+
+    #[test]
+    fn figure3_giplr_graph_spot_checks() {
+        // Figure 3: the evolved vector [0 0 1 0 3 0 1 2 1 0 5 1 0 0 1 11 13].
+        let g = transition_graph(&crate::vectors::giplr_best());
+        assert_eq!(g.insertion, 13, "incoming blocks inserted into position 13");
+        assert!(g.access.contains(&(15, 11)), "LRU hit promotes to 11");
+        assert!(g.access.contains(&(10, 5)), "position 10 promotes to 5");
+        assert!(g.access.contains(&(4, 3)), "position 4 moves only to 3");
+        // Promotion 15 -> 11 shifts 11..14 down.
+        for j in 11..15 {
+            assert!(g.shift.contains(&(j, j + 1)));
+        }
+    }
+
+    #[test]
+    fn dot_output_is_wellformed() {
+        let dot = to_dot(&Ipv::lru(4), "LRU");
+        assert!(dot.starts_with("digraph \"LRU\" {"));
+        assert!(dot.ends_with("}\n"));
+        assert!(dot.contains("insertion -> 0"));
+        assert!(dot.contains("3 -> eviction"));
+        assert!(dot.contains("style=dashed"));
+    }
+
+    #[test]
+    fn lip_graph_has_no_shift_from_insertion() {
+        // LIP inserts at k-1: inserting displaces nobody.
+        let g = transition_graph(&Ipv::lru_insertion(8));
+        assert_eq!(g.insertion, 7);
+        // The only shifts come from hit-promotions to 0.
+        assert!(g.shift.iter().all(|&(a, b)| b == a + 1));
+    }
+}

@@ -1,0 +1,445 @@
+//! Insertion/promotion vectors (IPVs), the paper's central abstraction.
+
+use rand::Rng;
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+
+/// An insertion/promotion vector for a `k`-way set-associative cache.
+///
+/// An IPV `V[0..k]` is a `k + 1`-entry vector of positions in `0..k-1`
+/// (Section 2.3): `V[i]` for `i < k` is the position a block hit at recency
+/// position `i` moves to; `V[k]` is the position an incoming block is
+/// inserted at. Classic LRU is `V = [0, 0, …, 0]`; LRU-insertion (LIP) is
+/// `V = [0, …, 0, k-1]`.
+///
+/// For 16 ways there are 16^17 ≈ 2.95 × 10^20 IPVs, which is why the paper
+/// evolves them with a genetic algorithm rather than searching exhaustively.
+///
+/// # Example
+///
+/// ```
+/// use gippr::Ipv;
+///
+/// let lru = Ipv::lru(16);
+/// assert_eq!(lru.promotion(9), 0, "LRU promotes every hit to MRU");
+/// assert_eq!(lru.insertion(), 0, "LRU inserts at MRU");
+///
+/// let evolved: Ipv = "0 0 1 0 3 0 1 2 1 0 5 1 0 0 1 11 13".parse()?;
+/// assert_eq!(evolved.insertion(), 13);
+/// assert_eq!(evolved.promotion(15), 11);
+/// # Ok::<(), gippr::IpvError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Ipv {
+    entries: Vec<u8>,
+    assoc: usize,
+}
+
+/// Error constructing or parsing an [`Ipv`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IpvError {
+    /// The entry count does not equal associativity + 1.
+    WrongLength {
+        /// Entries supplied.
+        got: usize,
+        /// Entries required (`assoc + 1`).
+        expected: usize,
+    },
+    /// An entry is not a valid position.
+    PositionOutOfRange {
+        /// Index of the offending entry.
+        index: usize,
+        /// The offending value.
+        value: u8,
+        /// Exclusive upper bound (`assoc`).
+        assoc: usize,
+    },
+    /// The associativity is unsupported (must be a power of two in 2..=64).
+    BadAssociativity(usize),
+    /// A token could not be parsed as an integer.
+    Unparsable(String),
+}
+
+impl fmt::Display for IpvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IpvError::WrongLength { got, expected } => {
+                write!(f, "IPV needs {expected} entries (assoc + 1), got {got}")
+            }
+            IpvError::PositionOutOfRange { index, value, assoc } => {
+                write!(f, "IPV entry {index} is {value}, outside 0..{assoc}")
+            }
+            IpvError::BadAssociativity(k) => {
+                write!(f, "associativity {k} unsupported (power of two in 2..=64 required)")
+            }
+            IpvError::Unparsable(tok) => write!(f, "cannot parse IPV entry {tok:?}"),
+        }
+    }
+}
+
+impl Error for IpvError {}
+
+impl Ipv {
+    /// Creates an IPV from `assoc + 1` entries, validating every position.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IpvError`] if the associativity is unsupported, the length
+    /// is not `assoc + 1`, or any entry is `>= assoc`.
+    pub fn new(entries: Vec<u8>, assoc: usize) -> Result<Self, IpvError> {
+        if !assoc.is_power_of_two() || !(2..=64).contains(&assoc) {
+            return Err(IpvError::BadAssociativity(assoc));
+        }
+        if entries.len() != assoc + 1 {
+            return Err(IpvError::WrongLength { got: entries.len(), expected: assoc + 1 });
+        }
+        if let Some((index, &value)) =
+            entries.iter().enumerate().find(|(_, &v)| usize::from(v) >= assoc)
+        {
+            return Err(IpvError::PositionOutOfRange { index, value, assoc });
+        }
+        Ok(Ipv { entries, assoc })
+    }
+
+    /// Convenience constructor from a slice literal.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Ipv::new`].
+    pub fn from_slice(entries: &[u8]) -> Result<Self, IpvError> {
+        if entries.is_empty() {
+            return Err(IpvError::BadAssociativity(0));
+        }
+        Self::new(entries.to_vec(), entries.len() - 1)
+    }
+
+    /// The classic LRU vector: promote and insert at MRU (`[0, …, 0]`).
+    pub fn lru(assoc: usize) -> Self {
+        Ipv::new(vec![0; assoc + 1], assoc).expect("LRU vector is always valid")
+    }
+
+    /// The LRU-insertion vector of Qureshi et al.: `[0, …, 0, k-1]`.
+    pub fn lru_insertion(assoc: usize) -> Self {
+        let mut v = vec![0u8; assoc + 1];
+        v[assoc] = (assoc - 1) as u8;
+        Ipv::new(v, assoc).expect("LIP vector is always valid")
+    }
+
+    /// A uniformly random IPV (the paper's Figure 1 design-space sampling).
+    pub fn random<R: Rng + ?Sized>(assoc: usize, rng: &mut R) -> Self {
+        let entries = (0..=assoc).map(|_| rng.gen_range(0..assoc) as u8).collect();
+        Ipv::new(entries, assoc).expect("sampled entries are in range by construction")
+    }
+
+    /// Associativity `k` this vector serves.
+    pub fn assoc(&self) -> usize {
+        self.assoc
+    }
+
+    /// The position a block hit at position `pos` is promoted to (`V[pos]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos >= assoc`.
+    pub fn promotion(&self, pos: usize) -> usize {
+        assert!(pos < self.assoc, "position {pos} out of range for {}-way IPV", self.assoc);
+        usize::from(self.entries[pos])
+    }
+
+    /// The position incoming blocks are inserted at (`V[k]`).
+    pub fn insertion(&self) -> usize {
+        usize::from(self.entries[self.assoc])
+    }
+
+    /// All `k + 1` entries.
+    pub fn entries(&self) -> &[u8] {
+        &self.entries
+    }
+
+    /// Replaces entry `index` (a genetic-algorithm mutation step).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IpvError::PositionOutOfRange`] if `value >= assoc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > assoc`.
+    pub fn set_entry(&mut self, index: usize, value: u8) -> Result<(), IpvError> {
+        assert!(index <= self.assoc, "IPV index {index} out of range");
+        if usize::from(value) >= self.assoc {
+            return Err(IpvError::PositionOutOfRange { index, value, assoc: self.assoc });
+        }
+        self.entries[index] = value;
+        Ok(())
+    }
+
+    /// Rescales this vector to a different associativity by mapping each
+    /// position proportionally (`p * new / old`). Evolved vectors are
+    /// associativity-specific; rescaling is a pragmatic way to carry a
+    /// 16-way vector to other widths (used by the associativity-sweep
+    /// experiment for the paper's future-work item 6). The paper itself
+    /// does not define this mapping — treat rescaled vectors as heuristics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IpvError::BadAssociativity`] if `new_assoc` is
+    /// unsupported.
+    pub fn rescaled(&self, new_assoc: usize) -> Result<Ipv, IpvError> {
+        if !new_assoc.is_power_of_two() || !(2..=64).contains(&new_assoc) {
+            return Err(IpvError::BadAssociativity(new_assoc));
+        }
+        if new_assoc == self.assoc {
+            return Ok(self.clone());
+        }
+        let map = |p: usize| -> u8 { (p * new_assoc / self.assoc) as u8 };
+        // Promotion entries: sample the old vector at proportional source
+        // positions; insertion maps directly.
+        let mut entries: Vec<u8> = (0..new_assoc)
+            .map(|i| {
+                let src = i * self.assoc / new_assoc;
+                map(self.promotion(src))
+            })
+            .collect();
+        entries.push(map(self.insertion()));
+        Ipv::new(entries, new_assoc)
+    }
+
+    /// Whether this IPV is *degenerate* (paper footnote 1): the transition
+    /// graph — access edges `i → V[i]` plus the shift edges they induce, and
+    /// the insertion's shifts — contains no path from the insertion position
+    /// to MRU (position 0), so no block could ever reach pseudo-MRU under
+    /// true-LRU shifting semantics.
+    pub fn is_degenerate(&self) -> bool {
+        let k = self.assoc;
+        // adjacency[i] = positions reachable from i in one event.
+        let mut adj = vec![Vec::new(); k];
+        let add = |adj: &mut Vec<Vec<usize>>, from: usize, to: usize| {
+            if from != to && !adj[from].contains(&to) {
+                adj[from].push(to);
+            }
+        };
+        for i in 0..k {
+            let v = self.promotion(i);
+            add(&mut adj, i, v);
+            // Shifts caused by the move i -> v.
+            if v < i {
+                for j in v..i {
+                    add(&mut adj, j, j + 1);
+                }
+            } else {
+                for j in (i + 1)..=v {
+                    add(&mut adj, j, j - 1);
+                }
+            }
+        }
+        // Insertion at V[k]: occupants of V[k]..k-2 shift down by one.
+        let ins = self.insertion();
+        for j in ins..k.saturating_sub(1) {
+            add(&mut adj, j, j + 1);
+        }
+        // BFS from the insertion position.
+        let mut seen = vec![false; k];
+        let mut queue = vec![ins];
+        seen[ins] = true;
+        while let Some(p) = queue.pop() {
+            if p == 0 {
+                return false;
+            }
+            for &n in &adj[p] {
+                if !seen[n] {
+                    seen[n] = true;
+                    queue.push(n);
+                }
+            }
+        }
+        true
+    }
+}
+
+impl fmt::Display for Ipv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{e}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl FromStr for Ipv {
+    type Err = IpvError;
+
+    /// Parses a whitespace-separated vector, optionally bracketed, in the
+    /// paper's notation: `"[ 0 0 1 0 3 0 1 2 1 0 5 1 0 0 1 11 13 ]"`.
+    fn from_str(s: &str) -> Result<Self, IpvError> {
+        let cleaned = s.trim().trim_start_matches('[').trim_end_matches(']');
+        let entries = cleaned
+            .split_whitespace()
+            .map(|tok| tok.parse::<u8>().map_err(|_| IpvError::Unparsable(tok.to_string())))
+            .collect::<Result<Vec<_>, _>>()?;
+        if entries.is_empty() {
+            return Err(IpvError::Unparsable(s.to_string()));
+        }
+        Ipv::new(entries.clone(), entries.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lru_vector_is_all_zero() {
+        let v = Ipv::lru(16);
+        assert_eq!(v.entries(), &[0u8; 17][..]);
+        assert!(!v.is_degenerate());
+    }
+
+    #[test]
+    fn lip_vector_inserts_at_lru() {
+        let v = Ipv::lru_insertion(16);
+        assert_eq!(v.insertion(), 15);
+        assert_eq!(v.promotion(15), 0);
+        assert!(!v.is_degenerate(), "LIP promotes hits straight to MRU");
+    }
+
+    #[test]
+    fn rejects_wrong_length() {
+        assert_eq!(
+            Ipv::new(vec![0; 16], 16),
+            Err(IpvError::WrongLength { got: 16, expected: 17 })
+        );
+    }
+
+    #[test]
+    fn rejects_out_of_range_entry() {
+        let mut v = vec![0u8; 17];
+        v[4] = 16;
+        assert_eq!(
+            Ipv::new(v, 16),
+            Err(IpvError::PositionOutOfRange { index: 4, value: 16, assoc: 16 })
+        );
+    }
+
+    #[test]
+    fn rejects_bad_associativity() {
+        assert_eq!(Ipv::new(vec![0; 13], 12), Err(IpvError::BadAssociativity(12)));
+        assert_eq!(Ipv::new(vec![0; 2], 1), Err(IpvError::BadAssociativity(1)));
+    }
+
+    #[test]
+    fn parses_paper_notation() {
+        let v: Ipv = "[ 0 0 1 0 3 0 1 2 1 0 5 1 0 0 1 11 13 ]".parse().unwrap();
+        assert_eq!(v.assoc(), 16);
+        assert_eq!(v.insertion(), 13);
+        assert_eq!(v.promotion(0), 0);
+        assert_eq!(v.promotion(10), 5);
+        assert_eq!(v.to_string(), "[0 0 1 0 3 0 1 2 1 0 5 1 0 0 1 11 13]");
+    }
+
+    #[test]
+    fn parse_errors_are_typed() {
+        assert!(matches!("0 0 x".parse::<Ipv>(), Err(IpvError::Unparsable(_))));
+        assert!(matches!("".parse::<Ipv>(), Err(IpvError::Unparsable(_))));
+        assert!(matches!("9 9 9".parse::<Ipv>(), Err(IpvError::PositionOutOfRange { .. })));
+    }
+
+    #[test]
+    fn set_entry_validates() {
+        let mut v = Ipv::lru(8);
+        v.set_entry(3, 7).unwrap();
+        assert_eq!(v.promotion(3), 7);
+        assert!(v.set_entry(3, 8).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_entry_panics_past_end() {
+        let mut v = Ipv::lru(8);
+        let _ = v.set_entry(9, 0);
+    }
+
+    #[test]
+    fn degenerate_vector_detected() {
+        // Insert at k-1 and never promote anything upward: a block can only
+        // sit at k-1 (self-loop) — MRU is unreachable.
+        let mut e = vec![0u8; 17];
+        for (i, v) in e.iter_mut().enumerate().take(16) {
+            *v = i as u8; // V[i] = i: hits leave blocks in place, no shifts
+        }
+        e[16] = 15;
+        let v = Ipv::new(e, 16).unwrap();
+        assert!(v.is_degenerate());
+    }
+
+    #[test]
+    fn non_degenerate_via_shift_edges() {
+        // V[i] = i except V[15] = 0: hitting at LRU jumps to MRU.
+        let mut e: Vec<u8> = (0..16).collect();
+        e[15] = 0;
+        e.push(15);
+        let v = Ipv::new(e, 16).unwrap();
+        assert!(!v.is_degenerate());
+    }
+
+    #[test]
+    fn random_vectors_are_valid_and_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let va = Ipv::random(16, &mut a);
+        let vb = Ipv::random(16, &mut b);
+        assert_eq!(va, vb);
+        assert!(va.entries().iter().all(|&e| e < 16));
+    }
+
+    #[test]
+    fn from_slice_round_trip() {
+        let v = Ipv::from_slice(&[0, 1, 0, 1, 2]).unwrap();
+        assert_eq!(v.assoc(), 4);
+        assert!(Ipv::from_slice(&[]).is_err());
+    }
+
+    #[test]
+    fn rescale_identity_and_extremes() {
+        let v = crate::vectors::wi_gippr();
+        assert_eq!(v.rescaled(16).unwrap(), v);
+        let down = v.rescaled(4).unwrap();
+        assert_eq!(down.assoc(), 4);
+        assert!(down.entries().iter().all(|&e| e < 4));
+        let up = v.rescaled(64).unwrap();
+        assert_eq!(up.assoc(), 64);
+        assert!(up.entries().iter().all(|&e| e < 64));
+        assert!(v.rescaled(3).is_err());
+    }
+
+    #[test]
+    fn rescale_preserves_insertion_style() {
+        // LIP stays LIP at any width; LRU stays LRU.
+        for w in [4usize, 8, 32, 64] {
+            let lip = Ipv::lru_insertion(16).rescaled(w).unwrap();
+            assert_eq!(lip.insertion(), w * 15 / 16, "near-LRU insertion at {w} ways");
+            let lru = Ipv::lru(16).rescaled(w).unwrap();
+            assert_eq!(lru.insertion(), 0);
+            assert!(lru.entries().iter().all(|&e| e == 0));
+        }
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        for e in [
+            IpvError::WrongLength { got: 1, expected: 2 },
+            IpvError::PositionOutOfRange { index: 0, value: 9, assoc: 4 },
+            IpvError::BadAssociativity(3),
+            IpvError::Unparsable("x".into()),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,64 @@
+#![warn(missing_docs)]
+
+//! The paper's contribution: insertion and promotion for tree-based
+//! PseudoLRU last-level caches.
+//!
+//! Jiménez (MICRO 2013) observes that LRU-like policies have an implicit
+//! *insertion and promotion policy* — insert at MRU, promote to MRU — and
+//! generalizes it into an [`Ipv`] (insertion/promotion vector): a `k+1`-entry
+//! vector over recency positions such that a block hit at position `i` moves
+//! to position `V[i]` and an incoming block is inserted at position `V[k]`.
+//!
+//! This crate implements the whole stack of mechanisms from the paper:
+//!
+//! * [`PlruTree`] — the tree PseudoLRU bit vector with the paper's four
+//!   algorithms (Figures 5, 6, 7, 9): find the PLRU victim, promote to PMRU,
+//!   read a block's pseudo recency-stack *position*, and *set* a block's
+//!   position by rewriting the root-to-leaf path.
+//! * [`RecencyStack`] — a true-LRU recency stack with generalized
+//!   insertion/promotion (Section 2.3's shifting semantics).
+//! * [`GiplrPolicy`] — Genetic Insertion and Promotion for LRU Replacement
+//!   (Section 2): a full LRU stack driven by an IPV.
+//! * [`GipprPolicy`] — Genetic Insertion and Promotion for PseudoLRU
+//!   Replacement (Section 3.4): a PLRU tree driven by an IPV.
+//! * [`DgipprPolicy`] — the dynamic version (Section 3.5): set-dueling among
+//!   2 or 4 evolved IPVs with 11-bit PSEL counters, one PLRU bit array per
+//!   set shared across vectors.
+//! * [`PlruPolicy`] — plain tree PseudoLRU (insert and promote to PMRU),
+//!   the baseline the technique extends.
+//! * [`vectors`] — every IPV published in the paper, as constants.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use gippr::{DgipprPolicy, vectors};
+//! use sim_core::{Access, CacheGeometry, SetAssocCache};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // The paper's LLC: 4 MB, 16-way, with the published WI-4-DGIPPR vectors.
+//! let geom = CacheGeometry::new(4 * 1024 * 1024, 16, 64)?;
+//! let policy = DgipprPolicy::four_vector(&geom, vectors::wi_4dgippr())?;
+//! let mut llc = SetAssocCache::new(geom, Box::new(policy));
+//! for i in 0..10_000u64 {
+//!     llc.access(&Access::read(i * 64 % (8 * 1024 * 1024), 0x400));
+//! }
+//! assert!(llc.stats().accesses == 10_000);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod dgippr;
+pub mod giplr;
+pub mod graph;
+pub mod ipv;
+pub mod plru;
+pub mod policy;
+pub mod stack;
+pub mod vectors;
+
+pub use dgippr::DgipprPolicy;
+pub use giplr::GiplrPolicy;
+pub use ipv::{Ipv, IpvError};
+pub use plru::PlruTree;
+pub use policy::{GipprPolicy, PlruPolicy};
+pub use stack::RecencyStack;

@@ -1,0 +1,263 @@
+//! GIPPR and plain tree-PseudoLRU as [`ReplacementPolicy`] implementations.
+
+use crate::ipv::{Ipv, IpvError};
+use crate::plru::PlruTree;
+use sim_core::{AccessContext, CacheGeometry, ReplacementPolicy};
+
+/// Plain tree PseudoLRU (Handy, 1993): promote to PMRU on hit and fill,
+/// evict the PLRU block. `k - 1` bits per set.
+///
+/// # Example
+///
+/// ```
+/// use gippr::PlruPolicy;
+/// use sim_core::{Access, CacheGeometry, SetAssocCache};
+///
+/// # fn main() -> Result<(), sim_core::GeometryError> {
+/// let geom = CacheGeometry::new(4 * 1024 * 1024, 16, 64)?;
+/// let mut llc = SetAssocCache::new(geom, Box::new(PlruPolicy::new(&geom)));
+/// llc.access(&Access::read(0x4000, 0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PlruPolicy {
+    trees: Vec<PlruTree>,
+}
+
+impl PlruPolicy {
+    /// Creates a plain PLRU policy for `geom`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the associativity is not a power of two in `2..=64`
+    /// (geometry construction normally guarantees this).
+    pub fn new(geom: &CacheGeometry) -> Self {
+        PlruPolicy { trees: vec![PlruTree::new(geom.ways()); geom.sets()] }
+    }
+
+    /// The PLRU tree of `set` (test/diagnostic aid).
+    pub fn tree(&self, set: usize) -> &PlruTree {
+        &self.trees[set]
+    }
+}
+
+impl ReplacementPolicy for PlruPolicy {
+    fn name(&self) -> &str {
+        "PseudoLRU"
+    }
+
+    fn victim(&mut self, set: usize, _ctx: &AccessContext) -> usize {
+        self.trees[set].victim()
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize, _ctx: &AccessContext) {
+        self.trees[set].promote(way);
+    }
+
+    fn on_fill(&mut self, set: usize, way: usize, _ctx: &AccessContext) {
+        self.trees[set].promote(way);
+    }
+
+    fn bits_per_set(&self) -> u64 {
+        self.trees[0].bit_count()
+    }
+}
+
+/// GIPPR: Genetic Insertion and Promotion for PseudoLRU Replacement
+/// (Section 3.4).
+///
+/// Keeps one PLRU tree per set; a hit on a block at pseudo-position `p`
+/// rewrites its root-to-leaf path so it occupies position `V[p]`, and an
+/// incoming block is written to position `V[k]`. Costs exactly the plain
+/// PseudoLRU `k - 1` bits per set.
+///
+/// # Example
+///
+/// ```
+/// use gippr::{GipprPolicy, vectors};
+/// use sim_core::CacheGeometry;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let geom = CacheGeometry::new(4 * 1024 * 1024, 16, 64)?;
+/// let gippr = GipprPolicy::new(&geom, vectors::wi_gippr())?;
+/// # let _ = gippr;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct GipprPolicy {
+    ipv: Ipv,
+    trees: Vec<PlruTree>,
+    name: String,
+}
+
+impl GipprPolicy {
+    /// Creates the policy for `geom`, validating the vector's associativity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IpvError::WrongLength`] if `ipv.assoc() != geom.ways()`.
+    pub fn new(geom: &CacheGeometry, ipv: Ipv) -> Result<Self, IpvError> {
+        Self::with_name(geom, ipv, "GIPPR")
+    }
+
+    /// Like [`GipprPolicy::new`] with a custom display name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IpvError::WrongLength`] if `ipv.assoc() != geom.ways()`.
+    pub fn with_name(geom: &CacheGeometry, ipv: Ipv, name: &str) -> Result<Self, IpvError> {
+        if ipv.assoc() != geom.ways() {
+            return Err(IpvError::WrongLength {
+                got: ipv.assoc() + 1,
+                expected: geom.ways() + 1,
+            });
+        }
+        Ok(GipprPolicy {
+            ipv,
+            trees: vec![PlruTree::new(geom.ways()); geom.sets()],
+            name: name.to_string(),
+        })
+    }
+
+    /// The vector in use.
+    pub fn ipv(&self) -> &Ipv {
+        &self.ipv
+    }
+
+    /// The PLRU tree of `set` (test/diagnostic aid).
+    pub fn tree(&self, set: usize) -> &PlruTree {
+        &self.trees[set]
+    }
+}
+
+impl ReplacementPolicy for GipprPolicy {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn victim(&mut self, set: usize, _ctx: &AccessContext) -> usize {
+        self.trees[set].victim()
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize, _ctx: &AccessContext) {
+        let tree = &mut self.trees[set];
+        let pos = tree.position(way);
+        tree.set_position(way, self.ipv.promotion(pos));
+    }
+
+    fn on_fill(&mut self, set: usize, way: usize, _ctx: &AccessContext) {
+        self.trees[set].set_position(way, self.ipv.insertion());
+    }
+
+    fn bits_per_set(&self) -> u64 {
+        self.trees[0].bit_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom4() -> CacheGeometry {
+        CacheGeometry::from_sets(4, 4, 64).unwrap()
+    }
+
+    fn geom16() -> CacheGeometry {
+        CacheGeometry::from_sets(8, 16, 64).unwrap()
+    }
+
+    fn ctx() -> AccessContext {
+        AccessContext::blank()
+    }
+
+    #[test]
+    fn plru_promoted_block_is_never_victim() {
+        let g = geom16();
+        let mut p = PlruPolicy::new(&g);
+        for w in 0..16 {
+            p.on_hit(0, w, &ctx());
+            assert_ne!(p.victim(0, &ctx()), w);
+        }
+    }
+
+    #[test]
+    fn plru_bits_per_set() {
+        let p = PlruPolicy::new(&geom16());
+        assert_eq!(p.bits_per_set(), 15);
+        assert_eq!(p.global_bits(), 0);
+    }
+
+    #[test]
+    fn gippr_rejects_mismatched_vector() {
+        assert!(GipprPolicy::new(&geom4(), Ipv::lru(16)).is_err());
+    }
+
+    #[test]
+    fn gippr_with_all_zero_vector_equals_plain_plru() {
+        // V = [0,...,0]: insert at PMRU, promote to PMRU — exactly PLRU.
+        let g = geom16();
+        let mut gippr = GipprPolicy::new(&g, Ipv::lru(16)).unwrap();
+        let mut plru = PlruPolicy::new(&g);
+        let events: Vec<(bool, usize)> =
+            (0..200).map(|i| (i % 3 == 0, (i * 7 + i / 5) % 16)).collect();
+        for (is_hit, way) in events {
+            if is_hit {
+                gippr.on_hit(2, way, &ctx());
+                plru.on_hit(2, way, &ctx());
+            } else {
+                gippr.on_fill(2, way, &ctx());
+                plru.on_fill(2, way, &ctx());
+            }
+            assert_eq!(gippr.victim(2, &ctx()), plru.victim(2, &ctx()));
+        }
+    }
+
+    #[test]
+    fn gippr_insertion_position_respected() {
+        // Insert at PLRU position (k-1): a freshly filled block is
+        // immediately the victim.
+        let g = geom16();
+        let mut p = GipprPolicy::new(&g, Ipv::lru_insertion(16)).unwrap();
+        for w in [3usize, 11, 0, 15] {
+            p.on_fill(0, w, &ctx());
+            assert_eq!(p.victim(0, &ctx()), w);
+        }
+    }
+
+    #[test]
+    fn gippr_promotion_moves_to_vector_target() {
+        let g = geom16();
+        let ipv = crate::vectors::wi_gippr(); // [0 0 2 8 4 1 4 1 8 0 14 8 12 13 14 9 | 5]
+        let mut p = GipprPolicy::new(&g, ipv.clone()).unwrap();
+        // Fill a block: it must land at position V[16] = 5.
+        p.on_fill(1, 7, &ctx());
+        assert_eq!(p.tree(1).position(7), ipv.insertion());
+        // Hit it: from position 5 it must move to V[5] = 1.
+        p.on_hit(1, 7, &ctx());
+        assert_eq!(p.tree(1).position(7), ipv.promotion(5));
+    }
+
+    #[test]
+    fn gippr_victim_always_at_plru_position() {
+        let g = geom16();
+        let mut p = GipprPolicy::new(&g, crate::vectors::wi_gippr()).unwrap();
+        for i in 0..100 {
+            let way = (i * 5) % 16;
+            if i % 2 == 0 {
+                p.on_fill(3, way, &ctx());
+            } else {
+                p.on_hit(3, way, &ctx());
+            }
+            let v = p.victim(3, &ctx());
+            assert_eq!(p.tree(3).position(v), 15);
+        }
+    }
+
+    #[test]
+    fn gippr_bits_match_plru() {
+        let p = GipprPolicy::new(&geom16(), Ipv::lru(16)).unwrap();
+        assert_eq!(p.bits_per_set(), 15, "GIPPR costs the same as PseudoLRU");
+    }
+}

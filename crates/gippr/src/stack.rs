@@ -1,0 +1,205 @@
+//! A true-LRU recency stack with generalized insertion/promotion.
+//!
+//! Implements the paper's Section 2.1.2 representation: each way stores its
+//! integer position in the recency stack (`log2 k` bits per block, `k log2 k`
+//! per set), and Section 2.3's generalized move semantics: moving a block
+//! from position `i` to `V[i]` shifts the intervening blocks by one to make
+//! room.
+
+use std::fmt;
+
+/// The recency stack of a single set: `position[way]` is each way's rank,
+/// 0 = MRU, `ways - 1` = LRU. Positions always form a permutation.
+///
+/// # Example
+///
+/// ```
+/// use gippr::RecencyStack;
+///
+/// let mut s = RecencyStack::new(4); // positions [0, 1, 2, 3]
+/// s.move_to(3, 0); // promote way 3 to MRU
+/// assert_eq!(s.position(3), 0);
+/// assert_eq!(s.lru_way(), 2, "way 2 slid down to LRU");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct RecencyStack {
+    position: Vec<u8>,
+}
+
+impl RecencyStack {
+    /// Creates a stack where way `w` starts at position `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `ways` is in `2..=64`.
+    pub fn new(ways: usize) -> Self {
+        assert!((2..=64).contains(&ways), "recency stack supports 2..=64 ways, got {ways}");
+        RecencyStack { position: (0..ways as u8).collect() }
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> usize {
+        self.position.len()
+    }
+
+    /// The position of `way` (0 = MRU).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `way` is out of range.
+    pub fn position(&self, way: usize) -> usize {
+        usize::from(self.position[way])
+    }
+
+    /// The way currently at `pos`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is out of range.
+    pub fn way_at(&self, pos: usize) -> usize {
+        assert!(pos < self.ways(), "position {pos} out of range");
+        self.position
+            .iter()
+            .enumerate()
+            .find(|(_, &p)| usize::from(p) == pos)
+            .map(|(w, _)| w)
+            .expect("positions form a permutation")
+    }
+
+    /// The way in the LRU position (`ways - 1`), i.e. the LRU victim.
+    pub fn lru_way(&self) -> usize {
+        self.way_at(self.ways() - 1)
+    }
+
+    /// Moves `way` to `target`, shifting intervening blocks by one
+    /// (Section 2.3): if `target < current`, occupants of
+    /// `target..current` slide down; if `target > current`, occupants of
+    /// `current+1..=target` slide up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `way` or `target` is out of range.
+    pub fn move_to(&mut self, way: usize, target: usize) {
+        let ways = self.ways();
+        assert!(way < ways, "way {way} out of range");
+        assert!(target < ways, "target position {target} out of range");
+        let current = usize::from(self.position[way]);
+        if target < current {
+            for p in self.position.iter_mut() {
+                let v = usize::from(*p);
+                if (target..current).contains(&v) {
+                    *p += 1;
+                }
+            }
+        } else {
+            for p in self.position.iter_mut() {
+                let v = usize::from(*p);
+                if v > current && v <= target {
+                    *p -= 1;
+                }
+            }
+        }
+        self.position[way] = target as u8;
+    }
+
+    /// All positions, indexed by way.
+    pub fn positions(&self) -> &[u8] {
+        &self.position
+    }
+
+    /// Debug invariant: positions are a permutation of `0..ways`.
+    pub fn is_permutation(&self) -> bool {
+        let mut seen = vec![false; self.ways()];
+        for &p in &self.position {
+            let p = usize::from(p);
+            if p >= self.ways() || seen[p] {
+                return false;
+            }
+            seen[p] = true;
+        }
+        true
+    }
+}
+
+impl fmt::Debug for RecencyStack {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RecencyStack {{ position: {:?} }}", self.position)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_at_start() {
+        let s = RecencyStack::new(8);
+        assert_eq!(s.positions(), &[0, 1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(s.lru_way(), 7);
+        assert!(s.is_permutation());
+    }
+
+    #[test]
+    fn classic_lru_promotion() {
+        let mut s = RecencyStack::new(4);
+        s.move_to(2, 0); // touch way 2
+        assert_eq!(s.positions(), &[1, 2, 0, 3]);
+        s.move_to(3, 0); // touch way 3
+        assert_eq!(s.positions(), &[2, 3, 1, 0]);
+        assert_eq!(s.lru_way(), 1);
+    }
+
+    #[test]
+    fn downward_move_shifts_up() {
+        let mut s = RecencyStack::new(4);
+        // Demote way 0 (MRU) to LRU: everyone else moves up one.
+        s.move_to(0, 3);
+        assert_eq!(s.positions(), &[3, 0, 1, 2]);
+        assert!(s.is_permutation());
+    }
+
+    #[test]
+    fn move_to_same_position_is_noop() {
+        let mut s = RecencyStack::new(8);
+        s.move_to(5, 5);
+        assert_eq!(s.positions(), &[0, 1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn mid_stack_moves() {
+        let mut s = RecencyStack::new(8);
+        s.move_to(6, 2); // from 6 to 2: positions 2..5 shift down
+        assert_eq!(s.position(6), 2);
+        assert_eq!(s.position(2), 3);
+        assert_eq!(s.position(5), 6);
+        assert_eq!(s.position(7), 7, "blocks outside the range untouched");
+        assert!(s.is_permutation());
+    }
+
+    #[test]
+    fn way_at_inverts_position() {
+        let mut s = RecencyStack::new(16);
+        s.move_to(9, 4);
+        s.move_to(1, 13);
+        for p in 0..16 {
+            assert_eq!(s.position(s.way_at(p)), p);
+        }
+    }
+
+    #[test]
+    fn permutation_survives_chaotic_moves() {
+        let mut s = RecencyStack::new(16);
+        let moves = [(0usize, 15usize), (15, 0), (7, 7), (3, 12), (12, 3), (8, 1), (1, 14)];
+        for &(w, t) in &moves {
+            s.move_to(w, t);
+            assert!(s.is_permutation(), "after move {w}->{t}: {:?}", s.positions());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_target() {
+        let mut s = RecencyStack::new(4);
+        s.move_to(0, 4);
+    }
+}

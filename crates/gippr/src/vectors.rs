@@ -1,0 +1,123 @@
+//! Every insertion/promotion vector published in the paper (Section 5.3 and
+//! Section 2.5), as ready-to-use constants.
+//!
+//! All vectors target the paper's 16-way LLC. The paper offers "all of the
+//! vectors used for this study to any interested party"; these are the ones
+//! printed in the text.
+
+use crate::ipv::Ipv;
+
+/// Raw entries of the best GIPLR vector found by the genetic algorithm for
+/// *true LRU* (Section 2.5): `[0 0 1 0 3 0 1 2 1 0 5 1 0 0 1 11 13]`.
+pub const GIPLR_BEST_RAW: [u8; 17] = [0, 0, 1, 0, 3, 0, 1, 2, 1, 0, 5, 1, 0, 0, 1, 11, 13];
+
+/// Raw entries of the workload-inclusive GIPPR vector (Section 5.3):
+/// `[0 0 2 8 4 1 4 1 8 0 14 8 12 13 14 9 5]`.
+pub const WI_GIPPR_RAW: [u8; 17] = [0, 0, 2, 8, 4, 1, 4, 1, 8, 0, 14, 8, 12, 13, 14, 9, 5];
+
+/// Raw entries of the best workload-neutral vector for 400.perlbench
+/// (Section 5.3): `[12 8 14 1 4 4 2 1 8 12 6 4 0 0 10 12 11]`.
+pub const PERLBENCH_WN1_RAW: [u8; 17] = [12, 8, 14, 1, 4, 4, 2, 1, 8, 12, 6, 4, 0, 0, 10, 12, 11];
+
+/// Raw entries of the WI-2-DGIPPR vector pair (Section 5.3). The paper
+/// notes these duel between PLRU-position and PMRU-position insertion, the
+/// first with a pessimistic promotion policy, the second nearly plain PLRU.
+pub const WI_2DGIPPR_RAW: [[u8; 17]; 2] = [
+    [8, 0, 2, 8, 12, 4, 6, 3, 0, 8, 10, 8, 4, 12, 14, 3, 15],
+    [0, 0, 0, 0, 0, 0, 0, 0, 8, 8, 8, 8, 0, 0, 0, 0, 0],
+];
+
+/// Raw entries of the WI-4-DGIPPR vector quadruple (Section 5.3), switching
+/// between PLRU, PMRU, close-to-PMRU, and "middle" insertion.
+pub const WI_4DGIPPR_RAW: [[u8; 17]; 4] = [
+    [14, 5, 6, 1, 10, 6, 8, 8, 15, 8, 8, 14, 12, 4, 12, 9, 8],
+    [4, 12, 2, 8, 10, 0, 6, 8, 0, 8, 8, 0, 2, 4, 14, 11, 15],
+    [0, 0, 2, 1, 4, 4, 6, 5, 8, 8, 10, 1, 12, 8, 2, 1, 3],
+    [11, 12, 10, 0, 5, 0, 10, 4, 9, 8, 10, 0, 4, 4, 12, 0, 0],
+];
+
+/// The best GIPLR vector (Figure 4's configuration) as an [`Ipv`].
+pub fn giplr_best() -> Ipv {
+    Ipv::from_slice(&GIPLR_BEST_RAW).expect("published vector is valid")
+}
+
+/// The workload-inclusive GIPPR vector as an [`Ipv`].
+pub fn wi_gippr() -> Ipv {
+    Ipv::from_slice(&WI_GIPPR_RAW).expect("published vector is valid")
+}
+
+/// The 400.perlbench workload-neutral vector as an [`Ipv`].
+pub fn perlbench_wn1() -> Ipv {
+    Ipv::from_slice(&PERLBENCH_WN1_RAW).expect("published vector is valid")
+}
+
+/// The WI-2-DGIPPR pair as [`Ipv`]s.
+pub fn wi_2dgippr() -> [Ipv; 2] {
+    WI_2DGIPPR_RAW.map(|raw| Ipv::from_slice(&raw).expect("published vector is valid"))
+}
+
+/// The WI-4-DGIPPR quadruple as [`Ipv`]s.
+pub fn wi_4dgippr() -> [Ipv; 4] {
+    WI_4DGIPPR_RAW.map(|raw| Ipv::from_slice(&raw).expect("published vector is valid"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_published_vectors_are_valid() {
+        let _ = giplr_best();
+        let _ = wi_gippr();
+        let _ = perlbench_wn1();
+        let _ = wi_2dgippr();
+        let _ = wi_4dgippr();
+    }
+
+    #[test]
+    fn giplr_best_matches_paper_text() {
+        let v = giplr_best();
+        assert_eq!(v.insertion(), 13, "incoming blocks inserted into position 13");
+        assert_eq!(v.promotion(15), 11, "a block referenced at LRU moves to 11");
+        assert_eq!(v.promotion(2), 1, "a block referenced in position 2 moves to 1");
+        assert_eq!(v.promotion(5), 0, "position 5 promotes to MRU");
+        assert_eq!(v.promotion(4), 3, "position 4 promotes only to 3");
+    }
+
+    #[test]
+    fn none_of_the_published_vectors_is_degenerate() {
+        assert!(!giplr_best().is_degenerate());
+        assert!(!wi_gippr().is_degenerate());
+        assert!(!perlbench_wn1().is_degenerate());
+        for v in wi_2dgippr() {
+            assert!(!v.is_degenerate());
+        }
+        for v in wi_4dgippr() {
+            assert!(!v.is_degenerate());
+        }
+    }
+
+    #[test]
+    fn wi_2dgippr_duels_insertion_extremes() {
+        // Paper: the pair "clearly duel between PLRU and PMRU insertion".
+        let [a, b] = wi_2dgippr();
+        assert_eq!(a.insertion(), 15, "first vector inserts at PLRU");
+        assert_eq!(b.insertion(), 0, "second vector inserts at PMRU");
+    }
+
+    #[test]
+    fn wi_4dgippr_insertion_styles() {
+        // Paper: "switch between PLRU, PMRU, close to PMRU, and middle".
+        let vs = wi_4dgippr();
+        let insertions: Vec<usize> = vs.iter().map(|v| v.insertion()).collect();
+        assert_eq!(insertions, vec![8, 15, 3, 0]);
+    }
+
+    #[test]
+    fn round_trip_through_display_and_parse() {
+        for v in [giplr_best(), wi_gippr(), perlbench_wn1()] {
+            let parsed: Ipv = v.to_string().parse().unwrap();
+            assert_eq!(parsed, v);
+        }
+    }
+}

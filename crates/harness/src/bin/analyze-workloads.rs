@@ -1,0 +1,54 @@
+//! Diagnostic: exact stack-distance profiles of the 29 synthetic SPEC
+//! models — cold fraction and fully-associative LRU hit ratios at
+//! fractions of the LLC capacity. This is the tool used to calibrate the
+//! workload suite against the paper's qualitative descriptions.
+//!
+//! Usage: `analyze-workloads [--scale quick|medium|paper] [--out DIR]`
+
+use harness::report::parse_args;
+use harness::Table;
+use mem_model::analysis::stack_distances;
+use sim_core::Access;
+use traces::spec2006::Spec2006;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (scale, out, _) = parse_args(&args);
+    let llc_blocks = (scale.hierarchy().llc.size_bytes() / 64) as usize;
+    let geom = scale.hierarchy().llc;
+
+    let mut table = Table::new(
+        &format!(
+            "stack-distance profiles at {scale} scale (LLC = {llc_blocks} blocks); \
+             hit ratios of fully-associative LRU at fractions of LLC capacity"
+        ),
+        &["benchmark", "cold%", "hit@1/4", "hit@1/2", "hit@1x", "hit@2x"],
+    );
+    for b in Spec2006::all() {
+        let stream: Vec<Access> = b
+            .workload()
+            .scaled_down(scale.shift())
+            .generator(0)
+            .take(scale.accesses())
+            .collect();
+        let sd = stack_distances(&stream, geom, llc_blocks * 4);
+        let total = sd.total().max(1) as f64;
+        let hit = |cap: usize| format!("{:.3}", sd.lru_hits_at(cap) as f64 / total);
+        table.row(vec![
+            b.name().to_string(),
+            format!("{:.1}", sd.cold as f64 * 100.0 / total),
+            hit(llc_blocks / 4),
+            hit(llc_blocks / 2),
+            hit(llc_blocks),
+            hit(llc_blocks * 2),
+        ]);
+    }
+    println!("{table}");
+    println!("(hit@1x vs hit@2x separates 'fits' from 'thrash' models; a big jump between \
+              them marks the capacity-sensitive benchmarks the paper's technique targets)");
+    if let Some(dir) = out {
+        let path = format!("{dir}/workload-profiles.csv");
+        table.write_csv(&path).expect("write CSV");
+        println!("wrote {path}");
+    }
+}

@@ -1,0 +1,25 @@
+//! Regenerates Figure 1: random exploration of the IPV design space.
+//!
+//! Usage: `fig01-random-space [--scale quick|medium|paper] [--out DIR]`
+
+use harness::experiments::fig01;
+use harness::report::parse_args;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (scale, out, _) = parse_args(&args);
+    let table = fig01::run(scale);
+    let (worst, best, geomean, better) = fig01::summary(scale);
+    println!("{table}");
+    println!(
+        "worst {worst:.3}x, best {best:.3}x, geomean {geomean:.3}x, {:.1}% of samples beat LRU",
+        better * 100.0
+    );
+    println!("(paper: random sampling ranges from significant slowdowns to ~1.028x, \
+              with most samples inferior to LRU)");
+    if let Some(dir) = out {
+        let path = format!("{dir}/fig01.csv");
+        table.write_csv(&path).expect("write CSV");
+        println!("wrote {path}");
+    }
+}

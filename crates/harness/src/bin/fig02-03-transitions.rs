@@ -1,0 +1,26 @@
+//! Regenerates Figures 2 and 3: the transition graphs of classic LRU and
+//! the evolved GIPLR vector, as Graphviz DOT (pipe into `dot -Tsvg`).
+//!
+//! Usage: `fig02-03-transitions [--out DIR]`
+
+use gippr::graph::to_dot;
+use gippr::Ipv;
+use harness::report::parse_args;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (_, out, _) = parse_args(&args);
+    let fig2 = to_dot(&Ipv::lru(16), "Figure 2: Transition Graph for LRU");
+    let fig3 = to_dot(
+        &gippr::vectors::giplr_best(),
+        "Figure 3: Transition Graph for [0 0 1 0 3 0 1 2 1 0 5 1 0 0 1 11 13]",
+    );
+    println!("{fig2}");
+    println!("{fig3}");
+    if let Some(dir) = out {
+        std::fs::create_dir_all(&dir).expect("create output dir");
+        std::fs::write(format!("{dir}/fig02.dot"), &fig2).expect("write fig02.dot");
+        std::fs::write(format!("{dir}/fig03.dot"), &fig3).expect("write fig03.dot");
+        println!("wrote {dir}/fig02.dot and {dir}/fig03.dot");
+    }
+}

@@ -1,0 +1,19 @@
+//! Regenerates Figure 4: GIPLR / PseudoLRU / Random speedup over LRU.
+//!
+//! Usage: `fig04-giplr [--scale quick|medium|paper] [--out DIR]`
+
+use harness::experiments::fig04;
+use harness::report::parse_args;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (scale, out, _) = parse_args(&args);
+    let table = fig04::run(scale);
+    println!("{table}");
+    println!("(paper: GIPLR geomean 1.031, Random 0.999, PseudoLRU about 1.0)");
+    if let Some(dir) = out {
+        let path = format!("{dir}/fig04.csv");
+        table.write_csv(&path).expect("write CSV");
+        println!("wrote {path}");
+    }
+}

@@ -1,0 +1,22 @@
+//! Regenerates Figure 12: workload-neutral vs workload-inclusive speedup.
+//! This experiment runs the genetic algorithm (three WI configurations and
+//! three 29-holdout WN1 sweeps), so it is the slowest figure.
+//!
+//! Usage: `fig12-wn-vs-wi [--scale quick|medium|paper] [--out DIR]`
+
+use harness::experiments::fig12;
+use harness::report::parse_args;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (scale, out, _) = parse_args(&args);
+    let table = fig12::run(scale);
+    println!("{table}");
+    println!("(paper geomeans: WN1 1.035/1.050/1.056 vs WI 1.037/1.051/1.057 for 1/2/4 vectors; \
+              the WN-vs-WI gap is small)");
+    if let Some(dir) = out {
+        let path = format!("{dir}/fig12.csv");
+        table.write_csv(&path).expect("write CSV");
+        println!("wrote {path}");
+    }
+}

@@ -1,0 +1,25 @@
+//! Regenerates Figure 13: speedup over LRU for DRRIP, PDP, and 4-vector
+//! DGIPPR, including the memory-intensive subset summary.
+//!
+//! Usage: `fig13-speedup [--scale quick|medium|paper] [--wn1] [--out DIR]`
+
+use harness::experiments::{fig13, VectorMode};
+use harness::report::parse_args;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (scale, out, wn1) = parse_args(&args);
+    let fig = fig13::run(scale, VectorMode::from_flag(wn1));
+    println!("{}", fig.table);
+    println!(
+        "memory-intensive subset (DRRIP speedup > 1%): {}",
+        fig.memory_intensive.iter().map(|b| b.name()).collect::<Vec<_>>().join(", ")
+    );
+    println!("(paper: all-SPEC geomeans DRRIP +5.4%, PDP +5.7%, WN1-4-DGIPPR +5.6%; \
+              memory-intensive +15.6%, +16.4%, +15.6%)");
+    if let Some(dir) = out {
+        let path = format!("{dir}/fig13.csv");
+        fig.table.write_csv(&path).expect("write CSV");
+        println!("wrote {path}");
+    }
+}

@@ -1,0 +1,45 @@
+//! Regenerates the paper's complete evaluation in one command: every
+//! figure and table, printed and (with `--out`) written as CSV.
+//!
+//! Usage: `run-all [--scale quick|medium|paper] [--wn1] [--out DIR]`
+//!
+//! Note: Figure 12 runs 3 + 87 genetic algorithms and dominates the run
+//! time; everything else finishes in seconds at quick scale.
+
+use harness::experiments::{
+    ablations, assoc_sweep, fig01, fig04, fig10, fig11, fig12, fig13, multicore_tab, overhead,
+    vectors_tab, VectorMode,
+};
+use harness::report::parse_args;
+use harness::Table;
+
+fn emit(table: &Table, out: &Option<String>, file: &str) {
+    println!("{table}");
+    if let Some(dir) = out {
+        let path = format!("{dir}/{file}");
+        table.write_csv(&path).expect("write CSV");
+        println!("wrote {path}\n");
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (scale, out, wn1) = parse_args(&args);
+    let mode = VectorMode::from_flag(wn1);
+    println!("regenerating the full evaluation at {scale} scale ({} vectors)\n", mode.label());
+
+    emit(&vectors_tab::run(), &out, "tab-vectors.csv");
+    emit(&overhead::run(), &out, "tab-overhead.csv");
+    emit(&fig01::run(scale), &out, "fig01.csv");
+    emit(&fig04::run(scale), &out, "fig04.csv");
+    emit(&fig10::run(scale, mode), &out, "fig10.csv");
+    emit(&fig11::run(scale, mode), &out, "fig11.csv");
+    let f13 = fig13::run(scale, mode);
+    emit(&f13.table, &out, "fig13.csv");
+    emit(&ablations::run(scale), &out, "tab-ablations.csv");
+    emit(&assoc_sweep::run(scale), &out, "tab-assoc.csv");
+    emit(&multicore_tab::run(scale), &out, "tab-multicore.csv");
+    emit(&fig12::run(scale), &out, "fig12.csv");
+
+    println!("done.");
+}

@@ -1,0 +1,19 @@
+//! Ablations of the design choices: leader count, PSEL width, vector
+//! count, substrate, bypass extension, RRIP-IPV extension.
+//!
+//! Usage: `tab-ablations [--scale quick|medium|paper] [--out DIR]`
+
+use harness::experiments::ablations;
+use harness::report::parse_args;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (scale, out, _) = parse_args(&args);
+    let table = ablations::run(scale);
+    println!("{table}");
+    if let Some(dir) = out {
+        let path = format!("{dir}/tab-ablations.csv");
+        table.write_csv(&path).expect("write CSV");
+        println!("wrote {path}");
+    }
+}

@@ -1,0 +1,20 @@
+//! Associativity sweep at fixed capacity (future-work item 6).
+//!
+//! Usage: `tab-assoc [--scale quick|medium|paper] [--out DIR]`
+
+use harness::experiments::assoc_sweep;
+use harness::report::parse_args;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (scale, out, _) = parse_args(&args);
+    let table = assoc_sweep::run(scale);
+    println!("{table}");
+    println!("(PLRU's cost advantage over LRU grows as log2(ways); the IPV mechanism is \
+              defined at every associativity)");
+    if let Some(dir) = out {
+        let path = format!("{dir}/tab-assoc.csv");
+        table.write_csv(&path).expect("write CSV");
+        println!("wrote {path}");
+    }
+}

@@ -1,0 +1,19 @@
+//! The multi-core extension: two-core multiprogrammed mixes over a shared
+//! LLC, weighted speedup versus shared LRU.
+//!
+//! Usage: `tab-multicore [--scale quick|medium|paper] [--out DIR]`
+
+use harness::experiments::multicore_tab;
+use harness::report::parse_args;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (scale, out, _) = parse_args(&args);
+    let table = multicore_tab::run(scale);
+    println!("{table}");
+    if let Some(dir) = out {
+        let path = format!("{dir}/tab-multicore.csv");
+        table.write_csv(&path).expect("write CSV");
+        println!("wrote {path}");
+    }
+}

@@ -1,0 +1,20 @@
+//! Regenerates the Section 3.6 storage-overhead comparison.
+//!
+//! Usage: `tab-overhead [--out DIR]` (overheads are scale-independent).
+
+use harness::experiments::overhead;
+use harness::report::parse_args;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (_, out, _) = parse_args(&args);
+    let table = overhead::run();
+    println!("{table}");
+    println!("(paper: GIPPR/DGIPPR 15 bits/set = 7 KB; LRU 32 KB; DRRIP 16 KB; \
+              PDP 24-32 KB plus a ~10K-NAND-gate microcontroller)");
+    if let Some(dir) = out {
+        let path = format!("{dir}/tab-overhead.csv");
+        table.write_csv(&path).expect("write CSV");
+        println!("wrote {path}");
+    }
+}

@@ -1,0 +1,18 @@
+//! Prints the Section 5.3 published-vector inventory.
+//!
+//! Usage: `tab-vectors [--out DIR]`
+
+use harness::experiments::vectors_tab;
+use harness::report::parse_args;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (_, out, _) = parse_args(&args);
+    let table = vectors_tab::run();
+    println!("{table}");
+    if let Some(dir) = out {
+        let path = format!("{dir}/tab-vectors.csv");
+        table.write_csv(&path).expect("write CSV");
+        println!("wrote {path}");
+    }
+}

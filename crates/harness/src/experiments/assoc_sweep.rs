@@ -1,0 +1,117 @@
+//! Associativity sweep (paper future-work item 6: "explore the performance
+//! of our technique at high levels of associativity"): fixed capacity,
+//! ways swept from 4 to 64, comparing true LRU, tree PseudoLRU, and an
+//! IPV-driven PLRU (LIP-style vector, which is defined at any
+//! associativity, unlike the evolved 16-way vectors).
+
+use crate::policies;
+use crate::report::{fmt_ratio, Table};
+use crate::scale::Scale;
+use crate::stats::geometric_mean;
+use gippr::Ipv;
+use mem_model::cpi::WindowPerfModel;
+use mem_model::{capture_llc_stream, replay_llc};
+use sim_core::{Access, CacheGeometry};
+use std::sync::Arc;
+use traces::spec2006::Spec2006;
+
+/// Benchmarks exercised by the sweep.
+pub fn sweep_benches() -> [Spec2006; 5] {
+    [
+        Spec2006::Libquantum,
+        Spec2006::CactusADM,
+        Spec2006::Mcf,
+        Spec2006::DealII,
+        Spec2006::Sphinx3,
+    ]
+}
+
+/// Runs the sweep and returns normalized misses (vs same-geometry LRU) per
+/// associativity.
+pub fn run(scale: Scale) -> Table {
+    let config = scale.hierarchy();
+    let perf = WindowPerfModel::default();
+    // Capture streams once (L1/L2 fixed; only the LLC geometry varies).
+    let streams: Vec<Arc<Vec<Access>>> = sweep_benches()
+        .iter()
+        .map(|b| {
+            let spec = b.workload().scaled_down(scale.shift());
+            let (s, _) = capture_llc_stream(config, spec.generator(0).take(scale.accesses()));
+            Arc::new(s)
+        })
+        .collect();
+
+    let mut table = Table::new(
+        &format!(
+            "Associativity sweep at fixed {} KB capacity ({scale} scale): misses vs LRU",
+            config.llc.size_bytes() / 1024
+        ),
+        &[
+            "ways",
+            "PseudoLRU",
+            "PLRU + LIP vector",
+            "4-DGIPPR (rescaled)",
+            "plru bits/set",
+            "lru bits/set",
+        ],
+    );
+    for ways in [4usize, 8, 16, 32, 64] {
+        let geom = CacheGeometry::new(config.llc.size_bytes(), ways, 64)
+            .expect("capacity divisible at all sweep widths");
+        let mut plru_ratios = Vec::new();
+        let mut lip_ratios = Vec::new();
+        let mut dgippr_ratios = Vec::new();
+        let rescaled: Vec<gippr::Ipv> = gippr::vectors::wi_4dgippr()
+            .iter()
+            .map(|v| v.rescaled(ways).expect("supported width"))
+            .collect();
+        for stream in &streams {
+            let warmup = mem_model::llc::default_warmup(stream.len());
+            let lru = replay_llc(stream, geom, policies::lru()(&geom), warmup, &perf);
+            let plru = replay_llc(stream, geom, policies::plru()(&geom), warmup, &perf);
+            let lip = replay_llc(
+                stream,
+                geom,
+                Box::new(
+                    gippr::GipprPolicy::with_name(&geom, Ipv::lru_insertion(ways), "PLRU-LIP")
+                        .expect("assoc matches"),
+                ),
+                warmup,
+                &perf,
+            );
+            let dgippr = replay_llc(
+                stream,
+                geom,
+                policies::dgippr(rescaled.clone(), "4-DGIPPR")(&geom),
+                warmup,
+                &perf,
+            );
+            let denom = lru.stats.misses.max(1) as f64;
+            plru_ratios.push(plru.stats.misses as f64 / denom);
+            lip_ratios.push(lip.stats.misses as f64 / denom);
+            dgippr_ratios.push(dgippr.stats.misses as f64 / denom);
+        }
+        table.row(vec![
+            ways.to_string(),
+            fmt_ratio(geometric_mean(&plru_ratios)),
+            fmt_ratio(geometric_mean(&lip_ratios)),
+            fmt_ratio(geometric_mean(&dgippr_ratios)),
+            sim_core::overhead::plru_bits_per_set(ways).to_string(),
+            sim_core::overhead::lru_bits_per_set(ways).to_string(),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_all_widths() {
+        let t = run(Scale::Micro);
+        assert_eq!(t.len(), 5);
+        let text = t.to_string();
+        assert!(text.contains("64"));
+    }
+}

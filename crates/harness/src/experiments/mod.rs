@@ -1,0 +1,100 @@
+//! One driver per paper figure/table. See the crate docs for the index.
+
+pub mod ablations;
+pub mod assoc_sweep;
+pub mod fig01;
+pub mod fig04;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod multicore_tab;
+pub mod overhead;
+pub mod vectors_tab;
+
+use crate::scale::Scale;
+use evolve::{wn1_evaluation, FitnessContext, Substrate};
+use gippr::Ipv;
+use std::collections::HashMap;
+use traces::spec2006::Spec2006;
+
+/// Where the DGIPPR vectors used by a figure come from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VectorMode {
+    /// The paper's published workload-inclusive vectors (fast, default).
+    Published,
+    /// Workload-neutral cross-validation: evolve per-holdout vectors with
+    /// the genetic algorithm at the current scale (`--wn1`).
+    Wn1,
+}
+
+impl VectorMode {
+    /// Selects a mode from the `--wn1` CLI flag.
+    pub fn from_flag(wn1: bool) -> Self {
+        if wn1 {
+            VectorMode::Wn1
+        } else {
+            VectorMode::Published
+        }
+    }
+
+    /// Label prefix used in column headings.
+    pub fn label(&self) -> &'static str {
+        match self {
+            VectorMode::Published => "WI",
+            VectorMode::Wn1 => "WN1",
+        }
+    }
+}
+
+/// Per-benchmark vector assignments for 1-, 2-, and 4-vector GIPPR
+/// configurations under `mode`.
+#[derive(Debug, Clone)]
+pub struct VectorAssignment {
+    /// Single GIPPR vector per benchmark.
+    pub single: HashMap<Spec2006, Ipv>,
+    /// 2-DGIPPR vector pair per benchmark.
+    pub pair: HashMap<Spec2006, Vec<Ipv>>,
+    /// 4-DGIPPR vector quadruple per benchmark.
+    pub quad: HashMap<Spec2006, Vec<Ipv>>,
+}
+
+/// Builds the vectors each benchmark should run with: the published WI
+/// vectors (every benchmark shares them) or freshly evolved WN1 vectors
+/// (each benchmark gets vectors trained without it).
+pub fn assign_vectors(scale: Scale, benches: &[Spec2006], mode: VectorMode) -> VectorAssignment {
+    match mode {
+        VectorMode::Published => {
+            let single: HashMap<_, _> =
+                benches.iter().map(|b| (*b, gippr::vectors::wi_gippr())).collect();
+            let pair: HashMap<_, _> =
+                benches.iter().map(|b| (*b, gippr::vectors::wi_2dgippr().to_vec())).collect();
+            let quad: HashMap<_, _> =
+                benches.iter().map(|b| (*b, gippr::vectors::wi_4dgippr().to_vec())).collect();
+            VectorAssignment { single, pair, quad }
+        }
+        VectorMode::Wn1 => {
+            let ctx = FitnessContext::for_benchmarks(
+                benches,
+                scale.simpoints(),
+                scale.ga_accesses(),
+                scale.fitness(),
+            );
+            let by_name = |outcomes: Vec<evolve::Wn1Outcome>| -> HashMap<Spec2006, Vec<Ipv>> {
+                outcomes
+                    .into_iter()
+                    .filter_map(|o| Spec2006::from_name(&o.holdout).map(|b| (b, o.vectors)))
+                    .collect()
+            };
+            let single_raw =
+                by_name(wn1_evaluation(&ctx, scale.ga(101), 1, Substrate::Plru));
+            let pair = by_name(wn1_evaluation(&ctx, scale.ga(202), 2, Substrate::Plru));
+            let quad = by_name(wn1_evaluation(&ctx, scale.ga(303), 4, Substrate::Plru));
+            let single = single_raw
+                .into_iter()
+                .map(|(b, mut vs)| (b, vs.pop().expect("single vector present")))
+                .collect();
+            VectorAssignment { single, pair, quad }
+        }
+    }
+}

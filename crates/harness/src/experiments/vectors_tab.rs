@@ -1,0 +1,72 @@
+//! The Section 5.3 published-vector inventory: every IPV printed in the
+//! paper, with its insertion style and degeneracy status.
+
+use crate::report::Table;
+use gippr::{vectors, Ipv};
+
+fn insertion_style(ipv: &Ipv) -> &'static str {
+    let k = ipv.assoc();
+    match ipv.insertion() {
+        0 => "PMRU",
+        p if p == k - 1 => "PLRU",
+        p if p < k / 4 => "near-PMRU",
+        p if p >= 3 * k / 4 => "near-PLRU",
+        _ => "middle",
+    }
+}
+
+fn row_for(table: &mut Table, name: &str, ipv: &Ipv) {
+    table.row(vec![
+        name.to_string(),
+        ipv.to_string(),
+        ipv.insertion().to_string(),
+        insertion_style(ipv).to_string(),
+        if ipv.is_degenerate() { "yes" } else { "no" }.to_string(),
+    ]);
+}
+
+/// Builds the published-vector table.
+pub fn run() -> Table {
+    let mut table = Table::new(
+        "Section 5.3: vectors published in the paper",
+        &["name", "vector", "insert@", "style", "degenerate"],
+    );
+    row_for(&mut table, "GIPLR (Sec 2.5)", &vectors::giplr_best());
+    row_for(&mut table, "WI-GIPPR", &vectors::wi_gippr());
+    row_for(&mut table, "400.perlbench WN1", &vectors::perlbench_wn1());
+    for (i, v) in vectors::wi_2dgippr().iter().enumerate() {
+        row_for(&mut table, &format!("WI-2-DGIPPR[{i}]"), v);
+    }
+    for (i, v) in vectors::wi_4dgippr().iter().enumerate() {
+        row_for(&mut table, &format!("WI-4-DGIPPR[{i}]"), v);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nine_published_vectors() {
+        let table = run();
+        assert_eq!(table.len(), 9);
+    }
+
+    #[test]
+    fn interpretation_matches_paper_prose() {
+        // "The WI-2-DGIPPR IPVs clearly duel between PLRU and PMRU
+        // insertion."
+        let [a, b] = vectors::wi_2dgippr();
+        assert_eq!(insertion_style(&a), "PLRU");
+        assert_eq!(insertion_style(&b), "PMRU");
+        // "The WI-4-DGIPPR IPVs switch between PLRU, PMRU, close to PMRU,
+        // and middle insertion."
+        let styles: Vec<&str> =
+            vectors::wi_4dgippr().iter().map(insertion_style).collect();
+        assert!(styles.contains(&"PLRU"));
+        assert!(styles.contains(&"PMRU"));
+        assert!(styles.contains(&"near-PMRU"));
+        assert!(styles.contains(&"middle"));
+    }
+}

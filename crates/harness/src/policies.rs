@@ -1,0 +1,140 @@
+//! A named registry of every policy the experiments compare.
+
+use baselines::{DipPolicy, DrripPolicy, FifoPolicy, PdpPolicy, RandomPolicy, ShipPolicy,
+    SrripPolicy, TrueLru};
+use gippr::{DgipprPolicy, GiplrPolicy, GipprPolicy, Ipv, PlruPolicy};
+use sim_core::policy::factory;
+use sim_core::{CacheGeometry, PolicyFactory};
+
+/// Leader sets per dueling candidate, shrunk for small scaled caches while
+/// keeping the paper's 32 at full size.
+pub fn leaders_for(geom: &CacheGeometry) -> usize {
+    (geom.sets() / 64).clamp(4, 32)
+}
+
+/// Factory for true LRU.
+pub fn lru() -> PolicyFactory {
+    factory(|g| Box::new(TrueLru::new(g)))
+}
+
+/// Factory for plain tree PseudoLRU.
+pub fn plru() -> PolicyFactory {
+    factory(|g| Box::new(PlruPolicy::new(g)))
+}
+
+/// Factory for seeded random replacement.
+pub fn random(seed: u64) -> PolicyFactory {
+    factory(move |g| Box::new(RandomPolicy::with_seed(g, seed)))
+}
+
+/// Factory for FIFO.
+pub fn fifo() -> PolicyFactory {
+    factory(|g| Box::new(FifoPolicy::new(g)))
+}
+
+/// Factory for DIP.
+pub fn dip() -> PolicyFactory {
+    factory(|g| {
+        Box::new(DipPolicy::with_config(g, leaders_for(g), 10).expect("geometry fits DIP"))
+    })
+}
+
+/// Factory for SRRIP.
+pub fn srrip() -> PolicyFactory {
+    factory(|g| Box::new(SrripPolicy::new(g)))
+}
+
+/// Factory for DRRIP.
+pub fn drrip() -> PolicyFactory {
+    factory(|g| {
+        Box::new(DrripPolicy::with_config(g, leaders_for(g), 10).expect("geometry fits DRRIP"))
+    })
+}
+
+/// Factory for PDP (no-bypass configuration).
+pub fn pdp() -> PolicyFactory {
+    factory(|g| Box::new(PdpPolicy::new(g)))
+}
+
+/// Factory for SHiP-PC.
+pub fn ship() -> PolicyFactory {
+    factory(|g| Box::new(ShipPolicy::new(g)))
+}
+
+/// Factory for GIPLR (true-LRU stacks driven by `ipv`).
+pub fn giplr(ipv: Ipv, name: &str) -> PolicyFactory {
+    let name = name.to_string();
+    factory(move |g| {
+        Box::new(GiplrPolicy::with_name(g, ipv.clone(), &name).expect("assoc matches"))
+    })
+}
+
+/// Factory for GIPPR (PseudoLRU driven by `ipv`).
+pub fn gippr(ipv: Ipv, name: &str) -> PolicyFactory {
+    let name = name.to_string();
+    factory(move |g| {
+        Box::new(GipprPolicy::with_name(g, ipv.clone(), &name).expect("assoc matches"))
+    })
+}
+
+/// Factory for DGIPPR dueling `vectors` (2 or 4 of them).
+pub fn dgippr(vectors: Vec<Ipv>, name: &str) -> PolicyFactory {
+    let name = name.to_string();
+    factory(move |g| {
+        Box::new(
+            DgipprPolicy::with_config(g, vectors.clone(), leaders_for(g), &name)
+                .expect("valid DGIPPR configuration"),
+        )
+    })
+}
+
+/// The baseline roster of `(name, factory)` pairs used by shoot-out style
+/// experiments and examples.
+pub fn baseline_roster(seed: u64) -> Vec<(&'static str, PolicyFactory)> {
+    vec![
+        ("LRU", lru()),
+        ("PseudoLRU", plru()),
+        ("Random", random(seed)),
+        ("FIFO", fifo()),
+        ("DIP", dip()),
+        ("SRRIP", srrip()),
+        ("DRRIP", drrip()),
+        ("PDP", pdp()),
+        ("SHiP", ship()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_factory_constructs_on_paper_geometry() {
+        let g = CacheGeometry::new(4 * 1024 * 1024, 16, 64).unwrap();
+        for (name, f) in baseline_roster(1) {
+            let p = f(&g);
+            assert_eq!(p.name(), name);
+        }
+        let _ = gippr(gippr::vectors::wi_gippr(), "WI-GIPPR")(&g);
+        let _ = giplr(gippr::vectors::giplr_best(), "GIPLR")(&g);
+        let _ = dgippr(gippr::vectors::wi_4dgippr().to_vec(), "WI-4-DGIPPR")(&g);
+    }
+
+    #[test]
+    fn factories_construct_on_small_geometry() {
+        // The quick-scale LLC: 128 KB, 16-way, 128 sets.
+        let g = CacheGeometry::new(128 * 1024, 16, 64).unwrap();
+        for (_, f) in baseline_roster(1) {
+            let _ = f(&g);
+        }
+        let _ = dgippr(gippr::vectors::wi_2dgippr().to_vec(), "WI-2-DGIPPR")(&g);
+        assert_eq!(leaders_for(&g), 4, "leader count shrinks with the cache");
+    }
+
+    #[test]
+    fn named_policies_report_names() {
+        let g = CacheGeometry::new(128 * 1024, 16, 64).unwrap();
+        let p = gippr(gippr::vectors::wi_gippr(), "WI-GIPPR")(&g);
+        assert_eq!(p.name(), "WI-GIPPR");
+    }
+}

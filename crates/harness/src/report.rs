@@ -1,0 +1,230 @@
+//! Table rendering and CSV output for the experiment binaries.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A simple column-aligned table with a title, printable and CSV-writable.
+///
+/// # Example
+///
+/// ```
+/// use harness::Table;
+///
+/// let mut t = Table::new("demo", &["benchmark", "speedup"]);
+/// t.row(vec!["429.mcf".into(), "1.35".into()]);
+/// assert!(t.to_string().contains("429.mcf"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: &str, columns: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the column count.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "table '{}' expects {} cells",
+            self.title,
+            self.columns.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// The table's title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Writes the table as CSV (header row first) to `path`, creating
+    /// parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_csv<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        let path = path.as_ref();
+        if let Some(dir) = path.parent() {
+            fs::create_dir_all(dir)?;
+        }
+        let mut out = String::new();
+        let escape = |cell: &str| {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        out.push_str(&self.columns.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        fs::write(path, out)
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        writeln!(f, "== {} ==", self.title)?;
+        let print_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                if i == 0 {
+                    write!(f, "{cell:<w$}")?;
+                } else {
+                    write!(f, "{cell:>w$}")?;
+                }
+            }
+            writeln!(f)
+        };
+        print_row(f, &self.columns)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            print_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a ratio as `1.234`.
+pub fn fmt_ratio(v: f64) -> String {
+    if v.is_nan() {
+        "n/a".to_string()
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Formats a percentage delta from 1.0, e.g. `+5.6%` for 1.056.
+pub fn fmt_pct(v: f64) -> String {
+    if v.is_nan() {
+        "n/a".to_string()
+    } else {
+        format!("{:+.1}%", (v - 1.0) * 100.0)
+    }
+}
+
+/// Parses the standard experiment CLI: `--scale <s>`, `--out <dir>`,
+/// `--wn1`. Returns `(scale, out_dir, wn1)`; `wn1` asks figure drivers to
+/// run true workload-neutral cross-validation (GA per holdout) instead of
+/// the fast default that reuses the paper's published workload-inclusive
+/// vectors.
+pub fn parse_args(args: &[String]) -> (crate::Scale, Option<String>, bool) {
+    let mut scale = crate::Scale::Quick;
+    let mut out = None;
+    let mut wn1 = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = args
+                    .get(i)
+                    .and_then(|s| crate::Scale::parse(s))
+                    .unwrap_or_else(|| panic!("--scale needs quick|medium|paper"));
+            }
+            "--out" => {
+                i += 1;
+                out = Some(args.get(i).expect("--out needs a directory").clone());
+            }
+            "--wn1" => wn1 = true,
+            other => panic!("unknown argument {other:?} (try --scale quick|medium|paper)"),
+        }
+        i += 1;
+    }
+    (scale, out, wn1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_alignment() {
+        let mut t = Table::new("t", &["name", "x"]);
+        t.row(vec!["a-long-name".into(), "1".into()]);
+        t.row(vec!["b".into(), "12345".into()]);
+        let s = t.to_string();
+        assert!(s.contains("== t =="));
+        assert!(s.contains("a-long-name"));
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 2 cells")]
+    fn row_arity_checked() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn csv_round_trip_with_escaping() {
+        let dir = std::env::temp_dir().join("plru-test-csv");
+        let path = dir.join("t.csv");
+        let mut t = Table::new("t", &["name", "note"]);
+        t.row(vec!["a,b".into(), "say \"hi\"".into()]);
+        t.write_csv(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("name,note\n"));
+        assert!(text.contains("\"a,b\""));
+        assert!(text.contains("\"say \"\"hi\"\"\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_ratio(1.2345), "1.234");
+        assert_eq!(fmt_pct(1.056), "+5.6%");
+        assert_eq!(fmt_pct(0.973), "-2.7%");
+        assert_eq!(fmt_ratio(f64::NAN), "n/a");
+    }
+
+    #[test]
+    fn arg_parsing() {
+        let (s, o, p) = parse_args(&["--scale".into(), "medium".into(), "--wn1".into()]);
+        assert_eq!(s, crate::Scale::Medium);
+        assert!(o.is_none());
+        assert!(p);
+        let (s, o, _) = parse_args(&["--out".into(), "results".into()]);
+        assert_eq!(s, crate::Scale::Quick);
+        assert_eq!(o.as_deref(), Some("results"));
+    }
+}

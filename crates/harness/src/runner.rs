@@ -1,0 +1,229 @@
+//! Workload preparation and policy measurement — the machinery every
+//! figure shares.
+
+use crate::scale::Scale;
+use crate::stats::weighted_mean;
+use mem_model::cpi::WindowPerfModel;
+use mem_model::{capture_llc_stream, min_misses, replay_llc};
+use sim_core::{Access, CacheGeometry, PolicyFactory};
+use std::sync::Arc;
+use traces::spec2006::Spec2006;
+
+/// One captured simpoint of a benchmark.
+#[derive(Debug, Clone)]
+pub struct SimpointData {
+    /// Simpoint weight within the benchmark.
+    pub weight: f64,
+    /// Captured LLC demand stream.
+    pub stream: Arc<Vec<Access>>,
+    /// Warm-up prefix length.
+    pub warmup: usize,
+}
+
+/// A benchmark's captured simpoints plus its LRU baseline.
+#[derive(Debug, Clone)]
+pub struct WorkloadData {
+    /// The benchmark.
+    pub bench: Spec2006,
+    /// Captured simpoints.
+    pub simpoints: Vec<SimpointData>,
+    /// LRU baseline, measured once.
+    pub lru: PolicyMeasurement,
+}
+
+/// A policy's weighted measurement on one benchmark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolicyMeasurement {
+    /// Weighted misses per kilo-instruction.
+    pub mpki: f64,
+    /// Weighted cycle estimate (window performance model).
+    pub cycles: f64,
+    /// Weighted raw miss count (for normalized-miss figures).
+    pub misses: f64,
+}
+
+impl PolicyMeasurement {
+    /// Speedup of this measurement relative to `baseline` (cycle ratio).
+    pub fn speedup_over(&self, baseline: &PolicyMeasurement) -> f64 {
+        if self.cycles <= 0.0 {
+            1.0
+        } else {
+            baseline.cycles / self.cycles
+        }
+    }
+
+    /// This measurement's misses normalized to `baseline`'s.
+    pub fn normalized_misses(&self, baseline: &PolicyMeasurement) -> f64 {
+        if baseline.misses <= 0.0 {
+            1.0
+        } else {
+            self.misses / baseline.misses
+        }
+    }
+}
+
+/// Captures the LLC streams for `benches` at `scale` and measures the LRU
+/// baseline. Benchmarks are processed in parallel.
+pub fn prepare_workloads(scale: Scale, benches: &[Spec2006]) -> Vec<WorkloadData> {
+    let config = scale.hierarchy();
+    let shift = scale.shift();
+    let accesses = scale.accesses();
+    let n_simpoints = scale.simpoints();
+
+    let mut out: Vec<Option<WorkloadData>> = vec![None; benches.len()];
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let chunk = benches.len().div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        for (bs, os) in benches.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            scope.spawn(move |_| {
+                for (b, o) in bs.iter().zip(os.iter_mut()) {
+                    let simpoints: Vec<SimpointData> = b
+                        .simpoints()
+                        .into_iter()
+                        .take(n_simpoints.max(1))
+                        .map(|sp| {
+                            let mut spec = b.workload().scaled_down(shift);
+                            spec.seed ^= sp.index.wrapping_mul(0x517c_c1b7_2722_0a95);
+                            let (stream, _) =
+                                capture_llc_stream(config, spec.generator(sp.index).take(accesses));
+                            let warmup = mem_model::llc::default_warmup(stream.len());
+                            SimpointData { weight: sp.weight, stream: Arc::new(stream), warmup }
+                        })
+                        .collect();
+                    let mut data = WorkloadData {
+                        bench: *b,
+                        simpoints,
+                        lru: PolicyMeasurement { mpki: 0.0, cycles: 1.0, misses: 0.0 },
+                    };
+                    data.lru = measure_policy(&data, &crate::policies::lru(), config.llc);
+                    *o = Some(data);
+                }
+            });
+        }
+    })
+    .expect("workload preparation worker panicked");
+    out.into_iter().map(|o| o.expect("all benchmarks prepared")).collect()
+}
+
+/// Measures `factory`'s policy on every simpoint of `workload`, weighting
+/// results by simpoint weight (the paper's reporting convention).
+pub fn measure_policy(
+    workload: &WorkloadData,
+    factory: &PolicyFactory,
+    geom: CacheGeometry,
+) -> PolicyMeasurement {
+    let perf = WindowPerfModel::default();
+    let mut mpki = Vec::new();
+    let mut cycles = Vec::new();
+    let mut misses = Vec::new();
+    for sp in &workload.simpoints {
+        let run = replay_llc(&sp.stream, geom, factory(&geom), sp.warmup, &perf);
+        mpki.push((run.mpki(), sp.weight));
+        cycles.push((run.cycles, sp.weight));
+        misses.push((run.stats.misses as f64, sp.weight));
+    }
+    PolicyMeasurement {
+        mpki: weighted_mean(&mpki, 0.0),
+        cycles: weighted_mean(&cycles, 1.0),
+        misses: weighted_mean(&misses, 0.0),
+    }
+}
+
+/// Measures Belady MIN (misses only — the paper does not define MIN
+/// speedups under out-of-order execution, and neither do we).
+pub fn measure_min(workload: &WorkloadData, geom: CacheGeometry) -> PolicyMeasurement {
+    let mut misses = Vec::new();
+    for sp in &workload.simpoints {
+        let stats = min_misses(&sp.stream, geom, sp.warmup);
+        misses.push((stats.misses as f64, sp.weight));
+    }
+    PolicyMeasurement { mpki: 0.0, cycles: f64::NAN, misses: weighted_mean(&misses, 0.0) }
+}
+
+/// Measures `factory` across many workloads in parallel, returning
+/// measurements in workload order.
+pub fn measure_policy_all(
+    workloads: &[WorkloadData],
+    factory: &PolicyFactory,
+    geom: CacheGeometry,
+) -> Vec<PolicyMeasurement> {
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let mut out = vec![PolicyMeasurement { mpki: 0.0, cycles: 0.0, misses: 0.0 }; workloads.len()];
+    let chunk = workloads.len().div_ceil(threads).max(1);
+    crossbeam::thread::scope(|scope| {
+        for (ws, os) in workloads.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            scope.spawn(move |_| {
+                for (w, o) in ws.iter().zip(os.iter_mut()) {
+                    *o = measure_policy(w, factory, geom);
+                }
+            });
+        }
+    })
+    .expect("measurement worker panicked");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies;
+
+    fn quick_pair() -> (Vec<WorkloadData>, CacheGeometry) {
+        let scale = Scale::Quick;
+        let benches = [Spec2006::Libquantum, Spec2006::Gamess];
+        (prepare_workloads(scale, &benches), scale.hierarchy().llc)
+    }
+
+    #[test]
+    fn prepare_gives_baseline_and_streams() {
+        let (ws, _) = quick_pair();
+        assert_eq!(ws.len(), 2);
+        for w in &ws {
+            assert_eq!(w.simpoints.len(), 1);
+            assert!(!w.simpoints[0].stream.is_empty());
+            assert!(w.lru.cycles > 0.0);
+        }
+    }
+
+    #[test]
+    fn lru_speedup_over_itself_is_one() {
+        let (ws, geom) = quick_pair();
+        for w in &ws {
+            let again = measure_policy(w, &policies::lru(), geom);
+            assert!((again.speedup_over(&w.lru) - 1.0).abs() < 1e-9);
+            assert!((again.normalized_misses(&w.lru) - 1.0).abs() < 1e-9 || w.lru.misses == 0.0);
+        }
+    }
+
+    #[test]
+    fn min_never_exceeds_lru_misses() {
+        let (ws, geom) = quick_pair();
+        for w in &ws {
+            let min = measure_min(w, geom);
+            assert!(min.misses <= w.lru.misses + 1e-9, "{}", w.bench);
+        }
+    }
+
+    #[test]
+    fn parallel_measure_matches_sequential() {
+        let (ws, geom) = quick_pair();
+        let f = policies::drrip();
+        let par = measure_policy_all(&ws, &f, geom);
+        for (w, m) in ws.iter().zip(&par) {
+            let seq = measure_policy(w, &f, geom);
+            assert_eq!(*m, seq);
+        }
+    }
+
+    #[test]
+    fn cache_resident_benchmark_is_policy_insensitive() {
+        // 416.gamess fits in the LLC: every policy should produce roughly
+        // LRU's misses (the paper: "for several benchmarks the optimal
+        // policy performs no better than LRU").
+        let (ws, geom) = quick_pair();
+        let gamess = ws.iter().find(|w| w.bench == Spec2006::Gamess).unwrap();
+        let drrip = measure_policy(gamess, &policies::drrip(), geom);
+        let ratio = drrip.normalized_misses(&gamess.lru);
+        assert!((0.9..1.1).contains(&ratio), "gamess insensitive, got {ratio}");
+    }
+}

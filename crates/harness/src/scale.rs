@@ -1,0 +1,176 @@
+//! Experiment scale presets.
+
+use evolve::{FitnessScale, GaConfig};
+use mem_model::HierarchyConfig;
+
+/// How big an experiment run should be. All knobs scale together so every
+/// preset preserves the paper's capacity ratios (workload footprint :
+/// LLC size) — only absolute sizes and statistical depth change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Sub-second smoke runs for benches and tests: 64 KB LLC, very short
+    /// traces, minimal GA.
+    Micro,
+    /// Seconds per figure: 128 KB LLC, short traces, one simpoint, tiny GA.
+    Quick,
+    /// A few minutes per figure: 512 KB LLC, two simpoints, medium GA.
+    Medium,
+    /// The paper's configuration: 4 MB LLC, three simpoints, large GA.
+    /// Hours of CPU time for the GA-driven figures.
+    Paper,
+}
+
+impl Scale {
+    /// Parses `quick` / `medium` / `paper` (case-insensitive).
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s.to_ascii_lowercase().as_str() {
+            "micro" => Some(Scale::Micro),
+            "quick" => Some(Scale::Quick),
+            "medium" => Some(Scale::Medium),
+            "paper" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+
+    /// Capacity shift relative to the paper's hierarchy (0 = 4 MB LLC).
+    pub fn shift(&self) -> u32 {
+        match self {
+            Scale::Micro => 6,
+            Scale::Quick => 5,
+            Scale::Medium => 3,
+            Scale::Paper => 0,
+        }
+    }
+
+    /// Reference-trace length per simpoint fed to L1.
+    pub fn accesses(&self) -> usize {
+        match self {
+            Scale::Micro => 20_000,
+            Scale::Quick => 80_000,
+            Scale::Medium => 600_000,
+            Scale::Paper => 8_000_000,
+        }
+    }
+
+    /// Simpoints per benchmark.
+    pub fn simpoints(&self) -> usize {
+        match self {
+            Scale::Micro | Scale::Quick => 1,
+            Scale::Medium => 2,
+            Scale::Paper => 3,
+        }
+    }
+
+    /// Random-design-space sample size (Figure 1; paper used 15 000).
+    pub fn random_samples(&self) -> usize {
+        match self {
+            Scale::Micro => 30,
+            Scale::Quick => 150,
+            Scale::Medium => 1_000,
+            Scale::Paper => 15_000,
+        }
+    }
+
+    /// The hierarchy geometries at this scale.
+    pub fn hierarchy(&self) -> HierarchyConfig {
+        HierarchyConfig::paper_scaled(self.shift()).expect("preset shifts are valid")
+    }
+
+    /// Fitness-evaluation knobs at this scale.
+    pub fn fitness(&self) -> FitnessScale {
+        FitnessScale { shift: self.shift(), ..FitnessScale::default() }
+    }
+
+    /// Reference-trace length per simpoint used inside GA fitness
+    /// evaluation (shorter than [`Scale::accesses`]: the GA replays whole
+    /// suites thousands of times).
+    pub fn ga_accesses(&self) -> usize {
+        match self {
+            Scale::Micro => 8_000,
+            Scale::Quick => 20_000,
+            Scale::Medium => 150_000,
+            Scale::Paper => 2_000_000,
+        }
+    }
+
+    /// Genetic-algorithm budget at this scale.
+    pub fn ga(&self, seed: u64) -> GaConfig {
+        match self {
+            Scale::Micro => GaConfig {
+                initial_population: 8,
+                population: 6,
+                generations: 2,
+                mutation_rate: 0.05,
+                elitism: 2,
+                tournament: 2,
+                seed,
+            },
+            Scale::Quick => GaConfig {
+                initial_population: 16,
+                population: 12,
+                generations: 4,
+                mutation_rate: 0.05,
+                elitism: 2,
+                tournament: 3,
+                seed,
+            },
+            Scale::Medium => GaConfig {
+                initial_population: 128,
+                population: 64,
+                generations: 12,
+                mutation_rate: 0.05,
+                elitism: 4,
+                tournament: 4,
+                seed,
+            },
+            Scale::Paper => GaConfig {
+                initial_population: 2_000,
+                population: 512,
+                generations: 30,
+                mutation_rate: 0.05,
+                elitism: 8,
+                tournament: 4,
+                seed,
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for Scale {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Scale::Micro => "micro",
+            Scale::Quick => "quick",
+            Scale::Medium => "medium",
+            Scale::Paper => "paper",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips() {
+        for s in [Scale::Micro, Scale::Quick, Scale::Medium, Scale::Paper] {
+            assert_eq!(Scale::parse(&s.to_string()), Some(s));
+        }
+        assert_eq!(Scale::parse("QUICK"), Some(Scale::Quick));
+        assert_eq!(Scale::parse("huge"), None);
+    }
+
+    #[test]
+    fn paper_scale_is_the_paper_hierarchy() {
+        let h = Scale::Paper.hierarchy();
+        assert_eq!(h.llc.size_bytes(), 4 * 1024 * 1024);
+        assert_eq!(h.llc.ways(), 16);
+    }
+
+    #[test]
+    fn scales_are_ordered() {
+        assert!(Scale::Quick.accesses() < Scale::Medium.accesses());
+        assert!(Scale::Medium.accesses() < Scale::Paper.accesses());
+        assert!(Scale::Quick.shift() > Scale::Paper.shift());
+    }
+}

@@ -1,0 +1,47 @@
+//! Small statistical helpers shared by the experiments.
+
+/// Geometric mean of a slice (the paper's summary statistic for speedups
+/// and normalized MPKI). Returns 1.0 for an empty slice; nonpositive
+/// entries are clamped to a tiny positive value to stay defined.
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
+    let log_sum: f64 = values.iter().map(|&v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Weighted arithmetic mean; returns `default` when the weights sum to 0.
+pub fn weighted_mean(pairs: &[(f64, f64)], default: f64) -> f64 {
+    let total_w: f64 = pairs.iter().map(|(_, w)| w).sum();
+    if total_w <= 0.0 {
+        default
+    } else {
+        pairs.iter().map(|(v, w)| v * w).sum::<f64>() / total_w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geometric_mean(&[]), 1.0);
+        assert!((geometric_mean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_handles_nonpositive() {
+        let g = geometric_mean(&[0.0, 1.0]);
+        assert!(g.is_finite() && g >= 0.0);
+    }
+
+    #[test]
+    fn weighted_mean_basics() {
+        assert!((weighted_mean(&[(1.0, 1.0), (3.0, 1.0)], 0.0) - 2.0).abs() < 1e-12);
+        assert!((weighted_mean(&[(1.0, 3.0), (5.0, 1.0)], 0.0) - 2.0).abs() < 1e-12);
+        assert_eq!(weighted_mean(&[], 7.0), 7.0);
+    }
+}

@@ -1,0 +1,227 @@
+//! Performance models that turn miss counts into cycle estimates.
+
+use crate::hierarchy::ServiceLevel;
+
+/// The paper's fitness-function model (Section 4.3): "estimate the
+/// resulting cycles-per-instruction as a linear function of the number of
+/// misses."
+///
+/// `cycles = instructions · base_cpi + llc_misses · miss_penalty`
+///
+/// Speedups are ratios of these cycle counts at equal instruction counts,
+/// so `base_cpi` sets how memory-bound the model program is.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearCpiModel {
+    /// Cycles per instruction when every access hits (paper pipeline is
+    /// 4-wide: 0.25 at the ideal limit; we default to a realistic 0.7).
+    pub base_cpi: f64,
+    /// Cycles charged per LLC miss (paper DRAM latency: 200).
+    pub miss_penalty: f64,
+}
+
+impl Default for LinearCpiModel {
+    fn default() -> Self {
+        LinearCpiModel { base_cpi: 0.7, miss_penalty: 200.0 }
+    }
+}
+
+impl LinearCpiModel {
+    /// Estimated cycles for a run.
+    pub fn cycles(&self, instructions: u64, llc_misses: u64) -> f64 {
+        instructions as f64 * self.base_cpi + llc_misses as f64 * self.miss_penalty
+    }
+
+    /// Speedup of `policy` over `baseline` at equal instruction counts.
+    pub fn speedup(&self, instructions: u64, baseline_misses: u64, policy_misses: u64) -> f64 {
+        let base = self.cycles(instructions, baseline_misses);
+        let pol = self.cycles(instructions, policy_misses);
+        if pol == 0.0 {
+            1.0
+        } else {
+            base / pol
+        }
+    }
+}
+
+/// An MLP-aware window model substituting for the paper's CMP$im runs
+/// (Section 4.5: out-of-order, 4-wide, 8-stage, 128-entry window).
+///
+/// The model charges `instructions / width` base cycles and prices LLC
+/// misses by *clusters*: consecutive misses within `window` instructions
+/// of each other overlap (memory-level parallelism), so a cluster costs
+/// one full `dram_latency` plus a per-miss bandwidth serialization charge;
+/// isolated misses pay the full latency. LLC and L2 hits add small fixed
+/// latencies scaled by an overlap factor. This captures the first-order
+/// effect the paper's fitness function cannot: bursts of misses are
+/// cheaper per miss than scattered ones.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowPerfModel {
+    /// Issue width (paper: 4).
+    pub width: f64,
+    /// Instruction window (paper: 128).
+    pub window: u64,
+    /// DRAM latency in cycles (paper: 200).
+    pub dram_latency: f64,
+    /// Serialization charge for each overlapped miss after a cluster's
+    /// first (models DRAM bandwidth/queueing).
+    pub overlap_charge: f64,
+    /// Latency charged per LLC hit (L2 miss) after out-of-order overlap.
+    pub llc_hit_charge: f64,
+    /// Latency charged per L2 hit after out-of-order overlap.
+    pub l2_hit_charge: f64,
+}
+
+impl Default for WindowPerfModel {
+    fn default() -> Self {
+        WindowPerfModel {
+            width: 4.0,
+            window: 128,
+            dram_latency: 200.0,
+            overlap_charge: 40.0,
+            llc_hit_charge: 12.0,
+            l2_hit_charge: 3.0,
+        }
+    }
+}
+
+/// Accumulates service events into a cycle estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PerfAccumulator {
+    instructions: u64,
+    l2_hits: u64,
+    llc_hits: u64,
+    misses: u64,
+    clusters: u64,
+    last_miss_instruction: Option<u64>,
+}
+
+impl PerfAccumulator {
+    /// A fresh accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Notes one access: its instruction gap and the level that serviced
+    /// it.
+    pub fn note(&mut self, icount_delta: u32, level: ServiceLevel, model: &WindowPerfModel) {
+        self.instructions += u64::from(icount_delta);
+        match level {
+            ServiceLevel::L1 => {}
+            ServiceLevel::L2 => self.l2_hits += 1,
+            ServiceLevel::Llc => self.llc_hits += 1,
+            ServiceLevel::Memory => {
+                self.misses += 1;
+                let clustered = self
+                    .last_miss_instruction
+                    .is_some_and(|at| self.instructions - at <= model.window);
+                if !clustered {
+                    self.clusters += 1;
+                }
+                self.last_miss_instruction = Some(self.instructions);
+            }
+        }
+    }
+
+    /// Total instructions observed.
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// LLC misses observed.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Miss clusters observed (≤ misses).
+    pub fn clusters(&self) -> u64 {
+        self.clusters
+    }
+
+    /// The cycle estimate under `model`.
+    pub fn cycles(&self, model: &WindowPerfModel) -> f64 {
+        let overlapped = self.misses - self.clusters;
+        self.instructions as f64 / model.width
+            + self.clusters as f64 * model.dram_latency
+            + overlapped as f64 * model.overlap_charge
+            + self.llc_hits as f64 * model.llc_hit_charge
+            + self.l2_hits as f64 * model.l2_hit_charge
+    }
+
+    /// Instructions per cycle under `model`.
+    pub fn ipc(&self, model: &WindowPerfModel) -> f64 {
+        let c = self.cycles(model);
+        if c == 0.0 {
+            0.0
+        } else {
+            self.instructions as f64 / c
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_model_matches_formula() {
+        let m = LinearCpiModel { base_cpi: 1.0, miss_penalty: 100.0 };
+        assert_eq!(m.cycles(1000, 10), 2000.0);
+        assert!((m.speedup(1000, 20, 10) - 3000.0 / 2000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fewer_misses_is_never_slower() {
+        let m = LinearCpiModel::default();
+        assert!(m.speedup(1_000_000, 5000, 4000) > 1.0);
+        assert!(m.speedup(1_000_000, 4000, 5000) < 1.0);
+        assert_eq!(m.speedup(1_000_000, 4000, 4000), 1.0);
+    }
+
+    #[test]
+    fn clustered_misses_cost_less_than_isolated() {
+        let model = WindowPerfModel::default();
+        // Ten misses back-to-back (one cluster).
+        let mut burst = PerfAccumulator::new();
+        for _ in 0..10 {
+            burst.note(4, ServiceLevel::Memory, &model);
+        }
+        // Ten misses 1000 instructions apart (ten clusters).
+        let mut spread = PerfAccumulator::new();
+        for _ in 0..10 {
+            spread.note(1000, ServiceLevel::Memory, &model);
+        }
+        assert_eq!(burst.clusters(), 1);
+        assert_eq!(spread.clusters(), 10);
+        // Compare only the memory component (instruction base differs).
+        let burst_mem = burst.cycles(&model) - burst.instructions() as f64 / model.width;
+        let spread_mem = spread.cycles(&model) - spread.instructions() as f64 / model.width;
+        assert!(burst_mem < spread_mem);
+    }
+
+    #[test]
+    fn hits_are_cheap_but_not_free() {
+        let model = WindowPerfModel::default();
+        let mut acc = PerfAccumulator::new();
+        acc.note(4, ServiceLevel::L1, &model);
+        let l1_only = acc.cycles(&model);
+        acc.note(0, ServiceLevel::Llc, &model);
+        assert_eq!(acc.cycles(&model), l1_only + model.llc_hit_charge);
+    }
+
+    #[test]
+    fn ipc_bounded_by_width() {
+        let model = WindowPerfModel::default();
+        let mut acc = PerfAccumulator::new();
+        for _ in 0..1000 {
+            acc.note(10, ServiceLevel::L1, &model);
+        }
+        assert!((acc.ipc(&model) - 4.0).abs() < 1e-9, "pure L1 hits run at full width");
+    }
+
+    #[test]
+    fn empty_accumulator_is_sane() {
+        let acc = PerfAccumulator::new();
+        assert_eq!(acc.cycles(&WindowPerfModel::default()), 0.0);
+        assert_eq!(acc.ipc(&WindowPerfModel::default()), 0.0);
+    }
+}

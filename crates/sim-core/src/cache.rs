@@ -1,0 +1,335 @@
+//! A set-associative cache driving a pluggable replacement policy.
+
+use crate::access::AccessContext;
+use crate::geometry::CacheGeometry;
+use crate::policy::ReplacementPolicy;
+use crate::stats::CacheStats;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+}
+
+/// A block displaced by a fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Evicted {
+    /// Block (line) address of the displaced block.
+    pub block_addr: u64,
+    /// Whether the block was dirty and must be written downstream.
+    pub dirty: bool,
+}
+
+/// The result of one cache lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Whether the block was resident.
+    pub hit: bool,
+    /// The block displaced by the fill, if any.
+    pub evicted: Option<Evicted>,
+    /// Whether the incoming block bypassed the cache entirely.
+    pub bypassed: bool,
+}
+
+/// A set-associative cache with tags, per-line dirty bits, and statistics.
+///
+/// The cache stores *block addresses*; callers convert byte addresses via
+/// [`CacheGeometry::block_of`] or use [`SetAssocCache::access`].
+///
+/// # Example
+///
+/// ```
+/// use sim_core::{Access, CacheGeometry, SetAssocCache};
+/// use sim_core::policy::fifo_like_fixture::AlwaysWayZero;
+///
+/// # fn main() -> Result<(), sim_core::GeometryError> {
+/// let geom = CacheGeometry::new(4096, 4, 64)?;
+/// let mut cache = SetAssocCache::new(geom, Box::new(AlwaysWayZero::new(&geom)));
+/// let a = Access::read(0x1000, 0);
+/// assert!(!cache.access(&a).hit); // cold miss
+/// assert!(cache.access(&a).hit); // now resident
+/// # Ok(())
+/// # }
+/// ```
+pub struct SetAssocCache {
+    geom: CacheGeometry,
+    lines: Vec<Line>,
+    policy: Box<dyn ReplacementPolicy>,
+    stats: CacheStats,
+}
+
+impl std::fmt::Debug for SetAssocCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SetAssocCache")
+            .field("geom", &self.geom)
+            .field("policy", &self.policy.name())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl SetAssocCache {
+    /// Creates an empty cache using `policy` for replacement decisions.
+    pub fn new(geom: CacheGeometry, policy: Box<dyn ReplacementPolicy>) -> Self {
+        SetAssocCache {
+            geom,
+            lines: vec![Line::default(); geom.sets() * geom.ways()],
+            policy,
+            stats: CacheStats::new(),
+        }
+    }
+
+    /// The geometry this cache was built with.
+    pub fn geometry(&self) -> &CacheGeometry {
+        &self.geom
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Resets statistics (e.g. after a warm-up phase) without touching
+    /// contents or policy state.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::new();
+    }
+
+    /// The policy driving this cache.
+    pub fn policy(&self) -> &dyn ReplacementPolicy {
+        self.policy.as_ref()
+    }
+
+    /// Mutable access to the policy (e.g. to inspect dueling winners).
+    pub fn policy_mut(&mut self) -> &mut dyn ReplacementPolicy {
+        self.policy.as_mut()
+    }
+
+    /// Looks up a byte-addressed access, filling on miss.
+    pub fn access(&mut self, access: &crate::access::Access) -> AccessOutcome {
+        self.access_block(self.geom.block_of(access.addr), &access.context())
+    }
+
+    /// Looks up `block_addr`, filling on miss. `ctx` is forwarded to the
+    /// policy callbacks.
+    pub fn access_block(&mut self, block_addr: u64, ctx: &AccessContext) -> AccessOutcome {
+        let set = self.geom.set_of_block(block_addr);
+        let tag = self.geom.tag_of_block(block_addr);
+        let ways = self.geom.ways();
+        let base = set * ways;
+        self.stats.accesses += 1;
+
+        // Hit path.
+        for way in 0..ways {
+            let line = &mut self.lines[base + way];
+            if line.valid && line.tag == tag {
+                line.dirty |= ctx.is_write;
+                self.stats.hits += 1;
+                self.policy.on_hit(set, way, ctx);
+                return AccessOutcome { hit: true, evicted: None, bypassed: false };
+            }
+        }
+
+        // Miss path.
+        self.stats.misses += 1;
+        self.policy.on_miss(set, ctx);
+        if self.policy.should_bypass(set, ctx) {
+            return AccessOutcome { hit: false, evicted: None, bypassed: true };
+        }
+
+        // Prefer an invalid way; otherwise ask the policy for a victim.
+        let (fill_way, evicted) = match (0..ways).find(|&w| !self.lines[base + w].valid) {
+            Some(w) => (w, None),
+            None => {
+                let w = self.policy.victim(set, ctx);
+                assert!(w < ways, "policy {} returned way {w} >= {ways}", self.policy.name());
+                let old = self.lines[base + w];
+                self.stats.evictions += 1;
+                if old.dirty {
+                    self.stats.writebacks += 1;
+                }
+                self.policy.on_evict(set, w);
+                (
+                    w,
+                    Some(Evicted {
+                        block_addr: self.geom.block_from_parts(set, old.tag),
+                        dirty: old.dirty,
+                    }),
+                )
+            }
+        };
+
+        self.lines[base + fill_way] = Line { tag, valid: true, dirty: ctx.is_write };
+        self.policy.on_fill(set, fill_way, ctx);
+        AccessOutcome { hit: false, evicted, bypassed: false }
+    }
+
+    /// Returns whether `block_addr` is currently resident (no side effects).
+    pub fn probe(&self, block_addr: u64) -> bool {
+        let set = self.geom.set_of_block(block_addr);
+        let tag = self.geom.tag_of_block(block_addr);
+        let base = set * self.geom.ways();
+        (0..self.geom.ways()).any(|w| {
+            let l = &self.lines[base + w];
+            l.valid && l.tag == tag
+        })
+    }
+
+    /// Invalidates `block_addr` if resident, returning whether it was dirty.
+    pub fn invalidate(&mut self, block_addr: u64) -> Option<bool> {
+        let set = self.geom.set_of_block(block_addr);
+        let tag = self.geom.tag_of_block(block_addr);
+        let base = set * self.geom.ways();
+        for w in 0..self.geom.ways() {
+            let l = &mut self.lines[base + w];
+            if l.valid && l.tag == tag {
+                l.valid = false;
+                let dirty = l.dirty;
+                l.dirty = false;
+                self.policy.on_evict(set, w);
+                return Some(dirty);
+            }
+        }
+        None
+    }
+
+    /// Number of valid lines in `set` (test/diagnostic aid).
+    pub fn occupancy(&self, set: usize) -> usize {
+        let base = set * self.geom.ways();
+        (0..self.geom.ways()).filter(|&w| self.lines[base + w].valid).count()
+    }
+
+    /// Block addresses currently resident in `set`, in way order.
+    pub fn resident_blocks(&self, set: usize) -> Vec<u64> {
+        let base = set * self.geom.ways();
+        (0..self.geom.ways())
+            .filter_map(|w| {
+                let l = &self.lines[base + w];
+                l.valid.then(|| self.geom.block_from_parts(set, l.tag))
+            })
+            .collect()
+    }
+
+    /// Total replacement-metadata bits (per-set plus global) for this cache.
+    pub fn replacement_bits(&self) -> u64 {
+        self.policy.bits_per_set() * self.geom.sets() as u64 + self.policy.global_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::Access;
+    use crate::policy::fifo_like_fixture::AlwaysWayZero;
+
+    fn small_cache() -> SetAssocCache {
+        let geom = CacheGeometry::new(1024, 4, 64).unwrap(); // 4 sets x 4 ways
+        SetAssocCache::new(geom, Box::new(AlwaysWayZero::new(&geom)))
+    }
+
+    fn blk(set: usize, tag: u64) -> u64 {
+        (tag << 2) | set as u64 // 4 sets
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = small_cache();
+        let ctx = AccessContext::blank();
+        assert!(!c.access_block(blk(0, 1), &ctx).hit);
+        assert!(c.access_block(blk(0, 1), &ctx).hit);
+        assert_eq!(c.stats().accesses, 2);
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn fills_invalid_ways_before_evicting() {
+        let mut c = small_cache();
+        let ctx = AccessContext::blank();
+        for tag in 0..4 {
+            let out = c.access_block(blk(1, tag), &ctx);
+            assert!(out.evicted.is_none(), "no eviction while set has invalid ways");
+        }
+        assert_eq!(c.occupancy(1), 4);
+        let out = c.access_block(blk(1, 99), &ctx);
+        assert_eq!(out.evicted, Some(Evicted { block_addr: blk(1, 0), dirty: false }));
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn dirty_eviction_counts_writeback() {
+        let mut c = small_cache();
+        let wctx = AccessContext { is_write: true, ..AccessContext::blank() };
+        let rctx = AccessContext::blank();
+        c.access_block(blk(2, 0), &wctx); // dirty fill into way 0
+        for tag in 1..4 {
+            c.access_block(blk(2, tag), &rctx);
+        }
+        let out = c.access_block(blk(2, 50), &rctx); // evicts way 0 (dirty)
+        assert!(out.evicted.unwrap().dirty);
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn write_hit_marks_dirty() {
+        let mut c = small_cache();
+        let rctx = AccessContext::blank();
+        let wctx = AccessContext { is_write: true, ..AccessContext::blank() };
+        c.access_block(blk(3, 7), &rctx); // clean fill
+        c.access_block(blk(3, 7), &wctx); // write hit dirties it
+        for tag in 0..3 {
+            c.access_block(blk(3, tag), &rctx);
+        }
+        let out = c.access_block(blk(3, 40), &rctx);
+        assert!(out.evicted.unwrap().dirty);
+    }
+
+    #[test]
+    fn probe_and_invalidate() {
+        let mut c = small_cache();
+        let ctx = AccessContext::blank();
+        c.access_block(blk(0, 5), &ctx);
+        assert!(c.probe(blk(0, 5)));
+        assert!(!c.probe(blk(0, 6)));
+        assert_eq!(c.invalidate(blk(0, 5)), Some(false));
+        assert!(!c.probe(blk(0, 5)));
+        assert_eq!(c.invalidate(blk(0, 5)), None);
+    }
+
+    #[test]
+    fn byte_address_entry_point() {
+        let mut c = small_cache();
+        // Two addresses in the same 64-byte line are one block.
+        assert!(!c.access(&Access::read(0x1000, 0)).hit);
+        assert!(c.access(&Access::read(0x1030, 0)).hit);
+    }
+
+    #[test]
+    fn resident_blocks_reconstructs_addresses() {
+        let mut c = small_cache();
+        let ctx = AccessContext::blank();
+        for tag in [3u64, 9, 12] {
+            c.access_block(blk(2, tag), &ctx);
+        }
+        let mut resident = c.resident_blocks(2);
+        resident.sort_unstable();
+        assert_eq!(resident, vec![blk(2, 3), blk(2, 9), blk(2, 12)]);
+    }
+
+    #[test]
+    fn reset_stats_keeps_contents() {
+        let mut c = small_cache();
+        let ctx = AccessContext::blank();
+        c.access_block(blk(0, 1), &ctx);
+        c.reset_stats();
+        assert_eq!(c.stats().accesses, 0);
+        assert!(c.access_block(blk(0, 1), &ctx).hit, "contents survive reset");
+    }
+
+    #[test]
+    fn replacement_bits_scales_with_sets() {
+        let c = small_cache();
+        assert_eq!(c.replacement_bits(), 0); // fixture policy is stateless
+    }
+}

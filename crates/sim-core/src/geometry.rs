@@ -1,0 +1,251 @@
+//! Validated cache dimensions and the derived address arithmetic.
+
+use std::error::Error;
+use std::fmt;
+
+/// The dimensions of one cache level: capacity, associativity, and line size.
+///
+/// All three quantities must be powers of two and consistent with each other
+/// (capacity divisible by `ways * line_bytes`). The number of sets is derived.
+///
+/// # Example
+///
+/// ```
+/// use sim_core::CacheGeometry;
+///
+/// # fn main() -> Result<(), sim_core::GeometryError> {
+/// // The paper's last-level cache: 4 MB, 16-way, 64-byte lines.
+/// let llc = CacheGeometry::new(4 * 1024 * 1024, 16, 64)?;
+/// assert_eq!(llc.sets(), 4096);
+/// assert_eq!(llc.ways(), 16);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheGeometry {
+    size_bytes: u64,
+    ways: usize,
+    line_bytes: u64,
+    sets: usize,
+    line_shift: u32,
+    set_mask: u64,
+}
+
+/// Error returned when cache dimensions are inconsistent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GeometryError {
+    /// A dimension was zero or not a power of two.
+    NotPowerOfTwo {
+        /// Which dimension was invalid.
+        field: &'static str,
+        /// The offending value.
+        value: u64,
+    },
+    /// `size_bytes` is smaller than one full set (`ways * line_bytes`).
+    TooSmall {
+        /// Requested capacity in bytes.
+        size_bytes: u64,
+        /// Minimum capacity for the requested ways and line size.
+        minimum: u64,
+    },
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeometryError::NotPowerOfTwo { field, value } => {
+                write!(f, "cache {field} must be a nonzero power of two, got {value}")
+            }
+            GeometryError::TooSmall { size_bytes, minimum } => write!(
+                f,
+                "cache size {size_bytes} bytes is smaller than one set ({minimum} bytes)"
+            ),
+        }
+    }
+}
+
+impl Error for GeometryError {}
+
+impl CacheGeometry {
+    /// Creates a geometry from capacity in bytes, associativity, and line size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError`] if any dimension is zero or not a power of
+    /// two, or if the capacity cannot hold even a single set.
+    pub fn new(size_bytes: u64, ways: usize, line_bytes: u64) -> Result<Self, GeometryError> {
+        fn check_pow2(field: &'static str, value: u64) -> Result<(), GeometryError> {
+            if value == 0 || !value.is_power_of_two() {
+                Err(GeometryError::NotPowerOfTwo { field, value })
+            } else {
+                Ok(())
+            }
+        }
+        check_pow2("size_bytes", size_bytes)?;
+        check_pow2("ways", ways as u64)?;
+        check_pow2("line_bytes", line_bytes)?;
+        let set_bytes = ways as u64 * line_bytes;
+        if size_bytes < set_bytes {
+            return Err(GeometryError::TooSmall { size_bytes, minimum: set_bytes });
+        }
+        let sets = (size_bytes / set_bytes) as usize;
+        Ok(CacheGeometry {
+            size_bytes,
+            ways,
+            line_bytes,
+            sets,
+            line_shift: line_bytes.trailing_zeros(),
+            set_mask: sets as u64 - 1,
+        })
+    }
+
+    /// Creates a geometry directly from a set count instead of a capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError`] if any dimension is zero or not a power of two.
+    pub fn from_sets(sets: usize, ways: usize, line_bytes: u64) -> Result<Self, GeometryError> {
+        if sets == 0 || !sets.is_power_of_two() {
+            return Err(GeometryError::NotPowerOfTwo { field: "sets", value: sets as u64 });
+        }
+        Self::new(sets as u64 * ways as u64 * line_bytes, ways, line_bytes)
+    }
+
+    /// Total capacity in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.size_bytes
+    }
+
+    /// Associativity (number of ways per set).
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Line (block) size in bytes.
+    pub fn line_bytes(&self) -> u64 {
+        self.line_bytes
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Converts a byte address to a block (line) address.
+    pub fn block_of(&self, byte_addr: u64) -> u64 {
+        byte_addr >> self.line_shift
+    }
+
+    /// Set index for a block address.
+    pub fn set_of_block(&self, block_addr: u64) -> usize {
+        (block_addr & self.set_mask) as usize
+    }
+
+    /// Set index for a byte address.
+    pub fn set_of(&self, byte_addr: u64) -> usize {
+        self.set_of_block(self.block_of(byte_addr))
+    }
+
+    /// Tag for a block address (the bits above the set index).
+    pub fn tag_of_block(&self, block_addr: u64) -> u64 {
+        block_addr >> self.sets.trailing_zeros()
+    }
+
+    /// Reconstructs a block address from a set index and tag.
+    pub fn block_from_parts(&self, set: usize, tag: u64) -> u64 {
+        (tag << self.sets.trailing_zeros()) | set as u64
+    }
+}
+
+impl fmt::Display for CacheGeometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} KB, {}-way, {}-byte lines, {} sets",
+            self.size_bytes / 1024,
+            self.ways,
+            self.line_bytes,
+            self.sets
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_llc_dimensions() {
+        let g = CacheGeometry::new(4 * 1024 * 1024, 16, 64).unwrap();
+        assert_eq!(g.sets(), 4096);
+        assert_eq!(g.ways(), 16);
+        assert_eq!(g.line_bytes(), 64);
+    }
+
+    #[test]
+    fn l1_and_l2_dimensions() {
+        let l1 = CacheGeometry::new(32 * 1024, 8, 64).unwrap();
+        assert_eq!(l1.sets(), 64);
+        let l2 = CacheGeometry::new(256 * 1024, 8, 64).unwrap();
+        assert_eq!(l2.sets(), 512);
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        assert!(matches!(
+            CacheGeometry::new(3000, 4, 64),
+            Err(GeometryError::NotPowerOfTwo { field: "size_bytes", .. })
+        ));
+        assert!(matches!(
+            CacheGeometry::new(4096, 3, 64),
+            Err(GeometryError::NotPowerOfTwo { field: "ways", .. })
+        ));
+        assert!(matches!(
+            CacheGeometry::new(4096, 4, 48),
+            Err(GeometryError::NotPowerOfTwo { field: "line_bytes", .. })
+        ));
+        assert!(matches!(
+            CacheGeometry::new(0, 4, 64),
+            Err(GeometryError::NotPowerOfTwo { field: "size_bytes", value: 0 })
+        ));
+    }
+
+    #[test]
+    fn rejects_capacity_below_one_set() {
+        let err = CacheGeometry::new(128, 4, 64).unwrap_err();
+        assert_eq!(err, GeometryError::TooSmall { size_bytes: 128, minimum: 256 });
+    }
+
+    #[test]
+    fn address_round_trip() {
+        let g = CacheGeometry::new(64 * 1024, 4, 64).unwrap();
+        for byte_addr in [0u64, 64, 4096, 0xdead_beef, u64::MAX / 2] {
+            let blk = g.block_of(byte_addr);
+            let set = g.set_of_block(blk);
+            let tag = g.tag_of_block(blk);
+            assert_eq!(g.block_from_parts(set, tag), blk);
+            assert_eq!(g.set_of(byte_addr), set);
+        }
+    }
+
+    #[test]
+    fn from_sets_matches_new() {
+        let a = CacheGeometry::from_sets(4096, 16, 64).unwrap();
+        let b = CacheGeometry::new(4 * 1024 * 1024, 16, 64).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let g = CacheGeometry::new(4 * 1024 * 1024, 16, 64).unwrap();
+        let s = g.to_string();
+        assert!(s.contains("4096 KB"));
+        assert!(s.contains("16-way"));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = CacheGeometry::new(100, 4, 64).unwrap_err();
+        assert!(!e.to_string().is_empty());
+    }
+}

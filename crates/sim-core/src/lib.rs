@@ -1,0 +1,57 @@
+#![warn(missing_docs)]
+
+//! Core cache-simulation substrate for the PseudoLRU insertion/promotion
+//! reproduction.
+//!
+//! This crate provides the building blocks every replacement policy and
+//! experiment in the workspace is written against:
+//!
+//! * [`CacheGeometry`] — validated cache dimensions (size, associativity,
+//!   line size) and the derived set/tag arithmetic.
+//! * [`Access`] / [`AccessContext`] — a single memory reference as seen by a
+//!   cache level.
+//! * [`ReplacementPolicy`] — the trait all policies (LRU, PLRU, GIPPR,
+//!   DGIPPR, DRRIP, PDP, …) implement. Policies manage only *way indices*;
+//!   the cache owns tags and validity.
+//! * [`SetAssocCache`] — a set-associative cache that drives a policy and
+//!   collects [`CacheStats`].
+//! * [`dueling`] — the set-dueling framework (leader-set maps, PSEL
+//!   counters, two-way and tournament selection) shared by DIP, DRRIP, and
+//!   DGIPPR.
+//! * [`overhead`] — storage-overhead accounting used to regenerate the
+//!   paper's Section 3.6 cost comparison.
+//!
+//! # Example
+//!
+//! Simulate a small cache under a trivial policy:
+//!
+//! ```
+//! use sim_core::{Access, CacheGeometry, SetAssocCache};
+//! use sim_core::policy::fifo_like_fixture::AlwaysWayZero;
+//!
+//! # fn main() -> Result<(), sim_core::GeometryError> {
+//! let geom = CacheGeometry::new(4 * 1024, 4, 64)?;
+//! let mut cache = SetAssocCache::new(geom, Box::new(AlwaysWayZero::new(&geom)));
+//! for blk in 0..128u64 {
+//!     cache.access_block(blk, &Access::read(blk << 6, 0).context());
+//! }
+//! assert_eq!(cache.stats().misses, 128);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod access;
+pub mod cache;
+pub mod dueling;
+pub mod geometry;
+pub mod overhead;
+pub mod policy;
+pub mod stats;
+
+pub use access::{Access, AccessContext, AccessKind};
+pub use cache::{AccessOutcome, Evicted, SetAssocCache};
+pub use dueling::{DuelController, LeaderMap, Psel, Selector, SetRole};
+pub use geometry::{CacheGeometry, GeometryError};
+pub use overhead::OverheadReport;
+pub use policy::{PolicyFactory, ReplacementPolicy};
+pub use stats::CacheStats;

@@ -1,0 +1,166 @@
+//! Storage-overhead accounting (paper Section 3.6).
+//!
+//! The paper's central cost claim: for a 4 MB 16-way LLC, tree PseudoLRU and
+//! GIPPR/DGIPPR need 15 bits/set (7 KB), true LRU needs 64 bits/set (32 KB),
+//! DRRIP needs 2 bits/block (16 KB), and PDP needs 4 bits/block (32 KB) plus
+//! a microcontroller. [`OverheadReport`] computes these figures from a
+//! geometry and a policy's declared costs.
+
+use crate::geometry::CacheGeometry;
+use crate::policy::ReplacementPolicy;
+use std::fmt;
+
+/// Replacement-metadata cost of one policy on one cache geometry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverheadReport {
+    /// Policy name.
+    pub policy: String,
+    /// Bits of replacement state per set.
+    pub bits_per_set: u64,
+    /// Cache-global bits (dueling counters, samplers, …).
+    pub global_bits: u64,
+    /// Number of sets in the geometry.
+    pub sets: usize,
+    /// Associativity.
+    pub ways: usize,
+}
+
+impl OverheadReport {
+    /// Computes the report for `policy` on `geom`.
+    pub fn for_policy(geom: &CacheGeometry, policy: &dyn ReplacementPolicy) -> Self {
+        OverheadReport {
+            policy: policy.name().to_string(),
+            bits_per_set: policy.bits_per_set(),
+            global_bits: policy.global_bits(),
+            sets: geom.sets(),
+            ways: geom.ways(),
+        }
+    }
+
+    /// Builds a report from raw numbers (for policies not instantiated here,
+    /// e.g. the paper's PDP microcontroller estimate).
+    pub fn from_parts(policy: &str, bits_per_set: u64, global_bits: u64, geom: &CacheGeometry) -> Self {
+        OverheadReport {
+            policy: policy.to_string(),
+            bits_per_set,
+            global_bits,
+            sets: geom.sets(),
+            ways: geom.ways(),
+        }
+    }
+
+    /// Per-set metadata summed over the cache, in bits.
+    pub fn total_set_bits(&self) -> u64 {
+        self.bits_per_set * self.sets as u64
+    }
+
+    /// All replacement metadata (per-set plus global), in bits.
+    pub fn total_bits(&self) -> u64 {
+        self.total_set_bits() + self.global_bits
+    }
+
+    /// All replacement metadata in kilobytes (binary).
+    pub fn total_kib(&self) -> f64 {
+        self.total_bits() as f64 / 8.0 / 1024.0
+    }
+
+    /// Average metadata bits per cache block.
+    pub fn bits_per_block(&self) -> f64 {
+        self.bits_per_set as f64 / self.ways as f64
+    }
+}
+
+impl fmt::Display for OverheadReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} bits/set ({:.3} bits/block), {} global bits, {:.1} KB total",
+            self.policy,
+            self.bits_per_set,
+            self.bits_per_block(),
+            self.global_bits,
+            self.total_kib()
+        )
+    }
+}
+
+/// Bits per set for a true-LRU recency stack: `k * ceil(log2 k)`.
+pub fn lru_bits_per_set(ways: usize) -> u64 {
+    ways as u64 * log2_ceil(ways)
+}
+
+/// Bits per set for a tree PLRU (and GIPPR/DGIPPR): `k - 1`.
+pub fn plru_bits_per_set(ways: usize) -> u64 {
+    ways as u64 - 1
+}
+
+/// Bits per set for an RRIP family policy with `m`-bit RRPVs: `k * m`.
+pub fn rrip_bits_per_set(ways: usize, rrpv_bits: u32) -> u64 {
+    ways as u64 * u64::from(rrpv_bits)
+}
+
+fn log2_ceil(n: usize) -> u64 {
+    debug_assert!(n > 0);
+    (usize::BITS - (n - 1).leading_zeros()) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::fifo_like_fixture::AlwaysWayZero;
+
+    fn llc() -> CacheGeometry {
+        CacheGeometry::new(4 * 1024 * 1024, 16, 64).unwrap()
+    }
+
+    #[test]
+    fn paper_bit_counts_for_16_ways() {
+        assert_eq!(lru_bits_per_set(16), 64, "LRU: 4 bits x 16 ways");
+        assert_eq!(plru_bits_per_set(16), 15, "PLRU: k-1 bits");
+        assert_eq!(rrip_bits_per_set(16, 2), 32, "DRRIP: 2 bits/block");
+        assert_eq!(rrip_bits_per_set(16, 4), 64, "PDP at 4 bits/block");
+    }
+
+    #[test]
+    fn paper_kb_totals_for_4mb_llc() {
+        let geom = llc();
+        let lru = OverheadReport::from_parts("LRU", lru_bits_per_set(16), 0, &geom);
+        assert!((lru.total_kib() - 32.0).abs() < 1e-9, "LRU is 32 KB on 4 MB");
+        let plru = OverheadReport::from_parts("PLRU", plru_bits_per_set(16), 0, &geom);
+        assert!((plru.total_kib() - 7.5).abs() < 1e-9, "PLRU is 7.5 KB (paper rounds to 7 KB)");
+        let drrip = OverheadReport::from_parts("DRRIP", rrip_bits_per_set(16, 2), 10, &geom);
+        assert!(drrip.total_kib() > 16.0 && drrip.total_kib() < 16.01, "DRRIP about 16 KB");
+    }
+
+    #[test]
+    fn bits_per_block_below_one_for_gippr() {
+        let geom = llc();
+        let r = OverheadReport::from_parts("GIPPR", plru_bits_per_set(16), 33, &geom);
+        assert!(r.bits_per_block() < 0.94 + 1e-9, "paper: less than 0.94 bits per block");
+    }
+
+    #[test]
+    fn for_policy_reads_declared_costs() {
+        let geom = llc();
+        let p = AlwaysWayZero::new(&geom);
+        let r = OverheadReport::for_policy(&geom, &p);
+        assert_eq!(r.total_bits(), 0);
+        assert_eq!(r.policy, "always-way-0");
+    }
+
+    #[test]
+    fn log2_ceil_handles_non_powers() {
+        assert_eq!(log2_ceil(1), 0);
+        assert_eq!(log2_ceil(2), 1);
+        assert_eq!(log2_ceil(3), 2);
+        assert_eq!(log2_ceil(16), 4);
+        assert_eq!(log2_ceil(17), 5);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        let geom = llc();
+        let r = OverheadReport::from_parts("x", 15, 33, &geom);
+        assert!(r.to_string().contains("bits/set"));
+    }
+}

@@ -1,0 +1,143 @@
+//! The replacement-policy interface.
+
+use crate::access::AccessContext;
+use crate::geometry::CacheGeometry;
+
+/// A cache replacement policy.
+///
+/// One policy object serves an entire cache level; every callback carries the
+/// set index so policies may keep per-set state (recency stacks, PLRU bits,
+/// RRPVs) as well as cache-global state (set-dueling counters, reuse-distance
+/// samplers). Policies deal only in *way indices* — the cache owns tags,
+/// validity, and dirtiness.
+///
+/// Callback protocol, per lookup:
+///
+/// 1. **Hit** → [`on_hit`](ReplacementPolicy::on_hit).
+/// 2. **Miss** → [`on_miss`](ReplacementPolicy::on_miss), then, unless the
+///    policy chose to bypass, either a fill into an invalid way or
+///    [`victim`](ReplacementPolicy::victim) followed by
+///    [`on_evict`](ReplacementPolicy::on_evict); finally
+///    [`on_fill`](ReplacementPolicy::on_fill) for the incoming block.
+pub trait ReplacementPolicy {
+    /// A short human-readable policy name (e.g. `"WN1-4-DGIPPR"`).
+    fn name(&self) -> &str;
+
+    /// Chooses the way to evict in `set`. Called only when the set is full.
+    fn victim(&mut self, set: usize, ctx: &AccessContext) -> usize;
+
+    /// Records a hit on `way` in `set` (promotion happens here).
+    fn on_hit(&mut self, set: usize, way: usize, ctx: &AccessContext);
+
+    /// Records that the incoming block was placed in `way` (insertion
+    /// happens here). Called for both cold fills and replacement fills.
+    fn on_fill(&mut self, set: usize, way: usize, ctx: &AccessContext);
+
+    /// Records a miss in `set` before any fill (set-dueling feedback).
+    fn on_miss(&mut self, _set: usize, _ctx: &AccessContext) {}
+
+    /// Records that `way` in `set` was evicted (before the fill).
+    fn on_evict(&mut self, _set: usize, _way: usize) {}
+
+    /// Returns true to skip caching the incoming block entirely
+    /// (bypass). The default never bypasses; the paper's PDP configuration
+    /// also runs without bypass.
+    fn should_bypass(&mut self, _set: usize, _ctx: &AccessContext) -> bool {
+        false
+    }
+
+    /// Replacement metadata cost in bits per set (paper Section 3.6).
+    fn bits_per_set(&self) -> u64;
+
+    /// Cache-global metadata cost in bits (e.g. PSEL counters). Defaults to 0.
+    fn global_bits(&self) -> u64 {
+        0
+    }
+}
+
+/// A constructor for policy instances, used by sweeps that simulate the same
+/// cache under many policies (and by multi-threaded experiments).
+pub type PolicyFactory = Box<dyn Fn(&CacheGeometry) -> Box<dyn ReplacementPolicy> + Send + Sync>;
+
+/// Wraps a closure into a [`PolicyFactory`].
+///
+/// # Example
+///
+/// ```
+/// use sim_core::policy::{factory, fifo_like_fixture::AlwaysWayZero};
+/// use sim_core::CacheGeometry;
+///
+/// # fn main() -> Result<(), sim_core::GeometryError> {
+/// let f = factory(|geom| Box::new(AlwaysWayZero::new(geom)));
+/// let geom = CacheGeometry::new(4096, 4, 64)?;
+/// assert_eq!(f(&geom).bits_per_set(), 0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn factory<F>(f: F) -> PolicyFactory
+where
+    F: Fn(&CacheGeometry) -> Box<dyn ReplacementPolicy> + Send + Sync + 'static,
+{
+    Box::new(f)
+}
+
+/// A deliberately bad fixture policy used in documentation examples and
+/// substrate tests: it always evicts way 0 and keeps no state.
+pub mod fifo_like_fixture {
+    use super::*;
+
+    /// Evicts way 0 unconditionally. Zero metadata.
+    #[derive(Debug, Clone, Default)]
+    pub struct AlwaysWayZero;
+
+    impl AlwaysWayZero {
+        /// Creates the fixture; geometry is accepted for interface symmetry.
+        pub fn new(_geom: &CacheGeometry) -> Self {
+            AlwaysWayZero
+        }
+    }
+
+    impl ReplacementPolicy for AlwaysWayZero {
+        fn name(&self) -> &str {
+            "always-way-0"
+        }
+
+        fn victim(&mut self, _set: usize, _ctx: &AccessContext) -> usize {
+            0
+        }
+
+        fn on_hit(&mut self, _set: usize, _way: usize, _ctx: &AccessContext) {}
+
+        fn on_fill(&mut self, _set: usize, _way: usize, _ctx: &AccessContext) {}
+
+        fn bits_per_set(&self) -> u64 {
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::fifo_like_fixture::AlwaysWayZero;
+    use super::*;
+
+    #[test]
+    fn fixture_behaviour() {
+        let geom = CacheGeometry::new(4096, 4, 64).unwrap();
+        let mut p = AlwaysWayZero::new(&geom);
+        assert_eq!(p.victim(3, &AccessContext::blank()), 0);
+        assert_eq!(p.bits_per_set(), 0);
+        assert_eq!(p.global_bits(), 0);
+        assert!(!p.should_bypass(0, &AccessContext::blank()));
+        assert_eq!(p.name(), "always-way-0");
+    }
+
+    #[test]
+    fn factory_is_reusable() {
+        let f = factory(|g| Box::new(AlwaysWayZero::new(g)));
+        let geom = CacheGeometry::new(4096, 4, 64).unwrap();
+        let a = f(&geom);
+        let b = f(&geom);
+        assert_eq!(a.name(), b.name());
+    }
+}

@@ -1,0 +1,129 @@
+//! Hit/miss accounting for one cache level.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// Counters collected by a [`SetAssocCache`](crate::SetAssocCache).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Total lookups (demand + writeback).
+    pub accesses: u64,
+    /// Lookups that found their block resident.
+    pub hits: u64,
+    /// Lookups that did not.
+    pub misses: u64,
+    /// Valid blocks displaced to make room for fills.
+    pub evictions: u64,
+    /// Evicted blocks that were dirty (must be written downstream).
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Miss ratio in `[0, 1]`; zero when no accesses were recorded.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Hit ratio in `[0, 1]`; zero when no accesses were recorded.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+
+    /// Misses per thousand instructions, given the retired instruction count.
+    pub fn mpki(&self, instructions: u64) -> f64 {
+        if instructions == 0 {
+            0.0
+        } else {
+            self.misses as f64 * 1000.0 / instructions as f64
+        }
+    }
+}
+
+impl Add for CacheStats {
+    type Output = CacheStats;
+
+    fn add(mut self, rhs: CacheStats) -> CacheStats {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for CacheStats {
+    fn add_assign(&mut self, rhs: CacheStats) {
+        self.accesses += rhs.accesses;
+        self.hits += rhs.hits;
+        self.misses += rhs.misses;
+        self.evictions += rhs.evictions;
+        self.writebacks += rhs.writebacks;
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} accesses, {} hits, {} misses ({:.2}% miss), {} evictions, {} writebacks",
+            self.accesses,
+            self.hits,
+            self.misses,
+            self.miss_ratio() * 100.0,
+            self.evictions,
+            self.writebacks
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios() {
+        let s = CacheStats { accesses: 10, hits: 7, misses: 3, evictions: 1, writebacks: 0 };
+        assert!((s.miss_ratio() - 0.3).abs() < 1e-12);
+        assert!((s.hit_ratio() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_ratios_are_zero() {
+        let s = CacheStats::new();
+        assert_eq!(s.miss_ratio(), 0.0);
+        assert_eq!(s.hit_ratio(), 0.0);
+        assert_eq!(s.mpki(0), 0.0);
+    }
+
+    #[test]
+    fn mpki() {
+        let s = CacheStats { misses: 5, ..CacheStats::new() };
+        assert!((s.mpki(1000) - 5.0).abs() < 1e-12);
+        assert!((s.mpki(2000) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_accumulates() {
+        let a = CacheStats { accesses: 1, hits: 1, misses: 0, evictions: 0, writebacks: 0 };
+        let b = CacheStats { accesses: 2, hits: 0, misses: 2, evictions: 1, writebacks: 1 };
+        let c = a + b;
+        assert_eq!(c.accesses, 3);
+        assert_eq!(c.misses, 2);
+        assert_eq!(c.writebacks, 1);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(CacheStats::new().to_string().contains("accesses"));
+    }
+}

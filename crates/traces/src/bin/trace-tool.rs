@@ -1,0 +1,150 @@
+//! Command-line trace tooling.
+//!
+//! ```text
+//! trace-tool gen <benchmark> <n-accesses> <out.trc> [shift]
+//! trace-tool info <file.trc>
+//! trace-tool validate <file.trc>
+//! trace-tool list
+//! ```
+
+use std::collections::HashSet;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+use traces::spec2006::Spec2006;
+use traces::{TraceReader, TraceWriter};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  trace-tool gen <benchmark> <n-accesses> <out.trc> [scale-shift]\n  \
+         trace-tool gen-custom <spec-file> <n-accesses> <out.trc>\n  \
+         trace-tool info <file.trc>\n  trace-tool validate <file.trc>\n  trace-tool list\n\n\
+         (see `traces::dsl` docs for the custom workload grammar)"
+    );
+    ExitCode::from(2)
+}
+
+fn write_trace(
+    spec: &traces::WorkloadSpec,
+    n: usize,
+    path: &str,
+) -> Result<(), String> {
+    let file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+    let mut writer =
+        TraceWriter::new(BufWriter::new(file)).map_err(|e| format!("header: {e}"))?;
+    for a in spec.generator(0).take(n) {
+        writer.write(&a).map_err(|e| format!("write: {e}"))?;
+    }
+    writer.finish().map_err(|e| format!("finish: {e}"))?;
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            for b in Spec2006::all() {
+                println!("{b}");
+            }
+            ExitCode::SUCCESS
+        }
+        Some("gen") if args.len() >= 4 => {
+            let Some(bench) = Spec2006::from_name(&args[1]) else {
+                eprintln!("unknown benchmark {:?} (see `trace-tool list`)", args[1]);
+                return ExitCode::FAILURE;
+            };
+            let Ok(n) = args[2].parse::<usize>() else {
+                eprintln!("bad access count {:?}", args[2]);
+                return ExitCode::FAILURE;
+            };
+            let shift: u32 = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(0);
+            let path = &args[3];
+            if let Err(e) = write_trace(&bench.workload().scaled_down(shift), n, path) {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {n} records of {bench} (shift {shift}) to {path}");
+            ExitCode::SUCCESS
+        }
+        Some("gen-custom") if args.len() >= 4 => {
+            let input = match std::fs::read_to_string(&args[1]) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("cannot read {}: {e}", args[1]);
+                    return ExitCode::FAILURE;
+                }
+            };
+            let spec = match traces::parse_spec(&input) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let Ok(n) = args[2].parse::<usize>() else {
+                eprintln!("bad access count {:?}", args[2]);
+                return ExitCode::FAILURE;
+            };
+            let path = &args[3];
+            if let Err(e) = write_trace(&spec, n, path) {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {n} records of custom workload {:?} to {path}", spec.name);
+            ExitCode::SUCCESS
+        }
+        Some(cmd @ ("info" | "validate")) if args.len() >= 2 => {
+            let path = &args[1];
+            let file = match File::open(path) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("cannot open {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let reader = match TraceReader::new(BufReader::new(file)) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let mut records = 0u64;
+            let mut writes = 0u64;
+            let mut instructions = 0u64;
+            let mut blocks: HashSet<u64> = HashSet::new();
+            for item in reader {
+                match item {
+                    Ok(a) => {
+                        records += 1;
+                        instructions += u64::from(a.icount_delta);
+                        if a.is_write() {
+                            writes += 1;
+                        }
+                        if cmd == "info" {
+                            blocks.insert(a.addr >> 6);
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("{path}: INVALID — {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            if cmd == "validate" {
+                println!("{path}: OK ({records} records, CRC verified)");
+            } else {
+                println!("{path}:");
+                println!("  records:         {records}");
+                println!("  instructions:    {instructions}");
+                println!(
+                    "  writes:          {writes} ({:.1}%)",
+                    writes as f64 * 100.0 / records.max(1) as f64
+                );
+                println!("  distinct blocks: {} ({} KB footprint)", blocks.len(), blocks.len() / 16);
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

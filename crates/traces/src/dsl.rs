@@ -1,0 +1,280 @@
+//! A tiny text DSL for describing custom workloads.
+//!
+//! Downstream users rarely want to write Rust to describe an access
+//! pattern; this module parses a compact one-line-per-phase description
+//! into a [`WorkloadSpec`]:
+//!
+//! ```text
+//! # comment lines and blank lines are ignored
+//! name my-workload
+//! seed 42
+//! ipa 3.0          # instructions per access
+//! writes 0.25      # store fraction
+//! phase 100000     # phase of 100k accesses; components follow until next phase
+//!   stream start=0 stride=64 region=32M weight=0.6
+//!   loop start=1G ws=3584K stride=64 weight=0.3
+//!   gather start=2G region=8M weight=0.1
+//! phase 50000
+//!   chase start=0 nodes=64K
+//!   window start=1G window=2M advance=8192 region=64M weight=2
+//! ```
+//!
+//! Sizes accept `K`/`M`/`G` suffixes (binary). Omitted `weight` defaults
+//! to 1.
+
+use crate::synth::{Component, Pattern, Phase, WorkloadSpec};
+use std::error::Error;
+use std::fmt;
+
+/// Error parsing a workload description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseSpecError {
+    /// 1-based line of the offending input.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "workload spec line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseSpecError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseSpecError {
+    ParseSpecError { line, message: message.into() }
+}
+
+/// Parses a size like `64`, `128K`, `4M`, `1G` (binary multipliers).
+pub fn parse_size(s: &str) -> Option<u64> {
+    let s = s.trim();
+    let (digits, mult) = match s.chars().last()? {
+        'K' | 'k' => (&s[..s.len() - 1], 1024u64),
+        'M' | 'm' => (&s[..s.len() - 1], 1024 * 1024),
+        'G' | 'g' => (&s[..s.len() - 1], 1024 * 1024 * 1024),
+        _ => (s, 1),
+    };
+    digits.parse::<u64>().ok().map(|v| v * mult)
+}
+
+fn kv(token: &str) -> Option<(&str, &str)> {
+    token.split_once('=')
+}
+
+fn parse_pattern(line_no: usize, tokens: &[&str]) -> Result<(Pattern, f64), ParseSpecError> {
+    let mut weight = 1.0f64;
+    let get = |key: &str| -> Option<u64> {
+        tokens.iter().find_map(|t| {
+            let (k, v) = kv(t)?;
+            (k == key).then(|| parse_size(v))?
+        })
+    };
+    if let Some(w) = tokens.iter().find_map(|t| {
+        let (k, v) = kv(t)?;
+        (k == "weight").then(|| v.parse::<f64>().ok())?
+    }) {
+        weight = w;
+    }
+    let pattern = match tokens[0] {
+        "stream" => Pattern::Stream {
+            start: get("start").unwrap_or(0),
+            stride: get("stride").unwrap_or(64),
+            region_bytes: get("region")
+                .ok_or_else(|| err(line_no, "stream needs region=<size>"))?,
+        },
+        "loop" => Pattern::Loop {
+            start: get("start").unwrap_or(0),
+            working_set_bytes: get("ws").ok_or_else(|| err(line_no, "loop needs ws=<size>"))?,
+            stride: get("stride").unwrap_or(64),
+        },
+        "gather" => Pattern::Gather {
+            start: get("start").unwrap_or(0),
+            region_bytes: get("region")
+                .ok_or_else(|| err(line_no, "gather needs region=<size>"))?,
+        },
+        "chase" => {
+            let nodes =
+                get("nodes").ok_or_else(|| err(line_no, "chase needs nodes=<count>"))?;
+            if !nodes.is_power_of_two() {
+                return Err(err(line_no, format!("chase nodes must be a power of two, got {nodes}")));
+            }
+            Pattern::PointerChase { start: get("start").unwrap_or(0), nodes }
+        }
+        "window" => Pattern::SlidingWindow {
+            start: get("start").unwrap_or(0),
+            window_bytes: get("window")
+                .ok_or_else(|| err(line_no, "window needs window=<size>"))?,
+            advance_lines: get("advance").unwrap_or(1),
+            region_bytes: get("region")
+                .ok_or_else(|| err(line_no, "window needs region=<size>"))?,
+        },
+        other => return Err(err(line_no, format!("unknown pattern {other:?}"))),
+    };
+    Ok((pattern, weight))
+}
+
+/// Parses a workload description (see the module docs for the grammar).
+///
+/// # Errors
+///
+/// Returns [`ParseSpecError`] with the offending line on any syntax or
+/// semantic problem (unknown keys, missing sizes, phases without
+/// components, non-power-of-two chase pools).
+pub fn parse_spec(input: &str) -> Result<WorkloadSpec, ParseSpecError> {
+    let mut spec = WorkloadSpec {
+        name: "custom".to_string(),
+        seed: 1,
+        instructions_per_access: 3.0,
+        write_ratio: 0.25,
+        phases: Vec::new(),
+    };
+    for (i, raw) in input.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        match tokens[0] {
+            "name" => {
+                spec.name =
+                    tokens.get(1).ok_or_else(|| err(line_no, "name needs a value"))?.to_string();
+            }
+            "seed" => {
+                spec.seed = tokens
+                    .get(1)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| err(line_no, "seed needs an integer"))?;
+            }
+            "ipa" => {
+                spec.instructions_per_access = tokens
+                    .get(1)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| err(line_no, "ipa needs a number"))?;
+            }
+            "writes" => {
+                spec.write_ratio = tokens
+                    .get(1)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| err(line_no, "writes needs a fraction"))?;
+            }
+            "phase" => {
+                let accesses = tokens
+                    .get(1)
+                    .and_then(|v| parse_size(v))
+                    .ok_or_else(|| err(line_no, "phase needs an access count"))?;
+                spec.phases.push(Phase { components: Vec::new(), accesses });
+            }
+            "stream" | "loop" | "gather" | "chase" | "window" => {
+                let (pattern, weight) = parse_pattern(line_no, &tokens)?;
+                let phase = spec
+                    .phases
+                    .last_mut()
+                    .ok_or_else(|| err(line_no, "pattern before any `phase` line"))?;
+                phase.components.push(Component { pattern, weight });
+            }
+            other => return Err(err(line_no, format!("unknown directive {other:?}"))),
+        }
+    }
+    if spec.phases.is_empty() {
+        return Err(err(0, "no phases defined"));
+    }
+    if let Some(idx) = spec.phases.iter().position(|p| p.components.is_empty()) {
+        return Err(err(0, format!("phase {} has no components", idx + 1)));
+    }
+    Ok(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EXAMPLE: &str = "\
+# demo workload
+name demo
+seed 7
+ipa 2.5
+writes 0.1
+phase 1000
+  stream start=0 stride=64 region=32M weight=0.6
+  loop start=1G ws=3584K weight=0.4
+phase 500
+  chase nodes=64K
+  window start=2G window=2M advance=8192 region=64M
+";
+
+    #[test]
+    fn parses_the_example() {
+        let spec = parse_spec(EXAMPLE).unwrap();
+        assert_eq!(spec.name, "demo");
+        assert_eq!(spec.seed, 7);
+        assert!((spec.instructions_per_access - 2.5).abs() < 1e-12);
+        assert_eq!(spec.phases.len(), 2);
+        assert_eq!(spec.phases[0].components.len(), 2);
+        assert_eq!(spec.phases[0].accesses, 1000);
+        assert!(matches!(
+            spec.phases[0].components[0].pattern,
+            Pattern::Stream { region_bytes, .. } if region_bytes == 32 * 1024 * 1024
+        ));
+        assert!(matches!(
+            spec.phases[1].components[0].pattern,
+            Pattern::PointerChase { nodes, .. } if nodes == 65536
+        ));
+    }
+
+    #[test]
+    fn parsed_spec_generates() {
+        let spec = parse_spec(EXAMPLE).unwrap();
+        let accesses: Vec<_> = spec.generator(0).take(100).collect();
+        assert_eq!(accesses.len(), 100);
+    }
+
+    #[test]
+    fn size_suffixes() {
+        assert_eq!(parse_size("64"), Some(64));
+        assert_eq!(parse_size("4K"), Some(4096));
+        assert_eq!(parse_size("2m"), Some(2 * 1024 * 1024));
+        assert_eq!(parse_size("1G"), Some(1 << 30));
+        assert_eq!(parse_size("x"), None);
+        assert_eq!(parse_size(""), None);
+    }
+
+    #[test]
+    fn error_lines_are_reported() {
+        let e = parse_spec("name x\nphase 10\n  blorp foo=1\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.to_string().contains("blorp"));
+    }
+
+    #[test]
+    fn pattern_before_phase_rejected() {
+        let e = parse_spec("stream region=1M\n").unwrap_err();
+        assert!(e.message.contains("before any"));
+    }
+
+    #[test]
+    fn missing_required_key_rejected() {
+        let e = parse_spec("phase 10\n  loop stride=64\n").unwrap_err();
+        assert!(e.message.contains("ws="));
+    }
+
+    #[test]
+    fn non_power_of_two_chase_rejected() {
+        let e = parse_spec("phase 10\n  chase nodes=100\n").unwrap_err();
+        assert!(e.message.contains("power of two"));
+    }
+
+    #[test]
+    fn empty_phase_rejected() {
+        let e = parse_spec("phase 10\n").unwrap_err();
+        assert!(e.message.contains("no components"));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let spec = parse_spec("\n# hi\nphase 5 # tail comment\n gather region=1M\n").unwrap();
+        assert_eq!(spec.phases.len(), 1);
+    }
+}

@@ -1,0 +1,444 @@
+//! A self-describing binary trace container.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! header:  magic "PLRUTRC1" (8 bytes) | version u32
+//! records: kind u8 (0=read, 1=write, 2=writeback) | addr u64 | pc u64 | icount_delta u32
+//! footer:  sentinel 0xFF | record_count u64 | crc32 u32
+//! ```
+//!
+//! The CRC covers every record byte (not the header or footer), so
+//! truncation and corruption are both detected. Readers are streaming
+//! (`Iterator`), writers are append-only — no `Seek` bound, so traces can
+//! be piped.
+
+use sim_core::{Access, AccessKind};
+use std::error::Error;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// File magic, 8 bytes.
+pub const MAGIC: &[u8; 8] = b"PLRUTRC1";
+/// Current format version.
+pub const VERSION: u32 = 1;
+/// Record-kind byte marking the footer.
+const FOOTER_SENTINEL: u8 = 0xFF;
+
+/// Error reading or writing a trace container.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file does not start with [`MAGIC`].
+    BadMagic([u8; 8]),
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// A record carried an unknown kind byte.
+    BadKind(u8),
+    /// The stream ended mid-record or without a footer.
+    Truncated,
+    /// The footer's record count disagrees with the records read.
+    CountMismatch {
+        /// Count claimed by the footer.
+        expected: u64,
+        /// Records actually read.
+        got: u64,
+    },
+    /// The footer's CRC disagrees with the records read.
+    CrcMismatch {
+        /// CRC claimed by the footer.
+        expected: u32,
+        /// CRC computed over the records read.
+        got: u32,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace i/o error: {e}"),
+            TraceError::BadMagic(m) => write!(f, "not a trace file (magic {m:02x?})"),
+            TraceError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
+            TraceError::BadKind(k) => write!(f, "unknown record kind {k:#x}"),
+            TraceError::Truncated => write!(f, "trace truncated mid-record or missing footer"),
+            TraceError::CountMismatch { expected, got } => {
+                write!(f, "footer claims {expected} records, read {got}")
+            }
+            TraceError::CrcMismatch { expected, got } => {
+                write!(f, "crc mismatch: footer {expected:#010x}, computed {got:#010x}")
+            }
+        }
+    }
+}
+
+impl Error for TraceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+/// Streaming CRC-32 (IEEE 802.3, reflected) used by the container.
+#[derive(Debug, Clone, Copy)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// Starts a fresh checksum.
+    pub fn new() -> Self {
+        Crc32 { state: 0xffff_ffff }
+    }
+
+    /// Feeds bytes into the checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            let mut cur = (self.state ^ u32::from(b)) & 0xff;
+            for _ in 0..8 {
+                cur = if cur & 1 == 1 { (cur >> 1) ^ 0xedb8_8320 } else { cur >> 1 };
+            }
+            self.state = (self.state >> 8) ^ cur;
+        }
+    }
+
+    /// Finishes and returns the checksum value.
+    pub fn finish(&self) -> u32 {
+        self.state ^ 0xffff_ffff
+    }
+}
+
+fn kind_to_byte(kind: AccessKind) -> u8 {
+    match kind {
+        AccessKind::Read => 0,
+        AccessKind::Write => 1,
+        AccessKind::Writeback => 2,
+    }
+}
+
+fn kind_from_byte(b: u8) -> Result<AccessKind, TraceError> {
+    match b {
+        0 => Ok(AccessKind::Read),
+        1 => Ok(AccessKind::Write),
+        2 => Ok(AccessKind::Writeback),
+        other => Err(TraceError::BadKind(other)),
+    }
+}
+
+fn encode_record(a: &Access) -> [u8; 21] {
+    let mut buf = [0u8; 21];
+    buf[0] = kind_to_byte(a.kind);
+    buf[1..9].copy_from_slice(&a.addr.to_le_bytes());
+    buf[9..17].copy_from_slice(&a.pc.to_le_bytes());
+    buf[17..21].copy_from_slice(&a.icount_delta.to_le_bytes());
+    buf
+}
+
+/// Writes a trace container to any [`Write`] sink.
+///
+/// Remember that `&mut W` also implements `Write`, so a writer can borrow
+/// a sink the caller keeps.
+///
+/// # Example
+///
+/// ```
+/// use sim_core::Access;
+/// use traces::{TraceReader, TraceWriter};
+///
+/// # fn main() -> Result<(), traces::TraceError> {
+/// let mut buf = Vec::new();
+/// let mut w = TraceWriter::new(&mut buf)?;
+/// w.write(&Access::read(0x1000, 0x400))?;
+/// w.finish()?;
+///
+/// let accesses: Vec<_> =
+///     TraceReader::new(&buf[..])?.collect::<Result<_, _>>()?;
+/// assert_eq!(accesses.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct TraceWriter<W: Write> {
+    sink: W,
+    crc: Crc32,
+    count: u64,
+    finished: bool,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Creates a writer and emits the header.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures from the sink.
+    pub fn new(mut sink: W) -> Result<Self, TraceError> {
+        sink.write_all(MAGIC)?;
+        sink.write_all(&VERSION.to_le_bytes())?;
+        Ok(TraceWriter { sink, crc: Crc32::new(), count: 0, finished: false })
+    }
+
+    /// Appends one record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures from the sink.
+    pub fn write(&mut self, access: &Access) -> Result<(), TraceError> {
+        debug_assert!(!self.finished, "write after finish");
+        let rec = encode_record(access);
+        self.crc.update(&rec);
+        self.sink.write_all(&rec)?;
+        self.count += 1;
+        Ok(())
+    }
+
+    /// Records written so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Writes the footer and flushes. Must be called exactly once; dropping
+    /// an unfinished writer leaves a truncated (detectable) file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures from the sink.
+    pub fn finish(mut self) -> Result<W, TraceError> {
+        self.sink.write_all(&[FOOTER_SENTINEL])?;
+        self.sink.write_all(&self.count.to_le_bytes())?;
+        self.sink.write_all(&self.crc.finish().to_le_bytes())?;
+        self.sink.flush()?;
+        self.finished = true;
+        Ok(self.sink)
+    }
+}
+
+/// Streams records out of a trace container.
+///
+/// Iterates `Result<Access, TraceError>`; the footer's count and CRC are
+/// verified when the sentinel is reached, so consuming the whole iterator
+/// validates integrity end-to-end.
+#[derive(Debug)]
+pub struct TraceReader<R: Read> {
+    source: R,
+    crc: Crc32,
+    count: u64,
+    done: bool,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Creates a reader, consuming and validating the header.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::BadMagic`] / [`TraceError::BadVersion`] for
+    /// foreign input, or an I/O error.
+    pub fn new(mut source: R) -> Result<Self, TraceError> {
+        let mut magic = [0u8; 8];
+        source.read_exact(&mut magic).map_err(|_| TraceError::Truncated)?;
+        if &magic != MAGIC {
+            return Err(TraceError::BadMagic(magic));
+        }
+        let mut ver = [0u8; 4];
+        source.read_exact(&mut ver).map_err(|_| TraceError::Truncated)?;
+        let version = u32::from_le_bytes(ver);
+        if version != VERSION {
+            return Err(TraceError::BadVersion(version));
+        }
+        Ok(TraceReader { source, crc: Crc32::new(), count: 0, done: false })
+    }
+
+    fn read_footer(&mut self) -> Result<(), TraceError> {
+        let mut buf = [0u8; 12];
+        self.source.read_exact(&mut buf).map_err(|_| TraceError::Truncated)?;
+        let expected_count = u64::from_le_bytes(buf[0..8].try_into().expect("8 bytes"));
+        let expected_crc = u32::from_le_bytes(buf[8..12].try_into().expect("4 bytes"));
+        if expected_count != self.count {
+            return Err(TraceError::CountMismatch { expected: expected_count, got: self.count });
+        }
+        let got = self.crc.finish();
+        if expected_crc != got {
+            return Err(TraceError::CrcMismatch { expected: expected_crc, got });
+        }
+        Ok(())
+    }
+}
+
+impl<R: Read> Iterator for TraceReader<R> {
+    type Item = Result<Access, TraceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        let mut kind_byte = [0u8; 1];
+        if let Err(_e) = self.source.read_exact(&mut kind_byte) {
+            self.done = true;
+            return Some(Err(TraceError::Truncated));
+        }
+        if kind_byte[0] == FOOTER_SENTINEL {
+            self.done = true;
+            return match self.read_footer() {
+                Ok(()) => None,
+                Err(e) => Some(Err(e)),
+            };
+        }
+        let mut rest = [0u8; 20];
+        if self.source.read_exact(&mut rest).is_err() {
+            self.done = true;
+            return Some(Err(TraceError::Truncated));
+        }
+        let kind = match kind_from_byte(kind_byte[0]) {
+            Ok(k) => k,
+            Err(e) => {
+                self.done = true;
+                return Some(Err(e));
+            }
+        };
+        self.crc.update(&kind_byte);
+        self.crc.update(&rest);
+        self.count += 1;
+        Some(Ok(Access {
+            kind,
+            addr: u64::from_le_bytes(rest[0..8].try_into().expect("8 bytes")),
+            pc: u64::from_le_bytes(rest[8..16].try_into().expect("8 bytes")),
+            icount_delta: u32::from_le_bytes(rest[16..20].try_into().expect("4 bytes")),
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_accesses() -> Vec<Access> {
+        vec![
+            Access::read(0x1000, 0x400).with_icount_delta(3),
+            Access::write(0xdead_beef, 0x404).with_icount_delta(1),
+            Access { addr: 0xffff_ffff_ffff_ffc0, pc: 0, kind: AccessKind::Writeback, icount_delta: 0 },
+        ]
+    }
+
+    fn write_all(accesses: &[Access]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        let mut w = TraceWriter::new(&mut buf).unwrap();
+        for a in accesses {
+            w.write(a).unwrap();
+        }
+        w.finish().unwrap();
+        buf
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let original = sample_accesses();
+        let buf = write_all(&original);
+        let read: Vec<Access> =
+            TraceReader::new(&buf[..]).unwrap().collect::<Result<_, _>>().unwrap();
+        assert_eq!(read, original);
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let buf = write_all(&[]);
+        let read: Vec<Access> =
+            TraceReader::new(&buf[..]).unwrap().collect::<Result<_, _>>().unwrap();
+        assert!(read.is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut buf = write_all(&sample_accesses());
+        buf[0] = b'X';
+        assert!(matches!(TraceReader::new(&buf[..]), Err(TraceError::BadMagic(_))));
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut buf = write_all(&[]);
+        buf[8] = 99;
+        assert!(matches!(TraceReader::new(&buf[..]), Err(TraceError::BadVersion(99))));
+    }
+
+    #[test]
+    fn detects_truncation() {
+        let buf = write_all(&sample_accesses());
+        let cut = &buf[..buf.len() - 6]; // footer chopped
+        let result: Result<Vec<Access>, _> = TraceReader::new(cut).unwrap().collect();
+        assert!(matches!(result, Err(TraceError::Truncated)));
+    }
+
+    #[test]
+    fn detects_corrupted_record() {
+        let mut buf = write_all(&sample_accesses());
+        // Flip a bit in the first record's address.
+        buf[14] ^= 0x40;
+        let result: Result<Vec<Access>, _> = TraceReader::new(&buf[..]).unwrap().collect();
+        assert!(matches!(result, Err(TraceError::CrcMismatch { .. })));
+    }
+
+    #[test]
+    fn detects_unknown_kind() {
+        let mut buf = write_all(&sample_accesses());
+        buf[12] = 7; // first record's kind byte
+        let result: Result<Vec<Access>, _> = TraceReader::new(&buf[..]).unwrap().collect();
+        assert!(matches!(result, Err(TraceError::BadKind(7))));
+    }
+
+    #[test]
+    fn detects_count_mismatch() {
+        let mut buf = write_all(&sample_accesses());
+        // Patch the footer count (bytes after sentinel) to a lie, and fix
+        // nothing else: count check happens before crc.
+        let footer_count_offset = buf.len() - 12;
+        buf[footer_count_offset] = 9;
+        let result: Result<Vec<Access>, _> = TraceReader::new(&buf[..]).unwrap().collect();
+        assert!(matches!(result, Err(TraceError::CountMismatch { expected: 9, got: 3 })));
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // CRC-32 of "123456789" is 0xCBF43926 (classic check value).
+        let mut c = Crc32::new();
+        c.update(b"123456789");
+        assert_eq!(c.finish(), 0xcbf4_3926);
+    }
+
+    #[test]
+    fn large_trace_round_trip() {
+        let accesses: Vec<Access> = (0..10_000u64)
+            .map(|i| Access::read(i * 64, 0x400 + (i % 7) * 4).with_icount_delta((i % 11) as u32))
+            .collect();
+        let buf = write_all(&accesses);
+        let read: Vec<Access> =
+            TraceReader::new(&buf[..]).unwrap().collect::<Result<_, _>>().unwrap();
+        assert_eq!(read, accesses);
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        for e in [
+            TraceError::BadMagic(*b"notamagi"),
+            TraceError::BadVersion(2),
+            TraceError::BadKind(9),
+            TraceError::Truncated,
+            TraceError::CountMismatch { expected: 1, got: 2 },
+            TraceError::CrcMismatch { expected: 1, got: 2 },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

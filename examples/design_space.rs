@@ -1,0 +1,45 @@
+//! Explore the insertion/promotion design space at random (the paper's
+//! Figure 1 in miniature) and print an ASCII distribution of speedups.
+//!
+//! Run with: `cargo run --release --example design_space -- [samples]`
+
+use pseudolru_ipv::evolve::{random_search, FitnessContext, FitnessScale, Substrate};
+use pseudolru_ipv::traces::spec2006::Spec2006;
+
+fn main() {
+    let samples: usize =
+        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(60);
+
+    let ctx = FitnessContext::for_benchmarks(
+        &[Spec2006::Libquantum, Spec2006::CactusADM, Spec2006::DealII, Spec2006::Gcc],
+        1,
+        20_000,
+        FitnessScale { shift: 5, threads: 1 },
+    );
+    println!("scoring {samples} uniformly random IPVs (16^17 possible)...");
+    let results = random_search(&ctx, Substrate::Plru, samples, 1);
+
+    // Histogram over speedup buckets.
+    let lo = results.first().map(|r| r.1).unwrap_or(1.0);
+    let hi = results.last().map(|r| r.1).unwrap_or(1.0);
+    const BUCKETS: usize = 12;
+    let width = ((hi - lo) / BUCKETS as f64).max(1e-9);
+    let mut counts = [0usize; BUCKETS];
+    for (_, s) in &results {
+        let b = (((s - lo) / width) as usize).min(BUCKETS - 1);
+        counts[b] += 1;
+    }
+    println!("speedup distribution over LRU:");
+    for (i, count) in counts.iter().enumerate() {
+        let left = lo + i as f64 * width;
+        println!("  {:>6.3}..{:>6.3} | {}", left, left + width, "#".repeat(*count));
+    }
+    let below = results.iter().filter(|(_, s)| *s < 1.0).count();
+    println!(
+        "\n{below}/{samples} random vectors are worse than LRU; best found: {:.3}x with {}",
+        hi,
+        results.last().map(|(v, _)| v.to_string()).unwrap_or_default()
+    );
+    println!("(the paper: most random points are inferior to LRU, the best reach ~1.028x — \
+              genetic search is needed to go further)");
+}

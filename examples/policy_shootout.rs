@@ -1,0 +1,57 @@
+//! Policy shoot-out: run every replacement policy in the workspace over a
+//! chosen SPEC CPU 2006 workload model and report MPKI and speedup vs LRU.
+//!
+//! Run with: `cargo run --release --example policy_shootout -- [benchmark] [quick|medium|paper]`
+//! e.g. `cargo run --release --example policy_shootout -- 462.libquantum quick`
+
+use pseudolru_ipv::harness::{measure_policy, prepare_workloads, policies, Scale, Table};
+use pseudolru_ipv::harness::report::{fmt_pct, fmt_ratio};
+use pseudolru_ipv::traces::spec2006::Spec2006;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bench = args
+        .first()
+        .map(|name| Spec2006::from_name(name).unwrap_or_else(|| panic!("unknown benchmark {name}")))
+        .unwrap_or(Spec2006::Libquantum);
+    let scale = args.get(1).and_then(|s| Scale::parse(s)).unwrap_or(Scale::Quick);
+
+    println!("preparing {bench} at {scale} scale...");
+    let workloads = prepare_workloads(scale, &[bench]);
+    let geom = scale.hierarchy().llc;
+    let w = &workloads[0];
+
+    let mut roster = policies::baseline_roster(0xCAFE);
+    roster.push(("GIPLR", policies::giplr(pseudolru_ipv::gippr::vectors::giplr_best(), "GIPLR")));
+    roster.push(("WI-GIPPR", policies::gippr(pseudolru_ipv::gippr::vectors::wi_gippr(), "WI-GIPPR")));
+    roster.push((
+        "WI-2-DGIPPR",
+        policies::dgippr(pseudolru_ipv::gippr::vectors::wi_2dgippr().to_vec(), "WI-2-DGIPPR"),
+    ));
+    roster.push((
+        "WI-4-DGIPPR",
+        policies::dgippr(pseudolru_ipv::gippr::vectors::wi_4dgippr().to_vec(), "WI-4-DGIPPR"),
+    ));
+
+    let mut table = Table::new(
+        &format!("policy shoot-out on {bench} ({scale} scale)"),
+        &["policy", "MPKI", "misses vs LRU", "speedup vs LRU"],
+    );
+    for (name, factory) in &roster {
+        let m = measure_policy(w, factory, geom);
+        table.row(vec![
+            name.to_string(),
+            format!("{:.3}", m.mpki),
+            fmt_ratio(m.normalized_misses(&w.lru)),
+            fmt_pct(m.speedup_over(&w.lru)),
+        ]);
+    }
+    let min = pseudolru_ipv::harness::measure_min(w, geom);
+    table.row(vec![
+        "Optimal (MIN)".to_string(),
+        "-".to_string(),
+        fmt_ratio(min.normalized_misses(&w.lru)),
+        "n/a".to_string(),
+    ]);
+    println!("{table}");
+}

@@ -1,0 +1,49 @@
+//! Trace tooling: generate a synthetic SPEC-like reference trace, store it
+//! in the binary container format, read it back (CRC-verified), and replay
+//! it through the memory hierarchy.
+//!
+//! Run with: `cargo run --release --example trace_tools -- [benchmark] [n_accesses]`
+
+use pseudolru_ipv::gippr::PlruPolicy;
+use pseudolru_ipv::model::{Hierarchy, HierarchyConfig};
+use pseudolru_ipv::traces::spec2006::Spec2006;
+use pseudolru_ipv::traces::{TraceReader, TraceWriter};
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bench = args
+        .first()
+        .and_then(|n| Spec2006::from_name(n))
+        .unwrap_or(Spec2006::Mcf);
+    let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(200_000);
+
+    let path = std::env::temp_dir().join(format!("{}.plrutrc", bench.name()));
+    println!("generating {n} accesses of {bench} into {}", path.display());
+    let mut writer = TraceWriter::new(BufWriter::new(File::create(&path)?))?;
+    for access in bench.workload().generator(0).take(n) {
+        writer.write(&access)?;
+    }
+    writer.finish()?;
+    let bytes = std::fs::metadata(&path)?.len();
+    println!("wrote {bytes} bytes ({:.1} B/record)", bytes as f64 / n as f64);
+
+    println!("reading back with CRC verification and replaying through L1/L2/LLC...");
+    let reader = TraceReader::new(BufReader::new(File::open(&path)?))?;
+    let config = HierarchyConfig::paper();
+    let mut hierarchy = Hierarchy::new(config, Box::new(PlruPolicy::new(&config.llc)));
+    for record in reader {
+        hierarchy.access(&record?);
+    }
+    println!("instructions: {}", hierarchy.instructions());
+    println!("L1  {}", hierarchy.l1_stats());
+    println!("L2  {}", hierarchy.l2_stats());
+    println!("LLC {}", hierarchy.llc_stats());
+    println!(
+        "LLC MPKI: {:.3}",
+        hierarchy.llc_stats().mpki(hierarchy.instructions())
+    );
+    std::fs::remove_file(&path)?;
+    Ok(())
+}

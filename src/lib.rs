@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! Facade crate for the reproduction of *Insertion and Promotion for
+//! Tree-Based PseudoLRU Last-Level Caches* (Jiménez, MICRO 2013).
+//!
+//! This crate re-exports the workspace's public API under one roof:
+//!
+//! * [`sim`] — cache model, replacement-policy trait, set-dueling.
+//! * [`gippr`] — the paper's contribution: PLRU position algebra, IPVs,
+//!   GIPLR/GIPPR/DGIPPR.
+//! * [`baselines`] — LRU, Random, FIFO, DIP, SRRIP/BRRIP/DRRIP, PDP, SHiP.
+//! * [`traces`] — trace container format and synthetic SPEC CPU 2006
+//!   workload models.
+//! * [`model`] — memory-hierarchy simulation, CPI models, Belady MIN.
+//! * [`evolve`] — genetic algorithm / random search over IPVs.
+//! * [`harness`] — per-figure experiment drivers.
+//!
+//! See the repository `README.md` for a quickstart and `DESIGN.md` for the
+//! experiment index.
+
+pub use baselines;
+pub use evolve;
+pub use gippr;
+pub use harness;
+pub use mem_model as model;
+pub use sim_core as sim;
+pub use traces;

@@ -1,0 +1,126 @@
+//! Cross-implementation consistency tests: independently written policies
+//! must agree where theory says they coincide.
+
+use pseudolru_ipv::baselines::TrueLru;
+use pseudolru_ipv::gippr::{GiplrPolicy, GipprPolicy, Ipv, PlruPolicy};
+use pseudolru_ipv::sim::{Access, AccessContext, CacheGeometry, SetAssocCache};
+
+fn pseudorandom_blocks(n: usize, space: u64, seed: u64) -> Vec<u64> {
+    let mut x = seed | 1;
+    (0..n)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x % space
+        })
+        .collect()
+}
+
+#[test]
+fn giplr_with_lru_vector_equals_timestamp_lru() {
+    // Two structurally different LRU implementations (recency stack with
+    // shift semantics vs. timestamps) must be access-for-access identical.
+    let geom = CacheGeometry::from_sets(16, 8, 64).unwrap();
+    let mut stack = SetAssocCache::new(geom, Box::new(GiplrPolicy::new(&geom, Ipv::lru(8)).unwrap()));
+    let mut stamp = SetAssocCache::new(geom, Box::new(TrueLru::new(&geom)));
+    for blk in pseudorandom_blocks(20_000, 1024, 42) {
+        let ctx = AccessContext::blank();
+        let a = stack.access_block(blk, &ctx);
+        let b = stamp.access_block(blk, &ctx);
+        assert_eq!(a.hit, b.hit, "block {blk}");
+        assert_eq!(a.evicted, b.evicted, "block {blk}");
+    }
+}
+
+#[test]
+fn gippr_with_zero_vector_equals_plain_plru() {
+    let geom = CacheGeometry::from_sets(32, 16, 64).unwrap();
+    let mut gippr =
+        SetAssocCache::new(geom, Box::new(GipprPolicy::new(&geom, Ipv::lru(16)).unwrap()));
+    let mut plru = SetAssocCache::new(geom, Box::new(PlruPolicy::new(&geom)));
+    for blk in pseudorandom_blocks(30_000, 4096, 7) {
+        let ctx = AccessContext::blank();
+        let a = gippr.access_block(blk, &ctx);
+        let b = plru.access_block(blk, &ctx);
+        assert_eq!(a, b, "block {blk}");
+    }
+}
+
+#[test]
+fn plru_never_evicts_most_recently_touched() {
+    // The PLRU guarantee the paper cites: the PLRU block "is guaranteed
+    // not to be the MRU block".
+    let geom = CacheGeometry::from_sets(4, 16, 64).unwrap();
+    let mut cache = SetAssocCache::new(geom, Box::new(PlruPolicy::new(&geom)));
+    let mut last_touched: Option<u64> = None;
+    for blk in pseudorandom_blocks(10_000, 256, 99) {
+        let out = cache.access_block(blk, &AccessContext::blank());
+        if let (Some(last), Some(ev)) = (last_touched, out.evicted) {
+            // The immediately previously touched block in the same set may
+            // not be the victim.
+            if geom.set_of_block(last) == geom.set_of_block(blk) {
+                assert_ne!(ev.block_addr, last);
+            }
+        }
+        last_touched = Some(blk);
+    }
+}
+
+#[test]
+fn trace_file_replay_is_bit_identical_to_direct_replay() {
+    use pseudolru_ipv::traces::spec2006::Spec2006;
+    use pseudolru_ipv::traces::{TraceReader, TraceWriter};
+
+    let spec = Spec2006::Xalancbmk.workload().scaled_down(6);
+    let accesses: Vec<Access> = spec.generator(0).take(30_000).collect();
+
+    // Serialize through the container.
+    let mut buf = Vec::new();
+    let mut w = TraceWriter::new(&mut buf).unwrap();
+    for a in &accesses {
+        w.write(a).unwrap();
+    }
+    w.finish().unwrap();
+    let replayed: Vec<Access> =
+        TraceReader::new(&buf[..]).unwrap().collect::<Result<_, _>>().unwrap();
+    assert_eq!(replayed, accesses);
+
+    // Replay both through identical caches: identical stats.
+    let geom = CacheGeometry::from_sets(64, 16, 64).unwrap();
+    let mut direct = SetAssocCache::new(geom, Box::new(PlruPolicy::new(&geom)));
+    let mut from_file = SetAssocCache::new(geom, Box::new(PlruPolicy::new(&geom)));
+    for (a, b) in accesses.iter().zip(&replayed) {
+        direct.access(a);
+        from_file.access(b);
+    }
+    assert_eq!(direct.stats(), from_file.stats());
+}
+
+#[test]
+fn dueling_converges_through_real_cache_traffic() {
+    // Drive a DGIPPR cache with traffic that favors LRU-insertion (pure
+    // streaming): followers must converge onto the PLRU-insertion vector.
+    use pseudolru_ipv::gippr::{vectors, DgipprPolicy};
+    let geom = CacheGeometry::from_sets(512, 16, 64).unwrap();
+    let policy = DgipprPolicy::two_vector(&geom, vectors::wi_2dgippr()).unwrap();
+    let mut cache = SetAssocCache::new(geom, Box::new(policy));
+    // Stream far beyond capacity, repeatedly, so vector 0 (PLRU-insert)
+    // retains blocks across wraps and vector 1 (PMRU-insert) does not.
+    for round in 0..6 {
+        let _ = round;
+        for blk in 0..40_960u64 {
+            cache.access_block(blk, &AccessContext::blank());
+        }
+    }
+    // Inspect the winner through the policy name downcast-free interface:
+    // re-run a fill in a follower set and check insertion position via
+    // statistics instead — a streaming-favoring winner implies hits on
+    // wrap-around. With 8192-line capacity vs 40960-block loop, PLRU
+    // insertion retains ~20% of the loop.
+    assert!(
+        cache.stats().hit_ratio() > 0.05,
+        "dueling retained part of the loop: {}",
+        cache.stats().hit_ratio()
+    );
+}

@@ -1,0 +1,147 @@
+//! End-to-end integration tests: the full paper pipeline across crates —
+//! workload synthesis → hierarchy capture → policy replay → measurement —
+//! asserting the qualitative results the paper depends on.
+
+use pseudolru_ipv::harness::{
+    measure_min, measure_policy, policies, prepare_workloads, Scale,
+};
+use pseudolru_ipv::traces::spec2006::Spec2006;
+
+#[test]
+fn min_is_a_lower_bound_for_every_policy() {
+    let scale = Scale::Micro;
+    let workloads =
+        prepare_workloads(scale, &[Spec2006::Libquantum, Spec2006::Mcf, Spec2006::DealII]);
+    let geom = scale.hierarchy().llc;
+    for w in &workloads {
+        let min = measure_min(w, geom);
+        for (name, factory) in policies::baseline_roster(3) {
+            let m = measure_policy(w, &factory, geom);
+            assert!(
+                min.misses <= m.misses + 1e-9,
+                "MIN beat by {name} on {}: {} vs {}",
+                w.bench,
+                min.misses,
+                m.misses
+            );
+        }
+        let dgippr =
+            policies::dgippr(pseudolru_ipv::gippr::vectors::wi_4dgippr().to_vec(), "4-DGIPPR");
+        let m = measure_policy(w, &dgippr, geom);
+        assert!(min.misses <= m.misses + 1e-9);
+    }
+}
+
+#[test]
+fn pseudolru_tracks_true_lru_closely() {
+    // Paper Section 3.1: "PLRU provides performance almost equivalent to
+    // full LRU".
+    let scale = Scale::Micro;
+    let workloads = prepare_workloads(
+        scale,
+        &[Spec2006::Mcf, Spec2006::Gcc, Spec2006::Sphinx3, Spec2006::DealII],
+    );
+    let geom = scale.hierarchy().llc;
+    for w in &workloads {
+        let plru = measure_policy(w, &policies::plru(), geom);
+        let ratio = plru.normalized_misses(&w.lru);
+        assert!(
+            (0.85..1.15).contains(&ratio),
+            "PLRU vs LRU on {}: {ratio}",
+            w.bench
+        );
+    }
+}
+
+#[test]
+fn adaptive_policies_win_on_thrash_and_yield_little_on_resident() {
+    let scale = Scale::Micro;
+    let workloads =
+        prepare_workloads(scale, &[Spec2006::Libquantum, Spec2006::CactusADM, Spec2006::Gamess]);
+    let geom = scale.hierarchy().llc;
+    let dgippr =
+        policies::dgippr(pseudolru_ipv::gippr::vectors::wi_4dgippr().to_vec(), "4-DGIPPR");
+    for w in &workloads {
+        let m = measure_policy(w, &dgippr, geom);
+        let ratio = m.normalized_misses(&w.lru);
+        match w.bench {
+            Spec2006::Libquantum | Spec2006::CactusADM => {
+                assert!(ratio < 0.95, "{} should improve: {ratio}", w.bench)
+            }
+            _ => assert!(
+                (0.8..1.2).contains(&ratio),
+                "{} is cache-resident: {ratio}",
+                w.bench
+            ),
+        }
+    }
+}
+
+#[test]
+fn dgippr_matches_drrip_class_performance_with_less_state() {
+    // The paper's core claim, in miniature: across a mixed suite, 4-DGIPPR
+    // lands in the same performance class as DRRIP while declaring less
+    // than half the replacement state.
+    let scale = Scale::Micro;
+    let benches = [
+        Spec2006::Libquantum,
+        Spec2006::CactusADM,
+        Spec2006::Mcf,
+        Spec2006::Sphinx3,
+        Spec2006::DealII,
+        Spec2006::Gamess,
+    ];
+    let workloads = prepare_workloads(scale, &benches);
+    let geom = scale.hierarchy().llc;
+    let dgippr_factory =
+        policies::dgippr(pseudolru_ipv::gippr::vectors::wi_4dgippr().to_vec(), "4-DGIPPR");
+    let mut dgippr_speedups = Vec::new();
+    let mut drrip_speedups = Vec::new();
+    for w in &workloads {
+        dgippr_speedups.push(measure_policy(w, &dgippr_factory, geom).speedup_over(&w.lru));
+        drrip_speedups.push(measure_policy(w, &policies::drrip(), geom).speedup_over(&w.lru));
+    }
+    let dg = pseudolru_ipv::harness::geometric_mean(&dgippr_speedups);
+    let dr = pseudolru_ipv::harness::geometric_mean(&drrip_speedups);
+    assert!(dg > 1.0, "DGIPPR beats LRU overall: {dg}");
+    assert!(dg > dr - 0.05, "DGIPPR within DRRIP's class: {dg} vs {dr}");
+
+    // State accounting (paper Section 3.6).
+    let g = geom;
+    let dgippr_policy = dgippr_factory(&g);
+    let drrip_policy = policies::drrip()(&g);
+    assert!(
+        dgippr_policy.bits_per_set() * 2 <= drrip_policy.bits_per_set(),
+        "DGIPPR uses less than half DRRIP's per-set state"
+    );
+}
+
+#[test]
+fn lru_insertion_dominates_on_pure_streaming() {
+    // The motivating observation (Section 2.2): zero-reuse streams are
+    // better inserted at LRU.
+    let scale = Scale::Micro;
+    let workloads = prepare_workloads(scale, &[Spec2006::Libquantum]);
+    let geom = scale.hierarchy().llc;
+    let lip = policies::giplr(pseudolru_ipv::gippr::Ipv::lru_insertion(16), "LIP");
+    let m = measure_policy(&workloads[0], &lip, geom);
+    assert!(
+        m.normalized_misses(&workloads[0].lru) < 0.95,
+        "LIP cuts misses on streaming: {}",
+        m.normalized_misses(&workloads[0].lru)
+    );
+}
+
+#[test]
+fn dealii_style_workloads_punish_eager_eviction() {
+    // The paper's regression case: on 447.dealII, DRRIP/PDP/DGIPPR all
+    // increase misses over LRU.
+    let scale = Scale::Micro;
+    let workloads = prepare_workloads(scale, &[Spec2006::DealII]);
+    let geom = scale.hierarchy().llc;
+    let w = &workloads[0];
+    let dgippr =
+        policies::dgippr(pseudolru_ipv::gippr::vectors::wi_4dgippr().to_vec(), "4-DGIPPR");
+    let ratio = measure_policy(w, &dgippr, geom).normalized_misses(&w.lru);
+    assert!(ratio > 1.0, "dealII regression reproduced: {ratio}");
+}

@@ -1,0 +1,92 @@
+//! Cross-crate property-based tests: optimality of MIN, hierarchy
+//! inclusion-of-behaviour invariants, and end-to-end policy sanity under
+//! arbitrary IPVs.
+
+use proptest::prelude::*;
+use pseudolru_ipv::gippr::{GipprPolicy, Ipv};
+use pseudolru_ipv::model::cpi::WindowPerfModel;
+use pseudolru_ipv::model::{min_misses, replay_llc};
+use pseudolru_ipv::sim::{Access, CacheGeometry};
+
+fn stream_from_blocks(blocks: &[u64]) -> Vec<Access> {
+    blocks.iter().map(|&b| Access::read(b * 64, 0).with_icount_delta(2)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Belady MIN never misses more than GIPPR under ANY vector, on any
+    /// block stream.
+    #[test]
+    fn min_is_optimal_against_arbitrary_ipvs(
+        entries in proptest::collection::vec(0u8..8, 9),
+        blocks in proptest::collection::vec(0u64..96, 50..400),
+    ) {
+        let geom = CacheGeometry::from_sets(4, 8, 64).unwrap();
+        let stream = stream_from_blocks(&blocks);
+        let min = min_misses(&stream, geom, 0);
+        let ipv = Ipv::new(entries, 8).unwrap();
+        let policy = Box::new(GipprPolicy::new(&geom, ipv).unwrap());
+        let run = replay_llc(&stream, geom, policy, 0, &WindowPerfModel::default());
+        prop_assert!(min.misses <= run.stats.misses);
+        prop_assert_eq!(min.accesses, run.stats.accesses);
+    }
+
+    /// Cold-start compulsory misses are identical for every policy: the
+    /// number of distinct blocks is a lower bound and is reached when the
+    /// cache is big enough.
+    #[test]
+    fn compulsory_misses_only_in_big_cache(
+        blocks in proptest::collection::vec(0u64..64, 1..300),
+    ) {
+        let geom = CacheGeometry::from_sets(8, 16, 64).unwrap(); // 128 lines > 64 blocks
+        let stream = stream_from_blocks(&blocks);
+        let distinct = {
+            let mut s = blocks.clone();
+            s.sort_unstable();
+            s.dedup();
+            s.len() as u64
+        };
+        let ipv = Ipv::lru_insertion(16);
+        let policy = Box::new(GipprPolicy::new(&geom, ipv).unwrap());
+        let run = replay_llc(&stream, geom, policy, 0, &WindowPerfModel::default());
+        prop_assert_eq!(run.stats.misses, distinct, "only compulsory misses when all fits");
+        let min = min_misses(&stream, geom, 0);
+        prop_assert_eq!(min.misses, distinct);
+    }
+
+    /// The warm-up split never changes totals: warmup + measured accesses
+    /// equals the stream length for both MIN and replay.
+    #[test]
+    fn warmup_partitions_accesses(
+        blocks in proptest::collection::vec(0u64..128, 10..200),
+        warm_frac in 0usize..100,
+    ) {
+        let geom = CacheGeometry::from_sets(4, 4, 64).unwrap();
+        let stream = stream_from_blocks(&blocks);
+        let warmup = stream.len() * warm_frac / 100;
+        let min = min_misses(&stream, geom, warmup);
+        prop_assert_eq!(min.accesses as usize, stream.len() - warmup);
+        let policy = Box::new(GipprPolicy::new(&geom, Ipv::lru(4)).unwrap());
+        let run = replay_llc(&stream, geom, policy, warmup, &WindowPerfModel::default());
+        prop_assert_eq!(run.stats.accesses as usize, stream.len() - warmup);
+    }
+
+    /// The hierarchy's LLC sees at most as many accesses as L2, which sees
+    /// at most as many as L1 (demand filtering), for any workload model.
+    #[test]
+    fn hierarchy_filters_monotonically(seed in proptest::num::u64::ANY) {
+        use pseudolru_ipv::model::{Hierarchy, HierarchyConfig};
+        use pseudolru_ipv::gippr::PlruPolicy;
+        use pseudolru_ipv::traces::spec2006::Spec2006;
+        let cfg = HierarchyConfig::paper_scaled(6).unwrap();
+        let mut h = Hierarchy::new(cfg, Box::new(PlruPolicy::new(&cfg.llc)));
+        let spec = Spec2006::Gcc.workload().scaled_down(6);
+        h.run(spec.generator(seed % 16).take(5_000));
+        // Writebacks can add L2/LLC traffic, but demand filtering dominates
+        // at these sizes; check misses propagate consistently instead:
+        prop_assert!(h.l2_stats().accesses <= h.l1_stats().misses + h.l1_stats().writebacks);
+        prop_assert!(h.llc_stats().accesses <= h.l2_stats().misses + h.l2_stats().writebacks);
+        prop_assert!(h.llc_stats().misses <= h.llc_stats().accesses);
+    }
+}
