@@ -119,7 +119,9 @@ mod tests {
         let g = geom();
         let mut p = DipPolicy::new(&g).unwrap();
         let map = *p.duel.leader_map();
-        let lru_leader = (0..g.sets()).find(|&s| map.role(s) == SetRole::Leader(0)).unwrap();
+        let lru_leader = (0..g.sets())
+            .find(|&s| map.role(s) == SetRole::Leader(0))
+            .unwrap();
         p.on_fill(lru_leader, 7, &ctx());
         assert_eq!(p.stacks[lru_leader].position(7), 0);
     }
@@ -129,7 +131,9 @@ mod tests {
         let g = geom();
         let mut p = DipPolicy::new(&g).unwrap();
         let map = *p.duel.leader_map();
-        let bip_leader = (0..g.sets()).find(|&s| map.role(s) == SetRole::Leader(1)).unwrap();
+        let bip_leader = (0..g.sets())
+            .find(|&s| map.role(s) == SetRole::Leader(1))
+            .unwrap();
         let mut lru_inserts = 0;
         for i in 0..320 {
             p.on_fill(bip_leader, i % 16, &ctx());
@@ -137,7 +141,10 @@ mod tests {
                 lru_inserts += 1;
             }
         }
-        assert!(lru_inserts >= 300, "roughly 31/32 of BIP fills go to LRU, got {lru_inserts}");
+        assert!(
+            lru_inserts >= 300,
+            "roughly 31/32 of BIP fills go to LRU, got {lru_inserts}"
+        );
         assert!(lru_inserts < 320, "but not all of them");
     }
 
@@ -153,7 +160,11 @@ mod tests {
                 }
             }
         }
-        assert_eq!(p.winner(), 1, "policy 0's leaders missing more flips followers to BIP");
+        assert_eq!(
+            p.winner(),
+            1,
+            "policy 0's leaders missing more flips followers to BIP"
+        );
     }
 
     #[test]

@@ -17,7 +17,10 @@ pub struct FifoPolicy {
 impl FifoPolicy {
     /// Creates a FIFO policy for `geom`.
     pub fn new(geom: &CacheGeometry) -> Self {
-        FifoPolicy { ways: geom.ways(), next: vec![0; geom.sets()] }
+        FifoPolicy {
+            ways: geom.ways(),
+            next: vec![0; geom.sets()],
+        }
     }
 }
 

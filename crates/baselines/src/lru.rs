@@ -41,8 +41,12 @@ impl TrueLru {
         }
     }
 
+    #[inline]
     fn touch(&mut self, set: usize, way: usize) {
-        self.clock += 1;
+        // The clock advances in strides of `ways` (a power of two), so
+        // every timestamp's low `log2(ways)` bits are zero — reserved for
+        // the way index that `victim` packs in.
+        self.clock += self.ways as u64;
         self.last_use[set * self.ways + way] = self.clock;
     }
 }
@@ -52,17 +56,29 @@ impl ReplacementPolicy for TrueLru {
         "LRU"
     }
 
+    #[inline]
     fn victim(&mut self, set: usize, _ctx: &AccessContext) -> usize {
+        // Fold the way index into the timestamp's low bits so the oldest
+        // way falls out of a plain `min` — a branchless reduction the
+        // compiler can vectorize, unlike `min_by_key` with index
+        // tracking. Timestamps are scaled by `ways` on update, so the
+        // packing loses nothing.
         let base = set * self.ways;
-        (0..self.ways)
-            .min_by_key(|&w| self.last_use[base + w])
-            .expect("ways > 0")
+        let key = self.last_use[base..base + self.ways]
+            .iter()
+            .enumerate()
+            .map(|(w, &t)| t | w as u64)
+            .min()
+            .expect("ways > 0");
+        (key as usize) & (self.ways - 1)
     }
 
+    #[inline]
     fn on_hit(&mut self, set: usize, way: usize, _ctx: &AccessContext) {
         self.touch(set, way);
     }
 
+    #[inline]
     fn on_fill(&mut self, set: usize, way: usize, _ctx: &AccessContext) {
         self.touch(set, way);
     }

@@ -100,7 +100,10 @@ impl PdpPolicy {
     /// stride or depth is 0.
     pub fn with_config(geom: &CacheGeometry, cfg: PdpConfig) -> Self {
         assert!((1..=8).contains(&cfg.rpd_bits), "rpd_bits must be in 1..=8");
-        assert!(cfg.sampler_stride > 0 && cfg.sampler_depth > 0, "sampler dims must be nonzero");
+        assert!(
+            cfg.sampler_stride > 0 && cfg.sampler_depth > 0,
+            "sampler dims must be nonzero"
+        );
         let rpd_max = ((1u16 << cfg.rpd_bits) - 1) as u8;
         let sampled_sets = geom.sets().div_ceil(cfg.sampler_stride);
         let mut policy = PdpPolicy {
@@ -182,7 +185,10 @@ impl PdpPolicy {
             if entries.len() == self.cfg.sampler_depth {
                 entries.remove(0);
             }
-            entries.push(SamplerEntry { tag, last_count: now });
+            entries.push(SamplerEntry {
+                tag,
+                last_count: now,
+            });
         }
     }
 
@@ -271,7 +277,11 @@ mod tests {
     }
 
     fn ctx_for(addr: u64) -> AccessContext {
-        AccessContext { pc: 0, addr, is_write: false }
+        AccessContext {
+            pc: 0,
+            addr,
+            is_write: false,
+        }
     }
 
     #[test]
@@ -284,7 +294,11 @@ mod tests {
     fn fill_protects_line() {
         let mut p = PdpPolicy::new(&geom());
         p.on_fill(0, 3, &ctx_for(0));
-        assert_ne!(p.victim(0, &ctx_for(0)), 3, "a just-filled line is protected");
+        assert_ne!(
+            p.victim(0, &ctx_for(0)),
+            3,
+            "a just-filled line is protected"
+        );
     }
 
     #[test]
@@ -292,7 +306,11 @@ mod tests {
         let g = geom();
         let mut p = PdpPolicy::with_config(
             &g,
-            PdpConfig { initial_pd: 7, compute_period: u64::MAX, ..PdpConfig::default() },
+            PdpConfig {
+                initial_pd: 7,
+                compute_period: u64::MAX,
+                ..PdpConfig::default()
+            },
         );
         // quantum = ceil(7/7) = 1: every access decays by 1.
         p.on_fill(0, 3, &ctx_for(0));
@@ -311,7 +329,11 @@ mod tests {
         let g = geom();
         let mut p = PdpPolicy::with_config(
             &g,
-            PdpConfig { initial_pd: 15, compute_period: u64::MAX, ..PdpConfig::default() },
+            PdpConfig {
+                initial_pd: 15,
+                compute_period: u64::MAX,
+                ..PdpConfig::default()
+            },
         );
         p.on_fill(0, 3, &ctx_for(0));
         for _ in 0..10 {
@@ -395,13 +417,26 @@ mod tests {
     #[test]
     fn storage_accounting() {
         let p = PdpPolicy::new(&geom());
-        assert_eq!(p.bits_per_set(), 16 * 4 + 8, "4 bits/line plus tick counter");
-        assert!(p.global_bits() > 0, "sampler and histogram are global state");
+        assert_eq!(
+            p.bits_per_set(),
+            16 * 4 + 8,
+            "4 bits/line plus tick counter"
+        );
+        assert!(
+            p.global_bits() > 0,
+            "sampler and histogram are global state"
+        );
     }
 
     #[test]
     #[should_panic(expected = "rpd_bits")]
     fn rejects_zero_width_counters() {
-        let _ = PdpPolicy::with_config(&geom(), PdpConfig { rpd_bits: 0, ..Default::default() });
+        let _ = PdpPolicy::with_config(
+            &geom(),
+            PdpConfig {
+                rpd_bits: 0,
+                ..Default::default()
+            },
+        );
     }
 }

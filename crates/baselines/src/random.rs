@@ -27,7 +27,11 @@ impl RandomPolicy {
     pub fn with_seed(geom: &CacheGeometry, seed: u64) -> Self {
         RandomPolicy {
             ways: geom.ways(),
-            state: if seed == 0 { 0xdead_beef_cafe_f00d } else { seed },
+            state: if seed == 0 {
+                0xdead_beef_cafe_f00d
+            } else {
+                seed
+            },
         }
     }
 

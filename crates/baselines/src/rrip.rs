@@ -40,6 +40,7 @@ impl RrpvTable {
 
     /// SRRIP victim search: find the first block with RRPV == max,
     /// incrementing all RRPVs until one exists.
+    #[inline]
     fn victim(&mut self, set: usize) -> usize {
         let base = set * self.ways;
         loop {
@@ -74,7 +75,9 @@ pub struct SrripPolicy {
 impl SrripPolicy {
     /// Creates SRRIP for `geom`.
     pub fn new(geom: &CacheGeometry) -> Self {
-        SrripPolicy { table: RrpvTable::new(geom) }
+        SrripPolicy {
+            table: RrpvTable::new(geom),
+        }
     }
 
     /// Current RRPV of a line (test/diagnostic aid).
@@ -88,14 +91,17 @@ impl ReplacementPolicy for SrripPolicy {
         "SRRIP"
     }
 
+    #[inline]
     fn victim(&mut self, set: usize, _ctx: &AccessContext) -> usize {
         self.table.victim(set)
     }
 
+    #[inline]
     fn on_hit(&mut self, set: usize, way: usize, _ctx: &AccessContext) {
         self.table.set(set, way, 0);
     }
 
+    #[inline]
     fn on_fill(&mut self, set: usize, way: usize, _ctx: &AccessContext) {
         self.table.set(set, way, self.table.max - 1);
     }
@@ -115,7 +121,10 @@ pub struct BrripPolicy {
 impl BrripPolicy {
     /// Creates BRRIP for `geom`.
     pub fn new(geom: &CacheGeometry) -> Self {
-        BrripPolicy { table: RrpvTable::new(geom), tick: 0 }
+        BrripPolicy {
+            table: RrpvTable::new(geom),
+            tick: 0,
+        }
     }
 }
 
@@ -124,18 +133,24 @@ impl ReplacementPolicy for BrripPolicy {
         "BRRIP"
     }
 
+    #[inline]
     fn victim(&mut self, set: usize, _ctx: &AccessContext) -> usize {
         self.table.victim(set)
     }
 
+    #[inline]
     fn on_hit(&mut self, set: usize, way: usize, _ctx: &AccessContext) {
         self.table.set(set, way, 0);
     }
 
+    #[inline]
     fn on_fill(&mut self, set: usize, way: usize, _ctx: &AccessContext) {
         self.tick += 1;
-        let value =
-            if self.tick % BRRIP_EPSILON == 0 { self.table.max - 1 } else { self.table.max };
+        let value = if self.tick % BRRIP_EPSILON == 0 {
+            self.table.max - 1
+        } else {
+            self.table.max
+        };
         self.table.set(set, way, value);
     }
 
@@ -193,18 +208,22 @@ impl ReplacementPolicy for DrripPolicy {
         "DRRIP"
     }
 
+    #[inline]
     fn victim(&mut self, set: usize, _ctx: &AccessContext) -> usize {
         self.table.victim(set)
     }
 
+    #[inline]
     fn on_hit(&mut self, set: usize, way: usize, _ctx: &AccessContext) {
         self.table.set(set, way, 0);
     }
 
+    #[inline]
     fn on_miss(&mut self, set: usize, _ctx: &AccessContext) {
         self.duel.record_miss(set);
     }
 
+    #[inline]
     fn on_fill(&mut self, set: usize, way: usize, _ctx: &AccessContext) {
         let value = if self.duel.policy_for_set(set) == 0 {
             self.table.max - 1 // SRRIP insertion
@@ -274,7 +293,11 @@ mod tests {
         p.on_hit(0, 0, &ctx()); // way 0 at 0
         let _ = p.victim(0, &ctx()); // ages set: way 0 -> 1, others -> 3
         p.on_fill(0, 1, &ctx()); // way 1 now at 2
-        assert_eq!(p.victim(0, &ctx()), 2, "first block at max wins, not ways 0/1");
+        assert_eq!(
+            p.victim(0, &ctx()),
+            2,
+            "first block at max wins, not ways 0/1"
+        );
     }
 
     #[test]

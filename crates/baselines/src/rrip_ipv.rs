@@ -39,7 +39,11 @@ impl fmt::Display for RripIpvError {
                 write!(f, "RRIP IPV needs {} entries, got {n}", LEVELS + 1)
             }
             RripIpvError::ValueOutOfRange { index, value } => {
-                write!(f, "RRIP IPV entry {index} is {value}, above max RRPV {}", LEVELS - 1)
+                write!(
+                    f,
+                    "RRIP IPV entry {index} is {value}, above max RRPV {}",
+                    LEVELS - 1
+                )
             }
         }
     }
@@ -82,8 +86,10 @@ impl RripIpvPolicy {
     /// Returns [`RripIpvError::ValueOutOfRange`] if an entry exceeds the
     /// maximum RRPV (3).
     pub fn new(geom: &CacheGeometry, vector: [u8; LEVELS + 1]) -> Result<Self, RripIpvError> {
-        if let Some((index, &value)) =
-            vector.iter().enumerate().find(|(_, &v)| usize::from(v) >= LEVELS)
+        if let Some((index, &value)) = vector
+            .iter()
+            .enumerate()
+            .find(|(_, &v)| usize::from(v) >= LEVELS)
         {
             return Err(RripIpvError::ValueOutOfRange { index, value });
         }
@@ -227,6 +233,8 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(!RripIpvError::WrongLength(3).to_string().is_empty());
-        assert!(!RripIpvError::ValueOutOfRange { index: 0, value: 9 }.to_string().is_empty());
+        assert!(!RripIpvError::ValueOutOfRange { index: 0, value: 9 }
+            .to_string()
+            .is_empty());
     }
 }

@@ -41,7 +41,9 @@ struct Predictor {
 
 impl Predictor {
     fn new() -> Self {
-        Predictor { tables: std::array::from_fn(|_| vec![0; 1 << TABLE_BITS]) }
+        Predictor {
+            tables: std::array::from_fn(|_| vec![0; 1 << TABLE_BITS]),
+        }
     }
 
     fn indices(sig: u16) -> [usize; 3] {
@@ -162,7 +164,12 @@ impl SdbpPolicy {
                 e.lru = e.lru.saturating_add(1);
             }
         }
-        entries[victim] = SamplerEntry { valid: true, partial_tag: tag, pc_sig: sig, lru: 0 };
+        entries[victim] = SamplerEntry {
+            valid: true,
+            partial_tag: tag,
+            pc_sig: sig,
+            lru: 0,
+        };
     }
 }
 
@@ -201,8 +208,7 @@ impl ReplacementPolicy for SdbpPolicy {
 
     fn global_bits(&self) -> u64 {
         let tables = 3 * (1u64 << TABLE_BITS) * 2;
-        let sampler =
-            self.sampler.len() as u64 * SAMPLER_WAYS as u64 * (1 + 16 + 16 + 4);
+        let sampler = self.sampler.len() as u64 * SAMPLER_WAYS as u64 * (1 + 16 + 16 + 4);
         tables + sampler
     }
 }
@@ -217,7 +223,11 @@ mod tests {
     }
 
     fn ctx(addr: u64, pc: u64) -> AccessContext {
-        AccessContext { pc, addr, is_write: false }
+        AccessContext {
+            pc,
+            addr,
+            is_write: false,
+        }
     }
 
     #[test]
@@ -302,12 +312,20 @@ mod tests {
         let mut scan = 1 << 24;
         for _ in 0..150 {
             for b in 0..ws {
-                let c = AccessContext { pc: loop_pc, addr: b << 6, is_write: false };
+                let c = AccessContext {
+                    pc: loop_pc,
+                    addr: b << 6,
+                    is_write: false,
+                };
                 sdbp.access_block(b, &c);
                 plru.access_block(b, &c);
             }
             for _ in 0..256 {
-                let c = AccessContext { pc: scan_pc, addr: scan << 6, is_write: false };
+                let c = AccessContext {
+                    pc: scan_pc,
+                    addr: scan << 6,
+                    is_write: false,
+                };
                 sdbp.access_block(scan, &c);
                 plru.access_block(scan, &c);
                 scan += 1;

@@ -126,7 +126,11 @@ mod tests {
     }
 
     fn ctx(pc: u64) -> AccessContext {
-        AccessContext { pc, addr: 0, is_write: false }
+        AccessContext {
+            pc,
+            addr: 0,
+            is_write: false,
+        }
     }
 
     #[test]
@@ -173,7 +177,11 @@ mod tests {
         p.on_hit(0, 0, &ctx(pc));
         p.on_hit(0, 0, &ctx(pc));
         p.on_hit(0, 0, &ctx(pc));
-        assert_eq!(p.shct_value(sig), before + 1, "repeat hits train the SHCT once");
+        assert_eq!(
+            p.shct_value(sig),
+            before + 1,
+            "repeat hits train the SHCT once"
+        );
     }
 
     #[test]
@@ -190,12 +198,20 @@ mod tests {
         let mut scan = 1 << 20;
         for _ in 0..200 {
             for b in 0..ws {
-                let c = AccessContext { pc: loop_pc, addr: b << 6, is_write: false };
+                let c = AccessContext {
+                    pc: loop_pc,
+                    addr: b << 6,
+                    is_write: false,
+                };
                 ship.access_block(b, &c);
                 srrip.access_block(b, &c);
             }
             for _ in 0..256 {
-                let c = AccessContext { pc: stream_pc, addr: scan << 6, is_write: false };
+                let c = AccessContext {
+                    pc: stream_pc,
+                    addr: scan << 6,
+                    is_write: false,
+                };
                 ship.access_block(scan, &c);
                 srrip.access_block(scan, &c);
                 scan += 1;

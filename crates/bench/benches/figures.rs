@@ -20,7 +20,9 @@ fn bench_fig01(c: &mut Criterion) {
 fn bench_fig04(c: &mut Criterion) {
     let mut g = c.benchmark_group("figures");
     g.sample_size(10);
-    g.bench_function("fig04_giplr_speedup", |b| b.iter(|| black_box(fig04::run(Scale::Micro))));
+    g.bench_function("fig04_giplr_speedup", |b| {
+        b.iter(|| black_box(fig04::run(Scale::Micro)))
+    });
     g.finish();
 }
 
@@ -50,7 +52,12 @@ fn bench_fig12_component(c: &mut Criterion) {
     use traces::spec2006::Spec2006;
     let scale = Scale::Micro;
     let ctx = FitnessContext::for_benchmarks(
-        &[Spec2006::Libquantum, Spec2006::CactusADM, Spec2006::DealII, Spec2006::Mcf],
+        &[
+            Spec2006::Libquantum,
+            Spec2006::CactusADM,
+            Spec2006::DealII,
+            Spec2006::Mcf,
+        ],
         1,
         scale.ga_accesses(),
         scale.fitness(),

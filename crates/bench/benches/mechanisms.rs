@@ -58,7 +58,13 @@ fn bench_recency_stack(c: &mut Criterion) {
 fn bench_ipv(c: &mut Criterion) {
     let mut g = c.benchmark_group("ipv");
     g.bench_function("parse", |b| {
-        b.iter(|| black_box("0 0 1 0 3 0 1 2 1 0 5 1 0 0 1 11 13".parse::<Ipv>().unwrap()))
+        b.iter(|| {
+            black_box(
+                "0 0 1 0 3 0 1 2 1 0 5 1 0 0 1 11 13"
+                    .parse::<Ipv>()
+                    .unwrap(),
+            )
+        })
     });
     g.bench_function("degeneracy_check", |b| {
         let v = gippr::vectors::wi_gippr();
@@ -69,8 +75,9 @@ fn bench_ipv(c: &mut Criterion) {
 
 fn bench_min(c: &mut Criterion) {
     let geom = CacheGeometry::from_sets(64, 16, 64).unwrap();
-    let stream: Vec<Access> =
-        (0..50_000u64).map(|i| Access::read((i * 2654435761) % (1 << 22), 0)).collect();
+    let stream: Vec<Access> = (0..50_000u64)
+        .map(|i| Access::read((i * 2654435761) % (1 << 22), 0))
+        .collect();
     let mut g = c.benchmark_group("optimal");
     g.throughput(Throughput::Elements(stream.len() as u64));
     g.bench_function("belady_min_50k", |b| {
@@ -91,8 +98,9 @@ fn bench_capture(c: &mut Criterion) {
 }
 
 fn bench_trace_format(c: &mut Criterion) {
-    let accesses: Vec<Access> =
-        (0..10_000u64).map(|i| Access::read(i * 64, 0x400).with_icount_delta(3)).collect();
+    let accesses: Vec<Access> = (0..10_000u64)
+        .map(|i| Access::read(i * 64, 0x400).with_icount_delta(3))
+        .collect();
     let mut encoded = Vec::new();
     let mut w = TraceWriter::new(&mut encoded).unwrap();
     for a in &accesses {

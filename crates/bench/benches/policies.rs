@@ -37,10 +37,22 @@ fn bench_policy_throughput(c: &mut Criterion) {
         ("DRRIP", policies::drrip()),
         ("PDP", policies::pdp()),
         ("SHiP", policies::ship()),
-        ("GIPLR", policies::giplr(gippr::vectors::giplr_best(), "GIPLR")),
-        ("GIPPR", policies::gippr(gippr::vectors::wi_gippr(), "GIPPR")),
-        ("2-DGIPPR", policies::dgippr(gippr::vectors::wi_2dgippr().to_vec(), "2-DGIPPR")),
-        ("4-DGIPPR", policies::dgippr(gippr::vectors::wi_4dgippr().to_vec(), "4-DGIPPR")),
+        (
+            "GIPLR",
+            policies::giplr(gippr::vectors::giplr_best(), "GIPLR"),
+        ),
+        (
+            "GIPPR",
+            policies::gippr(gippr::vectors::wi_gippr(), "GIPPR"),
+        ),
+        (
+            "2-DGIPPR",
+            policies::dgippr(gippr::vectors::wi_2dgippr().to_vec(), "2-DGIPPR"),
+        ),
+        (
+            "4-DGIPPR",
+            policies::dgippr(gippr::vectors::wi_4dgippr().to_vec(), "4-DGIPPR"),
+        ),
     ];
     let mut g = c.benchmark_group("policy_throughput");
     g.throughput(Throughput::Elements(stream.len() as u64));
@@ -86,5 +98,9 @@ fn bench_dueling_ablation(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(policies_bench, bench_policy_throughput, bench_dueling_ablation);
+criterion_group!(
+    policies_bench,
+    bench_policy_throughput,
+    bench_dueling_ablation
+);
 criterion_main!(policies_bench);

@@ -1,0 +1,98 @@
+//! Replay-engine throughput: the frozen v0 engine (`harness::seed_replay`)
+//! versus the live engine through dynamic dispatch (`replay_llc`) and
+//! monomorphized (`replay_llc_mono`). This is the Criterion counterpart of
+//! the `bench-replay` binary; `BENCH_replay.json` is produced by the
+//! binary, this bench exists for `cargo bench` regression tracking with
+//! Criterion's statistics.
+//!
+//! The three engines produce identical `LlcRunResult`s on the same stream
+//! (asserted in `tests/replay_equivalence.rs`); only their speed differs.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use harness::seed_replay::replay_llc_seed;
+use mem_model::{default_warmup, replay_llc, replay_llc_mono, WindowPerfModel};
+use sim_core::{Access, CacheGeometry};
+use std::hint::black_box;
+
+fn mixed_stream(n: usize) -> Vec<Access> {
+    // Same shape as the policies bench: half looping, half streaming, so
+    // the replay loop sees a realistic mix of hits, misses, and evictions.
+    (0..n as u64)
+        .map(|i| {
+            let addr = if i % 2 == 0 {
+                (i % 4096) * 64
+            } else {
+                (1 << 30) + i * 64
+            };
+            Access::read(addr, 0x400 + (i % 13) * 4).with_icount_delta(3)
+        })
+        .collect()
+}
+
+fn bench_replay_engines(c: &mut Criterion) {
+    let geom = CacheGeometry::new(128 * 1024, 16, 64).unwrap();
+    let stream = mixed_stream(50_000);
+    let warmup = default_warmup(stream.len());
+    let perf = WindowPerfModel::default();
+
+    let mut g = c.benchmark_group("replay_engine");
+    g.throughput(Throughput::Elements((stream.len() - warmup) as u64));
+
+    g.bench_function("seed_dyn/PseudoLRU", |b| {
+        b.iter(|| {
+            let policy: Box<dyn sim_core::ReplacementPolicy> =
+                black_box(Box::new(gippr::PlruPolicy::new(&geom)));
+            black_box(replay_llc_seed(&stream, geom, policy, warmup, &perf))
+        })
+    });
+
+    g.bench_function("live_dyn/PseudoLRU", |b| {
+        b.iter(|| {
+            let policy: Box<dyn sim_core::ReplacementPolicy> =
+                black_box(Box::new(gippr::PlruPolicy::new(&geom)));
+            black_box(replay_llc(&stream, geom, policy, warmup, &perf))
+        })
+    });
+
+    g.bench_function("live_mono/PseudoLRU", |b| {
+        b.iter(|| {
+            black_box(replay_llc_mono(
+                &stream,
+                geom,
+                black_box(gippr::PlruPolicy::new(&geom)),
+                warmup,
+                &perf,
+            ))
+        })
+    });
+
+    g.bench_function("live_mono/WI-GIPPR", |b| {
+        b.iter(|| {
+            let policy = gippr::GipprPolicy::new(&geom, gippr::vectors::wi_gippr()).unwrap();
+            black_box(replay_llc_mono(
+                &stream,
+                geom,
+                black_box(policy),
+                warmup,
+                &perf,
+            ))
+        })
+    });
+
+    g.bench_function("live_mono/LRU", |b| {
+        b.iter(|| {
+            black_box(replay_llc_mono(
+                &stream,
+                geom,
+                black_box(baselines::TrueLru::new(&geom)),
+                warmup,
+                &perf,
+            ))
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(replay_bench, bench_replay_engines);
+criterion_main!(replay_bench);

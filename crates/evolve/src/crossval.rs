@@ -70,7 +70,11 @@ pub fn wn1_evaluation(
             } else {
                 test.fitness_set(&vectors)
             };
-            Wn1Outcome { holdout, vectors, holdout_speedup }
+            Wn1Outcome {
+                holdout,
+                vectors,
+                holdout_speedup,
+            }
         })
         .collect()
 }
@@ -86,14 +90,20 @@ mod tests {
             &[Spec2006::Libquantum, Spec2006::Gamess, Spec2006::CactusADM],
             1,
             10_000,
-            FitnessScale { shift: 6, threads: 2 },
+            FitnessScale {
+                shift: 6,
+                threads: 2,
+            },
         )
     }
 
     #[test]
     fn wn1_produces_one_outcome_per_benchmark() {
         let ctx = ctx();
-        let cfg = GaConfig { generations: 2, ..GaConfig::quick(5) };
+        let cfg = GaConfig {
+            generations: 2,
+            ..GaConfig::quick(5)
+        };
         let outcomes = wn1_evaluation(&ctx, cfg, 1, Substrate::Plru);
         assert_eq!(outcomes.len(), 3);
         let mut names: Vec<&str> = outcomes.iter().map(|o| o.holdout.as_str()).collect();
@@ -104,7 +114,10 @@ mod tests {
     #[test]
     fn wn1_vectors_are_valid_and_speedups_sane() {
         let ctx = ctx();
-        let cfg = GaConfig { generations: 2, ..GaConfig::quick(6) };
+        let cfg = GaConfig {
+            generations: 2,
+            ..GaConfig::quick(6)
+        };
         for o in wn1_evaluation(&ctx, cfg, 1, Substrate::Plru) {
             assert_eq!(o.vectors.len(), 1);
             assert_eq!(o.vectors[0].assoc(), 16);
@@ -115,7 +128,12 @@ mod tests {
     #[test]
     fn wn1_set_variant_runs() {
         let ctx = ctx();
-        let cfg = GaConfig { generations: 1, initial_population: 6, population: 4, ..GaConfig::quick(7) };
+        let cfg = GaConfig {
+            generations: 1,
+            initial_population: 6,
+            population: 4,
+            ..GaConfig::quick(7)
+        };
         let outcomes = wn1_evaluation(&ctx, cfg, 2, Substrate::Plru);
         assert!(outcomes.iter().all(|o| o.vectors.len() == 2));
     }

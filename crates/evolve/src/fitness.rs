@@ -10,7 +10,7 @@
 use baselines::TrueLru;
 use gippr::{DgipprPolicy, GiplrPolicy, GipprPolicy, Ipv};
 use mem_model::cpi::LinearCpiModel;
-use mem_model::{capture_llc_stream, replay_llc, HierarchyConfig, WindowPerfModel};
+use mem_model::{capture_llc_stream, replay_llc_mono, HierarchyConfig, WindowPerfModel};
 use sim_core::{Access, CacheGeometry, ReplacementPolicy};
 use std::sync::Arc;
 use traces::spec2006::Spec2006;
@@ -37,12 +37,17 @@ pub struct FitnessScale {
 
 impl Default for FitnessScale {
     fn default() -> Self {
-        FitnessScale { shift: 4, threads: available_threads() }
+        FitnessScale {
+            shift: 4,
+            threads: available_threads(),
+        }
     }
 }
 
 fn available_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
 }
 
 /// One workload's captured LLC stream and its LRU baseline.
@@ -86,15 +91,13 @@ impl FitnessContext {
             .iter()
             .map(|(spec, weight)| {
                 let scaled = spec.scaled_down(scale.shift);
-                let (stream, _core_instructions) = capture_llc_stream(
-                    config,
-                    scaled.generator(0).take(accesses_per_stream),
-                );
+                let (stream, _core_instructions) =
+                    capture_llc_stream(config, scaled.generator(0).take(accesses_per_stream));
                 let warmup = mem_model::llc::default_warmup(stream.len());
-                let lru = replay_llc(
+                let lru = replay_llc_mono(
                     &stream,
                     config.llc,
-                    Box::new(TrueLru::new(&config.llc)),
+                    TrueLru::new(&config.llc),
                     warmup,
                     &perf,
                 );
@@ -159,21 +162,31 @@ impl FitnessContext {
     /// (the WN1 holdout mechanism).
     pub fn filtered<F: Fn(&str) -> bool>(&self, keep: F) -> FitnessContext {
         FitnessContext {
-            streams: self.streams.iter().filter(|s| keep(&s.name)).cloned().collect(),
+            streams: self
+                .streams
+                .iter()
+                .filter(|s| keep(&s.name))
+                .cloned()
+                .collect(),
             geom: self.geom,
             model: self.model,
             threads: self.threads,
         }
     }
 
-    fn speedup_with(&self, make: &dyn Fn() -> Box<dyn ReplacementPolicy>) -> f64 {
+    /// The GA inner loop: replays every stream against a fresh policy from
+    /// `make`. Generic over the concrete policy type so the whole replay —
+    /// dispatch, tag scan, stats — monomorphizes per substrate instead of
+    /// paying double virtual dispatch through `Box<dyn>`.
+    fn speedup_with<P: ReplacementPolicy, F: Fn() -> P>(&self, make: F) -> f64 {
         let perf = WindowPerfModel::default();
         let mut total_weight = 0.0;
         let mut total = 0.0;
         for ws in &self.streams {
-            let run = replay_llc(&ws.stream, self.geom, make(), ws.warmup, &perf);
-            let speedup =
-                self.model.speedup(ws.instructions, ws.lru_misses, run.stats.misses);
+            let run = replay_llc_mono(&ws.stream, self.geom, make(), ws.warmup, &perf);
+            let speedup = self
+                .model
+                .speedup(ws.instructions, ws.lru_misses, run.stats.misses);
             total += speedup * ws.weight;
             total_weight += ws.weight;
         }
@@ -187,14 +200,13 @@ impl FitnessContext {
     /// Mean speedup over LRU of a single vector on `substrate`.
     pub fn fitness_single(&self, ipv: &Ipv, substrate: Substrate) -> f64 {
         let geom = self.geom;
-        let ipv = ipv.clone();
         match substrate {
-            Substrate::Plru => self.speedup_with(&|| {
-                Box::new(GipprPolicy::new(&geom, ipv.clone()).expect("assoc matches"))
-            }),
-            Substrate::Lru => self.speedup_with(&|| {
-                Box::new(GiplrPolicy::new(&geom, ipv.clone()).expect("assoc matches"))
-            }),
+            Substrate::Plru => {
+                self.speedup_with(|| GipprPolicy::new(&geom, ipv.clone()).expect("assoc matches"))
+            }
+            Substrate::Lru => {
+                self.speedup_with(|| GiplrPolicy::new(&geom, ipv.clone()).expect("assoc matches"))
+            }
         }
     }
 
@@ -210,15 +222,12 @@ impl FitnessContext {
             vectors.len()
         );
         let geom = self.geom;
-        let vectors = vectors.to_vec();
         // Smaller scaled caches have fewer sets; shrink the leader count to
         // fit while keeping the paper's 32 for full-size runs.
         let leaders = (geom.sets() / 64).clamp(4, 32);
-        self.speedup_with(&|| {
-            Box::new(
-                DgipprPolicy::with_config(&geom, vectors.clone(), leaders, "DGIPPR")
-                    .expect("valid duel config"),
-            )
+        self.speedup_with(|| {
+            DgipprPolicy::with_config(&geom, vectors.to_vec(), leaders, "DGIPPR")
+                .expect("valid duel config")
         })
     }
 
@@ -228,48 +237,40 @@ impl FitnessContext {
         self.streams
             .iter()
             .map(|ws| {
-                let policy: Box<dyn ReplacementPolicy> = match substrate {
-                    Substrate::Plru => Box::new(
+                let run = match substrate {
+                    Substrate::Plru => replay_llc_mono(
+                        &ws.stream,
+                        self.geom,
                         GipprPolicy::new(&self.geom, ipv.clone()).expect("assoc matches"),
+                        ws.warmup,
+                        &perf,
                     ),
-                    Substrate::Lru => Box::new(
+                    Substrate::Lru => replay_llc_mono(
+                        &ws.stream,
+                        self.geom,
                         GiplrPolicy::new(&self.geom, ipv.clone()).expect("assoc matches"),
+                        ws.warmup,
+                        &perf,
                     ),
                 };
-                let run = replay_llc(&ws.stream, self.geom, policy, ws.warmup, &perf);
                 (
                     ws.name.clone(),
-                    self.model.speedup(ws.instructions, ws.lru_misses, run.stats.misses),
+                    self.model
+                        .speedup(ws.instructions, ws.lru_misses, run.stats.misses),
                 )
             })
             .collect()
     }
 
-    /// Evaluates many candidates in parallel with `self.threads` workers.
-    /// `eval` must be cheap to call concurrently (it receives `self`).
+    /// Evaluates many candidates on the persistent worker pool, capped at
+    /// `self.threads` concurrent executors. The pool threads are created
+    /// once per process and reused across generations and experiments.
     pub fn fitness_many<G, F>(&self, genomes: &[G], eval: F) -> Vec<f64>
     where
         G: Sync,
         F: Fn(&FitnessContext, &G) -> f64 + Sync,
     {
-        if genomes.is_empty() {
-            return Vec::new();
-        }
-        let threads = self.threads.min(genomes.len());
-        let mut results = vec![0.0f64; genomes.len()];
-        let chunk = genomes.len().div_ceil(threads);
-        crossbeam::thread::scope(|scope| {
-            for (gs, rs) in genomes.chunks(chunk).zip(results.chunks_mut(chunk)) {
-                let eval = &eval;
-                scope.spawn(move |_| {
-                    for (g, r) in gs.iter().zip(rs.iter_mut()) {
-                        *r = eval(self, g);
-                    }
-                });
-            }
-        })
-        .expect("fitness worker panicked");
-        results
+        sim_core::pool::global().run(genomes.len(), self.threads, |i| eval(self, &genomes[i]))
     }
 }
 
@@ -282,7 +283,10 @@ mod tests {
             &[Spec2006::Libquantum, Spec2006::DealII],
             1,
             20_000,
-            FitnessScale { shift: 6, threads: 2 },
+            FitnessScale {
+                shift: 6,
+                threads: 2,
+            },
         )
     }
 
@@ -290,7 +294,10 @@ mod tests {
     fn lru_vector_scores_about_one() {
         let ctx = tiny_ctx();
         let f = ctx.fitness_single(&Ipv::lru(16), Substrate::Lru);
-        assert!((f - 1.0).abs() < 1e-9, "GIPLR with the LRU vector IS LRU: {f}");
+        assert!(
+            (f - 1.0).abs() < 1e-9,
+            "GIPLR with the LRU vector IS LRU: {f}"
+        );
     }
 
     #[test]
@@ -299,7 +306,10 @@ mod tests {
             &[Spec2006::Libquantum],
             1,
             20_000,
-            FitnessScale { shift: 6, threads: 1 },
+            FitnessScale {
+                shift: 6,
+                threads: 1,
+            },
         );
         let f = ctx.fitness_single(&Ipv::lru_insertion(16), Substrate::Lru);
         assert!(f > 1.02, "LIP on pure streaming should beat LRU: {f}");
@@ -310,17 +320,21 @@ mod tests {
         let ctx = tiny_ctx();
         let kept = ctx.filtered(|name| !name.contains("libquantum"));
         assert_eq!(kept.streams().len(), ctx.streams().len() - 1);
-        assert!(kept.streams().iter().all(|s| !s.name.contains("libquantum")));
+        assert!(kept
+            .streams()
+            .iter()
+            .all(|s| !s.name.contains("libquantum")));
     }
 
     #[test]
     fn fitness_many_matches_sequential() {
         let ctx = tiny_ctx();
         let candidates = vec![Ipv::lru(16), Ipv::lru_insertion(16)];
-        let parallel =
-            ctx.fitness_many(&candidates, |c, g| c.fitness_single(g, Substrate::Plru));
-        let sequential: Vec<f64> =
-            candidates.iter().map(|g| ctx.fitness_single(g, Substrate::Plru)).collect();
+        let parallel = ctx.fitness_many(&candidates, |c, g| c.fitness_single(g, Substrate::Plru));
+        let sequential: Vec<f64> = candidates
+            .iter()
+            .map(|g| ctx.fitness_single(g, Substrate::Plru))
+            .collect();
         assert_eq!(parallel, sequential);
     }
 

@@ -45,7 +45,8 @@ impl Genome for Ipv {
         if rng.gen_bool(rate) {
             let idx = rng.gen_range(0..=self.assoc());
             let value = rng.gen_range(0..self.assoc()) as u8;
-            self.set_entry(idx, value).expect("sampled value is in range");
+            self.set_entry(idx, value)
+                .expect("sampled value is in range");
         }
     }
 }
@@ -65,7 +66,10 @@ impl VectorSet {
     ///
     /// Panics unless there are 2 or 4 vectors.
     pub fn new(vectors: Vec<Ipv>) -> Self {
-        assert!(vectors.len() == 2 || vectors.len() == 4, "vector sets have 2 or 4 members");
+        assert!(
+            vectors.len() == 2 || vectors.len() == 4,
+            "vector sets have 2 or 4 members"
+        );
         VectorSet { vectors }
     }
 
@@ -115,12 +119,10 @@ impl Genome for VectorSet {
             .vectors
             .iter()
             .zip(&other.vectors)
-            .map(|(a, b)| {
-                match rng.gen_range(0..3) {
-                    0 => a.clone(),
-                    1 => b.clone(),
-                    _ => a.crossover(b, rng),
-                }
+            .map(|(a, b)| match rng.gen_range(0..3) {
+                0 => a.clone(),
+                1 => b.clone(),
+                _ => a.crossover(b, rng),
             })
             .collect();
         VectorSet { vectors }
@@ -255,7 +257,7 @@ impl Ga {
             ctx,
             winners,
             |c, g| c.fitness_single(g, substrate),
-            |assoc, rng| Ipv::sample(assoc, rng),
+            Ipv::sample,
         )
     }
 
@@ -291,8 +293,11 @@ impl Ga {
             history.push(scored[0].1);
 
             let next_size = cfg.population.max(2);
-            let mut next: Vec<G> =
-                scored.iter().take(cfg.elitism.min(scored.len())).map(|(g, _)| g.clone()).collect();
+            let mut next: Vec<G> = scored
+                .iter()
+                .take(cfg.elitism.min(scored.len()))
+                .map(|(g, _)| g.clone())
+                .collect();
             while next.len() < next_size {
                 let a = tournament_pick(&scored, cfg.tournament, &mut rng);
                 let b = tournament_pick(&scored, cfg.tournament, &mut rng);
@@ -303,15 +308,15 @@ impl Ga {
             population = next;
         }
         let (best, best_fitness) = scored.swap_remove(0);
-        GaResult { best, best_fitness, history }
+        GaResult {
+            best,
+            best_fitness,
+            history,
+        }
     }
 }
 
-fn tournament_pick<'a, G, R: Rng>(
-    scored: &'a [(G, f64)],
-    size: usize,
-    rng: &mut R,
-) -> &'a G {
+fn tournament_pick<'a, G, R: Rng>(scored: &'a [(G, f64)], size: usize, rng: &mut R) -> &'a G {
     let mut best: &(G, f64) = &scored[rng.gen_range(0..scored.len())];
     for _ in 1..size.max(1) {
         let c = &scored[rng.gen_range(0..scored.len())];
@@ -333,7 +338,10 @@ mod tests {
             &[Spec2006::Libquantum, Spec2006::CactusADM],
             1,
             15_000,
-            FitnessScale { shift: 6, threads: 2 },
+            FitnessScale {
+                shift: 6,
+                threads: 2,
+            },
         )
     }
 
@@ -363,7 +371,10 @@ mod tests {
     #[test]
     fn ga_improves_over_random_start() {
         let ctx = ctx();
-        let ga = Ga::new(GaConfig { generations: 5, ..GaConfig::quick(11) });
+        let ga = Ga::new(GaConfig {
+            generations: 5,
+            ..GaConfig::quick(11)
+        });
         let result = ga.run_single(&ctx, Substrate::Plru);
         assert!(
             result.best_fitness >= *result.history.first().unwrap(),
@@ -381,7 +392,11 @@ mod tests {
         let ga = Ga::new(GaConfig::quick(7));
         let result = ga.run_single(&ctx, Substrate::Plru);
         for w in result.history.windows(2) {
-            assert!(w[1] >= w[0] - 1e-12, "elitism never loses the best: {:?}", result.history);
+            assert!(
+                w[1] >= w[0] - 1e-12,
+                "elitism never loses the best: {:?}",
+                result.history
+            );
         }
     }
 
@@ -397,7 +412,10 @@ mod tests {
     #[test]
     fn vector_set_ga_runs() {
         let ctx = ctx();
-        let ga = Ga::new(GaConfig { generations: 3, ..GaConfig::quick(9) });
+        let ga = Ga::new(GaConfig {
+            generations: 3,
+            ..GaConfig::quick(9)
+        });
         let seeds = vec![VectorSet::new(gippr::vectors::wi_2dgippr().to_vec())];
         let result = ga.run_set(&ctx, 2, seeds);
         assert_eq!(result.best.len(), 2);
@@ -412,10 +430,16 @@ mod tests {
             &[Spec2006::Libquantum],
             1,
             15_000,
-            FitnessScale { shift: 6, threads: 1 },
+            FitnessScale {
+                shift: 6,
+                threads: 1,
+            },
         );
         let lip_fitness = ctx.fitness_single(&Ipv::lru_insertion(16), Substrate::Plru);
-        let ga = Ga::new(GaConfig { generations: 2, ..GaConfig::quick(1) });
+        let ga = Ga::new(GaConfig {
+            generations: 2,
+            ..GaConfig::quick(1)
+        });
         let result = ga.run_seeded(
             &ctx,
             vec![Ipv::lru_insertion(16)],
@@ -428,12 +452,18 @@ mod tests {
     #[test]
     fn two_stage_at_least_matches_best_first_stage_winner() {
         let ctx = ctx();
-        let cfg = GaConfig { generations: 2, ..GaConfig::quick(31) };
+        let cfg = GaConfig {
+            generations: 2,
+            ..GaConfig::quick(31)
+        };
         let ga = Ga::new(cfg);
         // Recompute the stage-one winners exactly as the two-stage run does.
         let stage1_best = (0..3u64)
             .map(|i| {
-                let c = GaConfig { seed: cfg.seed.wrapping_add(1 + i), ..cfg };
+                let c = GaConfig {
+                    seed: cfg.seed.wrapping_add(1 + i),
+                    ..cfg
+                };
                 Ga::new(c).run_single(&ctx, Substrate::Plru).best_fitness
             })
             .fold(f64::MIN, f64::max);

@@ -79,7 +79,10 @@ mod tests {
             &[Spec2006::Libquantum],
             1,
             10_000,
-            FitnessScale { shift: 6, threads: 2 },
+            FitnessScale {
+                shift: 6,
+                threads: 2,
+            },
         )
     }
 

@@ -37,8 +37,15 @@ impl fmt::Display for DgipprError {
             DgipprError::BadVectorCount(n) => {
                 write!(f, "DGIPPR duels between 2 or 4 vectors, got {n}")
             }
-            DgipprError::AssocMismatch { index, got, expected } => {
-                write!(f, "vector {index} targets {got} ways but the cache has {expected}")
+            DgipprError::AssocMismatch {
+                index,
+                got,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "vector {index} targets {got} ways but the cache has {expected}"
+                )
             }
             DgipprError::Dueling(e) => write!(f, "dueling setup failed: {e}"),
         }
@@ -109,7 +116,12 @@ impl DgipprPolicy {
     /// Returns [`DgipprError`] on associativity mismatch or an infeasible
     /// dueling layout.
     pub fn two_vector(geom: &CacheGeometry, vectors: [Ipv; 2]) -> Result<Self, DgipprError> {
-        Self::with_config(geom, vectors.to_vec(), DEFAULT_LEADERS_PER_VECTOR, "2-DGIPPR")
+        Self::with_config(
+            geom,
+            vectors.to_vec(),
+            DEFAULT_LEADERS_PER_VECTOR,
+            "2-DGIPPR",
+        )
     }
 
     /// Creates a 4-vector DGIPPR with the paper's defaults.
@@ -119,7 +131,12 @@ impl DgipprPolicy {
     /// Returns [`DgipprError`] on associativity mismatch or an infeasible
     /// dueling layout.
     pub fn four_vector(geom: &CacheGeometry, vectors: [Ipv; 4]) -> Result<Self, DgipprError> {
-        Self::with_config(geom, vectors.to_vec(), DEFAULT_LEADERS_PER_VECTOR, "4-DGIPPR")
+        Self::with_config(
+            geom,
+            vectors.to_vec(),
+            DEFAULT_LEADERS_PER_VECTOR,
+            "4-DGIPPR",
+        )
     }
 
     /// Fully configurable constructor.
@@ -198,7 +215,12 @@ impl DgipprPolicy {
         let sets = self.trees.len();
         // Salted so the bypass leaders land on different sets than the
         // vector-duel leaders.
-        self.bypass_duel = Some(DuelController::two_salted(sets, leaders_per_side, PSEL_BITS, 7)?);
+        self.bypass_duel = Some(DuelController::two_salted(
+            sets,
+            leaders_per_side,
+            PSEL_BITS,
+            7,
+        )?);
         self.name.push_str("+bypass");
         Ok(self)
     }
@@ -218,6 +240,7 @@ impl DgipprPolicy {
         &self.duel
     }
 
+    #[inline]
     fn active_vector(&self, set: usize) -> &Ipv {
         &self.vectors[self.duel.policy_for_set(set)]
     }
@@ -228,10 +251,12 @@ impl ReplacementPolicy for DgipprPolicy {
         &self.name
     }
 
+    #[inline]
     fn victim(&mut self, set: usize, _ctx: &AccessContext) -> usize {
         self.trees[set].victim()
     }
 
+    #[inline]
     fn on_hit(&mut self, set: usize, way: usize, _ctx: &AccessContext) {
         let target = {
             let tree = &self.trees[set];
@@ -240,6 +265,7 @@ impl ReplacementPolicy for DgipprPolicy {
         self.trees[set].set_position(way, target);
     }
 
+    #[inline]
     fn on_miss(&mut self, set: usize, _ctx: &AccessContext) {
         self.duel.record_miss(set);
         if let Some(d) = &mut self.bypass_duel {
@@ -247,6 +273,7 @@ impl ReplacementPolicy for DgipprPolicy {
         }
     }
 
+    #[inline]
     fn should_bypass(&mut self, set: usize, _ctx: &AccessContext) -> bool {
         let Some(d) = &self.bypass_duel else {
             return false;
@@ -257,6 +284,7 @@ impl ReplacementPolicy for DgipprPolicy {
         d.policy_for_set(set) == 0 && self.active_vector(set).insertion() == ways - 1
     }
 
+    #[inline]
     fn on_fill(&mut self, set: usize, way: usize, _ctx: &AccessContext) {
         let target = self.active_vector(set).insertion();
         self.trees[set].set_position(way, target);
@@ -268,7 +296,10 @@ impl ReplacementPolicy for DgipprPolicy {
 
     fn global_bits(&self) -> u64 {
         self.duel.counter_bits()
-            + self.bypass_duel.as_ref().map_or(0, DuelController::counter_bits)
+            + self
+                .bypass_duel
+                .as_ref()
+                .map_or(0, DuelController::counter_bits)
     }
 }
 
@@ -318,7 +349,11 @@ mod tests {
         let good = vectors::wi_gippr();
         assert!(matches!(
             DgipprPolicy::with_config(&g, vec![good, bad], 32, "x"),
-            Err(DgipprError::AssocMismatch { index: 1, got: 8, expected: 16 })
+            Err(DgipprError::AssocMismatch {
+                index: 1,
+                got: 8,
+                expected: 16
+            })
         ));
     }
 
@@ -328,8 +363,7 @@ mod tests {
         // Vector 0 = PMRU insertion (position 0), vector 1 = PLRU insertion.
         let v0 = Ipv::lru(16);
         let v1 = Ipv::lru_insertion(16);
-        let mut p =
-            DgipprPolicy::with_config(&g, vec![v0, v1], 32, "test-2d").unwrap();
+        let mut p = DgipprPolicy::with_config(&g, vec![v0, v1], 32, "test-2d").unwrap();
         let map = *p.duel().leader_map();
         let mut checked = [false, false];
         for set in 0..g.sets() {
@@ -364,8 +398,9 @@ mod tests {
         }
         assert_eq!(p.winner(), 1);
         // A follower set now inserts at PLRU (vector 1's insertion).
-        let follower =
-            (0..g.sets()).find(|&s| map.role(s) == SetRole::Follower).unwrap();
+        let follower = (0..g.sets())
+            .find(|&s| map.role(s) == SetRole::Follower)
+            .unwrap();
         p.on_fill(follower, 2, &ctx());
         assert_eq!(p.trees[follower].position(2), 15);
     }
@@ -410,7 +445,9 @@ mod tests {
         let v1 = Ipv::lru_insertion(16);
         let mut p = DgipprPolicy::with_config(&g, vec![v0, v1], 32, "t").unwrap();
         let map = *p.duel().leader_map();
-        let follower = (0..g.sets()).find(|&s| map.role(s) == SetRole::Follower).unwrap();
+        let follower = (0..g.sets())
+            .find(|&s| map.role(s) == SetRole::Follower)
+            .unwrap();
         p.on_fill(follower, 9, &ctx());
         let pos_before = p.trees[follower].position(9);
         for _ in 0..100 {
@@ -430,7 +467,11 @@ mod tests {
             .unwrap()
             .with_bypass(32)
             .unwrap();
-        assert_eq!(p.global_bits(), 44, "three duel counters plus one bypass counter");
+        assert_eq!(
+            p.global_bits(),
+            44,
+            "three duel counters plus one bypass counter"
+        );
         assert_eq!(p.name(), "4-DGIPPR+bypass");
     }
 
@@ -446,7 +487,9 @@ mod tests {
             .unwrap();
         let map = *p.duel().leader_map();
         // In a vector-0 leader set, insertion is at PMRU: never bypass.
-        let v0_leader = (0..g.sets()).find(|&s| map.role(s) == SetRole::Leader(0)).unwrap();
+        let v0_leader = (0..g.sets())
+            .find(|&s| map.role(s) == SetRole::Leader(0))
+            .unwrap();
         assert!(!p.should_bypass(v0_leader, &ctx()));
         // Flip the bypass duel toward side 0 by hammering side 1's leaders
         // with misses; then any vector-1 follower-or-leader set whose
@@ -488,7 +531,10 @@ mod tests {
                 assert!(!cache.probe(blk), "bypassed block must not be resident");
             }
         }
-        assert!(bypassed > 0, "streaming under PLRU insertion triggers bypass somewhere");
+        assert!(
+            bypassed > 0,
+            "streaming under PLRU insertion triggers bypass somewhere"
+        );
     }
 
     #[test]

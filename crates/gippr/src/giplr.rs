@@ -176,8 +176,9 @@ mod tests {
         let mut cache = SetAssocCache::new(g, Box::new(p));
         // Reference model: per-set LRU lists of block addresses.
         let mut model: Vec<Vec<u64>> = vec![Vec::new(); 2];
-        let stream: Vec<u64> =
-            vec![0, 2, 4, 6, 8, 0, 10, 12, 2, 14, 16, 1, 3, 5, 1, 7, 9, 3, 11, 0, 4, 8];
+        let stream: Vec<u64> = vec![
+            0, 2, 4, 6, 8, 0, 10, 12, 2, 14, 16, 1, 3, 5, 1, 7, 9, 3, 11, 0, 4, 8,
+        ];
         for blk in stream {
             let set = (blk % 2) as usize;
             let hit_model = model[set].contains(&blk);

@@ -54,7 +54,12 @@ pub fn transition_graph(ipv: &Ipv) -> TransitionGraph {
     for j in ipv.insertion()..k.saturating_sub(1) {
         push_unique(&mut shift, (j, j + 1));
     }
-    TransitionGraph { access, shift, insertion: ipv.insertion(), assoc: k }
+    TransitionGraph {
+        access,
+        shift,
+        insertion: ipv.insertion(),
+        assoc: k,
+    }
 }
 
 /// Renders `ipv`'s transition graph as Graphviz DOT, in the visual

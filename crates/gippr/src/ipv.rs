@@ -67,11 +67,18 @@ impl fmt::Display for IpvError {
             IpvError::WrongLength { got, expected } => {
                 write!(f, "IPV needs {expected} entries (assoc + 1), got {got}")
             }
-            IpvError::PositionOutOfRange { index, value, assoc } => {
+            IpvError::PositionOutOfRange {
+                index,
+                value,
+                assoc,
+            } => {
                 write!(f, "IPV entry {index} is {value}, outside 0..{assoc}")
             }
             IpvError::BadAssociativity(k) => {
-                write!(f, "associativity {k} unsupported (power of two in 2..=64 required)")
+                write!(
+                    f,
+                    "associativity {k} unsupported (power of two in 2..=64 required)"
+                )
             }
             IpvError::Unparsable(tok) => write!(f, "cannot parse IPV entry {tok:?}"),
         }
@@ -92,12 +99,21 @@ impl Ipv {
             return Err(IpvError::BadAssociativity(assoc));
         }
         if entries.len() != assoc + 1 {
-            return Err(IpvError::WrongLength { got: entries.len(), expected: assoc + 1 });
+            return Err(IpvError::WrongLength {
+                got: entries.len(),
+                expected: assoc + 1,
+            });
         }
-        if let Some((index, &value)) =
-            entries.iter().enumerate().find(|(_, &v)| usize::from(v) >= assoc)
+        if let Some((index, &value)) = entries
+            .iter()
+            .enumerate()
+            .find(|(_, &v)| usize::from(v) >= assoc)
         {
-            return Err(IpvError::PositionOutOfRange { index, value, assoc });
+            return Err(IpvError::PositionOutOfRange {
+                index,
+                value,
+                assoc,
+            });
         }
         Ok(Ipv { entries, assoc })
     }
@@ -142,12 +158,18 @@ impl Ipv {
     /// # Panics
     ///
     /// Panics if `pos >= assoc`.
+    #[inline]
     pub fn promotion(&self, pos: usize) -> usize {
-        assert!(pos < self.assoc, "position {pos} out of range for {}-way IPV", self.assoc);
+        assert!(
+            pos < self.assoc,
+            "position {pos} out of range for {}-way IPV",
+            self.assoc
+        );
         usize::from(self.entries[pos])
     }
 
     /// The position incoming blocks are inserted at (`V[k]`).
+    #[inline]
     pub fn insertion(&self) -> usize {
         usize::from(self.entries[self.assoc])
     }
@@ -169,7 +191,11 @@ impl Ipv {
     pub fn set_entry(&mut self, index: usize, value: u8) -> Result<(), IpvError> {
         assert!(index <= self.assoc, "IPV index {index} out of range");
         if usize::from(value) >= self.assoc {
-            return Err(IpvError::PositionOutOfRange { index, value, assoc: self.assoc });
+            return Err(IpvError::PositionOutOfRange {
+                index,
+                value,
+                assoc: self.assoc,
+            });
         }
         self.entries[index] = value;
         Ok(())
@@ -280,7 +306,10 @@ impl FromStr for Ipv {
         let cleaned = s.trim().trim_start_matches('[').trim_end_matches(']');
         let entries = cleaned
             .split_whitespace()
-            .map(|tok| tok.parse::<u8>().map_err(|_| IpvError::Unparsable(tok.to_string())))
+            .map(|tok| {
+                tok.parse::<u8>()
+                    .map_err(|_| IpvError::Unparsable(tok.to_string()))
+            })
             .collect::<Result<Vec<_>, _>>()?;
         if entries.is_empty() {
             return Err(IpvError::Unparsable(s.to_string()));
@@ -314,7 +343,10 @@ mod tests {
     fn rejects_wrong_length() {
         assert_eq!(
             Ipv::new(vec![0; 16], 16),
-            Err(IpvError::WrongLength { got: 16, expected: 17 })
+            Err(IpvError::WrongLength {
+                got: 16,
+                expected: 17
+            })
         );
     }
 
@@ -324,13 +356,20 @@ mod tests {
         v[4] = 16;
         assert_eq!(
             Ipv::new(v, 16),
-            Err(IpvError::PositionOutOfRange { index: 4, value: 16, assoc: 16 })
+            Err(IpvError::PositionOutOfRange {
+                index: 4,
+                value: 16,
+                assoc: 16
+            })
         );
     }
 
     #[test]
     fn rejects_bad_associativity() {
-        assert_eq!(Ipv::new(vec![0; 13], 12), Err(IpvError::BadAssociativity(12)));
+        assert_eq!(
+            Ipv::new(vec![0; 13], 12),
+            Err(IpvError::BadAssociativity(12))
+        );
         assert_eq!(Ipv::new(vec![0; 2], 1), Err(IpvError::BadAssociativity(1)));
     }
 
@@ -346,9 +385,15 @@ mod tests {
 
     #[test]
     fn parse_errors_are_typed() {
-        assert!(matches!("0 0 x".parse::<Ipv>(), Err(IpvError::Unparsable(_))));
+        assert!(matches!(
+            "0 0 x".parse::<Ipv>(),
+            Err(IpvError::Unparsable(_))
+        ));
         assert!(matches!("".parse::<Ipv>(), Err(IpvError::Unparsable(_))));
-        assert!(matches!("9 9 9".parse::<Ipv>(), Err(IpvError::PositionOutOfRange { .. })));
+        assert!(matches!(
+            "9 9 9".parse::<Ipv>(),
+            Err(IpvError::PositionOutOfRange { .. })
+        ));
     }
 
     #[test]
@@ -424,7 +469,11 @@ mod tests {
         // LIP stays LIP at any width; LRU stays LRU.
         for w in [4usize, 8, 32, 64] {
             let lip = Ipv::lru_insertion(16).rescaled(w).unwrap();
-            assert_eq!(lip.insertion(), w * 15 / 16, "near-LRU insertion at {w} ways");
+            assert_eq!(
+                lip.insertion(),
+                w * 15 / 16,
+                "near-LRU insertion at {w} ways"
+            );
             let lru = Ipv::lru(16).rescaled(w).unwrap();
             assert_eq!(lru.insertion(), 0);
             assert!(lru.entries().iter().all(|&e| e == 0));
@@ -434,8 +483,15 @@ mod tests {
     #[test]
     fn error_display_nonempty() {
         for e in [
-            IpvError::WrongLength { got: 1, expected: 2 },
-            IpvError::PositionOutOfRange { index: 0, value: 9, assoc: 4 },
+            IpvError::WrongLength {
+                got: 1,
+                expected: 2,
+            },
+            IpvError::PositionOutOfRange {
+                index: 0,
+                value: 9,
+                assoc: 4,
+            },
             IpvError::BadAssociativity(3),
             IpvError::Unparsable("x".into()),
         ] {

@@ -70,11 +70,13 @@ impl PlruTree {
         self.ways as u64 - 1
     }
 
+    #[inline]
     fn node_bit(&self, node: usize) -> bool {
         debug_assert!((1..self.ways).contains(&node));
         self.bits >> (node - 1) & 1 == 1
     }
 
+    #[inline]
     fn set_node_bit(&mut self, node: usize, value: bool) {
         debug_assert!((1..self.ways).contains(&node));
         let mask = 1u64 << (node - 1);
@@ -87,6 +89,7 @@ impl PlruTree {
 
     /// Finds the PseudoLRU victim way (paper Figure 5): follow plru bits
     /// from the root, 0 = left, 1 = right.
+    #[inline]
     pub fn victim(&self) -> usize {
         let mut node = 1;
         while node < self.ways {
@@ -103,6 +106,7 @@ impl PlruTree {
     /// # Panics
     ///
     /// Panics if `way` is out of range.
+    #[inline]
     pub fn promote(&mut self, way: usize) {
         self.set_position(way, 0);
     }
@@ -117,8 +121,13 @@ impl PlruTree {
     /// # Panics
     ///
     /// Panics if `way` is out of range.
+    #[inline]
     pub fn position(&self, way: usize) -> usize {
-        assert!(way < self.ways, "way {way} out of range for {}-way tree", self.ways);
+        assert!(
+            way < self.ways,
+            "way {way} out of range for {}-way tree",
+            self.ways
+        );
         let mut node = self.ways + way;
         let mut pos = 0usize;
         let mut i = 0u32;
@@ -150,8 +159,13 @@ impl PlruTree {
     /// # Panics
     ///
     /// Panics if `way` or `position` is out of range.
+    #[inline]
     pub fn set_position(&mut self, way: usize, position: usize) {
-        assert!(way < self.ways, "way {way} out of range for {}-way tree", self.ways);
+        assert!(
+            way < self.ways,
+            "way {way} out of range for {}-way tree",
+            self.ways
+        );
         assert!(
             position < self.ways,
             "position {position} out of range for {}-way tree",
@@ -181,7 +195,11 @@ impl PlruTree {
 
 impl fmt::Debug for PlruTree {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "PlruTree {{ ways: {}, bits: {:#b} }}", self.ways, self.bits)
+        write!(
+            f,
+            "PlruTree {{ ways: {}, bits: {:#b} }}",
+            self.ways, self.bits
+        )
     }
 }
 
@@ -232,7 +250,11 @@ mod tests {
         for w in 0..16 {
             for p in 0..16 {
                 t.set_position(w, p);
-                assert_eq!(t.position(w), p, "set then read must agree (way {w}, pos {p})");
+                assert_eq!(
+                    t.position(w),
+                    p,
+                    "set then read must agree (way {w}, pos {p})"
+                );
             }
         }
     }
@@ -259,7 +281,11 @@ mod tests {
         for (w, &p) in fig8.iter().enumerate() {
             t.set_position(w, p);
         }
-        assert_eq!(t.positions(), fig8, "figure 8's position assignment is realizable");
+        assert_eq!(
+            t.positions(),
+            fig8,
+            "figure 8's position assignment is realizable"
+        );
         // The root bit in figure 8 is 1, so the victim lies in the right half.
         assert!(t.victim() >= 8);
         assert_eq!(t.position(t.victim()), 15);

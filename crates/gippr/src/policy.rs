@@ -33,7 +33,9 @@ impl PlruPolicy {
     /// Panics if the associativity is not a power of two in `2..=64`
     /// (geometry construction normally guarantees this).
     pub fn new(geom: &CacheGeometry) -> Self {
-        PlruPolicy { trees: vec![PlruTree::new(geom.ways()); geom.sets()] }
+        PlruPolicy {
+            trees: vec![PlruTree::new(geom.ways()); geom.sets()],
+        }
     }
 
     /// The PLRU tree of `set` (test/diagnostic aid).
@@ -47,14 +49,17 @@ impl ReplacementPolicy for PlruPolicy {
         "PseudoLRU"
     }
 
+    #[inline]
     fn victim(&mut self, set: usize, _ctx: &AccessContext) -> usize {
         self.trees[set].victim()
     }
 
+    #[inline]
     fn on_hit(&mut self, set: usize, way: usize, _ctx: &AccessContext) {
         self.trees[set].promote(way);
     }
 
+    #[inline]
     fn on_fill(&mut self, set: usize, way: usize, _ctx: &AccessContext) {
         self.trees[set].promote(way);
     }
@@ -137,16 +142,19 @@ impl ReplacementPolicy for GipprPolicy {
         &self.name
     }
 
+    #[inline]
     fn victim(&mut self, set: usize, _ctx: &AccessContext) -> usize {
         self.trees[set].victim()
     }
 
+    #[inline]
     fn on_hit(&mut self, set: usize, way: usize, _ctx: &AccessContext) {
         let tree = &mut self.trees[set];
         let pos = tree.position(way);
         tree.set_position(way, self.ipv.promotion(pos));
     }
 
+    #[inline]
     fn on_fill(&mut self, set: usize, way: usize, _ctx: &AccessContext) {
         self.trees[set].set_position(way, self.ipv.insertion());
     }
@@ -200,8 +208,9 @@ mod tests {
         let g = geom16();
         let mut gippr = GipprPolicy::new(&g, Ipv::lru(16)).unwrap();
         let mut plru = PlruPolicy::new(&g);
-        let events: Vec<(bool, usize)> =
-            (0..200).map(|i| (i % 3 == 0, (i * 7 + i / 5) % 16)).collect();
+        let events: Vec<(bool, usize)> = (0..200)
+            .map(|i| (i % 3 == 0, (i * 7 + i / 5) % 16))
+            .collect();
         for (is_hit, way) in events {
             if is_hit {
                 gippr.on_hit(2, way, &ctx());

@@ -33,8 +33,13 @@ impl RecencyStack {
     ///
     /// Panics unless `ways` is in `2..=64`.
     pub fn new(ways: usize) -> Self {
-        assert!((2..=64).contains(&ways), "recency stack supports 2..=64 ways, got {ways}");
-        RecencyStack { position: (0..ways as u8).collect() }
+        assert!(
+            (2..=64).contains(&ways),
+            "recency stack supports 2..=64 ways, got {ways}"
+        );
+        RecencyStack {
+            position: (0..ways as u8).collect(),
+        }
     }
 
     /// Associativity.
@@ -189,10 +194,22 @@ mod tests {
     #[test]
     fn permutation_survives_chaotic_moves() {
         let mut s = RecencyStack::new(16);
-        let moves = [(0usize, 15usize), (15, 0), (7, 7), (3, 12), (12, 3), (8, 1), (1, 14)];
+        let moves = [
+            (0usize, 15usize),
+            (15, 0),
+            (7, 7),
+            (3, 12),
+            (12, 3),
+            (8, 1),
+            (1, 14),
+        ];
         for &(w, t) in &moves {
             s.move_to(w, t);
-            assert!(s.is_permutation(), "after move {w}->{t}: {:?}", s.positions());
+            assert!(
+                s.is_permutation(),
+                "after move {w}->{t}: {:?}",
+                s.positions()
+            );
         }
     }
 

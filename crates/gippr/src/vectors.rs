@@ -77,9 +77,17 @@ mod tests {
     #[test]
     fn giplr_best_matches_paper_text() {
         let v = giplr_best();
-        assert_eq!(v.insertion(), 13, "incoming blocks inserted into position 13");
+        assert_eq!(
+            v.insertion(),
+            13,
+            "incoming blocks inserted into position 13"
+        );
         assert_eq!(v.promotion(15), 11, "a block referenced at LRU moves to 11");
-        assert_eq!(v.promotion(2), 1, "a block referenced in position 2 moves to 1");
+        assert_eq!(
+            v.promotion(2),
+            1,
+            "a block referenced in position 2 moves to 1"
+        );
         assert_eq!(v.promotion(5), 0, "position 5 promotes to MRU");
         assert_eq!(v.promotion(4), 3, "position 4 promotes only to 3");
     }

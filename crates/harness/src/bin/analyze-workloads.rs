@@ -22,7 +22,14 @@ fn main() {
             "stack-distance profiles at {scale} scale (LLC = {llc_blocks} blocks); \
              hit ratios of fully-associative LRU at fractions of LLC capacity"
         ),
-        &["benchmark", "cold%", "hit@1/4", "hit@1/2", "hit@1x", "hit@2x"],
+        &[
+            "benchmark",
+            "cold%",
+            "hit@1/4",
+            "hit@1/2",
+            "hit@1x",
+            "hit@2x",
+        ],
     );
     for b in Spec2006::all() {
         let stream: Vec<Access> = b
@@ -44,8 +51,10 @@ fn main() {
         ]);
     }
     println!("{table}");
-    println!("(hit@1x vs hit@2x separates 'fits' from 'thrash' models; a big jump between \
-              them marks the capacity-sensitive benchmarks the paper's technique targets)");
+    println!(
+        "(hit@1x vs hit@2x separates 'fits' from 'thrash' models; a big jump between \
+              them marks the capacity-sensitive benchmarks the paper's technique targets)"
+    );
     if let Some(dir) = out {
         let path = format!("{dir}/workload-profiles.csv");
         table.write_csv(&path).expect("write CSV");

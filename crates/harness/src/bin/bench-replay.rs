@@ -1,0 +1,239 @@
+//! Measures replay-engine throughput — the monomorphized engine against
+//! the frozen seed (v0) dyn-dispatch engine — and emits `BENCH_replay.json`.
+//!
+//! Usage: `bench-replay [--scale micro|quick|medium|paper] [--json PATH]`
+//!
+//! For each policy the same captured LLC stream is replayed through three
+//! engines:
+//!
+//! * `seed` — [`harness::seed_replay::replay_llc_seed`], a verbatim copy
+//!   of the v0 engine (boxed policy, early-exit double scan). This is the
+//!   denominator of `speedup`, so the number tracks total engine progress
+//!   across PRs.
+//! * `dyn` — [`mem_model::replay_llc`], today's engine driving a
+//!   `Box<dyn ReplacementPolicy>` (the `PolicyFactory` compatibility path).
+//! * `mono` — [`mem_model::replay_llc_mono`] at the concrete policy type
+//!   (the GA fitness fast path; no virtual dispatch).
+//!
+//! Reported rates are accesses per second over the best of several timed
+//! repetitions.
+
+use baselines::{DrripPolicy, TrueLru};
+use gippr::{DgipprPolicy, GipprPolicy, PlruPolicy};
+use harness::seed_replay::replay_llc_seed;
+use harness::{policies, Scale};
+use mem_model::cpi::WindowPerfModel;
+use mem_model::{replay_llc, replay_llc_mono, LlcRunResult};
+use sim_core::{Access, CacheGeometry, PolicyFactory, ReplacementPolicy};
+use std::io::Write;
+use std::time::Instant;
+use traces::spec2006::Spec2006;
+
+/// Timed rounds per measurement; each round runs every engine once
+/// (interleaved, so background noise lands on all engines alike) and the
+/// fastest round per engine is reported.
+const ROUNDS: usize = 9;
+
+fn timed<F: FnOnce() -> LlcRunResult>(run: F) -> (f64, u64) {
+    let start = Instant::now();
+    let result = run();
+    (start.elapsed().as_secs_f64(), result.stats.misses)
+}
+
+struct Row {
+    name: &'static str,
+    seed_rate: f64,
+    dyn_rate: f64,
+    mono_rate: f64,
+}
+
+impl Row {
+    /// The tracked number: monomorphized engine over the seed engine.
+    fn speedup(&self) -> f64 {
+        self.mono_rate / self.seed_rate
+    }
+}
+
+fn measure<P, M>(
+    name: &'static str,
+    stream: &[Access],
+    geom: CacheGeometry,
+    warmup: usize,
+    factory: &PolicyFactory,
+    make_mono: M,
+) -> Row
+where
+    P: ReplacementPolicy,
+    M: Fn(&CacheGeometry) -> P,
+{
+    // `black_box` stops LTO from tracing the boxed policy back to its
+    // concrete type and devirtualizing the dyn paths — in real sweeps the
+    // factory is picked from a runtime table, so that optimization is not
+    // available. The mono policy is boxed-in-value only: its concrete
+    // type (and thus inlining) is unaffected.
+    let perf = WindowPerfModel::default();
+    let (mut seed_best, mut dyn_best, mut mono_best) =
+        (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+    for _ in 0..ROUNDS {
+        let (t, seed_misses) = timed(|| {
+            replay_llc_seed(
+                stream,
+                geom,
+                std::hint::black_box(factory(&geom)),
+                warmup,
+                &perf,
+            )
+        });
+        seed_best = seed_best.min(t);
+        let (t, dyn_misses) = timed(|| {
+            replay_llc(
+                stream,
+                geom,
+                std::hint::black_box(factory(&geom)),
+                warmup,
+                &perf,
+            )
+        });
+        dyn_best = dyn_best.min(t);
+        let (t, mono_misses) = timed(|| {
+            replay_llc_mono(
+                stream,
+                geom,
+                std::hint::black_box(make_mono(&geom)),
+                warmup,
+                &perf,
+            )
+        });
+        mono_best = mono_best.min(t);
+        assert_eq!(
+            seed_misses, dyn_misses,
+            "{name}: engines must agree before being compared"
+        );
+        assert_eq!(
+            dyn_misses, mono_misses,
+            "{name}: paths must agree before being compared"
+        );
+    }
+    let rate = |best: f64| stream.len() as f64 / best.max(1e-12);
+    Row {
+        name,
+        seed_rate: rate(seed_best),
+        dyn_rate: rate(dyn_best),
+        mono_rate: rate(mono_best),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Quick;
+    let mut json_path = "BENCH_replay.json".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = Scale::parse(args.get(i).map(String::as_str).unwrap_or(""))
+                    .expect("--scale micro|quick|medium|paper");
+            }
+            "--json" => {
+                i += 1;
+                json_path = args.get(i).cloned().expect("--json PATH");
+            }
+            other => panic!("unknown argument {other}"),
+        }
+        i += 1;
+    }
+
+    // One representative stream: a thrash-heavy benchmark keeps the
+    // replacement policy busy (every access updates policy state; misses
+    // exercise victim selection).
+    let bench = Spec2006::Libquantum;
+    let workload = harness::workload_cache().workload(scale, bench);
+    let stream: Vec<Access> = workload
+        .simpoints
+        .iter()
+        .flat_map(|sp| sp.stream.iter().copied())
+        .collect();
+    let geom = scale.hierarchy().llc;
+    let warmup = mem_model::llc::default_warmup(stream.len());
+    let leaders = policies::leaders_for(&geom);
+    println!(
+        "replaying {} LLC accesses ({bench}, {scale} scale, {} sets x {} ways)",
+        stream.len(),
+        geom.sets(),
+        geom.ways()
+    );
+
+    let quad = gippr::vectors::wi_4dgippr().to_vec();
+    let rows = vec![
+        measure("LRU", &stream, geom, warmup, &policies::lru(), |g| {
+            TrueLru::new(g)
+        }),
+        measure("PseudoLRU", &stream, geom, warmup, &policies::plru(), |g| {
+            PlruPolicy::new(g)
+        }),
+        measure(
+            "WI-GIPPR",
+            &stream,
+            geom,
+            warmup,
+            &policies::gippr(gippr::vectors::wi_gippr(), "WI-GIPPR"),
+            |g| {
+                GipprPolicy::with_name(g, gippr::vectors::wi_gippr(), "WI-GIPPR")
+                    .expect("assoc matches")
+            },
+        ),
+        measure(
+            "WI-4-DGIPPR",
+            &stream,
+            geom,
+            warmup,
+            &policies::dgippr(quad.clone(), "WI-4-DGIPPR"),
+            |g| {
+                DgipprPolicy::with_config(g, quad.clone(), leaders, "WI-4-DGIPPR")
+                    .expect("valid config")
+            },
+        ),
+        measure("DRRIP", &stream, geom, warmup, &policies::drrip(), |g| {
+            DrripPolicy::with_config(g, leaders, 10).expect("geometry fits DRRIP")
+        }),
+    ];
+
+    let geomean = rows.iter().map(|r| r.speedup().ln()).sum::<f64>() / rows.len() as f64;
+    let geomean = geomean.exp();
+    for r in &rows {
+        println!(
+            "  {:<12} seed {:>11.0} acc/s   dyn {:>11.0} acc/s   mono {:>11.0} acc/s   mono/seed {:.2}x",
+            r.name, r.seed_rate, r.dyn_rate, r.mono_rate,
+            r.speedup()
+        );
+    }
+    println!("  geomean speedup (mono over seed engine): {geomean:.2}x");
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"scale\": \"{scale}\",\n"));
+    json.push_str(&format!("  \"benchmark\": \"{bench}\",\n"));
+    json.push_str(&format!("  \"stream_accesses\": {},\n", stream.len()));
+    json.push_str("  \"baseline\": \"seed (v0) dyn-dispatch replay engine\",\n");
+    json.push_str("  \"policies\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"seed_accesses_per_sec\": {:.0}, \
+             \"dyn_accesses_per_sec\": {:.0}, \"mono_accesses_per_sec\": {:.0}, \
+             \"speedup\": {:.4}}}{}\n",
+            r.name,
+            r.seed_rate,
+            r.dyn_rate,
+            r.mono_rate,
+            r.speedup(),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"geomean_speedup\": {geomean:.4}\n"));
+    json.push_str("}\n");
+    let mut f = std::fs::File::create(&json_path).expect("create json output");
+    f.write_all(json.as_bytes()).expect("write json output");
+    println!("wrote {json_path}");
+}

@@ -23,24 +23,50 @@ fn main() {
 
     println!("stage 1 + 2: evolving a single GIPPR vector (two-stage GA)...");
     let single = ga.run_two_stage_single(&ctx, Substrate::Plru, 4);
-    println!("  best: {}  fitness {:.4}", single.best, single.best_fitness);
+    println!(
+        "  best: {}  fitness {:.4}",
+        single.best, single.best_fitness
+    );
 
     println!("evolving a 2-vector duel (seeded with the published pair)...");
-    let pair = ga.run_set(&ctx, 2, vec![VectorSet::new(gippr::vectors::wi_2dgippr().to_vec())]);
+    let pair = ga.run_set(
+        &ctx,
+        2,
+        vec![VectorSet::new(gippr::vectors::wi_2dgippr().to_vec())],
+    );
     println!("  fitness {:.4}\n{}", pair.best_fitness, pair.best);
 
     println!("evolving a 4-vector duel (seeded with the published quad)...");
-    let quad = ga.run_set(&ctx, 4, vec![VectorSet::new(gippr::vectors::wi_4dgippr().to_vec())]);
+    let quad = ga.run_set(
+        &ctx,
+        4,
+        vec![VectorSet::new(gippr::vectors::wi_4dgippr().to_vec())],
+    );
     println!("  fitness {:.4}\n{}", quad.best_fitness, quad.best);
 
     let mut artifact = String::new();
-    let _ = writeln!(artifact, "# vectors evolved at {scale} scale (fitness = mean linear-CPI speedup over LRU)");
-    let _ = writeln!(artifact, "GIPPR {} # fitness {:.4}", single.best, single.best_fitness);
+    let _ = writeln!(
+        artifact,
+        "# vectors evolved at {scale} scale (fitness = mean linear-CPI speedup over LRU)"
+    );
+    let _ = writeln!(
+        artifact,
+        "GIPPR {} # fitness {:.4}",
+        single.best, single.best_fitness
+    );
     for (i, v) in pair.best.vectors().iter().enumerate() {
-        let _ = writeln!(artifact, "2-DGIPPR[{i}] {v} # set fitness {:.4}", pair.best_fitness);
+        let _ = writeln!(
+            artifact,
+            "2-DGIPPR[{i}] {v} # set fitness {:.4}",
+            pair.best_fitness
+        );
     }
     for (i, v) in quad.best.vectors().iter().enumerate() {
-        let _ = writeln!(artifact, "4-DGIPPR[{i}] {v} # set fitness {:.4}", quad.best_fitness);
+        let _ = writeln!(
+            artifact,
+            "4-DGIPPR[{i}] {v} # set fitness {:.4}",
+            quad.best_fitness
+        );
     }
     print!("\n{artifact}");
     if let Some(dir) = out {

@@ -15,8 +15,10 @@ fn main() {
         "worst {worst:.3}x, best {best:.3}x, geomean {geomean:.3}x, {:.1}% of samples beat LRU",
         better * 100.0
     );
-    println!("(paper: random sampling ranges from significant slowdowns to ~1.028x, \
-              with most samples inferior to LRU)");
+    println!(
+        "(paper: random sampling ranges from significant slowdowns to ~1.028x, \
+              with most samples inferior to LRU)"
+    );
     if let Some(dir) = out {
         let path = format!("{dir}/fig01.csv");
         table.write_csv(&path).expect("write CSV");

@@ -14,7 +14,9 @@ fn main() {
     let (scale, out, wn1) = parse_args(&args);
     let table = fig10::run(scale, VectorMode::from_flag(wn1));
     println!("{table}");
-    println!("(paper geomeans: WN1-GIPPR 0.952, WN1-2-DGIPPR 0.965, WN1-4-DGIPPR 0.910, MIN 0.675)");
+    println!(
+        "(paper geomeans: WN1-GIPPR 0.952, WN1-2-DGIPPR 0.965, WN1-4-DGIPPR 0.910, MIN 0.675)"
+    );
     if let Some(dir) = out {
         let path = format!("{dir}/fig10.csv");
         table.write_csv(&path).expect("write CSV");

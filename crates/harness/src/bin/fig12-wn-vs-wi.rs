@@ -12,8 +12,10 @@ fn main() {
     let (scale, out, _) = parse_args(&args);
     let table = fig12::run(scale);
     println!("{table}");
-    println!("(paper geomeans: WN1 1.035/1.050/1.056 vs WI 1.037/1.051/1.057 for 1/2/4 vectors; \
-              the WN-vs-WI gap is small)");
+    println!(
+        "(paper geomeans: WN1 1.035/1.050/1.056 vs WI 1.037/1.051/1.057 for 1/2/4 vectors; \
+              the WN-vs-WI gap is small)"
+    );
     if let Some(dir) = out {
         let path = format!("{dir}/fig12.csv");
         table.write_csv(&path).expect("write CSV");

@@ -13,10 +13,16 @@ fn main() {
     println!("{}", fig.table);
     println!(
         "memory-intensive subset (DRRIP speedup > 1%): {}",
-        fig.memory_intensive.iter().map(|b| b.name()).collect::<Vec<_>>().join(", ")
+        fig.memory_intensive
+            .iter()
+            .map(|b| b.name())
+            .collect::<Vec<_>>()
+            .join(", ")
     );
-    println!("(paper: all-SPEC geomeans DRRIP +5.4%, PDP +5.7%, WN1-4-DGIPPR +5.6%; \
-              memory-intensive +15.6%, +16.4%, +15.6%)");
+    println!(
+        "(paper: all-SPEC geomeans DRRIP +5.4%, PDP +5.7%, WN1-4-DGIPPR +5.6%; \
+              memory-intensive +15.6%, +16.4%, +15.6%)"
+    );
     if let Some(dir) = out {
         let path = format!("{dir}/fig13.csv");
         fig.table.write_csv(&path).expect("write CSV");

@@ -26,7 +26,18 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (scale, out, wn1) = parse_args(&args);
     let mode = VectorMode::from_flag(wn1);
-    println!("regenerating the full evaluation at {scale} scale ({} vectors)\n", mode.label());
+    println!(
+        "regenerating the full evaluation at {scale} scale ({} vectors)\n",
+        mode.label()
+    );
+
+    // Spill captured workloads to disk so repeated runs skip the L1/L2
+    // simulation entirely (PLRU_CACHE_DIR overrides the location; already
+    // handled inside workload_cache() if set).
+    let cache = harness::workload_cache();
+    if cache.disk_dir().is_none() {
+        cache.set_disk_dir(Some(std::path::PathBuf::from("results/cache")));
+    }
 
     emit(&vectors_tab::run(), &out, "tab-vectors.csv");
     emit(&overhead::run(), &out, "tab-overhead.csv");
@@ -41,5 +52,13 @@ fn main() {
     emit(&multicore_tab::run(scale), &out, "tab-multicore.csv");
     emit(&fig12::run(scale), &out, "fig12.csv");
 
-    println!("done.");
+    println!(
+        "done. workload cache: {} fresh captures, {} loaded from disk ({}).",
+        cache.captures(),
+        cache.disk_loads(),
+        cache
+            .disk_dir()
+            .map(|d| d.display().to_string())
+            .unwrap_or_else(|| "no spill dir".into()),
+    );
 }

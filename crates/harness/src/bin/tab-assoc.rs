@@ -10,8 +10,10 @@ fn main() {
     let (scale, out, _) = parse_args(&args);
     let table = assoc_sweep::run(scale);
     println!("{table}");
-    println!("(PLRU's cost advantage over LRU grows as log2(ways); the IPV mechanism is \
-              defined at every associativity)");
+    println!(
+        "(PLRU's cost advantage over LRU grows as log2(ways); the IPV mechanism is \
+              defined at every associativity)"
+    );
     if let Some(dir) = out {
         let path = format!("{dir}/tab-assoc.csv");
         table.write_csv(&path).expect("write CSV");

@@ -10,8 +10,10 @@ fn main() {
     let (_, out, _) = parse_args(&args);
     let table = overhead::run();
     println!("{table}");
-    println!("(paper: GIPPR/DGIPPR 15 bits/set = 7 KB; LRU 32 KB; DRRIP 16 KB; \
-              PDP 24-32 KB plus a ~10K-NAND-gate microcontroller)");
+    println!(
+        "(paper: GIPPR/DGIPPR 15 bits/set = 7 KB; LRU 32 KB; DRRIP 16 KB; \
+              PDP 24-32 KB plus a ~10K-NAND-gate microcontroller)"
+    );
     if let Some(dir) = out {
         let path = format!("{dir}/tab-overhead.csv");
         table.write_csv(&path).expect("write CSV");

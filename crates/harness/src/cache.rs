@@ -1,0 +1,485 @@
+//! A process-wide capture cache shared by every experiment.
+//!
+//! Capturing a benchmark's LLC stream means simulating the whole L1/L2
+//! hierarchy over the reference trace — by far the most expensive part of
+//! workload preparation, and `run-all` used to repeat it for every figure
+//! that calls [`prepare_workloads`](crate::runner::prepare_workloads).
+//! [`WorkloadCache`] memoizes, per `(Scale, Spec2006)`:
+//!
+//! * the captured simpoint streams plus LRU baseline ([`WorkloadData`]),
+//! * the raw (pre-hierarchy) reference stream used by the multi-core
+//!   experiment,
+//!
+//! and per `(Scale, benches)` the GA [`FitnessContext`] plus per-mode
+//! vector assignments, so the figures 10/11/12/13 share one GA context and
+//! one WN1 sweep instead of four.
+//!
+//! Streams are handed out as `Arc`s: the cache stays the single owner of
+//! each capture and every consumer replays the same bytes.
+//!
+//! # On-disk spill
+//!
+//! When a spill directory is configured ([`WorkloadCache::set_disk_dir`],
+//! or the `PLRU_CACHE_DIR` environment variable for the global cache),
+//! captured workloads are also persisted as one `<scale>-<bench>.wlc` file
+//! each, and later runs load them instead of re-capturing. The file format
+//! is a small header (magic, version, a fingerprint of every capture
+//! parameter, the LRU baseline) followed by each simpoint's weight,
+//! warm-up split, and stream as an embedded `PLRUTRC1` trace container —
+//! so stream integrity is protected by the trace CRC, and any mismatch
+//! (different scale knobs, stale format, corruption) silently falls back
+//! to a fresh capture that overwrites the file.
+
+use crate::experiments::{VectorAssignment, VectorMode};
+use crate::runner::{measure_policy, PolicyMeasurement, SimpointData, WorkloadData};
+use crate::scale::Scale;
+use evolve::FitnessContext;
+use mem_model::capture_llc_stream;
+use sim_core::Access;
+use std::collections::HashMap;
+use std::fs;
+use std::hash::Hash;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use traces::spec2006::Spec2006;
+use traces::{TraceReader, TraceWriter};
+
+/// Magic identifying a spilled-workload file.
+const WLC_MAGIC: &[u8; 8] = b"PLRUWLC1";
+/// Spill format version; bump on any layout change.
+const WLC_VERSION: u32 = 1;
+
+/// A keyed exactly-once memo: concurrent callers asking for the same key
+/// block on one `OnceLock` so the value is computed a single time, while
+/// distinct keys initialize fully in parallel (the map lock is only held
+/// to look up the slot, never during `init`).
+struct Memo<K, V> {
+    map: Mutex<HashMap<K, Arc<OnceLock<Arc<V>>>>>,
+}
+
+impl<K: Eq + Hash, V> Default for Memo<K, V> {
+    fn default() -> Self {
+        Memo {
+            map: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+impl<K: Eq + Hash, V> Memo<K, V> {
+    fn get_or_init<F: FnOnce() -> V>(&self, key: K, init: F) -> Arc<V> {
+        let slot = {
+            let mut map = self.map.lock().expect("memo lock poisoned");
+            map.entry(key).or_default().clone()
+        };
+        slot.get_or_init(|| Arc::new(init())).clone()
+    }
+}
+
+/// The shared workload-capture cache. See the module docs for what it
+/// stores; use [`workload_cache`] for the process-global instance.
+#[derive(Default)]
+pub struct WorkloadCache {
+    workloads: Memo<(Scale, Spec2006), WorkloadData>,
+    raw: Memo<(Scale, Spec2006), Vec<Access>>,
+    contexts: Memo<(Scale, Vec<Spec2006>), FitnessContext>,
+    vectors: Memo<(Scale, Vec<Spec2006>, VectorMode), VectorAssignment>,
+    captures: AtomicUsize,
+    disk_loads: AtomicUsize,
+    disk_dir: Mutex<Option<PathBuf>>,
+}
+
+impl std::fmt::Debug for WorkloadCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkloadCache")
+            .field("captures", &self.captures())
+            .field("disk_loads", &self.disk_loads())
+            .finish_non_exhaustive()
+    }
+}
+
+impl WorkloadCache {
+    /// Creates an empty cache with no spill directory (tests use private
+    /// instances; experiments share [`workload_cache`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enables (`Some`) or disables (`None`) on-disk spill of captured
+    /// workloads. The directory is created on first write.
+    pub fn set_disk_dir(&self, dir: Option<PathBuf>) {
+        *self.disk_dir.lock().expect("disk dir lock poisoned") = dir;
+    }
+
+    /// The configured spill directory, if any.
+    pub fn disk_dir(&self) -> Option<PathBuf> {
+        self.disk_dir
+            .lock()
+            .expect("disk dir lock poisoned")
+            .clone()
+    }
+
+    /// Fresh hierarchy captures performed so far (cache misses).
+    pub fn captures(&self) -> usize {
+        self.captures.load(Ordering::Relaxed)
+    }
+
+    /// Workloads served from the on-disk spill instead of a capture.
+    pub fn disk_loads(&self) -> usize {
+        self.disk_loads.load(Ordering::Relaxed)
+    }
+
+    /// Returns `bench`'s captured simpoint streams and LRU baseline at
+    /// `scale`, capturing (or loading from disk) on first use.
+    pub fn workload(&self, scale: Scale, bench: Spec2006) -> Arc<WorkloadData> {
+        self.workloads.get_or_init((scale, bench), || {
+            let path = self.disk_dir().map(|d| spill_path(&d, scale, bench));
+            if let Some(path) = &path {
+                if let Some(data) = load_workload(path, scale, bench) {
+                    self.disk_loads.fetch_add(1, Ordering::Relaxed);
+                    return data;
+                }
+            }
+            self.captures.fetch_add(1, Ordering::Relaxed);
+            let data = capture_workload(scale, bench);
+            if let Some(path) = &path {
+                // Spill failures are non-fatal: the in-memory copy is what
+                // this run uses; the disk copy only accelerates the next.
+                let _ = save_workload(path, scale, bench, &data);
+            }
+            data
+        })
+    }
+
+    /// Returns `bench`'s raw reference stream (`scale.accesses()` long,
+    /// before any cache filtering), generated once. The multi-core mixes
+    /// replay prefixes of these.
+    pub fn raw_stream(&self, scale: Scale, bench: Spec2006) -> Arc<Vec<Access>> {
+        self.raw.get_or_init((scale, bench), || {
+            bench
+                .workload()
+                .scaled_down(scale.shift())
+                .generator(0)
+                .take(scale.accesses())
+                .collect()
+        })
+    }
+
+    /// Returns the GA fitness context over `benches` at `scale`, built
+    /// once and shared (figure 12 and every WN1 vector assignment use the
+    /// same context).
+    pub fn fitness_context(&self, scale: Scale, benches: &[Spec2006]) -> Arc<FitnessContext> {
+        self.contexts.get_or_init((scale, benches.to_vec()), || {
+            FitnessContext::for_benchmarks(
+                benches,
+                scale.simpoints(),
+                scale.ga_accesses(),
+                scale.fitness(),
+            )
+        })
+    }
+
+    /// Returns the per-benchmark vector assignment for `mode`, computed
+    /// once per `(scale, benches, mode)` — in WN1 mode this is a full GA
+    /// sweep, which figures 10, 11, and 13 would otherwise each repeat.
+    pub fn vector_assignment(
+        &self,
+        scale: Scale,
+        benches: &[Spec2006],
+        mode: VectorMode,
+    ) -> Arc<VectorAssignment> {
+        self.vectors
+            .get_or_init((scale, benches.to_vec(), mode), || {
+                crate::experiments::compute_vector_assignment(self, scale, benches, mode)
+            })
+    }
+}
+
+/// The process-global cache used by
+/// [`prepare_workloads`](crate::runner::prepare_workloads) and the
+/// experiment drivers. Honors `PLRU_CACHE_DIR` for on-disk spill.
+pub fn workload_cache() -> &'static WorkloadCache {
+    static GLOBAL: OnceLock<WorkloadCache> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        let cache = WorkloadCache::new();
+        if let Some(dir) = std::env::var_os("PLRU_CACHE_DIR") {
+            if !dir.is_empty() {
+                cache.set_disk_dir(Some(PathBuf::from(dir)));
+            }
+        }
+        cache
+    })
+}
+
+/// Captures every simpoint of `bench` at `scale` and measures the LRU
+/// baseline — the cache-miss path of [`WorkloadCache::workload`].
+pub fn capture_workload(scale: Scale, bench: Spec2006) -> WorkloadData {
+    let config = scale.hierarchy();
+    let simpoints: Vec<SimpointData> = bench
+        .simpoints()
+        .into_iter()
+        .take(scale.simpoints().max(1))
+        .map(|sp| {
+            let mut spec = bench.workload().scaled_down(scale.shift());
+            spec.seed ^= sp.index.wrapping_mul(0x517c_c1b7_2722_0a95);
+            let (stream, _) =
+                capture_llc_stream(config, spec.generator(sp.index).take(scale.accesses()));
+            let warmup = mem_model::llc::default_warmup(stream.len());
+            SimpointData {
+                weight: sp.weight,
+                stream: Arc::new(stream),
+                warmup,
+            }
+        })
+        .collect();
+    let mut data = WorkloadData {
+        bench,
+        simpoints,
+        lru: PolicyMeasurement {
+            mpki: 0.0,
+            cycles: 1.0,
+            misses: 0.0,
+        },
+    };
+    data.lru = measure_policy(&data, &crate::policies::lru(), config.llc);
+    data
+}
+
+fn spill_path(dir: &Path, scale: Scale, bench: Spec2006) -> PathBuf {
+    dir.join(format!("{scale}-{}.wlc", bench.name()))
+}
+
+/// FNV-1a over every knob that determines a capture's content, so stale
+/// spill files from different scale parameters (or a changed format) are
+/// rejected instead of silently replayed.
+fn fingerprint(scale: Scale, bench: Spec2006) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    eat(b"wlc-fingerprint-v1");
+    eat(scale.to_string().as_bytes());
+    eat(&(scale.shift() as u64).to_le_bytes());
+    eat(&(scale.accesses() as u64).to_le_bytes());
+    eat(&(scale.simpoints() as u64).to_le_bytes());
+    eat(bench.name().as_bytes());
+    h
+}
+
+/// Persists `data` at `path` (write-to-temp + rename, so readers never see
+/// a half-written file).
+fn save_workload(
+    path: &Path,
+    scale: Scale,
+    bench: Spec2006,
+    data: &WorkloadData,
+) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir)?;
+    }
+    let tmp = path.with_extension("wlc.tmp");
+    {
+        let mut w = BufWriter::new(fs::File::create(&tmp)?);
+        w.write_all(WLC_MAGIC)?;
+        w.write_all(&WLC_VERSION.to_le_bytes())?;
+        w.write_all(&fingerprint(scale, bench).to_le_bytes())?;
+        w.write_all(&data.lru.mpki.to_le_bytes())?;
+        w.write_all(&data.lru.cycles.to_le_bytes())?;
+        w.write_all(&data.lru.misses.to_le_bytes())?;
+        w.write_all(&(data.simpoints.len() as u32).to_le_bytes())?;
+        for sp in &data.simpoints {
+            w.write_all(&sp.weight.to_le_bytes())?;
+            w.write_all(&(sp.warmup as u64).to_le_bytes())?;
+            let mut tw = TraceWriter::new(&mut w).map_err(trace_to_io)?;
+            for a in sp.stream.iter() {
+                tw.write(a).map_err(trace_to_io)?;
+            }
+            tw.finish().map_err(trace_to_io)?;
+        }
+        w.flush()?;
+    }
+    fs::rename(&tmp, path)
+}
+
+fn trace_to_io(e: traces::TraceError) -> std::io::Error {
+    match e {
+        traces::TraceError::Io(io) => io,
+        other => std::io::Error::other(other.to_string()),
+    }
+}
+
+/// Loads a spilled workload, returning `None` (fall back to capture) on
+/// any mismatch: missing file, foreign magic, stale version or
+/// fingerprint, truncation, or a failed trace CRC.
+fn load_workload(path: &Path, scale: Scale, bench: Spec2006) -> Option<WorkloadData> {
+    let mut r = BufReader::new(fs::File::open(path).ok()?);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic).ok()?;
+    if &magic != WLC_MAGIC {
+        return None;
+    }
+    if read_u32(&mut r)? != WLC_VERSION {
+        return None;
+    }
+    if read_u64(&mut r)? != fingerprint(scale, bench) {
+        return None;
+    }
+    let lru = PolicyMeasurement {
+        mpki: read_f64(&mut r)?,
+        cycles: read_f64(&mut r)?,
+        misses: read_f64(&mut r)?,
+    };
+    let n = read_u32(&mut r)? as usize;
+    let mut simpoints = Vec::with_capacity(n);
+    for _ in 0..n {
+        let weight = read_f64(&mut r)?;
+        let warmup = read_u64(&mut r)? as usize;
+        let stream: Vec<Access> = TraceReader::new(&mut r)
+            .ok()?
+            .collect::<Result<_, _>>()
+            .ok()?;
+        simpoints.push(SimpointData {
+            weight,
+            stream: Arc::new(stream),
+            warmup,
+        });
+    }
+    Some(WorkloadData {
+        bench,
+        simpoints,
+        lru,
+    })
+}
+
+fn read_u32<R: Read>(r: &mut R) -> Option<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf).ok()?;
+    Some(u32::from_le_bytes(buf))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> Option<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf).ok()?;
+    Some(u64::from_le_bytes(buf))
+}
+
+fn read_f64<R: Read>(r: &mut R) -> Option<f64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf).ok()?;
+    Some(f64::from_le_bytes(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench() -> Spec2006 {
+        Spec2006::Libquantum
+    }
+
+    #[test]
+    fn capture_happens_exactly_once_per_key() {
+        let cache = WorkloadCache::new();
+        // Hammer the same key from the pool: the memo must serialize
+        // initialization down to one capture.
+        let first = cache.workload(Scale::Micro, bench());
+        let again: Vec<_> =
+            sim_core::pool::global().run(8, usize::MAX, |_| cache.workload(Scale::Micro, bench()));
+        assert_eq!(cache.captures(), 1);
+        for w in &again {
+            assert!(
+                Arc::ptr_eq(w, &first),
+                "every caller shares the same capture"
+            );
+        }
+        // A different scale is a different key.
+        let _ = cache.workload(Scale::Quick, bench());
+        assert_eq!(cache.captures(), 2);
+    }
+
+    #[test]
+    fn cached_workload_matches_fresh_capture() {
+        let cache = WorkloadCache::new();
+        let cached = cache.workload(Scale::Micro, bench());
+        let fresh = capture_workload(Scale::Micro, bench());
+        assert_eq!(cached.simpoints.len(), fresh.simpoints.len());
+        for (c, f) in cached.simpoints.iter().zip(&fresh.simpoints) {
+            assert_eq!(
+                c.stream, f.stream,
+                "cached stream identical to fresh capture"
+            );
+            assert_eq!(c.warmup, f.warmup);
+            assert_eq!(c.weight, f.weight);
+        }
+        assert_eq!(cached.lru, fresh.lru);
+    }
+
+    #[test]
+    fn raw_stream_is_deterministic_and_shared() {
+        let cache = WorkloadCache::new();
+        let a = cache.raw_stream(Scale::Micro, bench());
+        let b = cache.raw_stream(Scale::Micro, bench());
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.len(), Scale::Micro.accesses());
+    }
+
+    #[test]
+    fn disk_spill_round_trips_byte_identical() {
+        let dir = std::env::temp_dir().join(format!("wlc-spill-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+
+        let writer = WorkloadCache::new();
+        writer.set_disk_dir(Some(dir.clone()));
+        let original = writer.workload(Scale::Micro, bench());
+        assert_eq!(writer.captures(), 1);
+        assert_eq!(writer.disk_loads(), 0);
+
+        let reader = WorkloadCache::new();
+        reader.set_disk_dir(Some(dir.clone()));
+        let loaded = reader.workload(Scale::Micro, bench());
+        assert_eq!(reader.captures(), 0, "served from disk");
+        assert_eq!(reader.disk_loads(), 1);
+        assert_eq!(loaded.lru, original.lru);
+        for (l, o) in loaded.simpoints.iter().zip(&original.simpoints) {
+            assert_eq!(l.stream, o.stream);
+            assert_eq!(l.warmup, o.warmup);
+            assert_eq!(l.weight, o.weight);
+        }
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_or_stale_spill_falls_back_to_capture() {
+        let dir = std::env::temp_dir().join(format!("wlc-stale-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+
+        let writer = WorkloadCache::new();
+        writer.set_disk_dir(Some(dir.clone()));
+        let _ = writer.workload(Scale::Micro, bench());
+
+        // Flip a byte in the middle of the spilled stream: the embedded
+        // trace CRC must reject it and a fresh capture must take over.
+        let path = spill_path(&dir, Scale::Micro, bench());
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        fs::write(&path, &bytes).unwrap();
+
+        let reader = WorkloadCache::new();
+        reader.set_disk_dir(Some(dir.clone()));
+        let recaptured = reader.workload(Scale::Micro, bench());
+        assert_eq!(reader.disk_loads(), 0);
+        assert_eq!(reader.captures(), 1);
+        assert!(!recaptured.simpoints.is_empty());
+
+        // A file written at one scale never satisfies another.
+        assert!(load_workload(&path, Scale::Quick, bench()).is_none());
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

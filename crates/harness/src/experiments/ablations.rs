@@ -101,8 +101,14 @@ pub fn run(scale: Scale) -> Table {
         "1 vector (WI-GIPPR, static)".to_string(),
         policies::gippr(gippr::vectors::wi_gippr(), "WI-GIPPR"),
     );
-    push("2 vectors (WI-2-DGIPPR)".to_string(), policies::dgippr(vectors2, "2-DGIPPR"));
-    push("4 vectors (WI-4-DGIPPR)".to_string(), policies::dgippr(vectors4.clone(), "4-DGIPPR"));
+    push(
+        "2 vectors (WI-2-DGIPPR)".to_string(),
+        policies::dgippr(vectors2, "2-DGIPPR"),
+    );
+    push(
+        "4 vectors (WI-4-DGIPPR)".to_string(),
+        policies::dgippr(vectors4.clone(), "4-DGIPPR"),
+    );
 
     // Substrate ablation: the same vector on PLRU state vs full LRU stacks
     // (GIPPR vs GIPLR — the paper's point that the cheap substrate keeps
@@ -170,8 +176,12 @@ pub fn run(scale: Scale) -> Table {
         // Use the write-heavy streaming models where the effect is
         // diagnostic: dirty streams whose writebacks would re-promote
         // themselves.
-        let wb_benches =
-            [Spec2006::Libquantum, Spec2006::Lbm, Spec2006::Milc, Spec2006::Bwaves];
+        let wb_benches = [
+            Spec2006::Libquantum,
+            Spec2006::Lbm,
+            Spec2006::Milc,
+            Spec2006::Bwaves,
+        ];
         let mut row = |include_wb: bool, label: &str| {
             let mut ratios = Vec::new();
             for b in wb_benches {
@@ -182,13 +192,8 @@ pub fn run(scale: Scale) -> Table {
                     include_wb,
                 );
                 let warmup = mem_model::llc::default_warmup(stream.len());
-                let lru = mem_model::replay_llc(
-                    &stream,
-                    geom,
-                    policies::lru()(&geom),
-                    warmup,
-                    &perf,
-                );
+                let lru =
+                    mem_model::replay_llc(&stream, geom, policies::lru()(&geom), warmup, &perf);
                 let pol = mem_model::replay_llc(
                     &stream,
                     geom,
@@ -205,9 +210,11 @@ pub fn run(scale: Scale) -> Table {
             table.row(vec![label.to_string(), fmt_ratio(geometric_mean(&ratios))]);
         };
         row(false, "PLRU-LIP, demand-only replay (convention)");
-        row(true, "PLRU-LIP, writebacks update replacement (off-convention)");
+        row(
+            true,
+            "PLRU-LIP, writebacks update replacement (off-convention)",
+        );
     }
-
 
     table
 }

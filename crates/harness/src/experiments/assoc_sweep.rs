@@ -6,11 +6,12 @@
 
 use crate::policies;
 use crate::report::{fmt_ratio, Table};
+use crate::runner::prepare_workloads;
 use crate::scale::Scale;
 use crate::stats::geometric_mean;
 use gippr::Ipv;
 use mem_model::cpi::WindowPerfModel;
-use mem_model::{capture_llc_stream, replay_llc};
+use mem_model::replay_llc;
 use sim_core::{Access, CacheGeometry};
 use std::sync::Arc;
 use traces::spec2006::Spec2006;
@@ -31,14 +32,12 @@ pub fn sweep_benches() -> [Spec2006; 5] {
 pub fn run(scale: Scale) -> Table {
     let config = scale.hierarchy();
     let perf = WindowPerfModel::default();
-    // Capture streams once (L1/L2 fixed; only the LLC geometry varies).
-    let streams: Vec<Arc<Vec<Access>>> = sweep_benches()
+    // L1/L2 are fixed across the sweep (only the LLC geometry varies), so
+    // the shared capture cache's streams apply — the same ones every other
+    // figure replays, captured once per process.
+    let streams: Vec<Arc<Vec<Access>>> = prepare_workloads(scale, &sweep_benches())
         .iter()
-        .map(|b| {
-            let spec = b.workload().scaled_down(scale.shift());
-            let (s, _) = capture_llc_stream(config, spec.generator(0).take(scale.accesses()));
-            Arc::new(s)
-        })
+        .flat_map(|w| w.simpoints.iter().map(|sp| sp.stream.clone()))
         .collect();
 
     let mut table = Table::new(

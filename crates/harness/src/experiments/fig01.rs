@@ -62,7 +62,10 @@ mod tests {
             &[Spec2006::Libquantum, Spec2006::DealII, Spec2006::Gamess],
             1,
             15_000,
-            FitnessScale { shift: 6, threads: 2 },
+            FitnessScale {
+                shift: 6,
+                threads: 2,
+            },
         );
         let results = random_search(&ctx, Substrate::Plru, 30, 7);
         let below = results.iter().filter(|(_, s)| *s < 1.0).count();

@@ -21,8 +21,11 @@ pub fn run(scale: Scale) -> Table {
 
     let plru = measure_policy_all(&workloads, &policies::plru(), geom);
     let random = measure_policy_all(&workloads, &policies::random(0xF1604), geom);
-    let giplr =
-        measure_policy_all(&workloads, &policies::giplr(gippr::vectors::giplr_best(), "GIPLR"), geom);
+    let giplr = measure_policy_all(
+        &workloads,
+        &policies::giplr(gippr::vectors::giplr_best(), "GIPLR"),
+        geom,
+    );
 
     let mut rows: Vec<(String, f64, f64, f64)> = workloads
         .iter()
@@ -39,13 +42,20 @@ pub fn run(scale: Scale) -> Table {
     rows.sort_by(|a, b| a.3.partial_cmp(&b.3).unwrap_or(std::cmp::Ordering::Equal));
 
     let mut table = Table::new(
-        &format!("Figure 4: speedup over LRU (GIPLR vector {}) at {scale} scale",
-            gippr::vectors::giplr_best()),
+        &format!(
+            "Figure 4: speedup over LRU (GIPLR vector {}) at {scale} scale",
+            gippr::vectors::giplr_best()
+        ),
         &["benchmark", "PseudoLRU", "Random", "GIPLR"],
     );
     let mut cols: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
     for (name, p, r, g) in &rows {
-        table.row(vec![name.clone(), fmt_ratio(*p), fmt_ratio(*r), fmt_ratio(*g)]);
+        table.row(vec![
+            name.clone(),
+            fmt_ratio(*p),
+            fmt_ratio(*r),
+            fmt_ratio(*g),
+        ]);
         cols[0].push(*p);
         cols[1].push(*r);
         cols[2].push(*g);

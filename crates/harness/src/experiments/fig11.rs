@@ -46,16 +46,28 @@ pub fn run(scale: Scale, mode: VectorMode) -> Table {
             )
         })
         .collect();
-    rows.sort_by(|a, b| a.1[0].partial_cmp(&b.1[0]).unwrap_or(std::cmp::Ordering::Equal));
+    rows.sort_by(|a, b| {
+        a.1[0]
+            .partial_cmp(&b.1[0])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
 
     let mut table = Table::new(
         &format!("Figure 11: misses normalized to LRU ({label} vectors, {scale} scale)"),
-        &["benchmark", "DRRIP", "PDP", &format!("{label}-4-DGIPPR"), "Optimal (MIN)"],
+        &[
+            "benchmark",
+            "DRRIP",
+            "PDP",
+            &format!("{label}-4-DGIPPR"),
+            "Optimal (MIN)",
+        ],
     );
     let mut cols: [Vec<f64>; 4] = Default::default();
     for (name, values) in &rows {
         table.row(
-            std::iter::once(name.clone()).chain(values.iter().map(|v| fmt_ratio(*v))).collect(),
+            std::iter::once(name.clone())
+                .chain(values.iter().map(|v| fmt_ratio(*v)))
+                .collect(),
         );
         for (c, v) in cols.iter_mut().zip(values) {
             c.push(*v);

@@ -59,10 +59,17 @@ pub fn run(scale: Scale, mode: VectorMode) -> Fig13 {
             )
         })
         .collect();
-    rows.sort_by(|a, b| a.1[0].partial_cmp(&b.1[0]).unwrap_or(std::cmp::Ordering::Equal));
+    rows.sort_by(|a, b| {
+        a.1[0]
+            .partial_cmp(&b.1[0])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
 
     let mut table = Table::new(
-        &format!("Figure 13: speedup over LRU ({} vectors, {scale} scale)", mode.label()),
+        &format!(
+            "Figure 13: speedup over LRU ({} vectors, {scale} scale)",
+            mode.label()
+        ),
         &["benchmark", "DRRIP", "PDP", &label],
     );
     for (bench, values) in &rows {
@@ -75,8 +82,11 @@ pub fn run(scale: Scale, mode: VectorMode) -> Fig13 {
     }
 
     // The paper's subset rule: DRRIP speedup over LRU exceeds 1 %.
-    let memory_intensive: Vec<Spec2006> =
-        rows.iter().filter(|(_, v)| v[0] > 1.01).map(|(b, _)| *b).collect();
+    let memory_intensive: Vec<Spec2006> = rows
+        .iter()
+        .filter(|(_, v)| v[0] > 1.01)
+        .map(|(b, _)| *b)
+        .collect();
 
     type Row = (Spec2006, [f64; 3]);
     let geomean_of = |pick: &dyn Fn(&Row) -> bool| -> (f64, f64, f64) {
@@ -86,13 +96,22 @@ pub fn run(scale: Scale, mode: VectorMode) -> Fig13 {
                 c.push(*v);
             }
         }
-        (geometric_mean(&cols[0]), geometric_mean(&cols[1]), geometric_mean(&cols[2]))
+        (
+            geometric_mean(&cols[0]),
+            geometric_mean(&cols[1]),
+            geometric_mean(&cols[2]),
+        )
     };
     let all = geomean_of(&|_| true);
     let mem = geomean_of(&|(b, _)| memory_intensive.contains(b));
     let geomeans = vec![
         ("all benchmarks".to_string(), all.0, all.1, all.2),
-        ("memory-intensive (DRRIP > 1%)".to_string(), mem.0, mem.1, mem.2),
+        (
+            "memory-intensive (DRRIP > 1%)".to_string(),
+            mem.0,
+            mem.1,
+            mem.2,
+        ),
     ];
 
     for (name, d, p, g) in &geomeans {
@@ -103,7 +122,11 @@ pub fn run(scale: Scale, mode: VectorMode) -> Fig13 {
             format!("{} ({})", fmt_ratio(*g), fmt_pct(*g)),
         ]);
     }
-    Fig13 { table, geomeans, memory_intensive }
+    Fig13 {
+        table,
+        geomeans,
+        memory_intensive,
+    }
 }
 
 #[cfg(test)]

@@ -13,13 +13,13 @@ pub mod overhead;
 pub mod vectors_tab;
 
 use crate::scale::Scale;
-use evolve::{wn1_evaluation, FitnessContext, Substrate};
+use evolve::{wn1_evaluation, Substrate};
 use gippr::Ipv;
 use std::collections::HashMap;
 use traces::spec2006::Spec2006;
 
 /// Where the DGIPPR vectors used by a figure come from.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum VectorMode {
     /// The paper's published workload-inclusive vectors (fast, default).
     Published,
@@ -62,32 +62,51 @@ pub struct VectorAssignment {
 /// Builds the vectors each benchmark should run with: the published WI
 /// vectors (every benchmark shares them) or freshly evolved WN1 vectors
 /// (each benchmark gets vectors trained without it).
+///
+/// Memoized through the [`WorkloadCache`](crate::cache::WorkloadCache):
+/// figures 10, 11, and 13 all ask for the same assignment, and in WN1 mode
+/// recomputing it would mean repeating a full per-holdout GA sweep.
 pub fn assign_vectors(scale: Scale, benches: &[Spec2006], mode: VectorMode) -> VectorAssignment {
+    crate::cache::workload_cache()
+        .vector_assignment(scale, benches, mode)
+        .as_ref()
+        .clone()
+}
+
+/// The uncached assignment computation behind [`assign_vectors`]; only
+/// [`WorkloadCache::vector_assignment`](crate::cache::WorkloadCache::vector_assignment)
+/// should call this.
+pub(crate) fn compute_vector_assignment(
+    cache: &crate::cache::WorkloadCache,
+    scale: Scale,
+    benches: &[Spec2006],
+    mode: VectorMode,
+) -> VectorAssignment {
     match mode {
         VectorMode::Published => {
-            let single: HashMap<_, _> =
-                benches.iter().map(|b| (*b, gippr::vectors::wi_gippr())).collect();
-            let pair: HashMap<_, _> =
-                benches.iter().map(|b| (*b, gippr::vectors::wi_2dgippr().to_vec())).collect();
-            let quad: HashMap<_, _> =
-                benches.iter().map(|b| (*b, gippr::vectors::wi_4dgippr().to_vec())).collect();
+            let single: HashMap<_, _> = benches
+                .iter()
+                .map(|b| (*b, gippr::vectors::wi_gippr()))
+                .collect();
+            let pair: HashMap<_, _> = benches
+                .iter()
+                .map(|b| (*b, gippr::vectors::wi_2dgippr().to_vec()))
+                .collect();
+            let quad: HashMap<_, _> = benches
+                .iter()
+                .map(|b| (*b, gippr::vectors::wi_4dgippr().to_vec()))
+                .collect();
             VectorAssignment { single, pair, quad }
         }
         VectorMode::Wn1 => {
-            let ctx = FitnessContext::for_benchmarks(
-                benches,
-                scale.simpoints(),
-                scale.ga_accesses(),
-                scale.fitness(),
-            );
+            let ctx = cache.fitness_context(scale, benches);
             let by_name = |outcomes: Vec<evolve::Wn1Outcome>| -> HashMap<Spec2006, Vec<Ipv>> {
                 outcomes
                     .into_iter()
                     .filter_map(|o| Spec2006::from_name(&o.holdout).map(|b| (b, o.vectors)))
                     .collect()
             };
-            let single_raw =
-                by_name(wn1_evaluation(&ctx, scale.ga(101), 1, Substrate::Plru));
+            let single_raw = by_name(wn1_evaluation(&ctx, scale.ga(101), 1, Substrate::Plru));
             let pair = by_name(wn1_evaluation(&ctx, scale.ga(202), 2, Substrate::Plru));
             let quad = by_name(wn1_evaluation(&ctx, scale.ga(303), 4, Substrate::Plru));
             let single = single_raw

@@ -7,7 +7,7 @@ use crate::report::{fmt_ratio, Table};
 use crate::scale::Scale;
 use mem_model::cpi::LinearCpiModel;
 use mem_model::multicore::{weighted_speedup, MulticoreHierarchy};
-use sim_core::{Access, PolicyFactory};
+use sim_core::PolicyFactory;
 use traces::spec2006::Spec2006;
 
 /// The two-core mixes: aggressive streamer + victim, and balanced pairs.
@@ -20,19 +20,19 @@ pub fn mixes() -> [(Spec2006, Spec2006); 4] {
     ]
 }
 
-fn run_mix(
-    scale: Scale,
-    mix: (Spec2006, Spec2006),
-    factory: &PolicyFactory,
-) -> [f64; 2] {
+fn run_mix(scale: Scale, mix: (Spec2006, Spec2006), factory: &PolicyFactory) -> [f64; 2] {
     let cfg = scale.hierarchy();
     let per_core = scale.accesses() / 2;
     let mut mc = MulticoreHierarchy::new(2, cfg, factory(&cfg.llc));
-    let a: Vec<Access> =
-        mix.0.workload().scaled_down(scale.shift()).generator(0).take(per_core).collect();
-    let b: Vec<Access> =
-        mix.1.workload().scaled_down(scale.shift()).generator(0).take(per_core).collect();
-    mc.run_interleaved(vec![a.into_iter(), b.into_iter()], per_core);
+    // Reference streams come from the shared capture cache (generated once
+    // per benchmark); every policy contender replays the same prefix.
+    let cache = crate::cache::workload_cache();
+    let a = cache.raw_stream(scale, mix.0);
+    let b = cache.raw_stream(scale, mix.1);
+    mc.run_interleaved(
+        vec![a[..per_core].iter().copied(), b[..per_core].iter().copied()],
+        per_core,
+    );
     let model = LinearCpiModel::default();
     [
         model.cycles(mc.instructions(0), mc.llc_stats(0).misses),

@@ -25,15 +25,33 @@ pub fn run() -> Table {
         ("DRRIP", policies::drrip()),
         ("PDP (no bypass)", policies::pdp()),
         ("SHiP-PC", policies::ship()),
-        ("GIPLR", policies::giplr(gippr::vectors::giplr_best(), "GIPLR")),
-        ("GIPPR", policies::gippr(gippr::vectors::wi_gippr(), "GIPPR")),
-        ("2-DGIPPR", policies::dgippr(gippr::vectors::wi_2dgippr().to_vec(), "2-DGIPPR")),
-        ("4-DGIPPR", policies::dgippr(gippr::vectors::wi_4dgippr().to_vec(), "4-DGIPPR")),
+        (
+            "GIPLR",
+            policies::giplr(gippr::vectors::giplr_best(), "GIPLR"),
+        ),
+        (
+            "GIPPR",
+            policies::gippr(gippr::vectors::wi_gippr(), "GIPPR"),
+        ),
+        (
+            "2-DGIPPR",
+            policies::dgippr(gippr::vectors::wi_2dgippr().to_vec(), "2-DGIPPR"),
+        ),
+        (
+            "4-DGIPPR",
+            policies::dgippr(gippr::vectors::wi_4dgippr().to_vec(), "4-DGIPPR"),
+        ),
     ];
 
     let mut table = Table::new(
         "Section 3.6: replacement-state overhead on the 4 MB 16-way LLC",
-        &["policy", "bits/set", "bits/block", "global bits", "total KB"],
+        &[
+            "policy",
+            "bits/set",
+            "bits/block",
+            "global bits",
+            "total KB",
+        ],
     );
     for (name, factory) in entries {
         let policy = factory(&geom);
@@ -59,13 +77,22 @@ mod tests {
         // LRU: 64 bits/set, 32 KB. PLRU/GIPPR: 15 bits/set. DRRIP: 32
         // bits/set, ~16 KB.
         assert!(text.contains("LRU"));
-        let lru_line = text.lines().find(|l| l.trim_start().starts_with("LRU")).unwrap();
+        let lru_line = text
+            .lines()
+            .find(|l| l.trim_start().starts_with("LRU"))
+            .unwrap();
         assert!(lru_line.contains("64"), "{lru_line}");
         assert!(lru_line.contains("32.00"), "{lru_line}");
-        let gippr_line = text.lines().find(|l| l.trim_start().starts_with("GIPPR")).unwrap();
+        let gippr_line = text
+            .lines()
+            .find(|l| l.trim_start().starts_with("GIPPR"))
+            .unwrap();
         assert!(gippr_line.contains("15"), "{gippr_line}");
         assert!(gippr_line.contains("0.938"), "{gippr_line}");
-        let four = text.lines().find(|l| l.trim_start().starts_with("4-DGIPPR")).unwrap();
+        let four = text
+            .lines()
+            .find(|l| l.trim_start().starts_with("4-DGIPPR"))
+            .unwrap();
         assert!(four.contains("33"), "three 11-bit counters: {four}");
     }
 }

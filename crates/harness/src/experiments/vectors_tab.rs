@@ -62,8 +62,7 @@ mod tests {
         assert_eq!(insertion_style(&b), "PMRU");
         // "The WI-4-DGIPPR IPVs switch between PLRU, PMRU, close to PMRU,
         // and middle insertion."
-        let styles: Vec<&str> =
-            vectors::wi_4dgippr().iter().map(insertion_style).collect();
+        let styles: Vec<&str> = vectors::wi_4dgippr().iter().map(insertion_style).collect();
         assert!(styles.contains(&"PLRU"));
         assert!(styles.contains(&"PMRU"));
         assert!(styles.contains(&"near-PMRU"));

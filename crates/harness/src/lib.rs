@@ -18,13 +18,16 @@
 //! trace lengths, and GA budgets scale together; see [`Scale`]) and
 //! `--out <dir>` to write CSV next to the printed table.
 
+pub mod cache;
 pub mod experiments;
 pub mod policies;
 pub mod report;
 pub mod runner;
 pub mod scale;
+pub mod seed_replay;
 pub mod stats;
 
+pub use cache::{workload_cache, WorkloadCache};
 pub use report::Table;
 pub use runner::{measure_min, measure_policy, prepare_workloads, PolicyMeasurement, WorkloadData};
 pub use scale::Scale;

@@ -1,7 +1,8 @@
 //! A named registry of every policy the experiments compare.
 
-use baselines::{DipPolicy, DrripPolicy, FifoPolicy, PdpPolicy, RandomPolicy, ShipPolicy,
-    SrripPolicy, TrueLru};
+use baselines::{
+    DipPolicy, DrripPolicy, FifoPolicy, PdpPolicy, RandomPolicy, ShipPolicy, SrripPolicy, TrueLru,
+};
 use gippr::{DgipprPolicy, GiplrPolicy, GipprPolicy, Ipv, PlruPolicy};
 use sim_core::policy::factory;
 use sim_core::{CacheGeometry, PolicyFactory};
@@ -34,9 +35,7 @@ pub fn fifo() -> PolicyFactory {
 
 /// Factory for DIP.
 pub fn dip() -> PolicyFactory {
-    factory(|g| {
-        Box::new(DipPolicy::with_config(g, leaders_for(g), 10).expect("geometry fits DIP"))
-    })
+    factory(|g| Box::new(DipPolicy::with_config(g, leaders_for(g), 10).expect("geometry fits DIP")))
 }
 
 /// Factory for SRRIP.

@@ -4,7 +4,7 @@
 use crate::scale::Scale;
 use crate::stats::weighted_mean;
 use mem_model::cpi::WindowPerfModel;
-use mem_model::{capture_llc_stream, min_misses, replay_llc};
+use mem_model::{min_misses, replay_llc};
 use sim_core::{Access, CacheGeometry, PolicyFactory};
 use std::sync::Arc;
 use traces::spec2006::Spec2006;
@@ -63,46 +63,21 @@ impl PolicyMeasurement {
 }
 
 /// Captures the LLC streams for `benches` at `scale` and measures the LRU
-/// baseline. Benchmarks are processed in parallel.
+/// baseline. Benchmarks are processed in parallel on the shared worker
+/// pool, and every capture goes through the process-wide
+/// [`WorkloadCache`](crate::cache::WorkloadCache): repeated calls for the
+/// same `(scale, bench)` pair — common inside `run-all`, where every
+/// figure wants the full suite — reuse the first capture's streams
+/// instead of re-simulating the L1/L2 hierarchy.
+///
+/// The returned `WorkloadData` values share their streams (`Arc`) with the
+/// cache; cloning them is cheap. An empty `benches` slice returns an empty
+/// vector.
 pub fn prepare_workloads(scale: Scale, benches: &[Spec2006]) -> Vec<WorkloadData> {
-    let config = scale.hierarchy();
-    let shift = scale.shift();
-    let accesses = scale.accesses();
-    let n_simpoints = scale.simpoints();
-
-    let mut out: Vec<Option<WorkloadData>> = vec![None; benches.len()];
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-    let chunk = benches.len().div_ceil(threads);
-    crossbeam::thread::scope(|scope| {
-        for (bs, os) in benches.chunks(chunk).zip(out.chunks_mut(chunk)) {
-            scope.spawn(move |_| {
-                for (b, o) in bs.iter().zip(os.iter_mut()) {
-                    let simpoints: Vec<SimpointData> = b
-                        .simpoints()
-                        .into_iter()
-                        .take(n_simpoints.max(1))
-                        .map(|sp| {
-                            let mut spec = b.workload().scaled_down(shift);
-                            spec.seed ^= sp.index.wrapping_mul(0x517c_c1b7_2722_0a95);
-                            let (stream, _) =
-                                capture_llc_stream(config, spec.generator(sp.index).take(accesses));
-                            let warmup = mem_model::llc::default_warmup(stream.len());
-                            SimpointData { weight: sp.weight, stream: Arc::new(stream), warmup }
-                        })
-                        .collect();
-                    let mut data = WorkloadData {
-                        bench: *b,
-                        simpoints,
-                        lru: PolicyMeasurement { mpki: 0.0, cycles: 1.0, misses: 0.0 },
-                    };
-                    data.lru = measure_policy(&data, &crate::policies::lru(), config.llc);
-                    *o = Some(data);
-                }
-            });
-        }
+    let cache = crate::cache::workload_cache();
+    sim_core::pool::global().run(benches.len(), usize::MAX, |i| {
+        cache.workload(scale, benches[i]).as_ref().clone()
     })
-    .expect("workload preparation worker panicked");
-    out.into_iter().map(|o| o.expect("all benchmarks prepared")).collect()
 }
 
 /// Measures `factory`'s policy on every simpoint of `workload`, weighting
@@ -137,7 +112,11 @@ pub fn measure_min(workload: &WorkloadData, geom: CacheGeometry) -> PolicyMeasur
         let stats = min_misses(&sp.stream, geom, sp.warmup);
         misses.push((stats.misses as f64, sp.weight));
     }
-    PolicyMeasurement { mpki: 0.0, cycles: f64::NAN, misses: weighted_mean(&misses, 0.0) }
+    PolicyMeasurement {
+        mpki: 0.0,
+        cycles: f64::NAN,
+        misses: weighted_mean(&misses, 0.0),
+    }
 }
 
 /// Measures `factory` across many workloads in parallel, returning
@@ -147,20 +126,9 @@ pub fn measure_policy_all(
     factory: &PolicyFactory,
     geom: CacheGeometry,
 ) -> Vec<PolicyMeasurement> {
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-    let mut out = vec![PolicyMeasurement { mpki: 0.0, cycles: 0.0, misses: 0.0 }; workloads.len()];
-    let chunk = workloads.len().div_ceil(threads).max(1);
-    crossbeam::thread::scope(|scope| {
-        for (ws, os) in workloads.chunks(chunk).zip(out.chunks_mut(chunk)) {
-            scope.spawn(move |_| {
-                for (w, o) in ws.iter().zip(os.iter_mut()) {
-                    *o = measure_policy(w, factory, geom);
-                }
-            });
-        }
+    sim_core::pool::global().run(workloads.len(), usize::MAX, |i| {
+        measure_policy(&workloads[i], factory, geom)
     })
-    .expect("measurement worker panicked");
-    out
 }
 
 #[cfg(test)]
@@ -172,6 +140,16 @@ mod tests {
         let scale = Scale::Quick;
         let benches = [Spec2006::Libquantum, Spec2006::Gamess];
         (prepare_workloads(scale, &benches), scale.hierarchy().llc)
+    }
+
+    #[test]
+    fn empty_bench_list_prepares_nothing() {
+        // Regression: the old chunked implementation computed a chunk size
+        // of zero for an empty slice and panicked in `chunks(0)`.
+        let ws = prepare_workloads(Scale::Micro, &[]);
+        assert!(ws.is_empty());
+        let none = measure_policy_all(&ws, &policies::lru(), Scale::Micro.hierarchy().llc);
+        assert!(none.is_empty());
     }
 
     #[test]
@@ -224,6 +202,9 @@ mod tests {
         let gamess = ws.iter().find(|w| w.bench == Spec2006::Gamess).unwrap();
         let drrip = measure_policy(gamess, &policies::drrip(), geom);
         let ratio = drrip.normalized_misses(&gamess.lru);
-        assert!((0.9..1.1).contains(&ratio), "gamess insensitive, got {ratio}");
+        assert!(
+            (0.9..1.1).contains(&ratio),
+            "gamess insensitive, got {ratio}"
+        );
     }
 }

@@ -6,7 +6,7 @@ use mem_model::HierarchyConfig;
 /// How big an experiment run should be. All knobs scale together so every
 /// preset preserves the paper's capacity ratios (workload footprint :
 /// LLC size) — only absolute sizes and statistical depth change.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Scale {
     /// Sub-second smoke runs for benches and tests: 64 KB LLC, very short
     /// traces, minimal GA.
@@ -78,7 +78,10 @@ impl Scale {
 
     /// Fitness-evaluation knobs at this scale.
     pub fn fitness(&self) -> FitnessScale {
-        FitnessScale { shift: self.shift(), ..FitnessScale::default() }
+        FitnessScale {
+            shift: self.shift(),
+            ..FitnessScale::default()
+        }
     }
 
     /// Reference-trace length per simpoint used inside GA fitness

@@ -1,0 +1,221 @@
+//! A frozen copy of the v0 (seed) replay engine, kept verbatim for
+//! longitudinal benchmarking.
+//!
+//! `bench-replay` and the Criterion `replay` bench report the speedup of
+//! the monomorphized engine over *this* implementation, so the number in
+//! `BENCH_replay.json` stays comparable across PRs no matter how the live
+//! engine evolves. The engine here is the seed's `SetAssocCache` +
+//! `replay_llc` pair: a `Box<dyn ReplacementPolicy>` field (virtual call
+//! on every policy interaction), three-field cache lines, an early-exit
+//! hit scan followed by a second scan for an invalid way, and per-way
+//! bounds-checked indexing. Do not optimize this module — its job is to
+//! not change.
+
+use mem_model::cpi::WindowPerfModel;
+use mem_model::hierarchy::ServiceLevel;
+use mem_model::LlcRunResult;
+use sim_core::{Access, AccessContext, CacheGeometry, CacheStats, ReplacementPolicy};
+
+/// The seed's `PerfAccumulator`, verbatim: the miss-cluster bookkeeping
+/// is an `Option` chain with a data-dependent branch per miss (since
+/// rewritten branchless in [`mem_model::cpi::PerfAccumulator`]). Kept so
+/// the baseline pays what it paid at v0; the numbers it produces are
+/// identical.
+#[derive(Default)]
+struct SeedPerfAccumulator {
+    instructions: u64,
+    l2_hits: u64,
+    llc_hits: u64,
+    misses: u64,
+    clusters: u64,
+    last_miss_instruction: Option<u64>,
+}
+
+impl SeedPerfAccumulator {
+    fn note(&mut self, icount_delta: u32, level: ServiceLevel, model: &WindowPerfModel) {
+        self.instructions += u64::from(icount_delta);
+        match level {
+            ServiceLevel::L1 => {}
+            ServiceLevel::L2 => self.l2_hits += 1,
+            ServiceLevel::Llc => self.llc_hits += 1,
+            ServiceLevel::Memory => {
+                self.misses += 1;
+                let clustered = self
+                    .last_miss_instruction
+                    .is_some_and(|at| self.instructions - at <= model.window);
+                if !clustered {
+                    self.clusters += 1;
+                }
+                self.last_miss_instruction = Some(self.instructions);
+            }
+        }
+    }
+
+    fn cycles(&self, model: &WindowPerfModel) -> f64 {
+        let overlapped = self.misses - self.clusters;
+        self.instructions as f64 / model.width
+            + self.clusters as f64 * model.dram_latency
+            + overlapped as f64 * model.overlap_charge
+            + self.llc_hits as f64 * model.llc_hit_charge
+            + self.l2_hits as f64 * model.l2_hit_charge
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+}
+
+/// The seed's set-associative cache: replacement decisions go through a
+/// boxed trait object, so every `on_hit`/`victim`/`on_fill` is a virtual
+/// call.
+pub struct SeedCache {
+    geom: CacheGeometry,
+    lines: Vec<Line>,
+    policy: Box<dyn ReplacementPolicy>,
+    stats: CacheStats,
+}
+
+impl SeedCache {
+    /// Creates an empty cache using `policy` for replacement decisions.
+    pub fn new(geom: CacheGeometry, policy: Box<dyn ReplacementPolicy>) -> Self {
+        SeedCache {
+            geom,
+            lines: vec![Line::default(); geom.sets() * geom.ways()],
+            policy,
+            stats: CacheStats::new(),
+        }
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Resets statistics without touching contents or policy state.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::new();
+    }
+
+    /// Looks up a byte-addressed access, filling on miss.
+    pub fn access(&mut self, access: &Access) -> bool {
+        self.access_block(self.geom.block_of(access.addr), &access.context())
+    }
+
+    /// Looks up `block_addr`, filling on miss; returns whether it hit.
+    pub fn access_block(&mut self, block_addr: u64, ctx: &AccessContext) -> bool {
+        let set = self.geom.set_of_block(block_addr);
+        let tag = self.geom.tag_of_block(block_addr);
+        let ways = self.geom.ways();
+        let base = set * ways;
+        self.stats.accesses += 1;
+
+        // Hit path.
+        for way in 0..ways {
+            let line = &mut self.lines[base + way];
+            if line.valid && line.tag == tag {
+                line.dirty |= ctx.is_write;
+                self.stats.hits += 1;
+                self.policy.on_hit(set, way, ctx);
+                return true;
+            }
+        }
+
+        // Miss path.
+        self.stats.misses += 1;
+        self.policy.on_miss(set, ctx);
+        if self.policy.should_bypass(set, ctx) {
+            return false;
+        }
+
+        // Prefer an invalid way; otherwise ask the policy for a victim.
+        let fill_way = match (0..ways).find(|&w| !self.lines[base + w].valid) {
+            Some(w) => w,
+            None => {
+                let w = self.policy.victim(set, ctx);
+                assert!(
+                    w < ways,
+                    "policy {} returned way {w} >= {ways}",
+                    self.policy.name()
+                );
+                let old = self.lines[base + w];
+                self.stats.evictions += 1;
+                if old.dirty {
+                    self.stats.writebacks += 1;
+                }
+                self.policy.on_evict(set, w);
+                w
+            }
+        };
+
+        self.lines[base + fill_way] = Line {
+            tag,
+            valid: true,
+            dirty: ctx.is_write,
+        };
+        self.policy.on_fill(set, fill_way, ctx);
+        false
+    }
+}
+
+/// The seed's `replay_llc`: warm on a prefix, measure the remainder, every
+/// policy interaction dispatched through the boxed trait object.
+pub fn replay_llc_seed(
+    stream: &[Access],
+    geom: CacheGeometry,
+    policy: Box<dyn ReplacementPolicy>,
+    warmup: usize,
+    perf: &WindowPerfModel,
+) -> LlcRunResult {
+    let mut cache = SeedCache::new(geom, policy);
+    let mut acc = SeedPerfAccumulator::default();
+    for a in stream.iter().take(warmup) {
+        cache.access(a);
+    }
+    cache.reset_stats();
+    for a in stream.iter().skip(warmup) {
+        let hit = cache.access(a);
+        let level = if hit {
+            ServiceLevel::Llc
+        } else {
+            ServiceLevel::Memory
+        };
+        acc.note(a.icount_delta, level, perf);
+    }
+    LlcRunResult {
+        stats: *cache.stats(),
+        instructions: acc.instructions,
+        cycles: acc.cycles(perf),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baselines::TrueLru;
+    use mem_model::replay_llc;
+
+    /// The frozen engine must agree with the live one access for access —
+    /// it is a baseline, not a different simulator.
+    #[test]
+    fn seed_engine_matches_live_engine() {
+        let geom = CacheGeometry::from_sets(64, 8, 64).unwrap();
+        let stream: Vec<Access> = (0..20_000)
+            .map(|i| {
+                let addr = if i % 3 == 0 {
+                    (i as u64 % 640) * 64
+                } else {
+                    0x40_0000 + i as u64 * 64
+                };
+                Access::read(addr, 0x100).with_icount_delta(2)
+            })
+            .collect();
+        let warmup = stream.len() / 3;
+        let perf = WindowPerfModel::default();
+        let seed = replay_llc_seed(&stream, geom, Box::new(TrueLru::new(&geom)), warmup, &perf);
+        let live = replay_llc(&stream, geom, Box::new(TrueLru::new(&geom)), warmup, &perf);
+        assert_eq!(seed, live);
+    }
+}

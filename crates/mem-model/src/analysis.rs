@@ -23,7 +23,9 @@ pub struct Fenwick {
 impl Fenwick {
     /// A zeroed tree covering positions `0..n`.
     pub fn new(n: usize) -> Self {
-        Fenwick { tree: vec![0; n + 1] }
+        Fenwick {
+            tree: vec![0; n + 1],
+        }
     }
 
     /// Adds `delta` at `pos`.
@@ -223,8 +225,7 @@ mod tests {
     fn lru_hits_match_direct_simulation() {
         // Fully-associative LRU at capacity C hits exactly the reuses at
         // distance < C: cross-check against a list-based LRU model.
-        let blocks: Vec<u64> =
-            (0..2000u64).map(|i| (i * 2654435761) % 37).collect();
+        let blocks: Vec<u64> = (0..2000u64).map(|i| (i * 2654435761) % 37).collect();
         let stream = reads(&blocks);
         let sd = stack_distances(&stream, geom(), 64);
         for capacity in [1usize, 4, 8, 16, 37] {
@@ -260,13 +261,24 @@ mod tests {
         use traces::spec2006::Spec2006;
         let g = CacheGeometry::from_sets(1, 4, 64).unwrap();
         // Libquantum: pure streaming = overwhelmingly cold at short range.
-        let lq: Vec<Access> =
-            Spec2006::Libquantum.workload().scaled_down(6).generator(0).take(5000).collect();
+        let lq: Vec<Access> = Spec2006::Libquantum
+            .workload()
+            .scaled_down(6)
+            .generator(0)
+            .take(5000)
+            .collect();
         let sd = stack_distances(&lq, g, 4096);
-        assert!(sd.cold as f64 / sd.total() as f64 > 0.5, "streaming is cold-dominated");
+        assert!(
+            sd.cold as f64 / sd.total() as f64 > 0.5,
+            "streaming is cold-dominated"
+        );
         // Gamess: small loop = short distances dominate.
-        let gm: Vec<Access> =
-            Spec2006::Gamess.workload().scaled_down(6).generator(0).take(5000).collect();
+        let gm: Vec<Access> = Spec2006::Gamess
+            .workload()
+            .scaled_down(6)
+            .generator(0)
+            .take(5000)
+            .collect();
         let sd = stack_distances(&gm, g, 4096);
         assert!(
             sd.lru_hits_at(128) as f64 / sd.total() as f64 > 0.8,

@@ -21,7 +21,10 @@ pub struct LinearCpiModel {
 
 impl Default for LinearCpiModel {
     fn default() -> Self {
-        LinearCpiModel { base_cpi: 0.7, miss_penalty: 200.0 }
+        LinearCpiModel {
+            base_cpi: 0.7,
+            miss_penalty: 200.0,
+        }
     }
 }
 
@@ -84,15 +87,34 @@ impl Default for WindowPerfModel {
     }
 }
 
+/// A `last_miss_instruction` sentinel meaning "no miss seen yet". Placed
+/// a full window below zero so the very first miss always reads as
+/// unclustered without a separate branch: `instructions - sentinel`
+/// (wrapping) is `instructions + window + 1 > window`.
+const NO_MISS_YET: u64 = u64::MAX - u64::MAX / 4;
+
 /// Accumulates service events into a cycle estimate.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PerfAccumulator {
     instructions: u64,
     l2_hits: u64,
     llc_hits: u64,
     misses: u64,
     clusters: u64,
-    last_miss_instruction: Option<u64>,
+    last_miss_instruction: u64,
+}
+
+impl Default for PerfAccumulator {
+    fn default() -> Self {
+        PerfAccumulator {
+            instructions: 0,
+            l2_hits: 0,
+            llc_hits: 0,
+            misses: 0,
+            clusters: 0,
+            last_miss_instruction: NO_MISS_YET,
+        }
+    }
 }
 
 impl PerfAccumulator {
@@ -103,6 +125,11 @@ impl PerfAccumulator {
 
     /// Notes one access: its instruction gap and the level that serviced
     /// it.
+    ///
+    /// The cluster test is branchless on purpose: whether two misses fall
+    /// in the same window is data-dependent and mispredicts badly on real
+    /// streams, and this runs once per replayed access.
+    #[inline]
     pub fn note(&mut self, icount_delta: u32, level: ServiceLevel, model: &WindowPerfModel) {
         self.instructions += u64::from(icount_delta);
         match level {
@@ -111,15 +138,30 @@ impl PerfAccumulator {
             ServiceLevel::Llc => self.llc_hits += 1,
             ServiceLevel::Memory => {
                 self.misses += 1;
-                let clustered = self
-                    .last_miss_instruction
-                    .is_some_and(|at| self.instructions - at <= model.window);
-                if !clustered {
-                    self.clusters += 1;
-                }
-                self.last_miss_instruction = Some(self.instructions);
+                let gap = self.instructions.wrapping_sub(self.last_miss_instruction);
+                self.clusters += u64::from(gap > model.window);
+                self.last_miss_instruction = self.instructions;
             }
         }
+    }
+
+    /// [`PerfAccumulator::note`] specialized for LLC replay, where every
+    /// access is serviced by either the LLC or memory. Entirely
+    /// branchless — the hit/miss outcome is data-dependent, and a
+    /// mispredict per access would cost more than the whole cache lookup.
+    #[inline]
+    pub fn note_llc(&mut self, icount_delta: u32, hit: bool, model: &WindowPerfModel) {
+        self.instructions += u64::from(icount_delta);
+        self.llc_hits += u64::from(hit);
+        self.misses += u64::from(!hit);
+        let gap = self.instructions.wrapping_sub(self.last_miss_instruction);
+        self.clusters += u64::from(!hit && gap > model.window);
+        // On a hit, keep the previous value (select, not branch).
+        self.last_miss_instruction = if hit {
+            self.last_miss_instruction
+        } else {
+            self.instructions
+        };
     }
 
     /// Total instructions observed.
@@ -164,7 +206,10 @@ mod tests {
 
     #[test]
     fn linear_model_matches_formula() {
-        let m = LinearCpiModel { base_cpi: 1.0, miss_penalty: 100.0 };
+        let m = LinearCpiModel {
+            base_cpi: 1.0,
+            miss_penalty: 100.0,
+        };
         assert_eq!(m.cycles(1000, 10), 2000.0);
         assert!((m.speedup(1000, 20, 10) - 3000.0 / 2000.0).abs() < 1e-12);
     }
@@ -215,7 +260,10 @@ mod tests {
         for _ in 0..1000 {
             acc.note(10, ServiceLevel::L1, &model);
         }
-        assert!((acc.ipc(&model) - 4.0).abs() < 1e-9, "pure L1 hits run at full width");
+        assert!(
+            (acc.ipc(&model) - 4.0).abs() < 1e-9,
+            "pure L1 hits run at full width"
+        );
     }
 
     #[test]

@@ -1,8 +1,10 @@
 //! The three-level cache hierarchy.
 
 use baselines::TrueLru;
-use sim_core::{Access, AccessContext, AccessKind, CacheGeometry, CacheStats, GeometryError,
-    PolicyFactory, ReplacementPolicy, SetAssocCache};
+use sim_core::{
+    Access, AccessContext, AccessKind, CacheGeometry, CacheStats, GeometryError, PolicyFactory,
+    ReplacementPolicy, SetAssocCache,
+};
 
 /// Which level serviced a demand access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -91,8 +93,12 @@ pub enum Inclusion {
 /// assert_eq!(h.instructions(), 1);
 /// ```
 pub struct Hierarchy {
-    l1: SetAssocCache,
-    l2: SetAssocCache,
+    // L1/L2 are always LRU (the paper holds them fixed), so they are
+    // monomorphized: their per-access policy callbacks inline instead of
+    // going through virtual dispatch. Only the LLC — the experiment
+    // variable — stays dynamically dispatched.
+    l1: SetAssocCache<TrueLru>,
+    l2: SetAssocCache<TrueLru>,
     llc: SetAssocCache,
     instructions: u64,
     prefetcher: Option<crate::prefetch::StridePrefetcher>,
@@ -116,8 +122,8 @@ impl Hierarchy {
     /// Builds the hierarchy with `llc_policy` at the last level.
     pub fn new(config: HierarchyConfig, llc_policy: Box<dyn ReplacementPolicy>) -> Self {
         Hierarchy {
-            l1: SetAssocCache::new(config.l1, Box::new(TrueLru::new(&config.l1))),
-            l2: SetAssocCache::new(config.l2, Box::new(TrueLru::new(&config.l2))),
+            l1: SetAssocCache::with_policy(config.l1, TrueLru::new(&config.l1)),
+            l2: SetAssocCache::with_policy(config.l2, TrueLru::new(&config.l2)),
             llc: SetAssocCache::new(config.llc, llc_policy),
             instructions: 0,
             prefetcher: None,
@@ -209,7 +215,9 @@ impl Hierarchy {
             }
         }
 
-        let l2_out = self.l2.access_block(self.l2.geometry().block_of(access.addr), &ctx);
+        let l2_out = self
+            .l2
+            .access_block(self.l2.geometry().block_of(access.addr), &ctx);
         if let Some(ev) = l2_out.evicted {
             if ev.dirty {
                 self.writeback_to_llc(ev.block_addr, access.pc);
@@ -219,7 +227,9 @@ impl Hierarchy {
             return ServiceLevel::L2;
         }
 
-        let llc_out = self.llc.access_block(self.llc.geometry().block_of(access.addr), &ctx);
+        let llc_out = self
+            .llc
+            .access_block(self.llc.geometry().block_of(access.addr), &ctx);
         // LLC dirty evictions drain to memory (counted in stats); in
         // inclusive mode the evicted block is also recalled from L1/L2.
         if let Some(ev) = llc_out.evicted {
@@ -233,7 +243,11 @@ impl Hierarchy {
     }
 
     fn writeback_to_l2(&mut self, block_addr: u64, pc: u64) {
-        let ctx = AccessContext { pc, addr: block_addr * 64, is_write: true };
+        let ctx = AccessContext {
+            pc,
+            addr: block_addr * 64,
+            is_write: true,
+        };
         let out = self.l2.access_block(block_addr, &ctx);
         if let Some(ev) = out.evicted {
             if ev.dirty {
@@ -243,7 +257,11 @@ impl Hierarchy {
     }
 
     fn writeback_to_llc(&mut self, block_addr: u64, pc: u64) {
-        let ctx = AccessContext { pc, addr: block_addr * 64, is_write: true };
+        let ctx = AccessContext {
+            pc,
+            addr: block_addr * 64,
+            is_write: true,
+        };
         let out = self.llc.access_block(block_addr, &ctx);
         if let Some(ev) = out.evicted {
             self.handle_llc_eviction(ev.block_addr);
@@ -283,12 +301,12 @@ impl Hierarchy {
     }
 
     /// The L1 cache object (for invariant checks and diagnostics).
-    pub fn l1(&self) -> &SetAssocCache {
+    pub fn l1(&self) -> &SetAssocCache<TrueLru> {
         &self.l1
     }
 
     /// The L2 cache object (for invariant checks and diagnostics).
-    pub fn l2(&self) -> &SetAssocCache {
+    pub fn l2(&self) -> &SetAssocCache<TrueLru> {
         &self.l2
     }
 
@@ -339,9 +357,14 @@ where
         stream: Vec<Access>,
         pending_icount: u64,
     }
-    let mut rec = Recorder { stream: Vec::new(), pending_icount: 0 };
-    let mut l1 = SetAssocCache::new(config.l1, Box::new(TrueLru::new(&config.l1)));
-    let mut l2 = SetAssocCache::new(config.l2, Box::new(TrueLru::new(&config.l2)));
+    let mut rec = Recorder {
+        stream: Vec::new(),
+        pending_icount: 0,
+    };
+    // Monomorphized L1/L2: capture runs once per workload but still walks
+    // the full reference stream, so inlined LRU callbacks matter.
+    let mut l1 = SetAssocCache::with_policy(config.l1, TrueLru::new(&config.l1));
+    let mut l2 = SetAssocCache::with_policy(config.l2, TrueLru::new(&config.l2));
     let mut total_instructions = 0u64;
 
     let emit = |rec: &mut Recorder, addr: u64, pc: u64, kind: AccessKind| {
@@ -467,7 +490,9 @@ mod tests {
     #[test]
     fn captured_stream_is_policy_independent_input() {
         let cfg = tiny();
-        let trace: Vec<Access> = (0..2000u64).map(|i| Access::read(i * 64 % 32768, 0)).collect();
+        let trace: Vec<Access> = (0..2000u64)
+            .map(|i| Access::read(i * 64 % 32768, 0))
+            .collect();
         let (stream, instructions) = capture_llc_stream(cfg, trace.iter().copied());
         assert_eq!(instructions, 2000);
         assert!(!stream.is_empty());
@@ -481,8 +506,9 @@ mod tests {
         // Replaying the captured stream into a standalone LLC must produce
         // the same LLC stats as the in-situ hierarchy with the same policy.
         let cfg = tiny();
-        let trace: Vec<Access> =
-            (0..5000u64).map(|i| Access::read((i * 7919) % 65536 / 64 * 64, 3)).collect();
+        let trace: Vec<Access> = (0..5000u64)
+            .map(|i| Access::read((i * 7919) % 65536 / 64 * 64, 3))
+            .collect();
         let mut live = Hierarchy::new(cfg, Box::new(PlruPolicy::new(&cfg.llc)));
         live.run(trace.iter().copied());
 
@@ -509,16 +535,25 @@ mod tests {
             x ^= x << 17;
             h.access(&Access::read((x % (1 << 16)) & !63, 0));
         }
-        assert!(h.back_invalidations() > 0, "eviction pressure reached L1/L2");
+        assert!(
+            h.back_invalidations() > 0,
+            "eviction pressure reached L1/L2"
+        );
         // Invariant: every block resident in L1 or L2 is also in the LLC.
         for set in 0..h.l1().geometry().sets() {
             for blk in h.l1().resident_blocks(set) {
-                assert!(h.llc().probe(blk), "L1 block {blk:#x} missing from inclusive LLC");
+                assert!(
+                    h.llc().probe(blk),
+                    "L1 block {blk:#x} missing from inclusive LLC"
+                );
             }
         }
         for set in 0..h.l2().geometry().sets() {
             for blk in h.l2().resident_blocks(set) {
-                assert!(h.llc().probe(blk), "L2 block {blk:#x} missing from inclusive LLC");
+                assert!(
+                    h.llc().probe(blk),
+                    "L2 block {blk:#x} missing from inclusive LLC"
+                );
             }
         }
     }
@@ -578,8 +613,14 @@ mod tests {
         };
         let (hits_off, mem_off) = run(false);
         let (hits_on, mem_on) = run(true);
-        assert!(hits_on > hits_off, "prefetching creates L2 hits: {hits_on} vs {hits_off}");
-        assert!(mem_on < mem_off, "and removes memory services: {mem_on} vs {mem_off}");
+        assert!(
+            hits_on > hits_off,
+            "prefetching creates L2 hits: {hits_on} vs {hits_off}"
+        );
+        assert!(
+            mem_on < mem_off,
+            "and removes memory services: {mem_on} vs {mem_off}"
+        );
     }
 
     #[test]

@@ -33,6 +33,6 @@ pub mod prefetch;
 
 pub use cpi::{LinearCpiModel, WindowPerfModel};
 pub use hierarchy::{capture_llc_stream, Hierarchy, HierarchyConfig, Inclusion, ServiceLevel};
-pub use llc::{replay_llc, LlcRunResult};
+pub use llc::{default_warmup, replay_llc, replay_llc_mono, LlcRunResult};
 pub use multicore::MulticoreHierarchy;
 pub use optimal::min_misses;

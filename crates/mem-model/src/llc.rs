@@ -7,7 +7,6 @@
 //! MPKI experiments.
 
 use crate::cpi::{PerfAccumulator, WindowPerfModel};
-use crate::hierarchy::ServiceLevel;
 use sim_core::{Access, CacheGeometry, CacheStats, ReplacementPolicy, SetAssocCache};
 
 /// The outcome of one LLC replay.
@@ -57,18 +56,37 @@ pub fn replay_llc(
     warmup: usize,
     perf: &WindowPerfModel,
 ) -> LlcRunResult {
-    let mut cache = SetAssocCache::new(geom, policy);
+    replay_llc_mono(stream, geom, policy, warmup, perf)
+}
+
+/// Monomorphized replay: identical semantics to [`replay_llc`], but generic
+/// over the policy type so the per-access dispatch, tag scan, and stats
+/// update inline into one loop. This is the GA fitness fast path — with a
+/// concrete `P` (e.g. `GipprPolicy`, `TrueLru`) there is no virtual call
+/// per access; passing a `Box<dyn ReplacementPolicy>` recovers the dynamic
+/// behaviour exactly (it is how [`replay_llc`] is implemented).
+pub fn replay_llc_mono<P: ReplacementPolicy>(
+    stream: &[Access],
+    geom: CacheGeometry,
+    policy: P,
+    warmup: usize,
+    perf: &WindowPerfModel,
+) -> LlcRunResult {
+    let mut cache = SetAssocCache::with_policy(geom, policy);
     let mut acc = PerfAccumulator::new();
     for a in stream.iter().take(warmup) {
-        cache.access(a);
+        cache.access_fast(a);
     }
     cache.reset_stats();
     for a in stream.iter().skip(warmup) {
-        let out = cache.access(a);
-        let level = if out.hit { ServiceLevel::Llc } else { ServiceLevel::Memory };
-        acc.note(a.icount_delta, level, perf);
+        let hit = cache.access_fast(a);
+        acc.note_llc(a.icount_delta, hit, perf);
     }
-    LlcRunResult { stats: *cache.stats(), instructions: acc.instructions(), cycles: acc.cycles(perf) }
+    LlcRunResult {
+        stats: *cache.stats(),
+        instructions: acc.instructions(),
+        cycles: acc.cycles(perf),
+    }
 }
 
 /// The conventional warm-up split used across the harness: the paper warms
@@ -88,14 +106,22 @@ mod tests {
     }
 
     fn looping_stream(blocks: u64, n: usize) -> Vec<Access> {
-        (0..n).map(|i| Access::read((i as u64 % blocks) * 64, 0).with_icount_delta(3)).collect()
+        (0..n)
+            .map(|i| Access::read((i as u64 % blocks) * 64, 0).with_icount_delta(3))
+            .collect()
     }
 
     #[test]
     fn warmup_excluded_from_stats() {
         let g = geom();
         let stream = looping_stream(32, 1000); // 32 blocks fit in 64-line cache
-        let r = replay_llc(&stream, g, Box::new(TrueLru::new(&g)), 100, &WindowPerfModel::default());
+        let r = replay_llc(
+            &stream,
+            g,
+            Box::new(TrueLru::new(&g)),
+            100,
+            &WindowPerfModel::default(),
+        );
         assert_eq!(r.stats.accesses, 900);
         assert_eq!(r.stats.misses, 0, "after warm-up the loop fits entirely");
         assert_eq!(r.instructions, 2700);
@@ -105,7 +131,13 @@ mod tests {
     fn thrash_loop_misses_everything_under_lru() {
         let g = geom(); // 64 lines
         let stream = looping_stream(96, 3000); // 1.5x capacity loop
-        let r = replay_llc(&stream, g, Box::new(TrueLru::new(&g)), 960, &WindowPerfModel::default());
+        let r = replay_llc(
+            &stream,
+            g,
+            Box::new(TrueLru::new(&g)),
+            960,
+            &WindowPerfModel::default(),
+        );
         assert_eq!(r.stats.hits, 0, "LRU thrashes a loop over capacity");
     }
 
@@ -126,7 +158,13 @@ mod tests {
     fn mpki_and_cycles_consistency() {
         let g = geom();
         let stream = looping_stream(96, 3000);
-        let r = replay_llc(&stream, g, Box::new(TrueLru::new(&g)), 0, &WindowPerfModel::default());
+        let r = replay_llc(
+            &stream,
+            g,
+            Box::new(TrueLru::new(&g)),
+            0,
+            &WindowPerfModel::default(),
+        );
         assert!(r.mpki() > 0.0);
         assert!(r.cycles > 0.0);
     }

@@ -60,7 +60,10 @@ impl MulticoreHierarchy {
         config: HierarchyConfig,
         llc_policy: Box<dyn ReplacementPolicy>,
     ) -> Self {
-        assert!((1..=255).contains(&n_cores), "1..=255 cores supported, got {n_cores}");
+        assert!(
+            (1..=255).contains(&n_cores),
+            "1..=255 cores supported, got {n_cores}"
+        );
         MulticoreHierarchy {
             cores: (0..n_cores)
                 .map(|_| PrivateCaches {
@@ -110,13 +113,17 @@ impl MulticoreHierarchy {
         if l1_out.hit {
             return ServiceLevel::L1;
         }
-        let l2_out = pc.l2.access_block(pc.l2.geometry().block_of(tagged.addr), &ctx);
+        let l2_out = pc
+            .l2
+            .access_block(pc.l2.geometry().block_of(tagged.addr), &ctx);
         if l2_out.hit {
             return ServiceLevel::L2;
         }
         // Shared LLC access, attributed to the issuing core.
         let before = *self.llc.stats();
-        let out = self.llc.access_block(self.llc.geometry().block_of(tagged.addr), &ctx);
+        let out = self
+            .llc
+            .access_block(self.llc.geometry().block_of(tagged.addr), &ctx);
         let after = *self.llc.stats();
         let delta = CacheStats {
             accesses: after.accesses - before.accesses,
@@ -238,17 +245,29 @@ mod tests {
         let solo_misses = {
             let c = cfg();
             let mut m = MulticoreHierarchy::new(1, c, Box::new(PlruPolicy::new(&c.llc)));
-            let s: Vec<Access> =
-                Spec2006::DealII.workload().scaled_down(6).generator(0).take(8000).collect();
+            let s: Vec<Access> = Spec2006::DealII
+                .workload()
+                .scaled_down(6)
+                .generator(0)
+                .take(8000)
+                .collect();
             m.run_interleaved(vec![s.into_iter()], 8000);
             m.llc_stats(0).misses
         };
         let shared_misses = {
             let mut m = mc(2);
-            let s: Vec<Access> =
-                Spec2006::DealII.workload().scaled_down(6).generator(0).take(8000).collect();
-            let aggressor: Vec<Access> =
-                Spec2006::Libquantum.workload().scaled_down(6).generator(0).take(8000).collect();
+            let s: Vec<Access> = Spec2006::DealII
+                .workload()
+                .scaled_down(6)
+                .generator(0)
+                .take(8000)
+                .collect();
+            let aggressor: Vec<Access> = Spec2006::Libquantum
+                .workload()
+                .scaled_down(6)
+                .generator(0)
+                .take(8000)
+                .collect();
             m.run_interleaved(vec![s.into_iter(), aggressor.into_iter()], 8000);
             m.llc_stats(0).misses
         };

@@ -81,7 +81,10 @@ pub fn min_misses(stream: &[Access], geom: CacheGeometry, warmup: usize) -> Cach
                 stats.evictions += 1;
             }
         }
-        set.push(Occupant { block, next: next_use[i] });
+        set.push(Occupant {
+            block,
+            next: next_use[i],
+        });
     }
     stats
 }
@@ -160,8 +163,13 @@ mod tests {
         let blocks: Vec<u64> = (0..5000u64).map(|i| (i * 2654435761) % 64).collect();
         let stream = reads(&blocks);
         let min = min_misses(&stream, geom, 0);
-        let lru =
-            replay_llc(&stream, geom, Box::new(TrueLru::new(&geom)), 0, &WindowPerfModel::default());
+        let lru = replay_llc(
+            &stream,
+            geom,
+            Box::new(TrueLru::new(&geom)),
+            0,
+            &WindowPerfModel::default(),
+        );
         assert!(min.misses <= lru.stats.misses);
         assert_eq!(min.accesses, lru.stats.accesses);
     }
@@ -173,10 +181,19 @@ mod tests {
         let blocks: Vec<u64> = (0..600).map(|i| i % 6).collect();
         let stream = reads(&blocks);
         let min = min_misses(&stream, geom, 0);
-        let lru =
-            replay_llc(&stream, geom, Box::new(TrueLru::new(&geom)), 0, &WindowPerfModel::default());
+        let lru = replay_llc(
+            &stream,
+            geom,
+            Box::new(TrueLru::new(&geom)),
+            0,
+            &WindowPerfModel::default(),
+        );
         assert_eq!(lru.stats.hits, 0);
-        assert!(min.hits as f64 / min.accesses as f64 > 0.4, "MIN hit ratio {}", min.hit_ratio());
+        assert!(
+            min.hits as f64 / min.accesses as f64 > 0.4,
+            "MIN hit ratio {}",
+            min.hit_ratio()
+        );
     }
 
     #[test]

@@ -22,7 +22,11 @@ pub struct PrefetchConfig {
 
 impl Default for PrefetchConfig {
     fn default() -> Self {
-        PrefetchConfig { table_entries: 256, confidence_threshold: 2, degree: 2 }
+        PrefetchConfig {
+            table_entries: 256,
+            confidence_threshold: 2,
+            degree: 2,
+        }
     }
 }
 
@@ -67,8 +71,15 @@ impl StridePrefetcher {
     ///
     /// Panics if the table size or degree is zero.
     pub fn new(cfg: PrefetchConfig) -> Self {
-        assert!(cfg.table_entries > 0 && cfg.degree > 0, "table and degree must be nonzero");
-        StridePrefetcher { cfg, table: HashMap::new(), issued: 0 }
+        assert!(
+            cfg.table_entries > 0 && cfg.degree > 0,
+            "table and degree must be nonzero"
+        );
+        StridePrefetcher {
+            cfg,
+            table: HashMap::new(),
+            issued: 0,
+        }
     }
 
     /// Observes a demand access (`pc`, block address) and returns the
@@ -83,7 +94,12 @@ impl StridePrefetcher {
         });
         if entry.pc != pc {
             // Slot conflict: retrain for the new PC.
-            *entry = RptEntry { pc, last_block: block, stride: 0, confidence: 0 };
+            *entry = RptEntry {
+                pc,
+                last_block: block,
+                stride: 0,
+                confidence: 0,
+            };
             return Vec::new();
         }
         let observed = block as i64 - entry.last_block as i64;
@@ -186,6 +202,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "nonzero")]
     fn rejects_zero_degree() {
-        let _ = StridePrefetcher::new(PrefetchConfig { degree: 0, ..Default::default() });
+        let _ = StridePrefetcher::new(PrefetchConfig {
+            degree: 0,
+            ..Default::default()
+        });
     }
 }

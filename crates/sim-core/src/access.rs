@@ -35,12 +35,22 @@ pub struct Access {
 impl Access {
     /// Creates a read access with no preceding non-memory instructions.
     pub fn read(addr: u64, pc: u64) -> Self {
-        Access { addr, pc, kind: AccessKind::Read, icount_delta: 1 }
+        Access {
+            addr,
+            pc,
+            kind: AccessKind::Read,
+            icount_delta: 1,
+        }
     }
 
     /// Creates a write access with no preceding non-memory instructions.
     pub fn write(addr: u64, pc: u64) -> Self {
-        Access { addr, pc, kind: AccessKind::Write, icount_delta: 1 }
+        Access {
+            addr,
+            pc,
+            kind: AccessKind::Write,
+            icount_delta: 1,
+        }
     }
 
     /// Sets the instruction gap since the previous access.
@@ -55,8 +65,13 @@ impl Access {
     }
 
     /// Extracts the policy-visible portion of this access.
+    #[inline]
     pub fn context(&self) -> AccessContext {
-        AccessContext { pc: self.pc, addr: self.addr, is_write: self.is_write() }
+        AccessContext {
+            pc: self.pc,
+            addr: self.addr,
+            is_write: self.is_write(),
+        }
     }
 }
 
@@ -67,7 +82,11 @@ impl fmt::Display for Access {
             AccessKind::Write => "W",
             AccessKind::Writeback => "WB",
         };
-        write!(f, "{k} {:#x} (pc {:#x}, +{} instr)", self.addr, self.pc, self.icount_delta)
+        write!(
+            f,
+            "{k} {:#x} (pc {:#x}, +{} instr)",
+            self.addr, self.pc, self.icount_delta
+        )
     }
 }
 

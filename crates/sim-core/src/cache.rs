@@ -5,11 +5,55 @@ use crate::geometry::CacheGeometry;
 use crate::policy::ReplacementPolicy;
 use crate::stats::CacheStats;
 
-#[derive(Debug, Clone, Copy, Default)]
-struct Line {
-    tag: u64,
-    valid: bool,
-    dirty: bool,
+/// One cache line packed into a `u64`: the tag in the low 62 bits, with
+/// valid at bit 62 and dirty at bit 63. Packing keeps a 16-way set's
+/// metadata inside two cache lines (16 bytes/line with separate flag
+/// bytes needed four), which roughly halves the memory traffic of the
+/// tag scan — the single hottest loop in the simulator. Tags are block
+/// addresses shifted right by `log2(sets)`, so with 64-byte lines even a
+/// full 64-bit byte address leaves the top two bits free.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct Line(u64);
+
+const LINE_VALID: u64 = 1 << 62;
+const LINE_DIRTY: u64 = 1 << 63;
+const LINE_TAG_MASK: u64 = LINE_VALID - 1;
+
+impl Line {
+    #[inline]
+    fn new(tag: u64, dirty: bool) -> Self {
+        debug_assert_eq!(tag & !LINE_TAG_MASK, 0, "tag overflows packed line");
+        Line(tag | LINE_VALID | if dirty { LINE_DIRTY } else { 0 })
+    }
+
+    #[inline]
+    fn valid(self) -> bool {
+        self.0 & LINE_VALID != 0
+    }
+
+    #[inline]
+    fn dirty(self) -> bool {
+        self.0 & LINE_DIRTY != 0
+    }
+
+    #[inline]
+    fn tag(self) -> u64 {
+        self.0 & LINE_TAG_MASK
+    }
+
+    /// True iff valid with this tag — one AND and one compare, which lets
+    /// the set scan auto-vectorize.
+    #[inline]
+    fn matches(self, tag: u64) -> bool {
+        self.0 & !LINE_DIRTY == tag | LINE_VALID
+    }
+
+    #[inline]
+    fn set_dirty(&mut self, dirty: bool) {
+        if dirty {
+            self.0 |= LINE_DIRTY;
+        }
+    }
 }
 
 /// A block displaced by a fill.
@@ -37,6 +81,12 @@ pub struct AccessOutcome {
 /// The cache stores *block addresses*; callers convert byte addresses via
 /// [`CacheGeometry::block_of`] or use [`SetAssocCache::access`].
 ///
+/// The policy type parameter defaults to `Box<dyn ReplacementPolicy>`, so
+/// `SetAssocCache` written without parameters is the dynamically-dispatched
+/// cache used by factory-driven sweeps. Hot paths (the GA fitness loop)
+/// instead instantiate [`SetAssocCache::with_policy`] at a concrete policy
+/// type, monomorphizing every callback into the replay loop.
+///
 /// # Example
 ///
 /// ```
@@ -49,17 +99,21 @@ pub struct AccessOutcome {
 /// let a = Access::read(0x1000, 0);
 /// assert!(!cache.access(&a).hit); // cold miss
 /// assert!(cache.access(&a).hit); // now resident
+///
+/// // Monomorphized equivalent — no virtual dispatch in the access path:
+/// let mut fast = SetAssocCache::with_policy(geom, AlwaysWayZero::new(&geom));
+/// assert!(!fast.access(&a).hit);
 /// # Ok(())
 /// # }
 /// ```
-pub struct SetAssocCache {
+pub struct SetAssocCache<P: ReplacementPolicy = Box<dyn ReplacementPolicy>> {
     geom: CacheGeometry,
     lines: Vec<Line>,
-    policy: Box<dyn ReplacementPolicy>,
+    policy: P,
     stats: CacheStats,
 }
 
-impl std::fmt::Debug for SetAssocCache {
+impl<P: ReplacementPolicy> std::fmt::Debug for SetAssocCache<P> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SetAssocCache")
             .field("geom", &self.geom)
@@ -70,8 +124,17 @@ impl std::fmt::Debug for SetAssocCache {
 }
 
 impl SetAssocCache {
-    /// Creates an empty cache using `policy` for replacement decisions.
+    /// Creates an empty cache using a boxed `policy` for replacement
+    /// decisions (the dynamic-dispatch compatibility entry point; see
+    /// [`SetAssocCache::with_policy`] for the monomorphized one).
     pub fn new(geom: CacheGeometry, policy: Box<dyn ReplacementPolicy>) -> Self {
+        SetAssocCache::with_policy(geom, policy)
+    }
+}
+
+impl<P: ReplacementPolicy> SetAssocCache<P> {
+    /// Creates an empty cache driving `policy` with static dispatch.
+    pub fn with_policy(geom: CacheGeometry, policy: P) -> Self {
         SetAssocCache {
             geom,
             lines: vec![Line::default(); geom.sets() * geom.ways()],
@@ -97,22 +160,83 @@ impl SetAssocCache {
     }
 
     /// The policy driving this cache.
-    pub fn policy(&self) -> &dyn ReplacementPolicy {
-        self.policy.as_ref()
+    pub fn policy(&self) -> &P {
+        &self.policy
     }
 
     /// Mutable access to the policy (e.g. to inspect dueling winners).
-    pub fn policy_mut(&mut self) -> &mut dyn ReplacementPolicy {
-        self.policy.as_mut()
+    pub fn policy_mut(&mut self) -> &mut P {
+        &mut self.policy
     }
 
     /// Looks up a byte-addressed access, filling on miss.
+    #[inline]
     pub fn access(&mut self, access: &crate::access::Access) -> AccessOutcome {
         self.access_block(self.geom.block_of(access.addr), &access.context())
     }
 
+    /// [`SetAssocCache::access`] for callers that only need the hit/miss
+    /// outcome (the replay loop): identical state transitions and
+    /// statistics, but skips assembling the [`Evicted`] record — on a
+    /// replayed LLC miss nobody consumes the displaced block's address,
+    /// and reconstructing it costs a shift/or per miss in the hottest
+    /// loop of the simulator.
+    #[inline]
+    pub fn access_fast(&mut self, access: &crate::access::Access) -> bool {
+        let block_addr = self.geom.block_of(access.addr);
+        let ctx = access.context();
+        let set = self.geom.set_of_block(block_addr);
+        let tag = self.geom.tag_of_block(block_addr);
+        let ways = self.geom.ways();
+        let base = set * ways;
+        self.stats.accesses += 1;
+
+        let mut match_mask = 0u64;
+        let mut valid_mask = 0u64;
+        for (way, &line) in self.lines[base..base + ways].iter().enumerate() {
+            match_mask |= u64::from(line.matches(tag)) << way;
+            valid_mask |= u64::from(line.valid()) << way;
+        }
+
+        if match_mask != 0 {
+            let way = match_mask.trailing_zeros() as usize;
+            self.lines[base + way].set_dirty(ctx.is_write);
+            self.stats.hits += 1;
+            self.policy.on_hit(set, way, &ctx);
+            return true;
+        }
+
+        self.stats.misses += 1;
+        self.policy.on_miss(set, &ctx);
+        if self.policy.should_bypass(set, &ctx) {
+            return false;
+        }
+
+        let first_invalid = (!valid_mask).trailing_zeros() as usize;
+        let fill_way = if first_invalid < ways {
+            first_invalid
+        } else {
+            let w = self.policy.victim(set, &ctx);
+            assert!(
+                w < ways,
+                "policy {} returned way {w} >= {ways}",
+                self.policy.name()
+            );
+            self.stats.evictions += 1;
+            if self.lines[base + w].dirty() {
+                self.stats.writebacks += 1;
+            }
+            self.policy.on_evict(set, w);
+            w
+        };
+        self.lines[base + fill_way] = Line::new(tag, ctx.is_write);
+        self.policy.on_fill(set, fill_way, &ctx);
+        false
+    }
+
     /// Looks up `block_addr`, filling on miss. `ctx` is forwarded to the
     /// policy callbacks.
+    #[inline]
     pub fn access_block(&mut self, block_addr: u64, ctx: &AccessContext) -> AccessOutcome {
         let set = self.geom.set_of_block(block_addr);
         let tag = self.geom.tag_of_block(block_addr);
@@ -120,49 +244,77 @@ impl SetAssocCache {
         let base = set * ways;
         self.stats.accesses += 1;
 
-        // Hit path.
-        for way in 0..ways {
-            let line = &mut self.lines[base + way];
-            if line.valid && line.tag == tag {
-                line.dirty |= ctx.is_write;
-                self.stats.hits += 1;
-                self.policy.on_hit(set, way, ctx);
-                return AccessOutcome { hit: true, evicted: None, bypassed: false };
-            }
+        // One branchless pass over the set builds a match mask and a valid
+        // mask (an OR-reduction with no early exit, so it vectorizes);
+        // `trailing_zeros` then yields the hit way and the first invalid
+        // way. Tags are unique within a set, so at most one bit matches.
+        let mut match_mask = 0u64;
+        let mut valid_mask = 0u64;
+        for (way, &line) in self.lines[base..base + ways].iter().enumerate() {
+            match_mask |= u64::from(line.matches(tag)) << way;
+            valid_mask |= u64::from(line.valid()) << way;
         }
+
+        if match_mask != 0 {
+            let way = match_mask.trailing_zeros() as usize;
+            self.lines[base + way].set_dirty(ctx.is_write);
+            self.stats.hits += 1;
+            self.policy.on_hit(set, way, ctx);
+            return AccessOutcome {
+                hit: true,
+                evicted: None,
+                bypassed: false,
+            };
+        }
+        let invalid = match (!valid_mask).trailing_zeros() as usize {
+            w if w < ways => w,
+            _ => usize::MAX,
+        };
 
         // Miss path.
         self.stats.misses += 1;
         self.policy.on_miss(set, ctx);
         if self.policy.should_bypass(set, ctx) {
-            return AccessOutcome { hit: false, evicted: None, bypassed: true };
+            return AccessOutcome {
+                hit: false,
+                evicted: None,
+                bypassed: true,
+            };
         }
 
         // Prefer an invalid way; otherwise ask the policy for a victim.
-        let (fill_way, evicted) = match (0..ways).find(|&w| !self.lines[base + w].valid) {
+        let (fill_way, evicted) = match (invalid != usize::MAX).then_some(invalid) {
             Some(w) => (w, None),
             None => {
                 let w = self.policy.victim(set, ctx);
-                assert!(w < ways, "policy {} returned way {w} >= {ways}", self.policy.name());
+                assert!(
+                    w < ways,
+                    "policy {} returned way {w} >= {ways}",
+                    self.policy.name()
+                );
                 let old = self.lines[base + w];
                 self.stats.evictions += 1;
-                if old.dirty {
+                if old.dirty() {
                     self.stats.writebacks += 1;
                 }
                 self.policy.on_evict(set, w);
                 (
                     w,
                     Some(Evicted {
-                        block_addr: self.geom.block_from_parts(set, old.tag),
-                        dirty: old.dirty,
+                        block_addr: self.geom.block_from_parts(set, old.tag()),
+                        dirty: old.dirty(),
                     }),
                 )
             }
         };
 
-        self.lines[base + fill_way] = Line { tag, valid: true, dirty: ctx.is_write };
+        self.lines[base + fill_way] = Line::new(tag, ctx.is_write);
         self.policy.on_fill(set, fill_way, ctx);
-        AccessOutcome { hit: false, evicted, bypassed: false }
+        AccessOutcome {
+            hit: false,
+            evicted,
+            bypassed: false,
+        }
     }
 
     /// Returns whether `block_addr` is currently resident (no side effects).
@@ -170,10 +322,7 @@ impl SetAssocCache {
         let set = self.geom.set_of_block(block_addr);
         let tag = self.geom.tag_of_block(block_addr);
         let base = set * self.geom.ways();
-        (0..self.geom.ways()).any(|w| {
-            let l = &self.lines[base + w];
-            l.valid && l.tag == tag
-        })
+        (0..self.geom.ways()).any(|w| self.lines[base + w].matches(tag))
     }
 
     /// Invalidates `block_addr` if resident, returning whether it was dirty.
@@ -183,10 +332,9 @@ impl SetAssocCache {
         let base = set * self.geom.ways();
         for w in 0..self.geom.ways() {
             let l = &mut self.lines[base + w];
-            if l.valid && l.tag == tag {
-                l.valid = false;
-                let dirty = l.dirty;
-                l.dirty = false;
+            if l.matches(tag) {
+                let dirty = l.dirty();
+                *l = Line::default();
                 self.policy.on_evict(set, w);
                 return Some(dirty);
             }
@@ -197,7 +345,9 @@ impl SetAssocCache {
     /// Number of valid lines in `set` (test/diagnostic aid).
     pub fn occupancy(&self, set: usize) -> usize {
         let base = set * self.geom.ways();
-        (0..self.geom.ways()).filter(|&w| self.lines[base + w].valid).count()
+        (0..self.geom.ways())
+            .filter(|&w| self.lines[base + w].valid())
+            .count()
     }
 
     /// Block addresses currently resident in `set`, in way order.
@@ -205,8 +355,8 @@ impl SetAssocCache {
         let base = set * self.geom.ways();
         (0..self.geom.ways())
             .filter_map(|w| {
-                let l = &self.lines[base + w];
-                l.valid.then(|| self.geom.block_from_parts(set, l.tag))
+                let l = self.lines[base + w];
+                l.valid().then(|| self.geom.block_from_parts(set, l.tag()))
             })
             .collect()
     }
@@ -249,18 +399,30 @@ mod tests {
         let ctx = AccessContext::blank();
         for tag in 0..4 {
             let out = c.access_block(blk(1, tag), &ctx);
-            assert!(out.evicted.is_none(), "no eviction while set has invalid ways");
+            assert!(
+                out.evicted.is_none(),
+                "no eviction while set has invalid ways"
+            );
         }
         assert_eq!(c.occupancy(1), 4);
         let out = c.access_block(blk(1, 99), &ctx);
-        assert_eq!(out.evicted, Some(Evicted { block_addr: blk(1, 0), dirty: false }));
+        assert_eq!(
+            out.evicted,
+            Some(Evicted {
+                block_addr: blk(1, 0),
+                dirty: false
+            })
+        );
         assert_eq!(c.stats().evictions, 1);
     }
 
     #[test]
     fn dirty_eviction_counts_writeback() {
         let mut c = small_cache();
-        let wctx = AccessContext { is_write: true, ..AccessContext::blank() };
+        let wctx = AccessContext {
+            is_write: true,
+            ..AccessContext::blank()
+        };
         let rctx = AccessContext::blank();
         c.access_block(blk(2, 0), &wctx); // dirty fill into way 0
         for tag in 1..4 {
@@ -275,7 +437,10 @@ mod tests {
     fn write_hit_marks_dirty() {
         let mut c = small_cache();
         let rctx = AccessContext::blank();
-        let wctx = AccessContext { is_write: true, ..AccessContext::blank() };
+        let wctx = AccessContext {
+            is_write: true,
+            ..AccessContext::blank()
+        };
         c.access_block(blk(3, 7), &rctx); // clean fill
         c.access_block(blk(3, 7), &wctx); // write hit dirties it
         for tag in 0..3 {
@@ -324,7 +489,10 @@ mod tests {
         c.access_block(blk(0, 1), &ctx);
         c.reset_stats();
         assert_eq!(c.stats().accesses, 0);
-        assert!(c.access_block(blk(0, 1), &ctx).hit, "contents survive reset");
+        assert!(
+            c.access_block(blk(0, 1), &ctx).hit,
+            "contents survive reset"
+        );
     }
 
     #[test]

@@ -32,7 +32,11 @@ impl fmt::Display for DuelingError {
             DuelingError::BadSetCount(n) => {
                 write!(f, "set count {n} must be a nonzero power of two")
             }
-            DuelingError::BadLeaderCount { leaders_per_policy, sets, policies } => write!(
+            DuelingError::BadLeaderCount {
+                leaders_per_policy,
+                sets,
+                policies,
+            } => write!(
                 f,
                 "cannot place {leaders_per_policy} leaders per policy for {policies} policies \
                  in {sets} sets"
@@ -65,7 +69,12 @@ impl Psel {
     pub fn new(bits: u32) -> Self {
         assert!(bits > 0 && bits < 32, "PSEL width must be in 1..=31");
         let half = 1i32 << (bits - 1);
-        Psel { value: 0, min: -half, max: half - 1, bits }
+        Psel {
+            value: 0,
+            min: -half,
+            max: half - 1,
+            bits,
+        }
     }
 
     /// Current counter value.
@@ -79,17 +88,20 @@ impl Psel {
     }
 
     /// Records a miss by the first dueled policy (counts up, saturating).
+    #[inline]
     pub fn up(&mut self) {
         self.value = (self.value + 1).min(self.max);
     }
 
     /// Records a miss by the second dueled policy (counts down, saturating).
+    #[inline]
     pub fn down(&mut self) {
         self.value = (self.value - 1).max(self.min);
     }
 
     /// Index (0 or 1) of the policy followers should adopt: the first while
     /// the counter is below zero, otherwise the second.
+    #[inline]
     pub fn winner(&self) -> usize {
         usize::from(self.value >= 0)
     }
@@ -159,10 +171,20 @@ impl LeaderMap {
             || sets % leaders_per_policy != 0
             || sets / leaders_per_policy < policies
         {
-            return Err(DuelingError::BadLeaderCount { leaders_per_policy, sets, policies });
+            return Err(DuelingError::BadLeaderCount {
+                leaders_per_policy,
+                sets,
+                policies,
+            });
         }
         let region_size = sets / leaders_per_policy;
-        Ok(LeaderMap { sets, policies, region_size, stride: region_size / policies, salt })
+        Ok(LeaderMap {
+            sets,
+            policies,
+            region_size,
+            stride: region_size / policies,
+            salt,
+        })
     }
 
     /// Total sets covered by this map.
@@ -180,14 +202,18 @@ impl LeaderMap {
     /// # Panics
     ///
     /// Panics if `set` is out of range.
+    #[inline]
     pub fn role(&self, set: usize) -> SetRole {
-        assert!(set < self.sets, "set {set} out of range (sets = {})", self.sets);
+        assert!(
+            set < self.sets,
+            "set {set} out of range (sets = {})",
+            self.sets
+        );
         let region = set / self.region_size;
         let offset = set % self.region_size;
         // Spread each constituency's leaders to a different offset so a
         // pathological stride in the workload cannot hammer only leaders.
-        let base =
-            region.wrapping_mul(0x9e37_79b9).wrapping_add(self.salt) % self.region_size;
+        let base = region.wrapping_mul(0x9e37_79b9).wrapping_add(self.salt) % self.region_size;
         for p in 0..self.policies {
             if offset == (base + p * self.stride) % self.region_size {
                 return SetRole::Leader(p);
@@ -222,6 +248,7 @@ pub enum Selector {
 
 impl Selector {
     /// Routes a leader-set miss by candidate `policy` into the counters.
+    #[inline]
     pub fn record_miss(&mut self, policy: usize) {
         match self {
             Selector::Static(_) => {}
@@ -247,6 +274,7 @@ impl Selector {
     }
 
     /// The candidate followers should currently adopt.
+    #[inline]
     pub fn winner(&self) -> usize {
         match self {
             Selector::Static(p) => *p,
@@ -348,6 +376,7 @@ impl DuelController {
 
     /// The candidate policy `set` should execute right now: leaders run
     /// their own candidate, followers run the current winner.
+    #[inline]
     pub fn policy_for_set(&self, set: usize) -> usize {
         match self.map.role(set) {
             SetRole::Leader(p) => p,
@@ -356,6 +385,7 @@ impl DuelController {
     }
 
     /// Feeds a miss in `set` into the counters (no-op for followers).
+    #[inline]
     pub fn record_miss(&mut self, set: usize) {
         if let SetRole::Leader(p) = self.map.role(set) {
             self.selector.record_miss(p);
@@ -363,6 +393,7 @@ impl DuelController {
     }
 
     /// The candidate followers currently adopt.
+    #[inline]
     pub fn winner(&self) -> usize {
         self.selector.winner()
     }
@@ -515,7 +546,11 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(!DuelingError::BadSetCount(3).to_string().is_empty());
-        let e = DuelingError::BadLeaderCount { leaders_per_policy: 1, sets: 2, policies: 4 };
+        let e = DuelingError::BadLeaderCount {
+            leaders_per_policy: 1,
+            sets: 2,
+            policies: 4,
+        };
         assert!(!e.to_string().is_empty());
     }
 }

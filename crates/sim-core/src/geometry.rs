@@ -54,9 +54,15 @@ impl fmt::Display for GeometryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GeometryError::NotPowerOfTwo { field, value } => {
-                write!(f, "cache {field} must be a nonzero power of two, got {value}")
+                write!(
+                    f,
+                    "cache {field} must be a nonzero power of two, got {value}"
+                )
             }
-            GeometryError::TooSmall { size_bytes, minimum } => write!(
+            GeometryError::TooSmall {
+                size_bytes,
+                minimum,
+            } => write!(
                 f,
                 "cache size {size_bytes} bytes is smaller than one set ({minimum} bytes)"
             ),
@@ -86,7 +92,10 @@ impl CacheGeometry {
         check_pow2("line_bytes", line_bytes)?;
         let set_bytes = ways as u64 * line_bytes;
         if size_bytes < set_bytes {
-            return Err(GeometryError::TooSmall { size_bytes, minimum: set_bytes });
+            return Err(GeometryError::TooSmall {
+                size_bytes,
+                minimum: set_bytes,
+            });
         }
         let sets = (size_bytes / set_bytes) as usize;
         Ok(CacheGeometry {
@@ -106,7 +115,10 @@ impl CacheGeometry {
     /// Returns [`GeometryError`] if any dimension is zero or not a power of two.
     pub fn from_sets(sets: usize, ways: usize, line_bytes: u64) -> Result<Self, GeometryError> {
         if sets == 0 || !sets.is_power_of_two() {
-            return Err(GeometryError::NotPowerOfTwo { field: "sets", value: sets as u64 });
+            return Err(GeometryError::NotPowerOfTwo {
+                field: "sets",
+                value: sets as u64,
+            });
         }
         Self::new(sets as u64 * ways as u64 * line_bytes, ways, line_bytes)
     }
@@ -117,41 +129,49 @@ impl CacheGeometry {
     }
 
     /// Associativity (number of ways per set).
+    #[inline]
     pub fn ways(&self) -> usize {
         self.ways
     }
 
     /// Line (block) size in bytes.
+    #[inline]
     pub fn line_bytes(&self) -> u64 {
         self.line_bytes
     }
 
     /// Number of sets.
+    #[inline]
     pub fn sets(&self) -> usize {
         self.sets
     }
 
     /// Converts a byte address to a block (line) address.
+    #[inline]
     pub fn block_of(&self, byte_addr: u64) -> u64 {
         byte_addr >> self.line_shift
     }
 
     /// Set index for a block address.
+    #[inline]
     pub fn set_of_block(&self, block_addr: u64) -> usize {
         (block_addr & self.set_mask) as usize
     }
 
     /// Set index for a byte address.
+    #[inline]
     pub fn set_of(&self, byte_addr: u64) -> usize {
         self.set_of_block(self.block_of(byte_addr))
     }
 
     /// Tag for a block address (the bits above the set index).
+    #[inline]
     pub fn tag_of_block(&self, block_addr: u64) -> u64 {
         block_addr >> self.sets.trailing_zeros()
     }
 
     /// Reconstructs a block address from a set index and tag.
+    #[inline]
     pub fn block_from_parts(&self, set: usize, tag: u64) -> u64 {
         (tag << self.sets.trailing_zeros()) | set as u64
     }
@@ -194,7 +214,10 @@ mod tests {
     fn rejects_non_power_of_two() {
         assert!(matches!(
             CacheGeometry::new(3000, 4, 64),
-            Err(GeometryError::NotPowerOfTwo { field: "size_bytes", .. })
+            Err(GeometryError::NotPowerOfTwo {
+                field: "size_bytes",
+                ..
+            })
         ));
         assert!(matches!(
             CacheGeometry::new(4096, 3, 64),
@@ -202,18 +225,30 @@ mod tests {
         ));
         assert!(matches!(
             CacheGeometry::new(4096, 4, 48),
-            Err(GeometryError::NotPowerOfTwo { field: "line_bytes", .. })
+            Err(GeometryError::NotPowerOfTwo {
+                field: "line_bytes",
+                ..
+            })
         ));
         assert!(matches!(
             CacheGeometry::new(0, 4, 64),
-            Err(GeometryError::NotPowerOfTwo { field: "size_bytes", value: 0 })
+            Err(GeometryError::NotPowerOfTwo {
+                field: "size_bytes",
+                value: 0
+            })
         ));
     }
 
     #[test]
     fn rejects_capacity_below_one_set() {
         let err = CacheGeometry::new(128, 4, 64).unwrap_err();
-        assert_eq!(err, GeometryError::TooSmall { size_bytes: 128, minimum: 256 });
+        assert_eq!(
+            err,
+            GeometryError::TooSmall {
+                size_bytes: 128,
+                minimum: 256
+            }
+        );
     }
 
     #[test]

@@ -46,6 +46,7 @@ pub mod dueling;
 pub mod geometry;
 pub mod overhead;
 pub mod policy;
+pub mod pool;
 pub mod stats;
 
 pub use access::{Access, AccessContext, AccessKind};

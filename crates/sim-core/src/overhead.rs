@@ -39,7 +39,12 @@ impl OverheadReport {
 
     /// Builds a report from raw numbers (for policies not instantiated here,
     /// e.g. the paper's PDP microcontroller estimate).
-    pub fn from_parts(policy: &str, bits_per_set: u64, global_bits: u64, geom: &CacheGeometry) -> Self {
+    pub fn from_parts(
+        policy: &str,
+        bits_per_set: u64,
+        global_bits: u64,
+        geom: &CacheGeometry,
+    ) -> Self {
         OverheadReport {
             policy: policy.to_string(),
             bits_per_set,
@@ -125,18 +130,30 @@ mod tests {
     fn paper_kb_totals_for_4mb_llc() {
         let geom = llc();
         let lru = OverheadReport::from_parts("LRU", lru_bits_per_set(16), 0, &geom);
-        assert!((lru.total_kib() - 32.0).abs() < 1e-9, "LRU is 32 KB on 4 MB");
+        assert!(
+            (lru.total_kib() - 32.0).abs() < 1e-9,
+            "LRU is 32 KB on 4 MB"
+        );
         let plru = OverheadReport::from_parts("PLRU", plru_bits_per_set(16), 0, &geom);
-        assert!((plru.total_kib() - 7.5).abs() < 1e-9, "PLRU is 7.5 KB (paper rounds to 7 KB)");
+        assert!(
+            (plru.total_kib() - 7.5).abs() < 1e-9,
+            "PLRU is 7.5 KB (paper rounds to 7 KB)"
+        );
         let drrip = OverheadReport::from_parts("DRRIP", rrip_bits_per_set(16, 2), 10, &geom);
-        assert!(drrip.total_kib() > 16.0 && drrip.total_kib() < 16.01, "DRRIP about 16 KB");
+        assert!(
+            drrip.total_kib() > 16.0 && drrip.total_kib() < 16.01,
+            "DRRIP about 16 KB"
+        );
     }
 
     #[test]
     fn bits_per_block_below_one_for_gippr() {
         let geom = llc();
         let r = OverheadReport::from_parts("GIPPR", plru_bits_per_set(16), 33, &geom);
-        assert!(r.bits_per_block() < 0.94 + 1e-9, "paper: less than 0.94 bits per block");
+        assert!(
+            r.bits_per_block() < 0.94 + 1e-9,
+            "paper: less than 0.94 bits per block"
+        );
     }
 
     #[test]

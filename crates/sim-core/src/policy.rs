@@ -55,6 +55,57 @@ pub trait ReplacementPolicy {
     }
 }
 
+/// Boxed policies are policies too: this keeps `Box<dyn ReplacementPolicy>`
+/// usable as the default policy parameter of
+/// [`SetAssocCache`](crate::SetAssocCache) while concrete types take the
+/// monomorphized fast path.
+impl<P: ReplacementPolicy + ?Sized> ReplacementPolicy for Box<P> {
+    #[inline]
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    #[inline]
+    fn victim(&mut self, set: usize, ctx: &AccessContext) -> usize {
+        (**self).victim(set, ctx)
+    }
+
+    #[inline]
+    fn on_hit(&mut self, set: usize, way: usize, ctx: &AccessContext) {
+        (**self).on_hit(set, way, ctx)
+    }
+
+    #[inline]
+    fn on_fill(&mut self, set: usize, way: usize, ctx: &AccessContext) {
+        (**self).on_fill(set, way, ctx)
+    }
+
+    #[inline]
+    fn on_miss(&mut self, set: usize, ctx: &AccessContext) {
+        (**self).on_miss(set, ctx)
+    }
+
+    #[inline]
+    fn on_evict(&mut self, set: usize, way: usize) {
+        (**self).on_evict(set, way)
+    }
+
+    #[inline]
+    fn should_bypass(&mut self, set: usize, ctx: &AccessContext) -> bool {
+        (**self).should_bypass(set, ctx)
+    }
+
+    #[inline]
+    fn bits_per_set(&self) -> u64 {
+        (**self).bits_per_set()
+    }
+
+    #[inline]
+    fn global_bits(&self) -> u64 {
+        (**self).global_bits()
+    }
+}
+
 /// A constructor for policy instances, used by sweeps that simulate the same
 /// cache under many policies (and by multi-threaded experiments).
 pub type PolicyFactory = Box<dyn Fn(&CacheGeometry) -> Box<dyn ReplacementPolicy> + Send + Sync>;

@@ -1,0 +1,378 @@
+//! A persistent worker pool for data-parallel simulation work.
+//!
+//! The GA fitness loop and the experiment harness both fan identical,
+//! independent tasks (replay this stream, score this genome) across cores.
+//! Spawning a fresh scoped thread per chunk per generation — the original
+//! `crossbeam::thread::scope` pattern — costs a thread create/join cycle
+//! per task batch. This pool spawns its threads once and reuses them across
+//! every generation of every experiment in the process.
+//!
+//! Design notes:
+//!
+//! * **Scoped semantics without scoped threads.** [`WorkerPool::run`]
+//!   borrows its closure and result buffer from the caller's stack and
+//!   erases the lifetime to hand work to long-lived threads. Safety comes
+//!   from the completion protocol: `run` does not return until every task
+//!   index has finished executing, so the borrowed closure outlives every
+//!   dereference.
+//! * **The caller helps.** The calling thread executes tasks alongside the
+//!   workers. This keeps single-threaded fallback trivial (a pool with zero
+//!   workers still completes) and makes nested `run` calls deadlock-free:
+//!   a worker that itself calls `run` will drain the inner job on its own
+//!   if no one else is free.
+//! * **Panic transparency.** A panicking task does not poison the pool;
+//!   the first payload is captured and re-raised on the calling thread
+//!   after the batch drains, mirroring `std::thread::scope`.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// The erased task function: call with a task index in `0..n`.
+#[derive(Clone, Copy)]
+struct TaskFn(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (callable from any thread through `&`) and
+// the completion protocol in `run` guarantees it outlives every call.
+unsafe impl Send for TaskFn {}
+unsafe impl Sync for TaskFn {}
+
+/// One published batch of tasks.
+struct Job {
+    task: TaskFn,
+    /// Total number of task indices.
+    n: usize,
+    /// Executor cap, counting the caller.
+    max_workers: usize,
+    /// Executors currently inside the claim loop (caller included).
+    active: AtomicUsize,
+    /// Next unclaimed task index.
+    next: AtomicUsize,
+    /// Completed task count; the job is done when this reaches `n`.
+    done: AtomicUsize,
+    /// First panic payload from any task.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    panicked: AtomicBool,
+    done_lock: Mutex<()>,
+    done_cv: Condvar,
+}
+
+impl Job {
+    /// Claims and executes tasks until none remain, then reports whether
+    /// this executor finished the final task.
+    fn help(&self) {
+        loop {
+            let idx = self.next.fetch_add(1, Ordering::Relaxed);
+            if idx >= self.n {
+                return;
+            }
+            // SAFETY: idx < n, and `run` keeps the closure alive until
+            // `done` reaches `n`, which cannot happen before this call
+            // returns and is counted below.
+            let task = unsafe { &*self.task.0 };
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| task(idx))) {
+                if !self.panicked.swap(true, Ordering::SeqCst) {
+                    *self.panic.lock().unwrap() = Some(payload);
+                }
+            }
+            if self.done.fetch_add(1, Ordering::SeqCst) + 1 == self.n {
+                let _guard = self.done_lock.lock().unwrap();
+                self.done_cv.notify_all();
+            }
+        }
+    }
+}
+
+/// The slot workers watch for new jobs.
+struct Board {
+    job: Option<(u64, Arc<Job>)>,
+    generation: u64,
+    shutdown: bool,
+}
+
+struct Shared {
+    board: Mutex<Board>,
+    work_cv: Condvar,
+}
+
+/// A pool of persistent worker threads executing indexed task batches.
+///
+/// See [`global`] for the process-wide instance most callers want.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.handles.len())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Creates a pool with `workers` background threads. The calling thread
+    /// participates in every [`run`](WorkerPool::run), so `workers: 0` is a
+    /// valid (sequential) pool.
+    pub fn new(workers: usize) -> Self {
+        let shared = Arc::new(Shared {
+            board: Mutex::new(Board {
+                job: None,
+                generation: 0,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("sim-pool-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool { shared, handles }
+    }
+
+    /// Number of background worker threads (excluding callers).
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Executes `f(0..n)` across the pool and returns the results in index
+    /// order. At most `max_workers` threads (counting the caller) execute
+    /// concurrently; pass `usize::MAX` for no cap. Blocks until every task
+    /// has completed.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first panic from any task after the whole batch has
+    /// drained (no task is abandoned mid-flight).
+    pub fn run<R, F>(&self, n: usize, max_workers: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        if n == 0 {
+            return Vec::new();
+        }
+        let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let task = |i: usize| {
+            let value = f(i);
+            *results[i].lock().unwrap() = Some(value);
+        };
+        let task_ref: &(dyn Fn(usize) + Sync) = &task;
+        // SAFETY: lifetime erasure only; the job is fully drained (and thus
+        // no longer dereferencing this pointer) before `run` returns.
+        let task_static: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(task_ref) };
+        let job = Arc::new(Job {
+            task: TaskFn(task_static as *const _),
+            n,
+            max_workers: max_workers.max(1),
+            active: AtomicUsize::new(1), // the caller
+            next: AtomicUsize::new(0),
+            done: AtomicUsize::new(0),
+            panic: Mutex::new(None),
+            panicked: AtomicBool::new(false),
+            done_lock: Mutex::new(()),
+            done_cv: Condvar::new(),
+        });
+
+        // Publish, then help with the work ourselves.
+        {
+            let mut board = self.shared.board.lock().unwrap();
+            board.generation += 1;
+            board.job = Some((board.generation, Arc::clone(&job)));
+            self.shared.work_cv.notify_all();
+        }
+        job.help();
+
+        // Wait for stragglers still executing claimed tasks.
+        {
+            let mut guard = job.done_lock.lock().unwrap();
+            while job.done.load(Ordering::SeqCst) < n {
+                guard = job.done_cv.wait(guard).unwrap();
+            }
+        }
+        if job.panicked.load(Ordering::SeqCst) {
+            if let Some(payload) = job.panic.lock().unwrap().take() {
+                resume_unwind(payload);
+            }
+        }
+        results
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap()
+                    .expect("task completed without result")
+            })
+            .collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut board = self.shared.board.lock().unwrap();
+            board.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut seen_generation = 0u64;
+    loop {
+        let job = {
+            let mut board = shared.board.lock().unwrap();
+            loop {
+                if board.shutdown {
+                    return;
+                }
+                match &board.job {
+                    Some((generation, job)) if *generation != seen_generation => {
+                        seen_generation = *generation;
+                        break Arc::clone(job);
+                    }
+                    _ => board = shared.work_cv.wait(board).unwrap(),
+                }
+            }
+        };
+        // Respect the job's executor cap (the caller counts as one).
+        if job.active.fetch_add(1, Ordering::SeqCst) >= job.max_workers {
+            job.active.fetch_sub(1, Ordering::SeqCst);
+            continue;
+        }
+        job.help();
+        job.active.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+static GLOBAL: OnceLock<WorkerPool> = OnceLock::new();
+
+/// The process-wide pool, created on first use with one worker per
+/// available core (minus one for the calling thread).
+pub fn global() -> &'static WorkerPool {
+    GLOBAL.get_or_init(|| {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        WorkerPool::new(cores.saturating_sub(1))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn runs_every_index_exactly_once() {
+        let pool = WorkerPool::new(3);
+        let calls: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+        let out = pool.run(100, usize::MAX, |i| {
+            calls[i].fetch_add(1, Ordering::SeqCst);
+            i * 2
+        });
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+        assert!(calls.iter().all(|c| c.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn zero_tasks_and_zero_workers() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.run(0, usize::MAX, |i| i), Vec::<usize>::new());
+        assert_eq!(pool.run(5, usize::MAX, |i| i + 1), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn reused_across_batches() {
+        let pool = WorkerPool::new(2);
+        for round in 0..50usize {
+            let out = pool.run(7, usize::MAX, |i| i + round);
+            assert_eq!(out, (0..7).map(|i| i + round).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn respects_worker_cap() {
+        let pool = WorkerPool::new(8);
+        let concurrent = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        pool.run(64, 2, |_| {
+            let now = concurrent.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            concurrent.fetch_sub(1, Ordering::SeqCst);
+        });
+        assert!(peak.load(Ordering::SeqCst) <= 2, "cap of 2 exceeded");
+    }
+
+    #[test]
+    fn nested_runs_complete() {
+        let pool = WorkerPool::new(2);
+        let out = pool.run(4, usize::MAX, |i| {
+            let inner = pool.run(3, usize::MAX, |j| i * 10 + j);
+            inner.into_iter().sum::<usize>()
+        });
+        assert_eq!(out, vec![1 + 2, 30 + 3, 60 + 3, 90 + 3]);
+    }
+
+    #[test]
+    fn propagates_panics_after_drain() {
+        let pool = WorkerPool::new(2);
+        let completed = Arc::new(AtomicUsize::new(0));
+        let result = {
+            let completed = Arc::clone(&completed);
+            std::panic::catch_unwind(AssertUnwindSafe(|| {
+                pool.run(16, usize::MAX, |i| {
+                    if i == 5 {
+                        panic!("task 5 exploded");
+                    }
+                    completed.fetch_add(1, Ordering::SeqCst);
+                })
+            }))
+        };
+        assert!(result.is_err());
+        assert_eq!(
+            completed.load(Ordering::SeqCst),
+            15,
+            "all other tasks still ran"
+        );
+        // The pool survives the panic and keeps working.
+        assert_eq!(pool.run(3, usize::MAX, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn many_threads_observe_distinct_indices() {
+        let pool = WorkerPool::new(4);
+        let seen = Mutex::new(HashSet::new());
+        pool.run(200, usize::MAX, |i| {
+            assert!(seen.lock().unwrap().insert(i), "index {i} claimed twice");
+        });
+        assert_eq!(seen.lock().unwrap().len(), 200);
+    }
+
+    #[test]
+    fn global_pool_is_reused() {
+        let a = global() as *const WorkerPool;
+        let b = global() as *const WorkerPool;
+        assert_eq!(a, b);
+        let sum: u64 = global()
+            .run(32, usize::MAX, |i| {
+                static TOUCHED: AtomicU64 = AtomicU64::new(0);
+                TOUCHED.fetch_add(1, Ordering::Relaxed);
+                i as u64
+            })
+            .into_iter()
+            .sum();
+        assert_eq!(sum, (0..32).sum::<u64>());
+    }
+}

@@ -92,7 +92,13 @@ mod tests {
 
     #[test]
     fn ratios() {
-        let s = CacheStats { accesses: 10, hits: 7, misses: 3, evictions: 1, writebacks: 0 };
+        let s = CacheStats {
+            accesses: 10,
+            hits: 7,
+            misses: 3,
+            evictions: 1,
+            writebacks: 0,
+        };
         assert!((s.miss_ratio() - 0.3).abs() < 1e-12);
         assert!((s.hit_ratio() - 0.7).abs() < 1e-12);
     }
@@ -107,15 +113,30 @@ mod tests {
 
     #[test]
     fn mpki() {
-        let s = CacheStats { misses: 5, ..CacheStats::new() };
+        let s = CacheStats {
+            misses: 5,
+            ..CacheStats::new()
+        };
         assert!((s.mpki(1000) - 5.0).abs() < 1e-12);
         assert!((s.mpki(2000) - 2.5).abs() < 1e-12);
     }
 
     #[test]
     fn add_accumulates() {
-        let a = CacheStats { accesses: 1, hits: 1, misses: 0, evictions: 0, writebacks: 0 };
-        let b = CacheStats { accesses: 2, hits: 0, misses: 2, evictions: 1, writebacks: 1 };
+        let a = CacheStats {
+            accesses: 1,
+            hits: 1,
+            misses: 0,
+            evictions: 0,
+            writebacks: 0,
+        };
+        let b = CacheStats {
+            accesses: 2,
+            hits: 0,
+            misses: 2,
+            evictions: 1,
+            writebacks: 1,
+        };
         let c = a + b;
         assert_eq!(c.accesses, 3);
         assert_eq!(c.misses, 2);

@@ -24,14 +24,9 @@ fn usage() -> ExitCode {
     ExitCode::from(2)
 }
 
-fn write_trace(
-    spec: &traces::WorkloadSpec,
-    n: usize,
-    path: &str,
-) -> Result<(), String> {
+fn write_trace(spec: &traces::WorkloadSpec, n: usize, path: &str) -> Result<(), String> {
     let file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
-    let mut writer =
-        TraceWriter::new(BufWriter::new(file)).map_err(|e| format!("header: {e}"))?;
+    let mut writer = TraceWriter::new(BufWriter::new(file)).map_err(|e| format!("header: {e}"))?;
     for a in spec.generator(0).take(n) {
         writer.write(&a).map_err(|e| format!("write: {e}"))?;
     }
@@ -90,7 +85,10 @@ fn main() -> ExitCode {
                 eprintln!("{e}");
                 return ExitCode::FAILURE;
             }
-            println!("wrote {n} records of custom workload {:?} to {path}", spec.name);
+            println!(
+                "wrote {n} records of custom workload {:?} to {path}",
+                spec.name
+            );
             ExitCode::SUCCESS
         }
         Some(cmd @ ("info" | "validate")) if args.len() >= 2 => {
@@ -141,7 +139,11 @@ fn main() -> ExitCode {
                     "  writes:          {writes} ({:.1}%)",
                     writes as f64 * 100.0 / records.max(1) as f64
                 );
-                println!("  distinct blocks: {} ({} KB footprint)", blocks.len(), blocks.len() / 16);
+                println!(
+                    "  distinct blocks: {} ({} KB footprint)",
+                    blocks.len(),
+                    blocks.len() / 16
+                );
             }
             ExitCode::SUCCESS
         }

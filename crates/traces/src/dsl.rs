@@ -44,7 +44,10 @@ impl fmt::Display for ParseSpecError {
 impl Error for ParseSpecError {}
 
 fn err(line: usize, message: impl Into<String>) -> ParseSpecError {
-    ParseSpecError { line, message: message.into() }
+    ParseSpecError {
+        line,
+        message: message.into(),
+    }
 }
 
 /// Parses a size like `64`, `128K`, `4M`, `1G` (binary multipliers).
@@ -95,12 +98,17 @@ fn parse_pattern(line_no: usize, tokens: &[&str]) -> Result<(Pattern, f64), Pars
                 .ok_or_else(|| err(line_no, "gather needs region=<size>"))?,
         },
         "chase" => {
-            let nodes =
-                get("nodes").ok_or_else(|| err(line_no, "chase needs nodes=<count>"))?;
+            let nodes = get("nodes").ok_or_else(|| err(line_no, "chase needs nodes=<count>"))?;
             if !nodes.is_power_of_two() {
-                return Err(err(line_no, format!("chase nodes must be a power of two, got {nodes}")));
+                return Err(err(
+                    line_no,
+                    format!("chase nodes must be a power of two, got {nodes}"),
+                ));
             }
-            Pattern::PointerChase { start: get("start").unwrap_or(0), nodes }
+            Pattern::PointerChase {
+                start: get("start").unwrap_or(0),
+                nodes,
+            }
         }
         "window" => Pattern::SlidingWindow {
             start: get("start").unwrap_or(0),
@@ -139,8 +147,10 @@ pub fn parse_spec(input: &str) -> Result<WorkloadSpec, ParseSpecError> {
         let tokens: Vec<&str> = line.split_whitespace().collect();
         match tokens[0] {
             "name" => {
-                spec.name =
-                    tokens.get(1).ok_or_else(|| err(line_no, "name needs a value"))?.to_string();
+                spec.name = tokens
+                    .get(1)
+                    .ok_or_else(|| err(line_no, "name needs a value"))?
+                    .to_string();
             }
             "seed" => {
                 spec.seed = tokens
@@ -165,7 +175,10 @@ pub fn parse_spec(input: &str) -> Result<WorkloadSpec, ParseSpecError> {
                     .get(1)
                     .and_then(|v| parse_size(v))
                     .ok_or_else(|| err(line_no, "phase needs an access count"))?;
-                spec.phases.push(Phase { components: Vec::new(), accesses });
+                spec.phases.push(Phase {
+                    components: Vec::new(),
+                    accesses,
+                });
             }
             "stream" | "loop" | "gather" | "chase" | "window" => {
                 let (pattern, weight) = parse_pattern(line_no, &tokens)?;

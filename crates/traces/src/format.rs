@@ -66,7 +66,10 @@ impl fmt::Display for TraceError {
                 write!(f, "footer claims {expected} records, read {got}")
             }
             TraceError::CrcMismatch { expected, got } => {
-                write!(f, "crc mismatch: footer {expected:#010x}, computed {got:#010x}")
+                write!(
+                    f,
+                    "crc mismatch: footer {expected:#010x}, computed {got:#010x}"
+                )
             }
         }
     }
@@ -110,7 +113,11 @@ impl Crc32 {
         for &b in bytes {
             let mut cur = (self.state ^ u32::from(b)) & 0xff;
             for _ in 0..8 {
-                cur = if cur & 1 == 1 { (cur >> 1) ^ 0xedb8_8320 } else { cur >> 1 };
+                cur = if cur & 1 == 1 {
+                    (cur >> 1) ^ 0xedb8_8320
+                } else {
+                    cur >> 1
+                };
             }
             self.state = (self.state >> 8) ^ cur;
         }
@@ -188,7 +195,12 @@ impl<W: Write> TraceWriter<W> {
     pub fn new(mut sink: W) -> Result<Self, TraceError> {
         sink.write_all(MAGIC)?;
         sink.write_all(&VERSION.to_le_bytes())?;
-        Ok(TraceWriter { sink, crc: Crc32::new(), count: 0, finished: false })
+        Ok(TraceWriter {
+            sink,
+            crc: Crc32::new(),
+            count: 0,
+            finished: false,
+        })
     }
 
     /// Appends one record.
@@ -248,30 +260,47 @@ impl<R: Read> TraceReader<R> {
     /// foreign input, or an I/O error.
     pub fn new(mut source: R) -> Result<Self, TraceError> {
         let mut magic = [0u8; 8];
-        source.read_exact(&mut magic).map_err(|_| TraceError::Truncated)?;
+        source
+            .read_exact(&mut magic)
+            .map_err(|_| TraceError::Truncated)?;
         if &magic != MAGIC {
             return Err(TraceError::BadMagic(magic));
         }
         let mut ver = [0u8; 4];
-        source.read_exact(&mut ver).map_err(|_| TraceError::Truncated)?;
+        source
+            .read_exact(&mut ver)
+            .map_err(|_| TraceError::Truncated)?;
         let version = u32::from_le_bytes(ver);
         if version != VERSION {
             return Err(TraceError::BadVersion(version));
         }
-        Ok(TraceReader { source, crc: Crc32::new(), count: 0, done: false })
+        Ok(TraceReader {
+            source,
+            crc: Crc32::new(),
+            count: 0,
+            done: false,
+        })
     }
 
     fn read_footer(&mut self) -> Result<(), TraceError> {
         let mut buf = [0u8; 12];
-        self.source.read_exact(&mut buf).map_err(|_| TraceError::Truncated)?;
+        self.source
+            .read_exact(&mut buf)
+            .map_err(|_| TraceError::Truncated)?;
         let expected_count = u64::from_le_bytes(buf[0..8].try_into().expect("8 bytes"));
         let expected_crc = u32::from_le_bytes(buf[8..12].try_into().expect("4 bytes"));
         if expected_count != self.count {
-            return Err(TraceError::CountMismatch { expected: expected_count, got: self.count });
+            return Err(TraceError::CountMismatch {
+                expected: expected_count,
+                got: self.count,
+            });
         }
         let got = self.crc.finish();
         if expected_crc != got {
-            return Err(TraceError::CrcMismatch { expected: expected_crc, got });
+            return Err(TraceError::CrcMismatch {
+                expected: expected_crc,
+                got,
+            });
         }
         Ok(())
     }
@@ -328,7 +357,12 @@ mod tests {
         vec![
             Access::read(0x1000, 0x400).with_icount_delta(3),
             Access::write(0xdead_beef, 0x404).with_icount_delta(1),
-            Access { addr: 0xffff_ffff_ffff_ffc0, pc: 0, kind: AccessKind::Writeback, icount_delta: 0 },
+            Access {
+                addr: 0xffff_ffff_ffff_ffc0,
+                pc: 0,
+                kind: AccessKind::Writeback,
+                icount_delta: 0,
+            },
         ]
     }
 
@@ -346,16 +380,20 @@ mod tests {
     fn round_trip_preserves_everything() {
         let original = sample_accesses();
         let buf = write_all(&original);
-        let read: Vec<Access> =
-            TraceReader::new(&buf[..]).unwrap().collect::<Result<_, _>>().unwrap();
+        let read: Vec<Access> = TraceReader::new(&buf[..])
+            .unwrap()
+            .collect::<Result<_, _>>()
+            .unwrap();
         assert_eq!(read, original);
     }
 
     #[test]
     fn empty_trace_round_trips() {
         let buf = write_all(&[]);
-        let read: Vec<Access> =
-            TraceReader::new(&buf[..]).unwrap().collect::<Result<_, _>>().unwrap();
+        let read: Vec<Access> = TraceReader::new(&buf[..])
+            .unwrap()
+            .collect::<Result<_, _>>()
+            .unwrap();
         assert!(read.is_empty());
     }
 
@@ -363,14 +401,20 @@ mod tests {
     fn rejects_bad_magic() {
         let mut buf = write_all(&sample_accesses());
         buf[0] = b'X';
-        assert!(matches!(TraceReader::new(&buf[..]), Err(TraceError::BadMagic(_))));
+        assert!(matches!(
+            TraceReader::new(&buf[..]),
+            Err(TraceError::BadMagic(_))
+        ));
     }
 
     #[test]
     fn rejects_bad_version() {
         let mut buf = write_all(&[]);
         buf[8] = 99;
-        assert!(matches!(TraceReader::new(&buf[..]), Err(TraceError::BadVersion(99))));
+        assert!(matches!(
+            TraceReader::new(&buf[..]),
+            Err(TraceError::BadVersion(99))
+        ));
     }
 
     #[test]
@@ -406,7 +450,13 @@ mod tests {
         let footer_count_offset = buf.len() - 12;
         buf[footer_count_offset] = 9;
         let result: Result<Vec<Access>, _> = TraceReader::new(&buf[..]).unwrap().collect();
-        assert!(matches!(result, Err(TraceError::CountMismatch { expected: 9, got: 3 })));
+        assert!(matches!(
+            result,
+            Err(TraceError::CountMismatch {
+                expected: 9,
+                got: 3
+            })
+        ));
     }
 
     #[test]
@@ -423,8 +473,10 @@ mod tests {
             .map(|i| Access::read(i * 64, 0x400 + (i % 7) * 4).with_icount_delta((i % 11) as u32))
             .collect();
         let buf = write_all(&accesses);
-        let read: Vec<Access> =
-            TraceReader::new(&buf[..]).unwrap().collect::<Result<_, _>>().unwrap();
+        let read: Vec<Access> = TraceReader::new(&buf[..])
+            .unwrap()
+            .collect::<Result<_, _>>()
+            .unwrap();
         assert_eq!(read, accesses);
     }
 
@@ -435,8 +487,14 @@ mod tests {
             TraceError::BadVersion(2),
             TraceError::BadKind(9),
             TraceError::Truncated,
-            TraceError::CountMismatch { expected: 1, got: 2 },
-            TraceError::CrcMismatch { expected: 1, got: 2 },
+            TraceError::CountMismatch {
+                expected: 1,
+                got: 2,
+            },
+            TraceError::CrcMismatch {
+                expected: 1,
+                got: 2,
+            },
         ] {
             assert!(!e.to_string().is_empty());
         }

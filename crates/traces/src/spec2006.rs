@@ -74,9 +74,9 @@ impl Spec2006 {
     pub fn all() -> [Spec2006; 29] {
         use Spec2006::*;
         [
-            Perlbench, Bzip2, Gcc, Bwaves, Gamess, Mcf, Milc, Zeusmp, Gromacs, CactusADM,
-            Leslie3d, Namd, Gobmk, DealII, Soplex, Povray, Calculix, Hmmer, Sjeng, GemsFDTD,
-            Libquantum, H264ref, Tonto, Lbm, Omnetpp, Astar, Wrf, Sphinx3, Xalancbmk,
+            Perlbench, Bzip2, Gcc, Bwaves, Gamess, Mcf, Milc, Zeusmp, Gromacs, CactusADM, Leslie3d,
+            Namd, Gobmk, DealII, Soplex, Povray, Calculix, Hmmer, Sjeng, GemsFDTD, Libquantum,
+            H264ref, Tonto, Lbm, Omnetpp, Astar, Wrf, Sphinx3, Xalancbmk,
         ]
     }
 
@@ -136,21 +136,36 @@ impl Spec2006 {
     /// the paper's methodology; we model three per benchmark).
     pub fn simpoints(&self) -> Vec<Simpoint> {
         // Deterministic but benchmark-specific weights.
-        let h = self.name().bytes().fold(0u64, |a, b| a.wrapping_mul(31).wrapping_add(b.into()));
+        let h = self
+            .name()
+            .bytes()
+            .fold(0u64, |a, b| a.wrapping_mul(31).wrapping_add(b.into()));
         let w0 = 0.40 + (h % 21) as f64 / 100.0; // 0.40..0.60
         let w1 = (1.0 - w0) * (0.5 + (h / 21 % 17) as f64 / 64.0);
         let w2 = 1.0 - w0 - w1;
         vec![
-            Simpoint { index: 0, weight: w0 },
-            Simpoint { index: 1, weight: w1 },
-            Simpoint { index: 2, weight: w2 },
+            Simpoint {
+                index: 0,
+                weight: w0,
+            },
+            Simpoint {
+                index: 1,
+                weight: w1,
+            },
+            Simpoint {
+                index: 2,
+                weight: w2,
+            },
         ]
     }
 
     /// The benchmark's synthetic workload model.
     pub fn workload(&self) -> WorkloadSpec {
         use Spec2006::*;
-        let h = self.name().bytes().fold(7u64, |a, b| a.wrapping_mul(131).wrapping_add(b.into()));
+        let h = self
+            .name()
+            .bytes()
+            .fold(7u64, |a, b| a.wrapping_mul(131).wrapping_add(b.into()));
         let base = |name: &str, ipa: f64, wr: f64, phases: Vec<Phase>| WorkloadSpec {
             name: name.to_string(),
             seed: h,
@@ -177,7 +192,11 @@ impl Spec2006 {
                 0.25,
                 // Pure streaming over a 32 MB vector: zero short reuse.
                 vec![Phase::uniform(
-                    Pattern::Stream { start: r0, stride: 64, region_bytes: 32 * MB },
+                    Pattern::Stream {
+                        start: r0,
+                        stride: 64,
+                        region_bytes: 32 * MB,
+                    },
                     1 << 20,
                 )],
             ),
@@ -189,7 +208,14 @@ impl Spec2006 {
                 // for non-MRU insertion.
                 vec![mix(
                     vec![
-                        (Pattern::Loop { start: r0, working_set_bytes: 4864 * KB, stride: 64 }, 0.75),
+                        (
+                            Pattern::Loop {
+                                start: r0,
+                                working_set_bytes: 4864 * KB,
+                                stride: 64,
+                            },
+                            0.75,
+                        ),
                         (
                             Pattern::SlidingWindow {
                                 start: r2,
@@ -199,7 +225,13 @@ impl Spec2006 {
                             },
                             0.15,
                         ),
-                        (Pattern::Gather { start: r1, region_bytes: 512 * KB }, 0.1),
+                        (
+                            Pattern::Gather {
+                                start: r1,
+                                region_bytes: 512 * KB,
+                            },
+                            0.1,
+                        ),
                     ],
                     1 << 20,
                 )],
@@ -211,9 +243,28 @@ impl Spec2006 {
                 // Huge irregular graph traversal with a warm core.
                 vec![mix(
                     vec![
-                        (Pattern::Gather { start: r0, region_bytes: 64 * MB }, 0.45),
-                        (Pattern::PointerChase { start: r1, nodes: 256 * 1024 }, 0.35),
-                        (Pattern::Loop { start: r2, working_set_bytes: 2 * MB, stride: 64 }, 0.20),
+                        (
+                            Pattern::Gather {
+                                start: r0,
+                                region_bytes: 64 * MB,
+                            },
+                            0.45,
+                        ),
+                        (
+                            Pattern::PointerChase {
+                                start: r1,
+                                nodes: 256 * 1024,
+                            },
+                            0.35,
+                        ),
+                        (
+                            Pattern::Loop {
+                                start: r2,
+                                working_set_bytes: 2 * MB,
+                                stride: 64,
+                            },
+                            0.20,
+                        ),
                     ],
                     1 << 20,
                 )],
@@ -225,7 +276,14 @@ impl Spec2006 {
                 // Acoustic-model scans a bit over capacity + feature gathers.
                 vec![mix(
                     vec![
-                        (Pattern::Loop { start: r0, working_set_bytes: 5 * MB, stride: 64 }, 0.55),
+                        (
+                            Pattern::Loop {
+                                start: r0,
+                                working_set_bytes: 5 * MB,
+                                stride: 64,
+                            },
+                            0.55,
+                        ),
                         (
                             Pattern::SlidingWindow {
                                 start: r2,
@@ -235,7 +293,13 @@ impl Spec2006 {
                             },
                             0.15,
                         ),
-                        (Pattern::Gather { start: r1, region_bytes: 8 * MB }, 0.3),
+                        (
+                            Pattern::Gather {
+                                start: r1,
+                                region_bytes: 8 * MB,
+                            },
+                            0.3,
+                        ),
                     ],
                     1 << 20,
                 )],
@@ -246,9 +310,28 @@ impl Spec2006 {
                 0.25,
                 vec![mix(
                     vec![
-                        (Pattern::Gather { start: r0, region_bytes: 6 * MB }, 0.55),
-                        (Pattern::PointerChase { start: r1, nodes: 32 * 1024 }, 0.30),
-                        (Pattern::Loop { start: r2, working_set_bytes: MB, stride: 64 }, 0.15),
+                        (
+                            Pattern::Gather {
+                                start: r0,
+                                region_bytes: 6 * MB,
+                            },
+                            0.55,
+                        ),
+                        (
+                            Pattern::PointerChase {
+                                start: r1,
+                                nodes: 32 * 1024,
+                            },
+                            0.30,
+                        ),
+                        (
+                            Pattern::Loop {
+                                start: r2,
+                                working_set_bytes: MB,
+                                stride: 64,
+                            },
+                            0.15,
+                        ),
                     ],
                     1 << 20,
                 )],
@@ -259,8 +342,20 @@ impl Spec2006 {
                 0.25,
                 vec![mix(
                     vec![
-                        (Pattern::PointerChase { start: r0, nodes: 128 * 1024 }, 0.5),
-                        (Pattern::Gather { start: r1, region_bytes: 4 * MB }, 0.5),
+                        (
+                            Pattern::PointerChase {
+                                start: r0,
+                                nodes: 128 * 1024,
+                            },
+                            0.5,
+                        ),
+                        (
+                            Pattern::Gather {
+                                start: r1,
+                                region_bytes: 4 * MB,
+                            },
+                            0.5,
+                        ),
                     ],
                     1 << 20,
                 )],
@@ -274,7 +369,13 @@ impl Spec2006 {
                 vec![
                     mix(
                         vec![
-                            (Pattern::Gather { start: r0, region_bytes: 5 * MB }, 0.35),
+                            (
+                                Pattern::Gather {
+                                    start: r0,
+                                    region_bytes: 5 * MB,
+                                },
+                                0.35,
+                            ),
                             (
                                 Pattern::SlidingWindow {
                                     start: r2 + (1 << 30),
@@ -284,14 +385,34 @@ impl Spec2006 {
                                 },
                                 0.25,
                             ),
-                            (Pattern::Loop { start: r1, working_set_bytes: 768 * KB, stride: 64 }, 0.4),
+                            (
+                                Pattern::Loop {
+                                    start: r1,
+                                    working_set_bytes: 768 * KB,
+                                    stride: 64,
+                                },
+                                0.4,
+                            ),
                         ],
                         200_000,
                     ),
                     mix(
                         vec![
-                            (Pattern::Gather { start: r0, region_bytes: 2 * MB }, 0.4),
-                            (Pattern::Stream { start: r2, stride: 64, region_bytes: 16 * MB }, 0.6),
+                            (
+                                Pattern::Gather {
+                                    start: r0,
+                                    region_bytes: 2 * MB,
+                                },
+                                0.4,
+                            ),
+                            (
+                                Pattern::Stream {
+                                    start: r2,
+                                    stride: 64,
+                                    region_bytes: 16 * MB,
+                                },
+                                0.6,
+                            ),
                         ],
                         100_000,
                     ),
@@ -304,8 +425,22 @@ impl Spec2006 {
                 // Lattice QCD: long streams plus a 5 MB sweep.
                 vec![mix(
                     vec![
-                        (Pattern::Stream { start: r0, stride: 64, region_bytes: 24 * MB }, 0.55),
-                        (Pattern::Loop { start: r1, working_set_bytes: 5 * MB, stride: 64 }, 0.45),
+                        (
+                            Pattern::Stream {
+                                start: r0,
+                                stride: 64,
+                                region_bytes: 24 * MB,
+                            },
+                            0.55,
+                        ),
+                        (
+                            Pattern::Loop {
+                                start: r1,
+                                working_set_bytes: 5 * MB,
+                                stride: 64,
+                            },
+                            0.45,
+                        ),
                     ],
                     1 << 20,
                 )],
@@ -316,9 +451,29 @@ impl Spec2006 {
                 0.25,
                 vec![mix(
                     vec![
-                        (Pattern::Gather { start: r0, region_bytes: 12 * MB }, 0.45),
-                        (Pattern::Stream { start: r1, stride: 64, region_bytes: 16 * MB }, 0.25),
-                        (Pattern::Loop { start: r2, working_set_bytes: 3 * MB, stride: 64 }, 0.30),
+                        (
+                            Pattern::Gather {
+                                start: r0,
+                                region_bytes: 12 * MB,
+                            },
+                            0.45,
+                        ),
+                        (
+                            Pattern::Stream {
+                                start: r1,
+                                stride: 64,
+                                region_bytes: 16 * MB,
+                            },
+                            0.25,
+                        ),
+                        (
+                            Pattern::Loop {
+                                start: r2,
+                                working_set_bytes: 3 * MB,
+                                stride: 64,
+                            },
+                            0.30,
+                        ),
                     ],
                     1 << 20,
                 )],
@@ -329,7 +484,14 @@ impl Spec2006 {
                 0.30,
                 vec![mix(
                     vec![
-                        (Pattern::Loop { start: r0, working_set_bytes: 4352 * KB, stride: 64 }, 0.55),
+                        (
+                            Pattern::Loop {
+                                start: r0,
+                                working_set_bytes: 4352 * KB,
+                                stride: 64,
+                            },
+                            0.55,
+                        ),
                         (
                             Pattern::SlidingWindow {
                                 start: r2,
@@ -339,7 +501,13 @@ impl Spec2006 {
                             },
                             0.2,
                         ),
-                        (Pattern::Gather { start: r1, region_bytes: MB }, 0.25),
+                        (
+                            Pattern::Gather {
+                                start: r1,
+                                region_bytes: MB,
+                            },
+                            0.25,
+                        ),
                     ],
                     1 << 20,
                 )],
@@ -350,8 +518,22 @@ impl Spec2006 {
                 0.30,
                 vec![mix(
                     vec![
-                        (Pattern::Stream { start: r0, stride: 64, region_bytes: 20 * MB }, 0.35),
-                        (Pattern::Loop { start: r1, working_set_bytes: 4608 * KB, stride: 64 }, 0.45),
+                        (
+                            Pattern::Stream {
+                                start: r0,
+                                stride: 64,
+                                region_bytes: 20 * MB,
+                            },
+                            0.35,
+                        ),
+                        (
+                            Pattern::Loop {
+                                start: r1,
+                                working_set_bytes: 4608 * KB,
+                                stride: 64,
+                            },
+                            0.45,
+                        ),
                         (
                             Pattern::SlidingWindow {
                                 start: r2,
@@ -402,7 +584,14 @@ impl Spec2006 {
                             },
                             0.75,
                         ),
-                        (Pattern::Stream { start: r1, stride: 64, region_bytes: 24 * MB }, 0.25),
+                        (
+                            Pattern::Stream {
+                                start: r1,
+                                stride: 64,
+                                region_bytes: 24 * MB,
+                            },
+                            0.25,
+                        ),
                     ],
                     1 << 20,
                 )],
@@ -415,7 +604,13 @@ impl Spec2006 {
                 // with a recency-friendly event-queue window.
                 vec![mix(
                     vec![
-                        (Pattern::PointerChase { start: r0, nodes: 128 * 1024 }, 0.5),
+                        (
+                            Pattern::PointerChase {
+                                start: r0,
+                                nodes: 128 * 1024,
+                            },
+                            0.5,
+                        ),
                         (
                             Pattern::SlidingWindow {
                                 start: r1,
@@ -425,7 +620,13 @@ impl Spec2006 {
                             },
                             0.3,
                         ),
-                        (Pattern::Gather { start: r2, region_bytes: 2 * MB }, 0.2),
+                        (
+                            Pattern::Gather {
+                                start: r2,
+                                region_bytes: 2 * MB,
+                            },
+                            0.2,
+                        ),
                     ],
                     1 << 20,
                 )],
@@ -436,7 +637,11 @@ impl Spec2006 {
                 3.6,
                 0.30,
                 vec![Phase::uniform(
-                    Pattern::Stream { start: r0, stride: 64, region_bytes: 28 * MB },
+                    Pattern::Stream {
+                        start: r0,
+                        stride: 64,
+                        region_bytes: 28 * MB,
+                    },
                     1 << 20,
                 )],
             ),
@@ -446,8 +651,22 @@ impl Spec2006 {
                 0.45,
                 vec![mix(
                     vec![
-                        (Pattern::Stream { start: r0, stride: 64, region_bytes: 26 * MB }, 0.9),
-                        (Pattern::Loop { start: r1, working_set_bytes: 512 * KB, stride: 64 }, 0.1),
+                        (
+                            Pattern::Stream {
+                                start: r0,
+                                stride: 64,
+                                region_bytes: 26 * MB,
+                            },
+                            0.9,
+                        ),
+                        (
+                            Pattern::Loop {
+                                start: r1,
+                                working_set_bytes: 512 * KB,
+                                stride: 64,
+                            },
+                            0.1,
+                        ),
                     ],
                     1 << 20,
                 )],
@@ -458,8 +677,22 @@ impl Spec2006 {
                 0.35,
                 vec![mix(
                     vec![
-                        (Pattern::Stream { start: r0, stride: 64, region_bytes: 18 * MB }, 0.5),
-                        (Pattern::Loop { start: r1, working_set_bytes: 2 * MB, stride: 64 }, 0.25),
+                        (
+                            Pattern::Stream {
+                                start: r0,
+                                stride: 64,
+                                region_bytes: 18 * MB,
+                            },
+                            0.5,
+                        ),
+                        (
+                            Pattern::Loop {
+                                start: r1,
+                                working_set_bytes: 2 * MB,
+                                stride: 64,
+                            },
+                            0.25,
+                        ),
                         (
                             Pattern::SlidingWindow {
                                 start: r2,
@@ -479,7 +712,14 @@ impl Spec2006 {
                 0.35,
                 vec![mix(
                     vec![
-                        (Pattern::Stream { start: r0, stride: 128, region_bytes: 16 * MB }, 0.45),
+                        (
+                            Pattern::Stream {
+                                start: r0,
+                                stride: 128,
+                                region_bytes: 16 * MB,
+                            },
+                            0.45,
+                        ),
                         (
                             Pattern::SlidingWindow {
                                 start: r1,
@@ -500,8 +740,22 @@ impl Spec2006 {
                 // Profile HMM tables: a sweep moderately over capacity.
                 vec![mix(
                     vec![
-                        (Pattern::Loop { start: r0, working_set_bytes: 4480 * KB, stride: 64 }, 0.6),
-                        (Pattern::Loop { start: r1, working_set_bytes: 128 * KB, stride: 64 }, 0.15),
+                        (
+                            Pattern::Loop {
+                                start: r0,
+                                working_set_bytes: 4480 * KB,
+                                stride: 64,
+                            },
+                            0.6,
+                        ),
+                        (
+                            Pattern::Loop {
+                                start: r1,
+                                working_set_bytes: 128 * KB,
+                                stride: 64,
+                            },
+                            0.15,
+                        ),
                         (
                             Pattern::SlidingWindow {
                                 start: r2 + (1 << 30),
@@ -511,7 +765,13 @@ impl Spec2006 {
                             },
                             0.1,
                         ),
-                        (Pattern::Gather { start: r2, region_bytes: 2 * MB }, 0.15),
+                        (
+                            Pattern::Gather {
+                                start: r2,
+                                region_bytes: 2 * MB,
+                            },
+                            0.15,
+                        ),
                     ],
                     1 << 20,
                 )],
@@ -524,15 +784,41 @@ impl Spec2006 {
                 vec![
                     mix(
                         vec![
-                            (Pattern::Loop { start: r0, working_set_bytes: 2 * MB, stride: 64 }, 0.7),
-                            (Pattern::Gather { start: r1, region_bytes: 4 * MB }, 0.3),
+                            (
+                                Pattern::Loop {
+                                    start: r0,
+                                    working_set_bytes: 2 * MB,
+                                    stride: 64,
+                                },
+                                0.7,
+                            ),
+                            (
+                                Pattern::Gather {
+                                    start: r1,
+                                    region_bytes: 4 * MB,
+                                },
+                                0.3,
+                            ),
                         ],
                         150_000,
                     ),
                     mix(
                         vec![
-                            (Pattern::Stream { start: r2, stride: 64, region_bytes: 16 * MB }, 0.6),
-                            (Pattern::Gather { start: r1, region_bytes: MB }, 0.4),
+                            (
+                                Pattern::Stream {
+                                    start: r2,
+                                    stride: 64,
+                                    region_bytes: 16 * MB,
+                                },
+                                0.6,
+                            ),
+                            (
+                                Pattern::Gather {
+                                    start: r1,
+                                    region_bytes: MB,
+                                },
+                                0.4,
+                            ),
                         ],
                         100_000,
                     ),
@@ -545,7 +831,13 @@ impl Spec2006 {
                 vec![
                     mix(
                         vec![
-                            (Pattern::Gather { start: r0, region_bytes: 3 * MB }, 0.4),
+                            (
+                                Pattern::Gather {
+                                    start: r0,
+                                    region_bytes: 3 * MB,
+                                },
+                                0.4,
+                            ),
                             (
                                 Pattern::SlidingWindow {
                                     start: r2 + (3 << 30),
@@ -555,14 +847,33 @@ impl Spec2006 {
                                 },
                                 0.3,
                             ),
-                            (Pattern::Loop { start: r1, working_set_bytes: MB, stride: 64 }, 0.3),
+                            (
+                                Pattern::Loop {
+                                    start: r1,
+                                    working_set_bytes: MB,
+                                    stride: 64,
+                                },
+                                0.3,
+                            ),
                         ],
                         120_000,
                     ),
                     mix(
                         vec![
-                            (Pattern::PointerChase { start: r2, nodes: 16 * 1024 }, 0.4),
-                            (Pattern::Gather { start: r0, region_bytes: MB }, 0.6),
+                            (
+                                Pattern::PointerChase {
+                                    start: r2,
+                                    nodes: 16 * 1024,
+                                },
+                                0.4,
+                            ),
+                            (
+                                Pattern::Gather {
+                                    start: r0,
+                                    region_bytes: MB,
+                                },
+                                0.6,
+                            ),
                         ],
                         80_000,
                     ),
@@ -574,7 +885,14 @@ impl Spec2006 {
                 0.25,
                 vec![mix(
                     vec![
-                        (Pattern::Loop { start: r0, working_set_bytes: 1536 * KB, stride: 64 }, 0.45),
+                        (
+                            Pattern::Loop {
+                                start: r0,
+                                working_set_bytes: 1536 * KB,
+                                stride: 64,
+                            },
+                            0.45,
+                        ),
                         (
                             Pattern::SlidingWindow {
                                 start: r2,
@@ -584,7 +902,14 @@ impl Spec2006 {
                             },
                             0.2,
                         ),
-                        (Pattern::Stream { start: r1, stride: 64, region_bytes: 16 * MB }, 0.35),
+                        (
+                            Pattern::Stream {
+                                start: r1,
+                                stride: 64,
+                                region_bytes: 16 * MB,
+                            },
+                            0.35,
+                        ),
                     ],
                     1 << 20,
                 )],
@@ -604,7 +929,13 @@ impl Spec2006 {
                             },
                             0.6,
                         ),
-                        (Pattern::Gather { start: r1, region_bytes: MB }, 0.4),
+                        (
+                            Pattern::Gather {
+                                start: r1,
+                                region_bytes: MB,
+                            },
+                            0.4,
+                        ),
                     ],
                     1 << 20,
                 )],
@@ -615,7 +946,11 @@ impl Spec2006 {
                 4.2,
                 0.20,
                 vec![Phase::uniform(
-                    Pattern::Loop { start: r0, working_set_bytes: 384 * KB, stride: 64 },
+                    Pattern::Loop {
+                        start: r0,
+                        working_set_bytes: 384 * KB,
+                        stride: 64,
+                    },
                     1 << 20,
                 )],
             ),
@@ -625,8 +960,21 @@ impl Spec2006 {
                 0.20,
                 vec![mix(
                     vec![
-                        (Pattern::Loop { start: r0, working_set_bytes: 512 * KB, stride: 64 }, 0.8),
-                        (Pattern::Gather { start: r1, region_bytes: 256 * KB }, 0.2),
+                        (
+                            Pattern::Loop {
+                                start: r0,
+                                working_set_bytes: 512 * KB,
+                                stride: 64,
+                            },
+                            0.8,
+                        ),
+                        (
+                            Pattern::Gather {
+                                start: r1,
+                                region_bytes: 256 * KB,
+                            },
+                            0.2,
+                        ),
                     ],
                     1 << 20,
                 )],
@@ -636,7 +984,11 @@ impl Spec2006 {
                 3.9,
                 0.25,
                 vec![Phase::uniform(
-                    Pattern::Loop { start: r0, working_set_bytes: 768 * KB, stride: 64 },
+                    Pattern::Loop {
+                        start: r0,
+                        working_set_bytes: 768 * KB,
+                        stride: 64,
+                    },
                     1 << 20,
                 )],
             ),
@@ -646,8 +998,21 @@ impl Spec2006 {
                 0.25,
                 vec![mix(
                     vec![
-                        (Pattern::Gather { start: r0, region_bytes: 1280 * KB }, 0.6),
-                        (Pattern::Loop { start: r1, working_set_bytes: 256 * KB, stride: 64 }, 0.4),
+                        (
+                            Pattern::Gather {
+                                start: r0,
+                                region_bytes: 1280 * KB,
+                            },
+                            0.6,
+                        ),
+                        (
+                            Pattern::Loop {
+                                start: r1,
+                                working_set_bytes: 256 * KB,
+                                stride: 64,
+                            },
+                            0.4,
+                        ),
                     ],
                     1 << 20,
                 )],
@@ -658,8 +1023,21 @@ impl Spec2006 {
                 0.30,
                 vec![mix(
                     vec![
-                        (Pattern::Gather { start: r0, region_bytes: MB }, 0.4),
-                        (Pattern::Loop { start: r1, working_set_bytes: 512 * KB, stride: 64 }, 0.4),
+                        (
+                            Pattern::Gather {
+                                start: r0,
+                                region_bytes: MB,
+                            },
+                            0.4,
+                        ),
+                        (
+                            Pattern::Loop {
+                                start: r1,
+                                working_set_bytes: 512 * KB,
+                                stride: 64,
+                            },
+                            0.4,
+                        ),
                         (
                             Pattern::SlidingWindow {
                                 start: r2,
@@ -679,7 +1057,14 @@ impl Spec2006 {
                 0.30,
                 vec![mix(
                     vec![
-                        (Pattern::Loop { start: r0, working_set_bytes: MB, stride: 64 }, 0.55),
+                        (
+                            Pattern::Loop {
+                                start: r0,
+                                working_set_bytes: MB,
+                                stride: 64,
+                            },
+                            0.55,
+                        ),
                         (
                             Pattern::SlidingWindow {
                                 start: r2,
@@ -689,7 +1074,14 @@ impl Spec2006 {
                             },
                             0.2,
                         ),
-                        (Pattern::Stream { start: r1, stride: 64, region_bytes: 16 * MB }, 0.25),
+                        (
+                            Pattern::Stream {
+                                start: r1,
+                                stride: 64,
+                                region_bytes: 16 * MB,
+                            },
+                            0.25,
+                        ),
                     ],
                     1 << 20,
                 )],

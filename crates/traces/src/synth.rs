@@ -98,17 +98,28 @@ impl PatternState {
 
     fn next_addr(&mut self, rng: &mut StdRng) -> u64 {
         match self.pattern {
-            Pattern::Stream { start, stride, region_bytes } => {
+            Pattern::Stream {
+                start,
+                stride,
+                region_bytes,
+            } => {
                 let offset = (self.cursor * stride) % region_bytes.max(stride);
                 self.cursor += 1;
                 start + (offset & !63)
             }
-            Pattern::Loop { start, working_set_bytes, stride } => {
+            Pattern::Loop {
+                start,
+                working_set_bytes,
+                stride,
+            } => {
                 let offset = (self.cursor * stride) % working_set_bytes.max(stride);
                 self.cursor += 1;
                 start + (offset & !63)
             }
-            Pattern::Gather { start, region_bytes } => {
+            Pattern::Gather {
+                start,
+                region_bytes,
+            } => {
                 let lines = (region_bytes / 64).max(1);
                 start + rng.gen_range(0..lines) * 64
             }
@@ -121,7 +132,12 @@ impl PatternState {
                     & (nodes - 1);
                 start + self.cursor * 64
             }
-            Pattern::SlidingWindow { start, window_bytes, advance_lines, region_bytes } => {
+            Pattern::SlidingWindow {
+                start,
+                window_bytes,
+                advance_lines,
+                region_bytes,
+            } => {
                 let window_lines = (window_bytes / 64).max(1);
                 let region_lines = (region_bytes / 64).max(window_lines);
                 let line = (self.window_base + self.cursor) % region_lines;
@@ -162,7 +178,13 @@ pub struct Phase {
 impl Phase {
     /// A single-pattern phase.
     pub fn uniform(pattern: Pattern, accesses: u64) -> Self {
-        Phase { components: vec![Component { pattern, weight: 1.0 }], accesses }
+        Phase {
+            components: vec![Component {
+                pattern,
+                weight: 1.0,
+            }],
+            accesses,
+        }
     }
 }
 
@@ -202,31 +224,46 @@ impl WorkloadSpec {
         for phase in &mut spec.phases {
             for comp in &mut phase.components {
                 comp.pattern = match comp.pattern {
-                    Pattern::Stream { start, stride, region_bytes } => Pattern::Stream {
+                    Pattern::Stream {
+                        start,
+                        stride,
+                        region_bytes,
+                    } => Pattern::Stream {
                         start,
                         stride,
                         region_bytes: scale(region_bytes),
                     },
-                    Pattern::Loop { start, working_set_bytes, stride } => Pattern::Loop {
+                    Pattern::Loop {
+                        start,
+                        working_set_bytes,
+                        stride,
+                    } => Pattern::Loop {
                         start,
                         working_set_bytes: scale(working_set_bytes),
                         stride,
                     },
-                    Pattern::Gather { start, region_bytes } => {
-                        Pattern::Gather { start, region_bytes: scale(region_bytes) }
-                    }
+                    Pattern::Gather {
+                        start,
+                        region_bytes,
+                    } => Pattern::Gather {
+                        start,
+                        region_bytes: scale(region_bytes),
+                    },
                     Pattern::PointerChase { start, nodes } => Pattern::PointerChase {
                         start,
                         nodes: (nodes >> shift).max(2).next_power_of_two(),
                     },
-                    Pattern::SlidingWindow { start, window_bytes, advance_lines, region_bytes } => {
-                        Pattern::SlidingWindow {
-                            start,
-                            window_bytes: scale(window_bytes),
-                            advance_lines: (advance_lines >> shift).max(1),
-                            region_bytes: scale(region_bytes),
-                        }
-                    }
+                    Pattern::SlidingWindow {
+                        start,
+                        window_bytes,
+                        advance_lines,
+                        region_bytes,
+                    } => Pattern::SlidingWindow {
+                        start,
+                        window_bytes: scale(window_bytes),
+                        advance_lines: (advance_lines >> shift).max(1),
+                        region_bytes: scale(region_bytes),
+                    },
                 };
             }
         }
@@ -247,7 +284,11 @@ pub struct WorkloadGen {
 
 impl WorkloadGen {
     fn new(spec: &WorkloadSpec, variant: u64) -> Self {
-        assert!(!spec.phases.is_empty(), "workload {} has no phases", spec.name);
+        assert!(
+            !spec.phases.is_empty(),
+            "workload {} has no phases",
+            spec.name
+        );
         let mut pc_seed = spec.seed;
         let phases = spec
             .phases
@@ -297,7 +338,10 @@ impl Iterator for WorkloadGen {
         let (states, cumulative, len) = &mut self.phases[self.phase_idx];
         // Pick a component by weight.
         let r: f64 = self.rng.gen();
-        let idx = cumulative.iter().position(|&c| r <= c).unwrap_or(states.len() - 1);
+        let idx = cumulative
+            .iter()
+            .position(|&c| r <= c)
+            .unwrap_or(states.len() - 1);
         let addr = states[idx].next_addr(&mut self.rng);
         let pc = states[idx].pc(&mut self.rng);
         // Geometric instruction gap with the requested mean.
@@ -320,7 +364,12 @@ impl Iterator for WorkloadGen {
             self.in_phase = 0;
             self.phase_idx = (self.phase_idx + 1) % self.phases.len();
         }
-        Some(Access { addr, pc, kind, icount_delta: gap.max(1) })
+        Some(Access {
+            addr,
+            pc,
+            kind,
+            icount_delta: gap.max(1),
+        })
     }
 }
 
@@ -335,7 +384,11 @@ mod tests {
             instructions_per_access: 3.0,
             write_ratio: 0.25,
             phases: vec![Phase::uniform(
-                Pattern::Stream { start: 0, stride: 64, region_bytes: 1 << 30 },
+                Pattern::Stream {
+                    start: 0,
+                    stride: 64,
+                    region_bytes: 1 << 30,
+                },
                 1000,
             )],
         }
@@ -358,7 +411,11 @@ mod tests {
             instructions_per_access: 1.0,
             write_ratio: 0.0,
             phases: vec![Phase::uniform(
-                Pattern::Loop { start: 4096, working_set_bytes: 256, stride: 64 },
+                Pattern::Loop {
+                    start: 4096,
+                    working_set_bytes: 256,
+                    stride: 64,
+                },
                 100,
             )],
         };
@@ -374,7 +431,10 @@ mod tests {
             instructions_per_access: 2.0,
             write_ratio: 0.0,
             phases: vec![Phase::uniform(
-                Pattern::Gather { start: 1 << 20, region_bytes: 1 << 16 },
+                Pattern::Gather {
+                    start: 1 << 20,
+                    region_bytes: 1 << 16,
+                },
                 100,
             )],
         };
@@ -392,7 +452,13 @@ mod tests {
             seed: 4,
             instructions_per_access: 1.0,
             write_ratio: 0.0,
-            phases: vec![Phase::uniform(Pattern::PointerChase { start: 0, nodes: 64 }, 100)],
+            phases: vec![Phase::uniform(
+                Pattern::PointerChase {
+                    start: 0,
+                    nodes: 64,
+                },
+                100,
+            )],
         };
         let mut seen = std::collections::HashSet::new();
         for a in spec.generator(0).take(64) {
@@ -483,9 +549,20 @@ mod tests {
             instructions_per_access: 1.0,
             write_ratio: 0.0,
             phases: vec![
-                Phase::uniform(Pattern::Loop { start: 0, working_set_bytes: 64, stride: 64 }, 3),
                 Phase::uniform(
-                    Pattern::Loop { start: 1 << 30, working_set_bytes: 64, stride: 64 },
+                    Pattern::Loop {
+                        start: 0,
+                        working_set_bytes: 64,
+                        stride: 64,
+                    },
+                    3,
+                ),
+                Phase::uniform(
+                    Pattern::Loop {
+                        start: 1 << 30,
+                        working_set_bytes: 64,
+                        stride: 64,
+                    },
                     2,
                 ),
             ],

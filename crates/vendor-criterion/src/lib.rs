@@ -1,0 +1,178 @@
+#![warn(missing_docs)]
+
+//! Offline vendored stand-in for the `criterion` crate.
+//!
+//! The build container has no network access to crates.io, so this crate
+//! implements the subset of the criterion 0.5 API the workspace's benches
+//! use: [`Criterion`], [`criterion_group!`]/[`criterion_main!`],
+//! benchmark groups with [`Throughput`] and sample-size knobs, and
+//! `Bencher::iter`.
+//!
+//! Statistics are intentionally simple: each benchmark runs a short
+//! warm-up, then a fixed number of timed samples, and reports the median
+//! time per iteration (plus throughput when configured). There is no
+//! outlier analysis, plotting, or saved baselines — the numbers are for
+//! trajectory tracking, not publication.
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Number of logical elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver (stand-in for `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            sample_size: 20,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing throughput/sample settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets the per-iteration throughput used to derive rates.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark. `f` receives a [`Bencher`] and must call
+    /// [`Bencher::iter`].
+    pub fn bench_function(
+        &mut self,
+        id: impl AsRef<str>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut f = f;
+        let mut b = Bencher {
+            per_iter: Vec::with_capacity(self.sample_size),
+            samples: self.sample_size,
+        };
+        f(&mut b);
+        b.report(&self.name, id.as_ref(), self.throughput);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Runs and times one benchmark's iterations.
+#[derive(Debug)]
+pub struct Bencher {
+    per_iter: Vec<Duration>,
+    samples: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, discarding a warm-up pass then recording
+    /// `sample_size` samples.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Warm-up: run until ~50ms or 3 iterations, whichever first.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u32;
+        while warm_iters < 3 && warm_start.elapsed() < Duration::from_millis(50) {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        self.per_iter.clear();
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            std::hint::black_box(routine());
+            self.per_iter.push(t0.elapsed());
+        }
+    }
+
+    fn report(&self, group: &str, id: &str, throughput: Option<Throughput>) {
+        if self.per_iter.is_empty() {
+            println!("{group}/{id}: no samples (Bencher::iter never called)");
+            return;
+        }
+        let mut sorted = self.per_iter.clone();
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2];
+        let ns = median.as_nanos().max(1) as f64;
+        match throughput {
+            Some(Throughput::Elements(n)) => {
+                let rate = n as f64 / (ns / 1e9);
+                println!("{group}/{id}: median {median:?}/iter  ({rate:.3e} elem/s)");
+            }
+            Some(Throughput::Bytes(n)) => {
+                let rate = n as f64 / (ns / 1e9);
+                println!("{group}/{id}: median {median:?}/iter  ({rate:.3e} B/s)");
+            }
+            None => println!("{group}/{id}: median {median:?}/iter"),
+        }
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_addition(c: &mut Criterion) {
+        let mut g = c.benchmark_group("smoke");
+        g.throughput(Throughput::Elements(1000));
+        g.sample_size(5);
+        g.bench_function("sum_1k", |b| b.iter(|| (0u64..1000).sum::<u64>()));
+        g.bench_function(format!("sum_{}", 2000), |b| {
+            b.iter(|| (0u64..2000).sum::<u64>())
+        });
+        g.finish();
+    }
+
+    criterion_group!(smoke, bench_addition);
+
+    #[test]
+    fn group_runs_and_reports() {
+        smoke();
+    }
+}

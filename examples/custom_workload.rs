@@ -4,8 +4,8 @@
 //!
 //! Run with: `cargo run --release --example custom_workload [-- path/to/spec.txt]`
 
-use pseudolru_ipv::gippr::{vectors, DgipprPolicy, PlruPolicy};
 use pseudolru_ipv::baselines::{DrripPolicy, TrueLru};
+use pseudolru_ipv::gippr::{vectors, DgipprPolicy, PlruPolicy};
 use pseudolru_ipv::model::cpi::WindowPerfModel;
 use pseudolru_ipv::model::{capture_llc_stream, min_misses, replay_llc, HierarchyConfig};
 use pseudolru_ipv::sim::ReplacementPolicy;
@@ -32,7 +32,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = HierarchyConfig::paper();
     println!("capturing the LLC access stream through L1/L2...");
     let (stream, instructions) = capture_llc_stream(cfg, spec.generator(0).take(400_000));
-    println!("{} LLC accesses from {} instructions\n", stream.len(), instructions);
+    println!(
+        "{} LLC accesses from {} instructions\n",
+        stream.len(),
+        instructions
+    );
 
     let warmup = stream.len() / 3;
     let perf = WindowPerfModel::default();
@@ -40,7 +44,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("LRU", Box::new(TrueLru::new(&cfg.llc))),
         ("PseudoLRU", Box::new(PlruPolicy::new(&cfg.llc))),
         ("DRRIP", Box::new(DrripPolicy::new(&cfg.llc)?)),
-        ("4-DGIPPR", Box::new(DgipprPolicy::four_vector(&cfg.llc, vectors::wi_4dgippr())?)),
+        (
+            "4-DGIPPR",
+            Box::new(DgipprPolicy::four_vector(&cfg.llc, vectors::wi_4dgippr())?),
+        ),
     ];
     let mut lru_misses = None;
     for (name, policy) in candidates {

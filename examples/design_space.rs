@@ -7,14 +7,24 @@ use pseudolru_ipv::evolve::{random_search, FitnessContext, FitnessScale, Substra
 use pseudolru_ipv::traces::spec2006::Spec2006;
 
 fn main() {
-    let samples: usize =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(60);
+    let samples: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60);
 
     let ctx = FitnessContext::for_benchmarks(
-        &[Spec2006::Libquantum, Spec2006::CactusADM, Spec2006::DealII, Spec2006::Gcc],
+        &[
+            Spec2006::Libquantum,
+            Spec2006::CactusADM,
+            Spec2006::DealII,
+            Spec2006::Gcc,
+        ],
         1,
         20_000,
-        FitnessScale { shift: 5, threads: 1 },
+        FitnessScale {
+            shift: 5,
+            threads: 1,
+        },
     );
     println!("scoring {samples} uniformly random IPVs (16^17 possible)...");
     let results = random_search(&ctx, Substrate::Plru, samples, 1);
@@ -32,14 +42,24 @@ fn main() {
     println!("speedup distribution over LRU:");
     for (i, count) in counts.iter().enumerate() {
         let left = lo + i as f64 * width;
-        println!("  {:>6.3}..{:>6.3} | {}", left, left + width, "#".repeat(*count));
+        println!(
+            "  {:>6.3}..{:>6.3} | {}",
+            left,
+            left + width,
+            "#".repeat(*count)
+        );
     }
     let below = results.iter().filter(|(_, s)| *s < 1.0).count();
     println!(
         "\n{below}/{samples} random vectors are worse than LRU; best found: {:.3}x with {}",
         hi,
-        results.last().map(|(v, _)| v.to_string()).unwrap_or_default()
+        results
+            .last()
+            .map(|(v, _)| v.to_string())
+            .unwrap_or_default()
     );
-    println!("(the paper: most random points are inferior to LRU, the best reach ~1.028x — \
-              genetic search is needed to go further)");
+    println!(
+        "(the paper: most random points are inferior to LRU, the best reach ~1.028x — \
+              genetic search is needed to go further)"
+    );
 }

@@ -23,7 +23,10 @@ fn main() {
         Spec2006::Hmmer,
         Spec2006::DealII, // keeps the GA honest about LRU-friendly phases
     ];
-    println!("capturing LLC streams for {} workloads at {scale} scale...", training.len());
+    println!(
+        "capturing LLC streams for {} workloads at {scale} scale...",
+        training.len()
+    );
     let ctx = FitnessContext::for_benchmarks(
         &training,
         scale.simpoints(),
@@ -34,7 +37,10 @@ fn main() {
     println!("running the genetic algorithm ({:?})...", scale.ga(42));
     let result = Ga::new(scale.ga(42)).run_single(&ctx, Substrate::Plru);
     println!("GA best vector: {}", result.best);
-    println!("GA fitness (mean speedup over LRU): {:.4}", result.best_fitness);
+    println!(
+        "GA fitness (mean speedup over LRU): {:.4}",
+        result.best_fitness
+    );
     println!("fitness per generation: {:?}", result.history);
 
     println!("hill-climbing refinement...");

@@ -14,8 +14,14 @@ use pseudolru_ipv::traces::spec2006::Spec2006;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let a = args.first().and_then(|n| Spec2006::from_name(n)).unwrap_or(Spec2006::Libquantum);
-    let b = args.get(1).and_then(|n| Spec2006::from_name(n)).unwrap_or(Spec2006::DealII);
+    let a = args
+        .first()
+        .and_then(|n| Spec2006::from_name(n))
+        .unwrap_or(Spec2006::Libquantum);
+    let b = args
+        .get(1)
+        .and_then(|n| Spec2006::from_name(n))
+        .unwrap_or(Spec2006::DealII);
     let shift = 3; // 512 KB LLC for a fast demo; use 0 for the full 4 MB
     let cfg = HierarchyConfig::paper_scaled(shift)?;
     let per_core = 200_000;
@@ -24,14 +30,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let model = LinearCpiModel::default();
     let mut lru_cycles = [0.0f64; 2];
     for (name, policy) in [
-        ("LRU", Box::new(TrueLru::new(&cfg.llc)) as Box<dyn ReplacementPolicy>),
-        ("4-DGIPPR", Box::new(DgipprPolicy::four_vector(&cfg.llc, vectors::wi_4dgippr())?)),
+        (
+            "LRU",
+            Box::new(TrueLru::new(&cfg.llc)) as Box<dyn ReplacementPolicy>,
+        ),
+        (
+            "4-DGIPPR",
+            Box::new(DgipprPolicy::four_vector(&cfg.llc, vectors::wi_4dgippr())?),
+        ),
     ] {
         let mut mc = MulticoreHierarchy::new(2, cfg, policy);
-        let sa: Vec<Access> =
-            a.workload().scaled_down(shift).generator(0).take(per_core).collect();
-        let sb: Vec<Access> =
-            b.workload().scaled_down(shift).generator(0).take(per_core).collect();
+        let sa: Vec<Access> = a
+            .workload()
+            .scaled_down(shift)
+            .generator(0)
+            .take(per_core)
+            .collect();
+        let sb: Vec<Access> = b
+            .workload()
+            .scaled_down(shift)
+            .generator(0)
+            .take(per_core)
+            .collect();
         mc.run_interleaved(vec![sa.into_iter(), sb.into_iter()], per_core);
         let cycles = [
             model.cycles(mc.instructions(0), mc.llc_stats(0).misses),

@@ -4,8 +4,8 @@
 //! Run with: `cargo run --release --example policy_shootout -- [benchmark] [quick|medium|paper]`
 //! e.g. `cargo run --release --example policy_shootout -- 462.libquantum quick`
 
-use pseudolru_ipv::harness::{measure_policy, prepare_workloads, policies, Scale, Table};
 use pseudolru_ipv::harness::report::{fmt_pct, fmt_ratio};
+use pseudolru_ipv::harness::{measure_policy, policies, prepare_workloads, Scale, Table};
 use pseudolru_ipv::traces::spec2006::Spec2006;
 
 fn main() {
@@ -14,7 +14,10 @@ fn main() {
         .first()
         .map(|name| Spec2006::from_name(name).unwrap_or_else(|| panic!("unknown benchmark {name}")))
         .unwrap_or(Spec2006::Libquantum);
-    let scale = args.get(1).and_then(|s| Scale::parse(s)).unwrap_or(Scale::Quick);
+    let scale = args
+        .get(1)
+        .and_then(|s| Scale::parse(s))
+        .unwrap_or(Scale::Quick);
 
     println!("preparing {bench} at {scale} scale...");
     let workloads = prepare_workloads(scale, &[bench]);
@@ -22,15 +25,27 @@ fn main() {
     let w = &workloads[0];
 
     let mut roster = policies::baseline_roster(0xCAFE);
-    roster.push(("GIPLR", policies::giplr(pseudolru_ipv::gippr::vectors::giplr_best(), "GIPLR")));
-    roster.push(("WI-GIPPR", policies::gippr(pseudolru_ipv::gippr::vectors::wi_gippr(), "WI-GIPPR")));
+    roster.push((
+        "GIPLR",
+        policies::giplr(pseudolru_ipv::gippr::vectors::giplr_best(), "GIPLR"),
+    ));
+    roster.push((
+        "WI-GIPPR",
+        policies::gippr(pseudolru_ipv::gippr::vectors::wi_gippr(), "WI-GIPPR"),
+    ));
     roster.push((
         "WI-2-DGIPPR",
-        policies::dgippr(pseudolru_ipv::gippr::vectors::wi_2dgippr().to_vec(), "WI-2-DGIPPR"),
+        policies::dgippr(
+            pseudolru_ipv::gippr::vectors::wi_2dgippr().to_vec(),
+            "WI-2-DGIPPR",
+        ),
     ));
     roster.push((
         "WI-4-DGIPPR",
-        policies::dgippr(pseudolru_ipv::gippr::vectors::wi_4dgippr().to_vec(), "WI-4-DGIPPR"),
+        policies::dgippr(
+            pseudolru_ipv::gippr::vectors::wi_4dgippr().to_vec(),
+            "WI-4-DGIPPR",
+        ),
     ));
 
     let mut table = Table::new(

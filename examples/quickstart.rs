@@ -4,9 +4,9 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
+use pseudolru_ipv::baselines::TrueLru;
 use pseudolru_ipv::gippr::{vectors, DgipprPolicy};
 use pseudolru_ipv::sim::{Access, CacheGeometry, ReplacementPolicy, SetAssocCache};
-use pseudolru_ipv::baselines::TrueLru;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The paper's LLC: 4 MB, 16-way, 64-byte lines.

@@ -27,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     writer.finish()?;
     let bytes = std::fs::metadata(&path)?.len();
-    println!("wrote {bytes} bytes ({:.1} B/record)", bytes as f64 / n as f64);
+    println!(
+        "wrote {bytes} bytes ({:.1} B/record)",
+        bytes as f64 / n as f64
+    );
 
     println!("reading back with CRC verification and replaying through L1/L2/LLC...");
     let reader = TraceReader::new(BufReader::new(File::open(&path)?))?;

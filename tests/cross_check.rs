@@ -22,7 +22,10 @@ fn giplr_with_lru_vector_equals_timestamp_lru() {
     // Two structurally different LRU implementations (recency stack with
     // shift semantics vs. timestamps) must be access-for-access identical.
     let geom = CacheGeometry::from_sets(16, 8, 64).unwrap();
-    let mut stack = SetAssocCache::new(geom, Box::new(GiplrPolicy::new(&geom, Ipv::lru(8)).unwrap()));
+    let mut stack = SetAssocCache::new(
+        geom,
+        Box::new(GiplrPolicy::new(&geom, Ipv::lru(8)).unwrap()),
+    );
     let mut stamp = SetAssocCache::new(geom, Box::new(TrueLru::new(&geom)));
     for blk in pseudorandom_blocks(20_000, 1024, 42) {
         let ctx = AccessContext::blank();
@@ -36,8 +39,10 @@ fn giplr_with_lru_vector_equals_timestamp_lru() {
 #[test]
 fn gippr_with_zero_vector_equals_plain_plru() {
     let geom = CacheGeometry::from_sets(32, 16, 64).unwrap();
-    let mut gippr =
-        SetAssocCache::new(geom, Box::new(GipprPolicy::new(&geom, Ipv::lru(16)).unwrap()));
+    let mut gippr = SetAssocCache::new(
+        geom,
+        Box::new(GipprPolicy::new(&geom, Ipv::lru(16)).unwrap()),
+    );
     let mut plru = SetAssocCache::new(geom, Box::new(PlruPolicy::new(&geom)));
     for blk in pseudorandom_blocks(30_000, 4096, 7) {
         let ctx = AccessContext::blank();
@@ -82,8 +87,10 @@ fn trace_file_replay_is_bit_identical_to_direct_replay() {
         w.write(a).unwrap();
     }
     w.finish().unwrap();
-    let replayed: Vec<Access> =
-        TraceReader::new(&buf[..]).unwrap().collect::<Result<_, _>>().unwrap();
+    let replayed: Vec<Access> = TraceReader::new(&buf[..])
+        .unwrap()
+        .collect::<Result<_, _>>()
+        .unwrap();
     assert_eq!(replayed, accesses);
 
     // Replay both through identical caches: identical stats.

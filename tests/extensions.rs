@@ -1,7 +1,7 @@
 //! Integration tests for the future-work extensions, end-to-end.
 
-use pseudolru_ipv::gippr::{vectors, DgipprPolicy, Ipv};
 use pseudolru_ipv::baselines::{RripIpvPolicy, SdbpPolicy};
+use pseudolru_ipv::gippr::{vectors, DgipprPolicy, Ipv};
 use pseudolru_ipv::model::multicore::MulticoreHierarchy;
 use pseudolru_ipv::model::prefetch::PrefetchConfig;
 use pseudolru_ipv::model::{Hierarchy, HierarchyConfig, Inclusion};
@@ -23,12 +23,20 @@ fn bypass_extension_helps_on_streaming_and_never_caches_bypassed_blocks() {
     let mut scan = 1 << 30;
     for _ in 0..20 {
         for b in 0..ws {
-            let ctx = AccessContext { pc: 1, addr: b * 64, is_write: false };
+            let ctx = AccessContext {
+                pc: 1,
+                addr: b * 64,
+                is_write: false,
+            };
             plain_cache.access_block(b, &ctx);
             bypass_cache.access_block(b, &ctx);
         }
         for _ in 0..8192 {
-            let ctx = AccessContext { pc: 2, addr: scan * 64, is_write: false };
+            let ctx = AccessContext {
+                pc: 2,
+                addr: scan * 64,
+                is_write: false,
+            };
             plain_cache.access_block(scan, &ctx);
             bypass_cache.access_block(scan, &ctx);
             scan += 1;
@@ -59,8 +67,16 @@ fn rrip_ipv_and_gippr_agree_on_what_matters() {
             b.access_block(blk, &AccessContext::blank());
         }
     }
-    assert!(a.stats().hit_ratio() > 0.3, "PLRU-LIP retains: {}", a.stats().hit_ratio());
-    assert!(b.stats().hit_ratio() > 0.3, "RRIP-LIP retains: {}", b.stats().hit_ratio());
+    assert!(
+        a.stats().hit_ratio() > 0.3,
+        "PLRU-LIP retains: {}",
+        a.stats().hit_ratio()
+    );
+    assert!(
+        b.stats().hit_ratio() > 0.3,
+        "RRIP-LIP retains: {}",
+        b.stats().hit_ratio()
+    );
 }
 
 #[test]
@@ -83,7 +99,10 @@ fn prefetcher_and_inclusion_compose() {
     h.set_inclusion(Inclusion::Inclusive);
     let spec = Spec2006::Milc.workload().scaled_down(5);
     h.run(spec.generator(0).take(60_000));
-    assert!(h.prefetch_fills() > 0, "streaming milc triggers the prefetcher");
+    assert!(
+        h.prefetch_fills() > 0,
+        "streaming milc triggers the prefetcher"
+    );
     // Inclusion invariant holds even with prefetch fills in flight.
     for set in 0..h.l2().geometry().sets() {
         for blk in h.l2().resident_blocks(set) {
@@ -100,8 +119,12 @@ fn four_core_mix_attributes_all_traffic() {
         cfg,
         Box::new(DgipprPolicy::four_vector(&cfg.llc, vectors::wi_4dgippr()).unwrap()),
     );
-    let benches =
-        [Spec2006::Mcf, Spec2006::Libquantum, Spec2006::DealII, Spec2006::Gamess];
+    let benches = [
+        Spec2006::Mcf,
+        Spec2006::Libquantum,
+        Spec2006::DealII,
+        Spec2006::Gamess,
+    ];
     let streams: Vec<_> = benches
         .iter()
         .map(|b| {

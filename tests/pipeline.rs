@@ -2,16 +2,16 @@
 //! workload synthesis → hierarchy capture → policy replay → measurement —
 //! asserting the qualitative results the paper depends on.
 
-use pseudolru_ipv::harness::{
-    measure_min, measure_policy, policies, prepare_workloads, Scale,
-};
+use pseudolru_ipv::harness::{measure_min, measure_policy, policies, prepare_workloads, Scale};
 use pseudolru_ipv::traces::spec2006::Spec2006;
 
 #[test]
 fn min_is_a_lower_bound_for_every_policy() {
     let scale = Scale::Micro;
-    let workloads =
-        prepare_workloads(scale, &[Spec2006::Libquantum, Spec2006::Mcf, Spec2006::DealII]);
+    let workloads = prepare_workloads(
+        scale,
+        &[Spec2006::Libquantum, Spec2006::Mcf, Spec2006::DealII],
+    );
     let geom = scale.hierarchy().llc;
     for w in &workloads {
         let min = measure_min(w, geom);
@@ -25,8 +25,10 @@ fn min_is_a_lower_bound_for_every_policy() {
                 m.misses
             );
         }
-        let dgippr =
-            policies::dgippr(pseudolru_ipv::gippr::vectors::wi_4dgippr().to_vec(), "4-DGIPPR");
+        let dgippr = policies::dgippr(
+            pseudolru_ipv::gippr::vectors::wi_4dgippr().to_vec(),
+            "4-DGIPPR",
+        );
         let m = measure_policy(w, &dgippr, geom);
         assert!(min.misses <= m.misses + 1e-9);
     }
@@ -39,7 +41,12 @@ fn pseudolru_tracks_true_lru_closely() {
     let scale = Scale::Micro;
     let workloads = prepare_workloads(
         scale,
-        &[Spec2006::Mcf, Spec2006::Gcc, Spec2006::Sphinx3, Spec2006::DealII],
+        &[
+            Spec2006::Mcf,
+            Spec2006::Gcc,
+            Spec2006::Sphinx3,
+            Spec2006::DealII,
+        ],
     );
     let geom = scale.hierarchy().llc;
     for w in &workloads {
@@ -56,11 +63,15 @@ fn pseudolru_tracks_true_lru_closely() {
 #[test]
 fn adaptive_policies_win_on_thrash_and_yield_little_on_resident() {
     let scale = Scale::Micro;
-    let workloads =
-        prepare_workloads(scale, &[Spec2006::Libquantum, Spec2006::CactusADM, Spec2006::Gamess]);
+    let workloads = prepare_workloads(
+        scale,
+        &[Spec2006::Libquantum, Spec2006::CactusADM, Spec2006::Gamess],
+    );
     let geom = scale.hierarchy().llc;
-    let dgippr =
-        policies::dgippr(pseudolru_ipv::gippr::vectors::wi_4dgippr().to_vec(), "4-DGIPPR");
+    let dgippr = policies::dgippr(
+        pseudolru_ipv::gippr::vectors::wi_4dgippr().to_vec(),
+        "4-DGIPPR",
+    );
     for w in &workloads {
         let m = measure_policy(w, &dgippr, geom);
         let ratio = m.normalized_misses(&w.lru);
@@ -93,8 +104,10 @@ fn dgippr_matches_drrip_class_performance_with_less_state() {
     ];
     let workloads = prepare_workloads(scale, &benches);
     let geom = scale.hierarchy().llc;
-    let dgippr_factory =
-        policies::dgippr(pseudolru_ipv::gippr::vectors::wi_4dgippr().to_vec(), "4-DGIPPR");
+    let dgippr_factory = policies::dgippr(
+        pseudolru_ipv::gippr::vectors::wi_4dgippr().to_vec(),
+        "4-DGIPPR",
+    );
     let mut dgippr_speedups = Vec::new();
     let mut drrip_speedups = Vec::new();
     for w in &workloads {
@@ -140,8 +153,10 @@ fn dealii_style_workloads_punish_eager_eviction() {
     let workloads = prepare_workloads(scale, &[Spec2006::DealII]);
     let geom = scale.hierarchy().llc;
     let w = &workloads[0];
-    let dgippr =
-        policies::dgippr(pseudolru_ipv::gippr::vectors::wi_4dgippr().to_vec(), "4-DGIPPR");
+    let dgippr = policies::dgippr(
+        pseudolru_ipv::gippr::vectors::wi_4dgippr().to_vec(),
+        "4-DGIPPR",
+    );
     let ratio = measure_policy(w, &dgippr, geom).normalized_misses(&w.lru);
     assert!(ratio > 1.0, "dealII regression reproduced: {ratio}");
 }

@@ -9,7 +9,10 @@ use pseudolru_ipv::model::{min_misses, replay_llc};
 use pseudolru_ipv::sim::{Access, CacheGeometry};
 
 fn stream_from_blocks(blocks: &[u64]) -> Vec<Access> {
-    blocks.iter().map(|&b| Access::read(b * 64, 0).with_icount_delta(2)).collect()
+    blocks
+        .iter()
+        .map(|&b| Access::read(b * 64, 0).with_icount_delta(2))
+        .collect()
 }
 
 proptest! {
