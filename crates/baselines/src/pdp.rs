@@ -136,6 +136,13 @@ impl PdpPolicy {
         &self.hist
     }
 
+    /// Whether a line's remaining protecting distance is still nonzero
+    /// (test/diagnostic aid: the victim invariant says a protected line is
+    /// never evicted while an unprotected one exists).
+    pub fn is_protected(&self, set: usize, way: usize) -> bool {
+        self.rpd[set * self.ways + way] != 0
+    }
+
     fn quantum_for(&self, pd: usize) -> u8 {
         (pd.max(1)).div_ceil(usize::from(self.rpd_max)).min(255) as u8
     }

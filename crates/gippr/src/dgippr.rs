@@ -104,6 +104,9 @@ pub struct DgipprPolicy {
     /// second set-duel decides whether blocks that the active vector would
     /// insert at the PLRU position should bypass the cache entirely.
     bypass_duel: Option<DuelController>,
+    /// PSEL counter width configured at construction; [`Self::with_bypass`]
+    /// builds its duel at the same width so ablation sweeps vary both.
+    psel_bits: u32,
     name: String,
 }
 
@@ -191,6 +194,7 @@ impl DgipprPolicy {
             trees: vec![PlruTree::new(geom.ways()); geom.sets()],
             duel,
             bypass_duel: None,
+            psel_bits,
             name: name.to_string(),
         })
     }
@@ -203,7 +207,8 @@ impl DgipprPolicy {
     /// active vector would insert at the PLRU position (i.e. blocks the
     /// vector already predicts dead on arrival) against inserting them
     /// normally; followers adopt whichever side misses less. Costs one
-    /// extra 11-bit counter. Note that bypass violates inclusion, so this
+    /// extra PSEL counter at the width configured at construction (11 bits
+    /// at the paper's default). Note that bypass violates inclusion, so this
     /// configuration models a non-inclusive LLC (the same caveat the paper
     /// raises for PDP-with-bypass).
     ///
@@ -218,7 +223,7 @@ impl DgipprPolicy {
         self.bypass_duel = Some(DuelController::two_salted(
             sets,
             leaders_per_side,
-            PSEL_BITS,
+            self.psel_bits,
             7,
         )?);
         self.name.push_str("+bypass");
@@ -238,6 +243,12 @@ impl DgipprPolicy {
     /// The dueling mechanism (test/diagnostic aid).
     pub fn duel(&self) -> &DuelController {
         &self.duel
+    }
+
+    /// The bypass duel, if [`DgipprPolicy::with_bypass`] enabled it
+    /// (test/diagnostic aid).
+    pub fn bypass_duel(&self) -> Option<&DuelController> {
+        self.bypass_duel.as_ref()
     }
 
     #[inline]
@@ -473,6 +484,105 @@ mod tests {
             "three duel counters plus one bypass counter"
         );
         assert_eq!(p.name(), "4-DGIPPR+bypass");
+    }
+
+    #[test]
+    fn bypass_duel_inherits_configured_psel_width() {
+        // Regression: `with_bypass` used to hardcode `PSEL_BITS`, so the
+        // ablation PSEL-width sweep never varied the bypass counter.
+        let g = geom();
+        let vs = vectors::wi_4dgippr().to_vec();
+        for bits in [5u32, 8, 11] {
+            let p = DgipprPolicy::with_full_config(&g, vs.clone(), 32, bits, "4-DGIPPR")
+                .unwrap()
+                .with_bypass(32)
+                .unwrap();
+            assert_eq!(
+                p.bypass_duel().unwrap().counter_bits(),
+                u64::from(bits),
+                "bypass duel must use the configured {bits}-bit width"
+            );
+            assert_eq!(
+                p.global_bits(),
+                u64::from(4 * bits),
+                "three duel counters plus one bypass counter, all {bits}-bit"
+            );
+        }
+    }
+
+    #[test]
+    fn bypass_duel_moves_only_on_bypass_leader_misses() {
+        let g = geom();
+        let mut p = DgipprPolicy::four_vector(&g, vectors::wi_4dgippr())
+            .unwrap()
+            .with_bypass(32)
+            .unwrap();
+        let bypass_map = *p.bypass_duel().unwrap().leader_map();
+        // Misses in sets that are followers of the *bypass* duel must not
+        // move its winner, no matter what role they play in the vector duel.
+        let before = p.bypass_duel().unwrap().winner();
+        for _ in 0..200 {
+            for set in 0..g.sets() {
+                if bypass_map.role(set) == SetRole::Follower {
+                    p.on_miss(set, &ctx());
+                }
+            }
+        }
+        assert_eq!(
+            p.bypass_duel().unwrap().winner(),
+            before,
+            "bypass-duel PSEL movement comes only from bypass leader sets"
+        );
+        // Hammering one side's bypass leaders through the public `on_miss`
+        // path does flip it.
+        for _ in 0..200 {
+            for set in 0..g.sets() {
+                if bypass_map.role(set) == SetRole::Leader(0) {
+                    p.on_miss(set, &ctx());
+                }
+            }
+        }
+        assert_eq!(
+            p.bypass_duel().unwrap().winner(),
+            1,
+            "bypass leader misses recorded via on_miss move the duel"
+        );
+    }
+
+    #[test]
+    fn bypass_is_noop_without_plru_insertion() {
+        // If no candidate vector inserts at the PLRU position, the bypass
+        // predicate can never fire, so the +bypass policy must replay
+        // identically to the bypass-free one.
+        use sim_core::SetAssocCache;
+        let g = CacheGeometry::from_sets(256, 16, 64).unwrap();
+        // Insertions at positions 0 and 8: neither is ways-1.
+        let v0 = Ipv::lru(16);
+        let mut v1 = Ipv::lru(16);
+        v1.set_entry(16, 8).unwrap();
+        let plain = DgipprPolicy::with_config(&g, vec![v0.clone(), v1.clone()], 4, "t").unwrap();
+        let with_bypass = DgipprPolicy::with_config(&g, vec![v0, v1], 4, "t")
+            .unwrap()
+            .with_bypass(4)
+            .unwrap();
+        let mut a = SetAssocCache::new(g, Box::new(plain));
+        let mut b = SetAssocCache::new(g, Box::new(with_bypass));
+        // Mixed rereference + streaming traffic.
+        let mut blk = 0u64;
+        for i in 0..200_000u64 {
+            let addr = if i % 3 == 0 {
+                i % 4096
+            } else {
+                blk += 1;
+                1 << 20 | blk
+            };
+            let oa = a.access_block(addr, &ctx());
+            let ob = b.access_block(addr, &ctx());
+            assert_eq!(oa.hit, ob.hit, "access {i}: hit/miss must match");
+            assert!(!ob.bypassed, "access {i}: bypass must never fire");
+            assert_eq!(oa.evicted, ob.evicted, "access {i}: victims must match");
+        }
+        assert_eq!(a.stats(), b.stats());
     }
 
     #[test]

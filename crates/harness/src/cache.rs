@@ -25,10 +25,12 @@
 //! each, and later runs load them instead of re-capturing. The file format
 //! is a small header (magic, version, a fingerprint of every capture
 //! parameter, the LRU baseline) followed by each simpoint's weight,
-//! warm-up split, and stream as an embedded `PLRUTRC1` trace container —
-//! so stream integrity is protected by the trace CRC, and any mismatch
-//! (different scale knobs, stale format, corruption) silently falls back
-//! to a fresh capture that overwrites the file.
+//! warm-up split, and stream as an embedded `PLRUTRC1` trace container,
+//! then a CRC-32 footer over every metadata field (the streams carry
+//! their own trace CRC). Any mismatch — different scale knobs, stale
+//! format, truncation, a corrupted metadata field or stream, trailing
+//! garbage — falls back to a fresh capture that overwrites the file,
+//! with a warning on stderr so silent re-capture loops are visible.
 
 use crate::experiments::{VectorAssignment, VectorMode};
 use crate::runner::{measure_policy, PolicyMeasurement, SimpointData, WorkloadData};
@@ -48,8 +50,13 @@ use traces::{TraceReader, TraceWriter};
 
 /// Magic identifying a spilled-workload file.
 const WLC_MAGIC: &[u8; 8] = b"PLRUWLC1";
-/// Spill format version; bump on any layout change.
-const WLC_VERSION: u32 = 1;
+/// Spill format version; bump on any layout change. Version 2 added the
+/// metadata CRC footer and the end-of-file check.
+const WLC_VERSION: u32 = 2;
+/// Upper bound on the simpoint count field. A corrupted count used to
+/// drive `Vec::with_capacity` straight into an allocation abort; any real
+/// capture holds a handful of simpoints.
+const WLC_MAX_SIMPOINTS: usize = 4096;
 
 /// A keyed exactly-once memo: concurrent callers asking for the same key
 /// block on one `OnceLock` so the value is computed a single time, while
@@ -283,23 +290,37 @@ fn save_workload(
     }
     let tmp = path.with_extension("wlc.tmp");
     {
+        // The embedded trace containers protect the streams with their own
+        // CRC; `meta_crc` covers every field outside them (the LRU
+        // baseline, the simpoint count, each weight and warm-up split) so
+        // a flipped metadata byte is caught instead of loaded as garbage.
+        let mut meta_crc = traces::format::Crc32::new();
         let mut w = BufWriter::new(fs::File::create(&tmp)?);
         w.write_all(WLC_MAGIC)?;
         w.write_all(&WLC_VERSION.to_le_bytes())?;
         w.write_all(&fingerprint(scale, bench).to_le_bytes())?;
-        w.write_all(&data.lru.mpki.to_le_bytes())?;
-        w.write_all(&data.lru.cycles.to_le_bytes())?;
-        w.write_all(&data.lru.misses.to_le_bytes())?;
-        w.write_all(&(data.simpoints.len() as u32).to_le_bytes())?;
+        for field in [data.lru.mpki, data.lru.cycles, data.lru.misses] {
+            let bytes = field.to_le_bytes();
+            meta_crc.update(&bytes);
+            w.write_all(&bytes)?;
+        }
+        let count = (data.simpoints.len() as u32).to_le_bytes();
+        meta_crc.update(&count);
+        w.write_all(&count)?;
         for sp in &data.simpoints {
-            w.write_all(&sp.weight.to_le_bytes())?;
-            w.write_all(&(sp.warmup as u64).to_le_bytes())?;
+            let weight = sp.weight.to_le_bytes();
+            let warmup = (sp.warmup as u64).to_le_bytes();
+            meta_crc.update(&weight);
+            meta_crc.update(&warmup);
+            w.write_all(&weight)?;
+            w.write_all(&warmup)?;
             let mut tw = TraceWriter::new(&mut w).map_err(trace_to_io)?;
             for a in sp.stream.iter() {
                 tw.write(a).map_err(trace_to_io)?;
             }
             tw.finish().map_err(trace_to_io)?;
         }
+        w.write_all(&meta_crc.finish().to_le_bytes())?;
         w.flush()?;
     }
     fs::rename(&tmp, path)
@@ -313,42 +334,93 @@ fn trace_to_io(e: traces::TraceError) -> std::io::Error {
 }
 
 /// Loads a spilled workload, returning `None` (fall back to capture) on
-/// any mismatch: missing file, foreign magic, stale version or
-/// fingerprint, truncation, or a failed trace CRC.
+/// any mismatch. A missing file is the normal cold-cache case and stays
+/// silent; a file that exists but cannot be loaded — foreign magic, stale
+/// version or fingerprint, truncation, a failed metadata or trace CRC,
+/// trailing garbage — logs a warning so the re-capture is visible.
 fn load_workload(path: &Path, scale: Scale, bench: Spec2006) -> Option<WorkloadData> {
-    let mut r = BufReader::new(fs::File::open(path).ok()?);
+    let file = fs::File::open(path).ok()?;
+    match load_workload_file(file, scale, bench) {
+        Ok(data) => Some(data),
+        Err(reason) => {
+            eprintln!(
+                "warning: ignoring workload cache file {} ({reason}); re-capturing",
+                path.display()
+            );
+            None
+        }
+    }
+}
+
+/// The fallible body of [`load_workload`]; the error is a human-readable
+/// reason for the warning log.
+fn load_workload_file(
+    file: fs::File,
+    scale: Scale,
+    bench: Spec2006,
+) -> Result<WorkloadData, String> {
+    let mut r = BufReader::new(file);
+    let mut meta_crc = traces::format::Crc32::new();
     let mut magic = [0u8; 8];
-    r.read_exact(&mut magic).ok()?;
+    r.read_exact(&mut magic).map_err(|_| "truncated header")?;
     if &magic != WLC_MAGIC {
-        return None;
+        return Err("foreign magic".into());
     }
-    if read_u32(&mut r)? != WLC_VERSION {
-        return None;
+    let version = read_u32(&mut r).ok_or("truncated header")?;
+    if version != WLC_VERSION {
+        return Err(format!("stale format version {version}"));
     }
-    if read_u64(&mut r)? != fingerprint(scale, bench) {
-        return None;
+    if read_u64(&mut r).ok_or("truncated header")? != fingerprint(scale, bench) {
+        return Err("capture-parameter fingerprint mismatch".into());
     }
-    let lru = PolicyMeasurement {
-        mpki: read_f64(&mut r)?,
-        cycles: read_f64(&mut r)?,
-        misses: read_f64(&mut r)?,
+    let mut meta_f64 = |r: &mut BufReader<fs::File>| -> Option<f64> {
+        let mut buf = [0u8; 8];
+        r.read_exact(&mut buf).ok()?;
+        meta_crc.update(&buf);
+        Some(f64::from_le_bytes(buf))
     };
-    let n = read_u32(&mut r)? as usize;
+    let lru = PolicyMeasurement {
+        mpki: meta_f64(&mut r).ok_or("truncated LRU baseline")?,
+        cycles: meta_f64(&mut r).ok_or("truncated LRU baseline")?,
+        misses: meta_f64(&mut r).ok_or("truncated LRU baseline")?,
+    };
+    let mut count_buf = [0u8; 4];
+    r.read_exact(&mut count_buf)
+        .map_err(|_| "truncated simpoint count")?;
+    meta_crc.update(&count_buf);
+    let n = u32::from_le_bytes(count_buf) as usize;
+    // Never trust the count for a pre-allocation: a corrupted field here
+    // used to request gigabytes and abort the process.
+    if n > WLC_MAX_SIMPOINTS {
+        return Err(format!("implausible simpoint count {n}"));
+    }
     let mut simpoints = Vec::with_capacity(n);
-    for _ in 0..n {
-        let weight = read_f64(&mut r)?;
-        let warmup = read_u64(&mut r)? as usize;
+    for i in 0..n {
+        let mut buf = [0u8; 16];
+        r.read_exact(&mut buf)
+            .map_err(|_| format!("truncated header of simpoint {i}"))?;
+        meta_crc.update(&buf);
+        let weight = f64::from_le_bytes(buf[..8].try_into().expect("8 bytes"));
+        let warmup = u64::from_le_bytes(buf[8..].try_into().expect("8 bytes")) as usize;
         let stream: Vec<Access> = TraceReader::new(&mut r)
-            .ok()?
+            .map_err(|e| format!("bad trace container of simpoint {i}: {e}"))?
             .collect::<Result<_, _>>()
-            .ok()?;
+            .map_err(|e| format!("bad trace stream of simpoint {i}: {e}"))?;
         simpoints.push(SimpointData {
             weight,
             stream: Arc::new(stream),
             warmup,
         });
     }
-    Some(WorkloadData {
+    let footer = read_u32(&mut r).ok_or("truncated metadata CRC footer")?;
+    if footer != meta_crc.finish() {
+        return Err("metadata CRC mismatch".into());
+    }
+    let mut extra = [0u8; 1];
+    if r.read(&mut extra).map_err(|e| e.to_string())? != 0 {
+        return Err("trailing garbage after footer".into());
+    }
+    Ok(WorkloadData {
         bench,
         simpoints,
         lru,
@@ -365,12 +437,6 @@ fn read_u64<R: Read>(r: &mut R) -> Option<u64> {
     let mut buf = [0u8; 8];
     r.read_exact(&mut buf).ok()?;
     Some(u64::from_le_bytes(buf))
-}
-
-fn read_f64<R: Read>(r: &mut R) -> Option<f64> {
-    let mut buf = [0u8; 8];
-    r.read_exact(&mut buf).ok()?;
-    Some(f64::from_le_bytes(buf))
 }
 
 #[cfg(test)]
@@ -480,6 +546,84 @@ mod tests {
         // A file written at one scale never satisfies another.
         assert!(load_workload(&path, Scale::Quick, bench()).is_none());
 
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Writes one good spill file and returns `(dir, path, bytes)`.
+    fn spilled_file(tag: &str) -> (std::path::PathBuf, std::path::PathBuf, Vec<u8>) {
+        let dir = std::env::temp_dir().join(format!("wlc-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let writer = WorkloadCache::new();
+        writer.set_disk_dir(Some(dir.clone()));
+        let _ = writer.workload(Scale::Micro, bench());
+        let path = spill_path(&dir, Scale::Micro, bench());
+        let bytes = fs::read(&path).unwrap();
+        (dir, path, bytes)
+    }
+
+    #[test]
+    fn truncated_spill_falls_back_at_every_length() {
+        // Chopping the file anywhere — mid-header, mid-simpoint-metadata,
+        // mid-stream, mid-footer — must yield a clean fallback, never a
+        // panic or a short-read of garbage.
+        let (dir, path, bytes) = spilled_file("trunc");
+        let probes: Vec<usize> = (0..bytes.len())
+            .step_by((bytes.len() / 64).max(1))
+            .chain([0, 7, 11, 19, 43, 44, 59, 60, bytes.len() - 1])
+            .filter(|&n| n < bytes.len())
+            .collect();
+        for n in probes {
+            fs::write(&path, &bytes[..n]).unwrap();
+            assert!(
+                load_workload(&path, Scale::Micro, bench()).is_none(),
+                "truncation to {n} of {} bytes must not load",
+                bytes.len()
+            );
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_metadata_field_is_rejected_by_footer_crc() {
+        // Flip one byte of the first simpoint's weight (offset 48: after
+        // magic 8, version 4, fingerprint 8, LRU 24, count 4). The streams'
+        // trace CRCs cannot see it; only the metadata footer can.
+        let (dir, path, mut bytes) = spilled_file("meta");
+        bytes[48] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+        assert!(
+            load_workload(&path, Scale::Micro, bench()).is_none(),
+            "corrupt weight must fail the metadata CRC"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn implausible_simpoint_count_is_rejected_without_allocating() {
+        // Overwrite the count field (offset 44) with u32::MAX: the loader
+        // must bail out instead of pre-allocating gigabytes.
+        let (dir, path, mut bytes) = spilled_file("count");
+        bytes[44..48].copy_from_slice(&u32::MAX.to_le_bytes());
+        fs::write(&path, &bytes).unwrap();
+        assert!(load_workload(&path, Scale::Micro, bench()).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let (dir, path, mut bytes) = spilled_file("tail");
+        bytes.extend_from_slice(b"junk");
+        fs::write(&path, &bytes).unwrap();
+        assert!(load_workload(&path, Scale::Micro, bench()).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_version_is_rejected() {
+        let (dir, path, mut bytes) = spilled_file("ver");
+        bytes[8..12].copy_from_slice(&1u32.to_le_bytes());
+        fs::write(&path, &bytes).unwrap();
+        assert!(load_workload(&path, Scale::Micro, bench()).is_none());
         let _ = fs::remove_dir_all(&dir);
     }
 }

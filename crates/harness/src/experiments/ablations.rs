@@ -4,7 +4,7 @@
 //! LRU) over a mixed subset of the workload suite.
 
 use crate::policies;
-use crate::report::{fmt_ratio, Table};
+use crate::report::{fmt_geomean, Table};
 use crate::runner::{measure_policy, prepare_workloads, WorkloadData};
 use crate::scale::Scale;
 use crate::stats::geometric_mean;
@@ -32,7 +32,7 @@ fn geomean_normalized(
     workloads: &[WorkloadData],
     factory: &PolicyFactory,
     geom: CacheGeometry,
-) -> f64 {
+) -> Option<f64> {
     let ratios: Vec<f64> = workloads
         .iter()
         .map(|w| measure_policy(w, factory, geom).normalized_misses(&w.lru))
@@ -56,7 +56,7 @@ pub fn run(scale: Scale) -> Table {
     );
     let mut push = |name: String, f: PolicyFactory| {
         let v = geomean_normalized(&workloads, &f, geom);
-        table.row(vec![name, fmt_ratio(v)]);
+        table.row(vec![name, fmt_geomean(v)]);
     };
 
     // Leader-set count sweep (default 32 at full scale; scaled caches use
@@ -76,7 +76,9 @@ pub fn run(scale: Scale) -> Table {
         }
     }
 
-    // PSEL width sweep (paper: 11 bits).
+    // PSEL width sweep (paper: 11 bits). The +bypass rows sweep the bypass
+    // duel at the same width — `with_bypass` inherits the configured PSEL
+    // width rather than pinning the paper's 11 bits.
     for bits in [5u32, 8, 11] {
         let vs = vectors4.clone();
         push(
@@ -91,6 +93,24 @@ pub fn run(scale: Scale) -> Table {
                         "4-DGIPPR",
                     )
                     .expect("valid config"),
+                )
+            }),
+        );
+        let vs = vectors4.clone();
+        push(
+            format!("4-DGIPPR + bypass, {bits}-bit PSEL"),
+            factory(move |g| {
+                Box::new(
+                    DgipprPolicy::with_full_config(
+                        g,
+                        vs.clone(),
+                        crate::policies::leaders_for(g),
+                        bits,
+                        "4-DGIPPR",
+                    )
+                    .expect("valid config")
+                    .with_bypass(crate::policies::leaders_for(g))
+                    .expect("valid bypass config"),
                 )
             }),
         );
@@ -207,7 +227,10 @@ pub fn run(scale: Scale) -> Table {
                     pol.stats.misses as f64 / lru.stats.misses as f64
                 });
             }
-            table.row(vec![label.to_string(), fmt_ratio(geometric_mean(&ratios))]);
+            table.row(vec![
+                label.to_string(),
+                fmt_geomean(geometric_mean(&ratios)),
+            ]);
         };
         row(false, "PLRU-LIP, demand-only replay (convention)");
         row(

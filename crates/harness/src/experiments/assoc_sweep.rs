@@ -5,7 +5,7 @@
 //! associativity, unlike the evolved 16-way vectors).
 
 use crate::policies;
-use crate::report::{fmt_ratio, Table};
+use crate::report::{fmt_geomean, Table};
 use crate::runner::prepare_workloads;
 use crate::scale::Scale;
 use crate::stats::geometric_mean;
@@ -92,9 +92,9 @@ pub fn run(scale: Scale) -> Table {
         }
         table.row(vec![
             ways.to_string(),
-            fmt_ratio(geometric_mean(&plru_ratios)),
-            fmt_ratio(geometric_mean(&lip_ratios)),
-            fmt_ratio(geometric_mean(&dgippr_ratios)),
+            fmt_geomean(geometric_mean(&plru_ratios)),
+            fmt_geomean(geometric_mean(&lip_ratios)),
+            fmt_geomean(geometric_mean(&dgippr_ratios)),
             sim_core::overhead::plru_bits_per_set(ways).to_string(),
             sim_core::overhead::lru_bits_per_set(ways).to_string(),
         ]);

@@ -46,7 +46,13 @@ pub fn summary(scale: Scale) -> (f64, f64, f64, f64) {
     let worst = values.first().copied().unwrap_or(1.0);
     let best = values.last().copied().unwrap_or(1.0);
     let better = values.iter().filter(|&&v| v > 1.0).count() as f64 / values.len().max(1) as f64;
-    (worst, best, geometric_mean(&values), better)
+    // NaN (formatted as "n/a") when no sample produced a usable speedup.
+    (
+        worst,
+        best,
+        geometric_mean(&values).unwrap_or(f64::NAN),
+        better,
+    )
 }
 
 #[cfg(test)]

@@ -6,7 +6,7 @@
 //! LRU".
 
 use crate::policies;
-use crate::report::{fmt_ratio, Table};
+use crate::report::{fmt_geomean, fmt_ratio, Table};
 use crate::runner::{measure_policy_all, prepare_workloads};
 use crate::scale::Scale;
 use crate::stats::geometric_mean;
@@ -62,9 +62,9 @@ pub fn run(scale: Scale) -> Table {
     }
     table.row(vec![
         "GEOMEAN".into(),
-        fmt_ratio(geometric_mean(&cols[0])),
-        fmt_ratio(geometric_mean(&cols[1])),
-        fmt_ratio(geometric_mean(&cols[2])),
+        fmt_geomean(geometric_mean(&cols[0])),
+        fmt_geomean(geometric_mean(&cols[1])),
+        fmt_geomean(geometric_mean(&cols[2])),
     ]);
     table
 }

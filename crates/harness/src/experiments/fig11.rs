@@ -7,7 +7,7 @@
 
 use crate::experiments::{assign_vectors, VectorMode};
 use crate::policies;
-use crate::report::{fmt_ratio, Table};
+use crate::report::{fmt_geomean, fmt_ratio, Table};
 use crate::runner::{measure_min, measure_policy, measure_policy_all, prepare_workloads};
 use crate::scale::Scale;
 use crate::stats::geometric_mean;
@@ -75,7 +75,7 @@ pub fn run(scale: Scale, mode: VectorMode) -> Table {
     }
     table.row(
         std::iter::once("GEOMEAN".to_string())
-            .chain(cols.iter().map(|c| fmt_ratio(geometric_mean(c))))
+            .chain(cols.iter().map(|c| fmt_geomean(geometric_mean(c))))
             .collect(),
     );
     table

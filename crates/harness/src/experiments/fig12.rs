@@ -11,7 +11,7 @@
 //! scale.
 
 use crate::policies;
-use crate::report::{fmt_ratio, Table};
+use crate::report::{fmt_geomean, fmt_ratio, Table};
 use crate::runner::{measure_policy, prepare_workloads};
 use crate::scale::Scale;
 use crate::stats::geometric_mean;
@@ -132,7 +132,7 @@ pub fn run(scale: Scale) -> Table {
     }
     table.row(
         std::iter::once("GEOMEAN".to_string())
-            .chain(cols.iter().map(|c| fmt_ratio(geometric_mean(c))))
+            .chain(cols.iter().map(|c| fmt_geomean(geometric_mean(c))))
             .collect(),
     );
     table

@@ -96,10 +96,12 @@ pub fn run(scale: Scale, mode: VectorMode) -> Fig13 {
                 c.push(*v);
             }
         }
+        // NaN renders as "n/a" if a filter selects no benchmarks (the old
+        // silent 1.0 looked like a real "no change" geomean).
         (
-            geometric_mean(&cols[0]),
-            geometric_mean(&cols[1]),
-            geometric_mean(&cols[2]),
+            geometric_mean(&cols[0]).unwrap_or(f64::NAN),
+            geometric_mean(&cols[1]).unwrap_or(f64::NAN),
+            geometric_mean(&cols[2]).unwrap_or(f64::NAN),
         )
     };
     let all = geomean_of(&|_| true);

@@ -141,6 +141,16 @@ pub fn fmt_ratio(v: f64) -> String {
     }
 }
 
+/// Formats an optional summary statistic (e.g. the result of
+/// [`geometric_mean`](crate::geometric_mean)): `n/a` when no usable
+/// entries produced one, [`fmt_ratio`] otherwise.
+pub fn fmt_geomean(v: Option<f64>) -> String {
+    match v {
+        Some(v) => fmt_ratio(v),
+        None => "n/a".to_string(),
+    }
+}
+
 /// Formats a percentage delta from 1.0, e.g. `+5.6%` for 1.056.
 pub fn fmt_pct(v: f64) -> String {
     if v.is_nan() {
@@ -218,6 +228,8 @@ mod tests {
 
     #[test]
     fn formatters() {
+        assert_eq!(fmt_geomean(Some(1.2345)), "1.234");
+        assert_eq!(fmt_geomean(None), "n/a");
         assert_eq!(fmt_ratio(1.2345), "1.234");
         assert_eq!(fmt_pct(1.056), "+5.6%");
         assert_eq!(fmt_pct(0.973), "-2.7%");

@@ -1,14 +1,46 @@
 //! Small statistical helpers shared by the experiments.
 
 /// Geometric mean of a slice (the paper's summary statistic for speedups
-/// and normalized MPKI). Returns 1.0 for an empty slice; nonpositive
-/// entries are clamped to a tiny positive value to stay defined.
-pub fn geometric_mean(values: &[f64]) -> f64 {
-    if values.is_empty() {
-        return 1.0;
+/// and normalized MPKI).
+///
+/// Entries that are nonpositive or non-finite have no defined log and are
+/// **skipped with a warning** rather than silently clamped — a single
+/// zero-miss benchmark used to drag the geomean toward `1e-12` and corrupt
+/// figure footers. Returns `None` when no usable entry remains (including
+/// the empty slice), so callers must decide what an absent summary means
+/// instead of inheriting a silent `1.0`.
+///
+/// # Example
+///
+/// ```
+/// use harness::geometric_mean;
+///
+/// assert!((geometric_mean(&[1.0, 4.0]).unwrap() - 2.0).abs() < 1e-12);
+/// assert_eq!(geometric_mean(&[]), None);
+/// // The zero is skipped, not clamped:
+/// assert!((geometric_mean(&[0.0, 4.0]).unwrap() - 4.0).abs() < 1e-12);
+/// ```
+pub fn geometric_mean(values: &[f64]) -> Option<f64> {
+    let mut log_sum = 0.0f64;
+    let mut used = 0usize;
+    for &v in values {
+        if v > 0.0 && v.is_finite() {
+            log_sum += v.ln();
+            used += 1;
+        }
     }
-    let log_sum: f64 = values.iter().map(|&v| v.max(1e-12).ln()).sum();
-    (log_sum / values.len() as f64).exp()
+    let skipped = values.len() - used;
+    if skipped > 0 {
+        eprintln!(
+            "warning: geometric_mean skipped {skipped} nonpositive/non-finite \
+             of {} entries",
+            values.len()
+        );
+    }
+    if used == 0 {
+        return None;
+    }
+    Some((log_sum / used as f64).exp())
 }
 
 /// Weighted arithmetic mean; returns `default` when the weights sum to 0.
@@ -27,15 +59,34 @@ mod tests {
 
     #[test]
     fn geomean_basics() {
-        assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
-        assert_eq!(geometric_mean(&[]), 1.0);
-        assert!((geometric_mean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert!((geometric_mean(&[1.0, 4.0]).unwrap() - 2.0).abs() < 1e-12);
+        assert!((geometric_mean(&[2.0, 2.0, 2.0]).unwrap() - 2.0).abs() < 1e-12);
     }
 
     #[test]
-    fn geomean_handles_nonpositive() {
-        let g = geometric_mean(&[0.0, 1.0]);
-        assert!(g.is_finite() && g >= 0.0);
+    fn geomean_empty_is_none() {
+        assert_eq!(geometric_mean(&[]), None);
+    }
+
+    #[test]
+    fn geomean_skips_nonpositive_instead_of_clamping() {
+        // A zero entry used to be clamped to 1e-12 and crater the mean;
+        // now it is excluded from the summary.
+        let g = geometric_mean(&[0.0, 4.0]).unwrap();
+        assert!((g - 4.0).abs() < 1e-12, "zero skipped, not clamped: {g}");
+        let g = geometric_mean(&[-3.0, 2.0, 8.0]).unwrap();
+        assert!((g - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_skips_non_finite() {
+        let g = geometric_mean(&[f64::NAN, f64::INFINITY, 9.0]).unwrap();
+        assert!((g - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_all_unusable_is_none() {
+        assert_eq!(geometric_mean(&[0.0, -1.0, f64::NAN]), None);
     }
 
     #[test]

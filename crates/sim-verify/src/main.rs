@@ -1,0 +1,120 @@
+//! Differential-oracle runner.
+//!
+//! ```text
+//! cargo run -p sim-verify --release -- --policy all --accesses 1M --seed 1
+//! ```
+//!
+//! Replays every requested policy pair over the three synthetic workloads
+//! and exits nonzero if any access diverges between the optimized simulator
+//! and the naive reference models.
+
+use sim_verify::diff::{diff_replay, oracle_geometry, roster};
+use sim_verify::workloads::workloads;
+use std::process::ExitCode;
+
+struct Args {
+    policy: String,
+    accesses: usize,
+    seed: u64,
+}
+
+fn parse_count(s: &str) -> Result<usize, String> {
+    let (digits, mult) = match s.to_ascii_lowercase() {
+        ref t if t.ends_with('m') => (s[..s.len() - 1].to_string(), 1_000_000),
+        ref t if t.ends_with('k') => (s[..s.len() - 1].to_string(), 1_000),
+        _ => (s.to_string(), 1),
+    };
+    digits
+        .parse::<usize>()
+        .map(|n| n * mult)
+        .map_err(|e| format!("bad count {s:?}: {e}"))
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        policy: "all".to_string(),
+        accesses: 1_000_000,
+        seed: 1,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--policy" => args.policy = value()?,
+            "--accesses" => args.accesses = parse_count(&value()?)?,
+            "--seed" => {
+                args.seed = value()?.parse().map_err(|e| format!("bad seed: {e}"))?;
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: sim-verify [--policy NAME|all] [--accesses N[k|M]] [--seed N]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let pairs = roster(&args.policy);
+    if pairs.is_empty() {
+        eprintln!(
+            "no policy named {:?}; known: {}",
+            args.policy,
+            roster("all")
+                .iter()
+                .map(|p| p.name)
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let geom = oracle_geometry();
+    let streams = workloads(args.seed, args.accesses);
+    println!(
+        "sim-verify: {} policy pair(s) x {} workload(s) x {} accesses (seed {})",
+        pairs.len(),
+        streams.len(),
+        args.accesses,
+        args.seed
+    );
+
+    let mut divergences = 0u32;
+    for pair in &pairs {
+        for (wname, stream) in &streams {
+            match diff_replay(pair, geom, stream) {
+                Ok(stats) => println!(
+                    "  ok   {:<16} {:<14} miss ratio {:.4} ({} evictions, {} writebacks)",
+                    pair.name,
+                    wname,
+                    stats.miss_ratio(),
+                    stats.evictions,
+                    stats.writebacks,
+                ),
+                Err(d) => {
+                    divergences += 1;
+                    println!("  FAIL {:<16} {:<14}", pair.name, wname);
+                    println!("{d}");
+                }
+            }
+        }
+    }
+
+    if divergences > 0 {
+        eprintln!("sim-verify: {divergences} divergence(s) found");
+        ExitCode::FAILURE
+    } else {
+        println!("sim-verify: all models agree");
+        ExitCode::SUCCESS
+    }
+}

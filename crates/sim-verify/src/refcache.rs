@@ -1,0 +1,200 @@
+//! A naive set-associative cache used as the differential reference.
+//!
+//! [`RefCache`] stores tags, validity, and dirtiness as plain struct fields
+//! in a `Vec` — no packed line words, no bit masks, no branchless scans.
+//! Its lookup follows the [`sim_core::ReplacementPolicy`] callback protocol
+//! exactly as documented (hit → `on_hit`; miss → `on_miss`, optional
+//! bypass, invalid-way fill or `victim`/`on_evict`, then `on_fill`), so any
+//! behavioural difference from [`sim_core::SetAssocCache`] is a bug in one
+//! of the two.
+
+use sim_core::{Access, AccessContext, CacheGeometry, CacheStats, ReplacementPolicy};
+
+/// One cache line, unpacked.
+#[derive(Debug, Clone, Copy, Default)]
+struct RefLine {
+    valid: bool,
+    dirty: bool,
+    tag: u64,
+}
+
+/// What a single reference lookup did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RefOutcome {
+    /// The block was resident.
+    pub hit: bool,
+    /// The policy declined to cache the missing block.
+    pub bypassed: bool,
+    /// Block address and dirtiness of the line this fill replaced, if any.
+    pub evicted: Option<(u64, bool)>,
+}
+
+/// The reference cache: per-set `Vec<RefLine>` plus a boxed policy.
+pub struct RefCache {
+    geom: CacheGeometry,
+    sets: Vec<Vec<RefLine>>,
+    policy: Box<dyn ReplacementPolicy>,
+    stats: CacheStats,
+}
+
+impl RefCache {
+    /// Creates a reference cache of `geom` driven by `policy`.
+    pub fn new(geom: CacheGeometry, policy: Box<dyn ReplacementPolicy>) -> Self {
+        RefCache {
+            geom,
+            sets: vec![vec![RefLine::default(); geom.ways()]; geom.sets()],
+            policy,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// The geometry this cache was built with.
+    pub fn geometry(&self) -> &CacheGeometry {
+        &self.geom
+    }
+
+    /// Performs one lookup for `access`.
+    pub fn access(&mut self, access: &Access) -> RefOutcome {
+        self.access_block(self.geom.block_of(access.addr), &access.context())
+    }
+
+    /// Performs one lookup for an already block-aligned address.
+    pub fn access_block(&mut self, block_addr: u64, ctx: &AccessContext) -> RefOutcome {
+        let set = self.geom.set_of_block(block_addr);
+        let tag = self.geom.tag_of_block(block_addr);
+        let ways = self.geom.ways();
+        self.stats.accesses += 1;
+
+        // Hit: the first valid way whose tag matches.
+        let hit_way = (0..ways).find(|&w| {
+            let l = self.sets[set][w];
+            l.valid && l.tag == tag
+        });
+        if let Some(way) = hit_way {
+            if ctx.is_write {
+                self.sets[set][way].dirty = true;
+            }
+            self.stats.hits += 1;
+            self.policy.on_hit(set, way, ctx);
+            return RefOutcome {
+                hit: true,
+                bypassed: false,
+                evicted: None,
+            };
+        }
+
+        // Miss.
+        self.stats.misses += 1;
+        self.policy.on_miss(set, ctx);
+        if self.policy.should_bypass(set, ctx) {
+            return RefOutcome {
+                hit: false,
+                bypassed: true,
+                evicted: None,
+            };
+        }
+
+        // Fill the lowest-numbered invalid way if one exists, otherwise
+        // evict the policy's victim.
+        let (fill_way, evicted) = match (0..ways).find(|&w| !self.sets[set][w].valid) {
+            Some(w) => (w, None),
+            None => {
+                let w = self.policy.victim(set, ctx);
+                assert!(w < ways, "reference victim way {w} out of range");
+                let old = self.sets[set][w];
+                self.stats.evictions += 1;
+                if old.dirty {
+                    self.stats.writebacks += 1;
+                }
+                self.policy.on_evict(set, w);
+                (
+                    w,
+                    Some((self.geom.block_from_parts(set, old.tag), old.dirty)),
+                )
+            }
+        };
+        self.sets[set][fill_way] = RefLine {
+            valid: true,
+            dirty: ctx.is_write,
+            tag,
+        };
+        self.policy.on_fill(set, fill_way, ctx);
+        RefOutcome {
+            hit: false,
+            bypassed: false,
+            evicted,
+        }
+    }
+
+    /// Block addresses of the valid lines in `set`, in way order.
+    pub fn resident_blocks(&self, set: usize) -> Vec<u64> {
+        self.sets[set]
+            .iter()
+            .filter(|l| l.valid)
+            .map(|l| self.geom.block_from_parts(set, l.tag))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::policy::fifo_like_fixture::AlwaysWayZero;
+
+    fn small() -> RefCache {
+        let geom = CacheGeometry::from_sets(4, 4, 64).unwrap();
+        RefCache::new(geom, Box::new(AlwaysWayZero::new(&geom)))
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = small();
+        let ctx = AccessContext::blank();
+        assert!(!c.access_block(8, &ctx).hit);
+        assert!(c.access_block(8, &ctx).hit);
+        assert_eq!(c.stats().accesses, 2);
+        assert_eq!(c.stats().hits, 1);
+    }
+
+    #[test]
+    fn fills_invalid_ways_in_way_order_then_evicts() {
+        let mut c = small();
+        let ctx = AccessContext::blank();
+        for tag in 0..4u64 {
+            assert_eq!(c.access_block(tag * 4, &ctx).evicted, None);
+        }
+        assert_eq!(c.occupancy_of(0), 4);
+        // Way-0 fixture: block with tag 0 is evicted clean.
+        let out = c.access_block(16, &ctx);
+        assert_eq!(out.evicted, Some((0, false)));
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.stats().writebacks, 0);
+    }
+
+    #[test]
+    fn write_marks_dirty_and_forces_writeback() {
+        let mut c = small();
+        let w = AccessContext {
+            is_write: true,
+            ..AccessContext::blank()
+        };
+        c.access_block(0, &w);
+        for tag in 1..4u64 {
+            c.access_block(tag * 4, &AccessContext::blank());
+        }
+        let out = c.access_block(16, &AccessContext::blank());
+        assert_eq!(out.evicted, Some((0, true)));
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    impl RefCache {
+        fn occupancy_of(&self, set: usize) -> usize {
+            self.resident_blocks(set).len()
+        }
+    }
+}

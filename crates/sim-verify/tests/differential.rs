@@ -1,0 +1,53 @@
+//! Full-roster differential run at test-friendly scale.
+//!
+//! CI additionally runs the `sim-verify` binary at 500k accesses per
+//! workload; this test keeps a smaller version of the same sweep inside
+//! `cargo test` so a divergence cannot land unnoticed between CI changes.
+
+use sim_verify::diff::{diff_replay, oracle_geometry, roster};
+use sim_verify::workloads::workloads;
+
+#[test]
+fn full_roster_agrees_on_all_workloads() {
+    let geom = oracle_geometry();
+    let streams = workloads(0xd1ff_5eed, 30_000);
+    let mut failures = Vec::new();
+    for pair in roster("all") {
+        for (wname, stream) in &streams {
+            if let Err(d) = diff_replay(&pair, geom, stream) {
+                failures.push(format!("{wname}: {d}"));
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "differential divergences:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn roster_covers_every_shipped_policy_family() {
+    let names: Vec<&str> = roster("all").iter().map(|p| p.name).collect();
+    for required in [
+        "lru",
+        "fifo",
+        "plru",
+        "srrip",
+        "pdp",
+        "gippr",
+        "giplr",
+        "random",
+        "brrip",
+        "drrip",
+        "dip",
+        "ship",
+        "sdbp",
+        "rrip-ipv",
+        "dgippr2",
+        "dgippr4",
+        "dgippr4-bypass",
+    ] {
+        assert!(names.contains(&required), "roster is missing {required}");
+    }
+}

@@ -114,8 +114,10 @@ fn dgippr_matches_drrip_class_performance_with_less_state() {
         dgippr_speedups.push(measure_policy(w, &dgippr_factory, geom).speedup_over(&w.lru));
         drrip_speedups.push(measure_policy(w, &policies::drrip(), geom).speedup_over(&w.lru));
     }
-    let dg = pseudolru_ipv::harness::geometric_mean(&dgippr_speedups);
-    let dr = pseudolru_ipv::harness::geometric_mean(&drrip_speedups);
+    let dg = pseudolru_ipv::harness::geometric_mean(&dgippr_speedups)
+        .expect("speedups are positive and nonempty");
+    let dr = pseudolru_ipv::harness::geometric_mean(&drrip_speedups)
+        .expect("speedups are positive and nonempty");
     assert!(dg > 1.0, "DGIPPR beats LRU overall: {dg}");
     assert!(dg > dr - 0.05, "DGIPPR within DRRIP's class: {dg} vs {dr}");
 
