@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Criterion benchmark crate. The benchmarks live in `benches/`:
 //!
 //! * `figures` — regenerates every paper figure/table at micro scale.

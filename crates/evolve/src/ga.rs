@@ -24,6 +24,12 @@ pub trait Genome: Clone + Send + Sync + fmt::Display {
     /// Mutates in place: with probability `rate`, one element is replaced
     /// by a random value.
     fn mutate<R: Rng + ?Sized>(&mut self, rate: f64, rng: &mut R);
+    /// Whether the genome is worth simulating at all. The GA gives
+    /// non-viable genomes `f64::NEG_INFINITY` fitness without spending a
+    /// fitness evaluation (millions of simulated accesses) on them.
+    fn is_viable(&self) -> bool {
+        true
+    }
 }
 
 impl Genome for Ipv {
@@ -48,6 +54,13 @@ impl Genome for Ipv {
             self.set_entry(idx, value)
                 .expect("sampled value is in range");
         }
+    }
+
+    /// Degenerate vectors (paper footnote 1: pseudo-MRU unreachable, per
+    /// the `sim-lint` static analyzer) cannot express a useful recency
+    /// ordering, so their fitness is known without simulation.
+    fn is_viable(&self) -> bool {
+        !self.is_degenerate()
     }
 }
 
@@ -131,6 +144,13 @@ impl Genome for VectorSet {
     fn mutate<R: Rng + ?Sized>(&mut self, rate: f64, rng: &mut R) {
         let idx = rng.gen_range(0..self.vectors.len());
         self.vectors[idx].mutate(rate, rng);
+    }
+
+    /// A dueling set is viable only if every member is: set-dueling
+    /// dedicates real cache sets to each vector, so one degenerate member
+    /// poisons the whole configuration.
+    fn is_viable(&self) -> bool {
+        self.vectors.iter().all(Genome::is_viable)
     }
 }
 
@@ -286,7 +306,17 @@ impl Ga {
         let mut history = Vec::with_capacity(cfg.generations);
         let mut scored: Vec<(G, f64)> = Vec::new();
         for _gen in 0..cfg.generations.max(1) {
-            let fitness = ctx.fitness_many(&population, &eval);
+            // Static viability pruning: degenerate genomes are sunk to
+            // -inf without reaching `eval`, saving a full trace replay per
+            // pruned candidate. They still participate in selection (and
+            // lose every tournament to any finite-fitness rival).
+            let fitness = ctx.fitness_many(&population, |c: &FitnessContext, g: &G| {
+                if g.is_viable() {
+                    eval(c, g)
+                } else {
+                    f64::NEG_INFINITY
+                }
+            });
             scored = population.iter().cloned().zip(fitness).collect();
             // Descending by fitness; NaN-safe (NaN sinks to the bottom).
             scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
@@ -343,6 +373,59 @@ mod tests {
                 threads: 2,
             },
         )
+    }
+
+    /// The GA must prune statically degenerate genomes *before* fitness
+    /// evaluation: a seeded degenerate candidate never reaches the eval
+    /// closure, gets `-inf`, and cannot win.
+    #[test]
+    fn degenerate_seeds_are_pruned_before_fitness_evaluation() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        // Identity promotions with insertion at the victim position: no
+        // event ever moves any block, so pseudo-MRU is unreachable — the
+        // paper's footnote-1 degeneracy, caught by the sim-lint analyzer.
+        let mut raw: Vec<u8> = (0u8..16).collect();
+        raw.push(15);
+        let degenerate = Ipv::from_slice(&raw).unwrap();
+        assert!(degenerate.is_degenerate());
+        assert!(!degenerate.is_viable());
+
+        let evaluations = AtomicUsize::new(0);
+        let degenerate_evaluations = AtomicUsize::new(0);
+        let cfg = GaConfig {
+            initial_population: 16,
+            population: 8,
+            generations: 3,
+            mutation_rate: 0.05,
+            elitism: 2,
+            tournament: 2,
+            seed: 7,
+        };
+        let result = Ga::new(cfg).run_seeded(
+            &ctx(),
+            vec![degenerate, Ipv::lru(16)],
+            |_c, g: &Ipv| {
+                evaluations.fetch_add(1, Ordering::Relaxed);
+                if g.is_degenerate() {
+                    degenerate_evaluations.fetch_add(1, Ordering::Relaxed);
+                }
+                // Synthetic fitness (no simulation): prefer MRU insertion.
+                -(g.insertion() as f64)
+            },
+            Ipv::sample,
+        );
+
+        assert_eq!(
+            degenerate_evaluations.load(Ordering::Relaxed),
+            0,
+            "degenerate genomes must be sunk without a fitness evaluation"
+        );
+        assert!(
+            evaluations.load(Ordering::Relaxed) > 0,
+            "viable genomes still get evaluated"
+        );
+        assert!(!result.best.is_degenerate(), "a pruned genome cannot win");
     }
 
     #[test]

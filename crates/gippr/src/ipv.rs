@@ -237,50 +237,18 @@ impl Ipv {
     /// the insertion's shifts — contains no path from the insertion position
     /// to MRU (position 0), so no block could ever reach pseudo-MRU under
     /// true-LRU shifting semantics.
+    ///
+    /// Delegates to the `sim-lint` fixed-point analyzer, whose reachable
+    /// set is property-tested against brute-force transition replay.
     pub fn is_degenerate(&self) -> bool {
-        let k = self.assoc;
-        // adjacency[i] = positions reachable from i in one event.
-        let mut adj = vec![Vec::new(); k];
-        let add = |adj: &mut Vec<Vec<usize>>, from: usize, to: usize| {
-            if from != to && !adj[from].contains(&to) {
-                adj[from].push(to);
-            }
-        };
-        for i in 0..k {
-            let v = self.promotion(i);
-            add(&mut adj, i, v);
-            // Shifts caused by the move i -> v.
-            if v < i {
-                for j in v..i {
-                    add(&mut adj, j, j + 1);
-                }
-            } else {
-                for j in (i + 1)..=v {
-                    add(&mut adj, j, j - 1);
-                }
-            }
-        }
-        // Insertion at V[k]: occupants of V[k]..k-2 shift down by one.
-        let ins = self.insertion();
-        for j in ins..k.saturating_sub(1) {
-            add(&mut adj, j, j + 1);
-        }
-        // BFS from the insertion position.
-        let mut seen = vec![false; k];
-        let mut queue = vec![ins];
-        seen[ins] = true;
-        while let Some(p) = queue.pop() {
-            if p == 0 {
-                return false;
-            }
-            for &n in &adj[p] {
-                if !seen[n] {
-                    seen[n] = true;
-                    queue.push(n);
-                }
-            }
-        }
-        true
+        self.analysis().is_degenerate()
+    }
+
+    /// Full static analysis of this vector: reachable/dead/protected
+    /// positions, advisory lints, and behavioural class.
+    pub fn analysis(&self) -> sim_lint::IpvAnalysis {
+        sim_lint::analyze(&self.entries)
+            .expect("Ipv construction enforces the analyzer's well-formedness rules")
     }
 }
 

@@ -65,6 +65,25 @@ impl PlruTree {
         self.bits
     }
 
+    /// Reconstructs a tree from raw plru bits (the inverse of
+    /// [`raw_bits`](Self::raw_bits)), letting the `sim-lint` model checker
+    /// enumerate the complete state space of *this* implementation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unsupported `ways` (see [`PlruTree::new`]) or if `bits`
+    /// sets a bit beyond the tree's `ways - 1` nodes.
+    pub fn from_raw_bits(ways: usize, bits: u64) -> Self {
+        let mut t = PlruTree::new(ways);
+        assert!(
+            bits >> t.bit_count() == 0,
+            "bits {bits:#x} exceed the {} plru bits of a {ways}-way tree",
+            t.bit_count()
+        );
+        t.bits = bits;
+        t
+    }
+
     /// Number of plru bits stored (`ways - 1`).
     pub fn bit_count(&self) -> u64 {
         self.ways as u64 - 1
@@ -200,6 +219,36 @@ impl fmt::Debug for PlruTree {
             "PlruTree {{ ways: {}, bits: {:#b} }}",
             self.ways, self.bits
         )
+    }
+}
+
+/// Exposes the production tree to the `sim-lint` exhaustive model checker,
+/// so the invariants it proves (victim totality, position↔tree bijection,
+/// promotion convergence) hold for *this* bit-packed implementation rather
+/// than a model of it.
+impl sim_lint::PlruState for PlruTree {
+    fn from_bits(ways: usize, bits: u64) -> Self {
+        PlruTree::from_raw_bits(ways, bits)
+    }
+
+    fn bits(&self) -> u64 {
+        self.raw_bits()
+    }
+
+    fn ways(&self) -> usize {
+        self.ways
+    }
+
+    fn victim(&self) -> usize {
+        PlruTree::victim(self)
+    }
+
+    fn position(&self, way: usize) -> usize {
+        PlruTree::position(self, way)
+    }
+
+    fn set_position(&mut self, way: usize, position: usize) {
+        PlruTree::set_position(self, way, position)
     }
 }
 

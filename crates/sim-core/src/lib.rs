@@ -1,3 +1,5 @@
+#![deny(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 //! Core cache-simulation substrate for the PseudoLRU insertion/promotion

@@ -1,0 +1,114 @@
+//! Exhaustive valid-mask fill test.
+//!
+//! `SetAssocCache` promises invalid-line-first filling: as long as a set
+//! has an invalid way, a miss fills the *lowest-indexed* invalid way and
+//! never consults the policy's victim. The `sim-lint` model checker proves
+//! the matching invariant on the policy side (the BFS only ever sees
+//! prefix valid-masks); this test proves the cache side by constructing
+//! *every* one of the `2^ways` valid masks — including the non-prefix ones
+//! `invalidate` can punch — and checking where the next miss lands.
+
+#![forbid(unsafe_code)]
+
+use sim_core::policy::ReplacementPolicy;
+use sim_core::{AccessContext, CacheGeometry, SetAssocCache};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Records every fill way and victimizes a fixed way, so the test can see
+/// exactly which way the cache chose and whether the policy was consulted.
+struct RecordingPolicy {
+    fills: Arc<AtomicUsize>,
+    victims: Arc<AtomicUsize>,
+    victim_way: usize,
+    ways: usize,
+}
+
+impl ReplacementPolicy for RecordingPolicy {
+    fn name(&self) -> &str {
+        "recording-fixture"
+    }
+
+    fn victim(&mut self, _set: usize, _ctx: &AccessContext) -> usize {
+        self.victims.fetch_add(1, Ordering::Relaxed);
+        self.victim_way
+    }
+
+    fn on_hit(&mut self, _set: usize, _way: usize, _ctx: &AccessContext) {}
+
+    fn on_fill(&mut self, _set: usize, way: usize, _ctx: &AccessContext) {
+        self.fills.store(way, Ordering::Relaxed);
+    }
+
+    fn bits_per_set(&self) -> u64 {
+        self.ways as u64
+    }
+}
+
+fn one_set_cache(ways: usize, fills: Arc<AtomicUsize>, victims: Arc<AtomicUsize>) -> SetAssocCache {
+    let line = 64u64;
+    let geom = CacheGeometry::new(ways as u64 * line, ways, line).unwrap();
+    assert_eq!(geom.sets(), 1, "test wants a single set");
+    SetAssocCache::new(
+        geom,
+        Box::new(RecordingPolicy {
+            fills,
+            victims,
+            victim_way: ways - 1,
+            ways,
+        }),
+    )
+}
+
+#[test]
+fn every_valid_mask_fills_the_lowest_invalid_way() {
+    for ways in [2usize, 4, 8, 16] {
+        for mask in 0..(1u64 << ways) {
+            let fills = Arc::new(AtomicUsize::new(usize::MAX));
+            let victims = Arc::new(AtomicUsize::new(0));
+            let mut cache = one_set_cache(ways, Arc::clone(&fills), Arc::clone(&victims));
+            let ctx = AccessContext::blank();
+
+            // Sequential cold fills land block `b` in way `b` (each fill
+            // takes the lowest invalid way of a prefix-filled set)...
+            for b in 0..ways as u64 {
+                cache.access_block(b, &ctx);
+                assert_eq!(fills.load(Ordering::Relaxed), b as usize);
+            }
+            // ...so invalidating block `w` punches a hole at exactly way
+            // `w`, reaching the arbitrary (non-prefix) target mask.
+            for w in 0..ways as u64 {
+                if mask >> w & 1 == 0 {
+                    assert_eq!(cache.invalidate(w), Some(false));
+                }
+            }
+            assert_eq!(cache.occupancy(0), mask.count_ones() as usize);
+
+            let victims_before = victims.load(Ordering::Relaxed);
+            cache.access_block(ways as u64, &ctx); // fresh tag: a miss
+            let filled = fills.load(Ordering::Relaxed);
+
+            if mask == (1u64 << ways) - 1 {
+                // Full set: the policy's victim (fixed: the last way) is
+                // the only legal fill target.
+                assert_eq!(filled, ways - 1, "full set must fill the victim way");
+                assert_eq!(
+                    victims.load(Ordering::Relaxed),
+                    victims_before + 1,
+                    "full set must consult the policy"
+                );
+            } else {
+                assert_eq!(
+                    filled,
+                    (!mask).trailing_zeros() as usize,
+                    "mask {mask:#b} at {ways} ways must fill the lowest invalid way"
+                );
+                assert_eq!(
+                    victims.load(Ordering::Relaxed),
+                    victims_before,
+                    "a set with invalid ways must never consult the policy"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,44 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! Static analysis and exhaustive model checking for the PseudoLRU
+//! insertion/promotion stack.
+//!
+//! The repo's other defence layers are *dynamic*: unit tests sample a few
+//! states, and the `sim-verify` differential oracle replays traces through
+//! independent implementations. Both can only witness behaviour a workload
+//! happens to exercise. This crate adds the *static* layer: properties of
+//! an insertion/promotion vector that are decidable from the vector alone,
+//! and invariants of the PLRU state machine proved by exhausting its state
+//! space rather than sampling it.
+//!
+//! * [`ipv`] — the IPV static analyzer: well-formedness lints, the
+//!   reachable-position set computed by fixed-point iteration, dead and
+//!   protected positions, and a behavioural classification
+//!   ([`IpvClass`]). Used by `gippr` to validate every published paper
+//!   vector at construction and by `evolve` to prune degenerate genomes
+//!   before spending a fitness evaluation on them.
+//! * [`mck`] — the exhaustive model checker: sweeps the complete PLRU
+//!   tree-state space and BFS-explores the reachable (tree × valid-mask)
+//!   product under real policy dynamics, proving victim-selection
+//!   totality, the position↔tree bijection round-trip, valid-mask prefix
+//!   closure, and promotion convergence — emitting a minimal
+//!   counterexample event sequence on failure. Generic over
+//!   [`PlruState`], so the *production* `gippr::PlruTree` is what gets
+//!   checked, not a model of it.
+//! * [`mirror`] — [`MirrorTree`](mirror::MirrorTree), an independently
+//!   coded naive tree substrate used to self-test the checker and to
+//!   cross-check bit-packed implementations.
+//!
+//! The `xtask lint` / `xtask model-check` binaries drive both layers as a
+//! CI gate.
+
+pub mod ipv;
+pub mod mck;
+pub mod mirror;
+
+pub use ipv::{analyze, IpvAnalysis, IpvClass, IpvLint, IpvLintError};
+pub use mck::{
+    cross_check, CheckReport, Counterexample, Event, ModelChecker, PlruState, PromotionRule,
+};
+pub use mirror::MirrorTree;

@@ -1,0 +1,168 @@
+//! Property tests pitting the analyzer's fixed-point reachability against
+//! a brute-force enumeration that replays every single-step transition on
+//! an explicit recency permutation.
+//!
+//! The analyzer reasons with interval arithmetic over shift edges; the
+//! brute force here knows nothing of intervals — it builds a `Vec` of
+//! occupants and lets `Vec::remove`/`Vec::insert` do the shifting, which
+//! is the paper's Section 2.3 semantics by construction. Agreement over
+//! random vectors at every associativity 4–16 is the satellite-task
+//! guarantee that the fixed point computes the right set.
+
+use proptest::prelude::*;
+use sim_lint::{analyze, IpvClass};
+
+/// The tracked block's new position after the block at `from` moves to
+/// `to` in a `k`-deep stack, shifting the blocks between them.
+fn after_move(k: usize, tracked: usize, from: usize, to: usize) -> usize {
+    let mut order: Vec<usize> = (0..k).collect();
+    let moved = order.remove(from);
+    order.insert(to, moved);
+    order
+        .iter()
+        .position(|&id| id == tracked)
+        .expect("tracked block never leaves on a move")
+}
+
+/// The tracked block's new position after a miss inserts a fresh block at
+/// `ins` (evicting the occupant of `k - 1`), or `None` if the tracked
+/// block was the victim.
+fn after_insert(k: usize, tracked: usize, ins: usize) -> Option<usize> {
+    let mut order: Vec<usize> = (0..k).collect();
+    let victim = order.pop().expect("k >= 2");
+    if victim == tracked {
+        return None;
+    }
+    order.insert(ins, usize::MAX);
+    Some(
+        order
+            .iter()
+            .position(|&id| id == tracked)
+            .expect("survivor still resident"),
+    )
+}
+
+/// All one-step successors of tracked position `p` under vector `v`.
+fn brute_successors(v: &[u8], p: usize) -> Vec<usize> {
+    let k = v.len() - 1;
+    let mut out = Vec::new();
+    // Self-hit: the tracked block moves to V[p].
+    out.push(after_move(k, p, p, usize::from(v[p])));
+    // Foreign hit: the block at q != p moves to V[q], dragging p along.
+    for (q, &target) in v.iter().enumerate().take(k) {
+        if q != p {
+            out.push(after_move(k, p, q, usize::from(target)));
+        }
+    }
+    // Miss: insertion at V[k].
+    if let Some(np) = after_insert(k, p, usize::from(v[k])) {
+        out.push(np);
+    }
+    out
+}
+
+/// Closure of `{V[k]}` under [`brute_successors`].
+fn brute_reachable(v: &[u8]) -> Vec<usize> {
+    let k = v.len() - 1;
+    let mut seen = vec![false; k];
+    let mut queue = vec![usize::from(v[k])];
+    seen[usize::from(v[k])] = true;
+    while let Some(p) = queue.pop() {
+        for np in brute_successors(v, p) {
+            if !seen[np] {
+                seen[np] = true;
+                queue.push(np);
+            }
+        }
+    }
+    (0..k).filter(|&p| seen[p]).collect()
+}
+
+/// Builds a well-formed random vector for `assoc` ways from raw entropy
+/// bytes: entry `i` is `raw[i] % assoc`, always in range.
+fn build_vector(assoc: usize, raw: &[u8]) -> Vec<u8> {
+    (0..=assoc).map(|i| raw[i] % assoc as u8).collect()
+}
+
+/// Strategy for `(assoc, raw)` pairs covering associativities 4–16; the
+/// vendored proptest has no `prop_flat_map`, so the dependent vector is
+/// derived inside each test via [`build_vector`].
+fn vector_inputs() -> impl Strategy<Value = (usize, Vec<u8>)> {
+    (4usize..17, proptest::collection::vec(0u8..255, 17))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The fixed-point reachable set equals brute-force enumeration.
+    #[test]
+    fn reachable_set_matches_brute_force(inputs in vector_inputs()) {
+        let v = build_vector(inputs.0, &inputs.1);
+        let analysis = analyze(&v).expect("generated vectors are well-formed");
+        prop_assert_eq!(
+            analysis.reachable_positions(),
+            brute_reachable(&v),
+            "vector {:?}", v
+        );
+    }
+
+    /// Degeneracy is exactly "brute force cannot reach pseudo-MRU".
+    #[test]
+    fn degeneracy_matches_brute_force(inputs in vector_inputs()) {
+        let v = build_vector(inputs.0, &inputs.1);
+        let analysis = analyze(&v).expect("well-formed");
+        prop_assert_eq!(
+            analysis.is_degenerate(),
+            !brute_reachable(&v).contains(&0),
+            "vector {:?}", v
+        );
+    }
+
+    /// No foreign event ever pushes a block out of a protected position
+    /// toward the victim, per the brute-force move simulation.
+    #[test]
+    fn protected_positions_resist_foreign_demotion(inputs in vector_inputs()) {
+        let v = build_vector(inputs.0, &inputs.1);
+        let k = v.len() - 1;
+        let analysis = analyze(&v).expect("well-formed");
+        for p in analysis.protected_positions() {
+            // Foreign hits.
+            for q in 0..k {
+                if q != p {
+                    let np = after_move(k, p, q, usize::from(v[q]));
+                    prop_assert!(
+                        np <= p,
+                        "hit at {q} demoted protected {p} to {np} under {:?}", v
+                    );
+                }
+            }
+            // Insertions.
+            let np = after_insert(k, p, usize::from(v[k]))
+                .expect("protected positions are never the victim");
+            prop_assert!(np <= p, "insertion demoted protected {p} to {np} under {:?}", v);
+        }
+    }
+
+    /// Degenerate classification always coincides with the degeneracy bit,
+    /// and non-degenerate vectors get a non-degenerate class.
+    #[test]
+    fn classification_is_consistent(inputs in vector_inputs()) {
+        let v = build_vector(inputs.0, &inputs.1);
+        let analysis = analyze(&v).expect("well-formed");
+        prop_assert_eq!(
+            analysis.class() == IpvClass::Degenerate,
+            analysis.is_degenerate()
+        );
+    }
+}
+
+#[test]
+fn brute_force_agrees_on_known_shapes() {
+    // LRU at 8 ways: everything reachable.
+    let lru = vec![0u8; 9];
+    assert_eq!(brute_reachable(&lru), (0..8).collect::<Vec<_>>());
+    // Identity promotions with LRU insertion: only the victim position.
+    let mut dead: Vec<u8> = (0..8).collect();
+    dead.push(7);
+    assert_eq!(brute_reachable(&dead), vec![7]);
+}

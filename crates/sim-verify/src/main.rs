@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Differential-oracle runner.
 //!
 //! ```text

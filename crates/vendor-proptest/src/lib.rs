@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Offline vendored stand-in for the `proptest` crate.
 //!
 //! The build container has no network access to crates.io, so this crate

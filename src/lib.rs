@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! Facade crate for the reproduction of *Insertion and Promotion for
