@@ -1,6 +1,6 @@
 //! First-in-first-out replacement.
 
-use sim_core::{AccessContext, CacheGeometry, ReplacementPolicy};
+use sim_core::{AccessContext, CacheGeometry, ReplacementPolicy, ShardAffinity};
 
 /// FIFO: evict the block that was *filled* longest ago, ignoring hits.
 ///
@@ -46,6 +46,11 @@ impl ReplacementPolicy for FifoPolicy {
 
     fn bits_per_set(&self) -> u64 {
         u64::from(self.ways.trailing_zeros())
+    }
+
+    // All state is the per-set `next` pointer.
+    fn shard_affinity(&self) -> ShardAffinity {
+        ShardAffinity::SetLocal
     }
 }
 

@@ -1,6 +1,6 @@
 //! True least-recently-used replacement via timestamps.
 
-use sim_core::{AccessContext, CacheGeometry, ReplacementPolicy};
+use sim_core::{AccessContext, CacheGeometry, ReplacementPolicy, ShardAffinity};
 
 /// Textbook LRU: evict the block whose last use is oldest.
 ///
@@ -85,6 +85,14 @@ impl ReplacementPolicy for TrueLru {
 
     fn bits_per_set(&self) -> u64 {
         sim_core::overhead::lru_bits_per_set(self.ways)
+    }
+
+    // The timestamp clock is global, but victim selection is an argmin of
+    // `last_use` *within one set*: only the relative order of a set's own
+    // timestamps matters, and stable bucketing preserves per-set access
+    // order, so the argmin is identical under sharded replay.
+    fn shard_affinity(&self) -> ShardAffinity {
+        ShardAffinity::SetLocal
     }
 }
 

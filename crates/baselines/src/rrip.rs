@@ -10,7 +10,7 @@
 //! cache replacement schemes", and which GIPPR halves again.
 
 use sim_core::dueling::{DuelController, DuelingError};
-use sim_core::{AccessContext, CacheGeometry, ReplacementPolicy};
+use sim_core::{AccessContext, CacheGeometry, ReplacementPolicy, ShardAffinity};
 
 /// RRPV width used throughout (the RRIP paper's recommended 2 bits).
 pub const RRPV_BITS: u32 = 2;
@@ -108,6 +108,12 @@ impl ReplacementPolicy for SrripPolicy {
 
     fn bits_per_set(&self) -> u64 {
         self.table.bits_per_set()
+    }
+
+    // Pure per-set RRPV state. (BRRIP/DRRIP stay `Global`: the bimodal
+    // `tick` and the PSEL duel observe the whole-stream miss sequence.)
+    fn shard_affinity(&self) -> ShardAffinity {
+        ShardAffinity::SetLocal
     }
 }
 

@@ -9,7 +9,7 @@
 //! `max−1`. SRRIP is the special case `V = [0, 0, 0, 0, 2]`; BRRIP's
 //! bimodal insertion has no IPV equivalent (IPVs are deterministic).
 
-use sim_core::{AccessContext, CacheGeometry, ReplacementPolicy};
+use sim_core::{AccessContext, CacheGeometry, ReplacementPolicy, ShardAffinity};
 use std::error::Error;
 use std::fmt;
 
@@ -140,6 +140,11 @@ impl ReplacementPolicy for RripIpvPolicy {
 
     fn bits_per_set(&self) -> u64 {
         sim_core::overhead::rrip_bits_per_set(self.ways, RRPV_BITS)
+    }
+
+    // The vector is read-only configuration; mutable state is per-set RRPVs.
+    fn shard_affinity(&self) -> ShardAffinity {
+        ShardAffinity::SetLocal
     }
 }
 

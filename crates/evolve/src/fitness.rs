@@ -10,8 +10,10 @@
 use baselines::TrueLru;
 use gippr::{DgipprPolicy, GiplrPolicy, GipprPolicy, Ipv};
 use mem_model::cpi::LinearCpiModel;
-use mem_model::{capture_llc_stream, replay_llc_mono, HierarchyConfig, WindowPerfModel};
-use sim_core::{Access, CacheGeometry, ReplacementPolicy};
+use mem_model::{
+    capture_llc_stream, replay_llc_mono, replay_llc_sharded, HierarchyConfig, WindowPerfModel,
+};
+use sim_core::{Access, CacheGeometry, ReplacementPolicy, ShardAffinity, ShardedStream};
 use std::sync::Arc;
 use traces::spec2006::Spec2006;
 use traces::WorkloadSpec;
@@ -57,6 +59,10 @@ pub struct WorkloadStream {
     pub name: String,
     /// The captured LLC access stream (shared, replayed by every candidate).
     pub stream: Arc<Vec<Access>>,
+    /// The same stream pre-routed by set index, built once at context
+    /// construction; set-local candidates replay it shard by shard every
+    /// generation without re-deriving set/tag per access.
+    pub sharded: Arc<ShardedStream>,
     /// Accesses used to warm the cache before measuring.
     pub warmup: usize,
     /// Instructions represented by the measured portion.
@@ -101,9 +107,16 @@ impl FitnessContext {
                     warmup,
                     &perf,
                 );
+                let sharded = ShardedStream::for_parallelism(
+                    &stream,
+                    &config.llc,
+                    warmup,
+                    sim_core::pool::global().cap(),
+                );
                 WorkloadStream {
                     name: scaled.name.clone(),
                     stream: Arc::new(stream),
+                    sharded: Arc::new(sharded),
                     warmup,
                     instructions: lru.instructions.max(1),
                     lru_misses: lru.stats.misses,
@@ -158,6 +171,19 @@ impl FitnessContext {
         self.threads
     }
 
+    /// Re-routes every captured stream into exactly `shards` shards
+    /// (power of two, at most the geometry's set count). The default
+    /// routing follows the worker pool's budget; tests and benchmarks use
+    /// this to pin a specific routing regardless of host parallelism.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        for ws in &mut self.streams {
+            ws.sharded = Arc::new(ShardedStream::build(
+                &ws.stream, &self.geom, ws.warmup, shards,
+            ));
+        }
+        self
+    }
+
     /// Returns a context restricted to streams whose names pass `keep`
     /// (the WN1 holdout mechanism).
     pub fn filtered<F: Fn(&str) -> bool>(&self, keep: F) -> FitnessContext {
@@ -180,10 +206,22 @@ impl FitnessContext {
     /// paying double virtual dispatch through `Box<dyn>`.
     fn speedup_with<P: ReplacementPolicy, F: Fn() -> P>(&self, make: F) -> f64 {
         let perf = WindowPerfModel::default();
+        // One probe instance picks the replay path: set-local policies
+        // (GIPPR/GIPLR substrates) reuse the routing pre-pass captured at
+        // context construction; policies with cache-global state (the
+        // DGIPPR duel's PSEL) keep the sequential whole-stream replay, as
+        // does a degenerate single-shard routing (single-core hosts),
+        // where the pre-routed path is the sequential replay with merge
+        // overhead on top. All paths produce bit-identical results.
+        let set_local = make().shard_affinity() == ShardAffinity::SetLocal;
         let mut total_weight = 0.0;
         let mut total = 0.0;
         for ws in &self.streams {
-            let run = replay_llc_mono(&ws.stream, self.geom, make(), ws.warmup, &perf);
+            let run = if set_local && ws.sharded.shards() > 1 {
+                replay_llc_sharded(&ws.sharded, &make, &perf)
+            } else {
+                replay_llc_mono(&ws.stream, self.geom, make(), ws.warmup, &perf)
+            };
             let speedup = self
                 .model
                 .speedup(ws.instructions, ws.lru_misses, run.stats.misses);
@@ -336,6 +374,40 @@ mod tests {
             .map(|g| ctx.fitness_single(g, Substrate::Plru))
             .collect();
         assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn sharded_fitness_matches_sequential_replay() {
+        // fitness_single routes GIPPR/GIPLR through the pre-routed sharded
+        // path; recomputing the same mean with sequential whole-stream
+        // replays must agree to the bit. Pin a multi-shard routing so the
+        // sharded path is exercised even on single-core hosts (where the
+        // default routing degenerates to one shard and the mono path).
+        let ctx = tiny_ctx().with_shards(4);
+        let ipv = Ipv::lru_insertion(16);
+        for substrate in [Substrate::Plru, Substrate::Lru] {
+            let sharded = ctx.fitness_single(&ipv, substrate);
+            let perf = WindowPerfModel::default();
+            let mut total = 0.0;
+            let mut total_weight = 0.0;
+            for ws in ctx.streams() {
+                let misses = match substrate {
+                    Substrate::Plru => {
+                        let p = GipprPolicy::new(&ctx.geometry(), ipv.clone()).unwrap();
+                        replay_llc_mono(&ws.stream, ctx.geometry(), p, ws.warmup, &perf)
+                    }
+                    Substrate::Lru => {
+                        let p = GiplrPolicy::new(&ctx.geometry(), ipv.clone()).unwrap();
+                        replay_llc_mono(&ws.stream, ctx.geometry(), p, ws.warmup, &perf)
+                    }
+                }
+                .stats
+                .misses;
+                total += ctx.model.speedup(ws.instructions, ws.lru_misses, misses) * ws.weight;
+                total_weight += ws.weight;
+            }
+            assert_eq!(sharded, total / total_weight, "{substrate:?}");
+        }
     }
 
     #[test]

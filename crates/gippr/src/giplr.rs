@@ -8,7 +8,7 @@
 
 use crate::ipv::{Ipv, IpvError};
 use crate::stack::RecencyStack;
-use sim_core::{AccessContext, CacheGeometry, ReplacementPolicy};
+use sim_core::{AccessContext, CacheGeometry, ReplacementPolicy, ShardAffinity};
 
 /// True-LRU recency stacks driven by an insertion/promotion vector.
 ///
@@ -103,6 +103,11 @@ impl ReplacementPolicy for GiplrPolicy {
 
     fn bits_per_set(&self) -> u64 {
         sim_core::overhead::lru_bits_per_set(self.stacks[0].ways())
+    }
+
+    // The IPV is read-only; mutable state is one recency stack per set.
+    fn shard_affinity(&self) -> ShardAffinity {
+        ShardAffinity::SetLocal
     }
 }
 

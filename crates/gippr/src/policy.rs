@@ -2,7 +2,7 @@
 
 use crate::ipv::{Ipv, IpvError};
 use crate::plru::PlruTree;
-use sim_core::{AccessContext, CacheGeometry, ReplacementPolicy};
+use sim_core::{AccessContext, CacheGeometry, ReplacementPolicy, ShardAffinity};
 
 /// Plain tree PseudoLRU (Handy, 1993): promote to PMRU on hit and fill,
 /// evict the PLRU block. `k - 1` bits per set.
@@ -66,6 +66,11 @@ impl ReplacementPolicy for PlruPolicy {
 
     fn bits_per_set(&self) -> u64 {
         self.trees[0].bit_count()
+    }
+
+    // One PLRU tree per set, nothing else.
+    fn shard_affinity(&self) -> ShardAffinity {
+        ShardAffinity::SetLocal
     }
 }
 
@@ -161,6 +166,11 @@ impl ReplacementPolicy for GipprPolicy {
 
     fn bits_per_set(&self) -> u64 {
         self.trees[0].bit_count()
+    }
+
+    // The IPV is read-only; mutable state is one PLRU tree per set.
+    fn shard_affinity(&self) -> ShardAffinity {
+        ShardAffinity::SetLocal
     }
 }
 

@@ -1,9 +1,11 @@
 //! Measures replay-engine throughput — the monomorphized engine against
-//! the frozen seed (v0) dyn-dispatch engine — and emits `BENCH_replay.json`.
+//! the frozen seed (v0) dyn-dispatch engine, plus the sharded single-pass
+//! batch engine — and emits `BENCH_replay.json`.
 //!
 //! Usage: `bench-replay [--scale micro|quick|medium|paper] [--json PATH]`
+//!        `bench-replay --smoke`
 //!
-//! For each policy the same captured LLC stream is replayed through three
+//! For each policy the same captured LLC stream is replayed through four
 //! engines:
 //!
 //! * `seed` — [`harness::seed_replay::replay_llc_seed`], a verbatim copy
@@ -14,17 +16,30 @@
 //!   `Box<dyn ReplacementPolicy>` (the `PolicyFactory` compatibility path).
 //! * `mono` — [`mem_model::replay_llc_mono`] at the concrete policy type
 //!   (the GA fitness fast path; no virtual dispatch).
+//! * `sharded` — [`mem_model::replay_many_sharded`], the set-sharded
+//!   batch engine replaying (policy × shard) units on the worker pool.
+//!   Set-local policies fan out across shards; global-state policies
+//!   (DRRIP, DGIPPR) take the documented sequential fallback, so their
+//!   sharded rate tracks the dyn engine.
+//!
+//! The roster is also replayed as one [`mem_model::replay_many`] batch —
+//! routing pre-pass included in the timed region — reported as the
+//! aggregate `batched_accesses_per_sec`.
 //!
 //! Reported rates are accesses per second over the best of several timed
-//! repetitions.
+//! repetitions. `--smoke` skips capture and timing sweeps: it replays a
+//! tiny synthetic stream, asserts the batch engine matches the sequential
+//! engine stat-for-stat across the roster, and applies a generous
+//! throughput floor — a CI-speed guard that the fast path stays both
+//! correct and fast-ish.
 
 use baselines::{DrripPolicy, TrueLru};
 use gippr::{DgipprPolicy, GipprPolicy, PlruPolicy};
 use harness::seed_replay::replay_llc_seed;
 use harness::{policies, Scale};
 use mem_model::cpi::WindowPerfModel;
-use mem_model::{replay_llc, replay_llc_mono, LlcRunResult};
-use sim_core::{Access, CacheGeometry, PolicyFactory, ReplacementPolicy};
+use mem_model::{replay_llc, replay_llc_mono, replay_many, replay_many_sharded, LlcRunResult};
+use sim_core::{Access, CacheGeometry, PolicyFactory, ReplacementPolicy, ShardedStream};
 use std::io::Write;
 use std::time::Instant;
 use traces::spec2006::Spec2006;
@@ -45,6 +60,7 @@ struct Row {
     seed_rate: f64,
     dyn_rate: f64,
     mono_rate: f64,
+    sharded_rate: f64,
 }
 
 impl Row {
@@ -52,11 +68,22 @@ impl Row {
     fn speedup(&self) -> f64 {
         self.mono_rate / self.seed_rate
     }
+
+    /// The sharded batch engine over the mono engine (this PR's number).
+    fn sharded_speedup(&self) -> f64 {
+        self.sharded_rate / self.mono_rate
+    }
+}
+
+fn geomean(values: impl Iterator<Item = f64>) -> f64 {
+    let (sum, n) = values.fold((0.0, 0usize), |(s, n), v| (s + v.ln(), n + 1));
+    (sum / n.max(1) as f64).exp()
 }
 
 fn measure<P, M>(
     name: &'static str,
     stream: &[Access],
+    sharded: &ShardedStream,
     geom: CacheGeometry,
     warmup: usize,
     factory: &PolicyFactory,
@@ -72,8 +99,8 @@ where
     // available. The mono policy is boxed-in-value only: its concrete
     // type (and thus inlining) is unaffected.
     let perf = WindowPerfModel::default();
-    let (mut seed_best, mut dyn_best, mut mono_best) =
-        (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+    let (mut seed_best, mut dyn_best, mut mono_best, mut sharded_best) =
+        (f64::INFINITY, f64::INFINITY, f64::INFINITY, f64::INFINITY);
     for _ in 0..ROUNDS {
         let (t, seed_misses) = timed(|| {
             replay_llc_seed(
@@ -105,6 +132,13 @@ where
             )
         });
         mono_best = mono_best.min(t);
+        // The per-policy sharded rate reuses the roster's routing
+        // pre-pass (its one-off cost is charged to the aggregate batch
+        // measurement below, where it is actually paid once per roster).
+        let start = Instant::now();
+        let out = replay_many_sharded(stream, sharded, &[std::hint::black_box(factory)], &perf);
+        sharded_best = sharded_best.min(start.elapsed().as_secs_f64());
+        let sharded_misses = out[0].stats.misses;
         assert_eq!(
             seed_misses, dyn_misses,
             "{name}: engines must agree before being compared"
@@ -113,6 +147,10 @@ where
             dyn_misses, mono_misses,
             "{name}: paths must agree before being compared"
         );
+        assert_eq!(
+            mono_misses, sharded_misses,
+            "{name}: sharded engine must agree before being compared"
+        );
     }
     let rate = |best: f64| stream.len() as f64 / best.max(1e-12);
     Row {
@@ -120,7 +158,92 @@ where
         seed_rate: rate(seed_best),
         dyn_rate: rate(dyn_best),
         mono_rate: rate(mono_best),
+        sharded_rate: rate(sharded_best),
     }
+}
+
+/// Builds the 5-policy benchmark roster as dyn factories.
+fn roster() -> Vec<(&'static str, PolicyFactory)> {
+    let quad = gippr::vectors::wi_4dgippr().to_vec();
+    vec![
+        ("LRU", policies::lru()),
+        ("PseudoLRU", policies::plru()),
+        (
+            "WI-GIPPR",
+            policies::gippr(gippr::vectors::wi_gippr(), "WI-GIPPR"),
+        ),
+        ("WI-4-DGIPPR", policies::dgippr(quad, "WI-4-DGIPPR")),
+        ("DRRIP", policies::drrip()),
+    ]
+}
+
+/// `--smoke`: a fast correctness-plus-sanity gate for CI. Replays a tiny
+/// synthetic stream through `replay_many` and the sequential engine for
+/// the whole roster, asserting exact result equality, then checks the
+/// batch engine clears a deliberately generous throughput floor.
+fn smoke() {
+    let geom = Scale::Micro.hierarchy().llc;
+    let perf = WindowPerfModel::default();
+    // A mixed hot/scan stream over 4x the cache's block capacity.
+    let blocks = (geom.sets() * geom.ways() * 4) as u64;
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    let stream: Vec<Access> = (0..40_000usize)
+        .map(|i| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let block = if i % 4 == 0 {
+                state % (blocks / 8).max(1)
+            } else {
+                state % blocks
+            };
+            let addr = block * geom.line_bytes();
+            let a = if state & 3 == 0 {
+                Access::write(addr, state % 512)
+            } else {
+                Access::read(addr, state % 512)
+            };
+            a.with_icount_delta((state % 9) as u32 + 1)
+        })
+        .collect();
+    let warmup = mem_model::llc::default_warmup(stream.len());
+    let named = roster();
+    let refs: Vec<&PolicyFactory> = named.iter().map(|(_, f)| f).collect();
+
+    let start = Instant::now();
+    let batched = replay_many(&stream, geom, &refs, warmup, &perf);
+    let elapsed = start.elapsed().as_secs_f64();
+
+    // A pinned 8-shard routing exercises the shard-and-merge path even on
+    // hosts whose worker budget degenerates the default routing to one
+    // shard (where replay_many falls back to sequential replays).
+    let pinned = ShardedStream::build(&stream, &geom, warmup, 8);
+    let batched_pinned = replay_many_sharded(&stream, &pinned, &refs, &perf);
+    for (((name, factory), got), got_pinned) in named.iter().zip(&batched).zip(&batched_pinned) {
+        let want = replay_llc(&stream, geom, factory(&geom), warmup, &perf);
+        assert_eq!(
+            *got, want,
+            "{name}: sharded batch result diverged from sequential replay"
+        );
+        assert_eq!(
+            *got_pinned, want,
+            "{name}: 8-shard batch result diverged from sequential replay"
+        );
+    }
+    let rate = (stream.len() * refs.len()) as f64 / elapsed.max(1e-12);
+    // Floor is ~100x below a release-build single-core replay rate: it
+    // only trips on catastrophic regressions (accidental debug logic,
+    // quadratic routing), not on runner noise.
+    assert!(
+        rate > 1.0e6,
+        "batched throughput sanity floor: {rate:.0} accesses/sec"
+    );
+    println!(
+        "smoke OK: {} policies x {} accesses, batch == sequential, {:.1}M acc/s aggregate",
+        refs.len(),
+        stream.len(),
+        rate / 1.0e6
+    );
 }
 
 fn main() {
@@ -138,6 +261,10 @@ fn main() {
             "--json" => {
                 i += 1;
                 json_path = args.get(i).cloned().expect("--json PATH");
+            }
+            "--smoke" => {
+                smoke();
+                return;
             }
             other => panic!("unknown argument {other}"),
         }
@@ -157,24 +284,42 @@ fn main() {
     let geom = scale.hierarchy().llc;
     let warmup = mem_model::llc::default_warmup(stream.len());
     let leaders = policies::leaders_for(&geom);
+    let sharded =
+        ShardedStream::for_parallelism(&stream, &geom, warmup, sim_core::pool::global().cap());
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!(
-        "replaying {} LLC accesses ({bench}, {scale} scale, {} sets x {} ways)",
+        "replaying {} LLC accesses ({bench}, {scale} scale, {} sets x {} ways, \
+         {} shards on {cores} core(s))",
         stream.len(),
         geom.sets(),
-        geom.ways()
+        geom.ways(),
+        sharded.shards()
     );
 
     let quad = gippr::vectors::wi_4dgippr().to_vec();
     let rows = vec![
-        measure("LRU", &stream, geom, warmup, &policies::lru(), |g| {
-            TrueLru::new(g)
-        }),
-        measure("PseudoLRU", &stream, geom, warmup, &policies::plru(), |g| {
-            PlruPolicy::new(g)
-        }),
+        measure(
+            "LRU",
+            &stream,
+            &sharded,
+            geom,
+            warmup,
+            &policies::lru(),
+            TrueLru::new,
+        ),
+        measure(
+            "PseudoLRU",
+            &stream,
+            &sharded,
+            geom,
+            warmup,
+            &policies::plru(),
+            PlruPolicy::new,
+        ),
         measure(
             "WI-GIPPR",
             &stream,
+            &sharded,
             geom,
             warmup,
             &policies::gippr(gippr::vectors::wi_gippr(), "WI-GIPPR"),
@@ -186,6 +331,7 @@ fn main() {
         measure(
             "WI-4-DGIPPR",
             &stream,
+            &sharded,
             geom,
             warmup,
             &policies::dgippr(quad.clone(), "WI-4-DGIPPR"),
@@ -194,44 +340,87 @@ fn main() {
                     .expect("valid config")
             },
         ),
-        measure("DRRIP", &stream, geom, warmup, &policies::drrip(), |g| {
-            DrripPolicy::with_config(g, leaders, 10).expect("geometry fits DRRIP")
-        }),
+        measure(
+            "DRRIP",
+            &stream,
+            &sharded,
+            geom,
+            warmup,
+            &policies::drrip(),
+            |g| DrripPolicy::with_config(g, leaders, 10).expect("geometry fits DRRIP"),
+        ),
     ];
 
-    let geomean = rows.iter().map(|r| r.speedup().ln()).sum::<f64>() / rows.len() as f64;
-    let geomean = geomean.exp();
+    // The aggregate batch: the whole roster through one `replay_many` per
+    // round, routing pre-pass inside the timed region — the shape the
+    // figure harness actually runs.
+    let named = roster();
+    let refs: Vec<&PolicyFactory> = named.iter().map(|(_, f)| f).collect();
+    let perf = WindowPerfModel::default();
+    let mut batched_best = f64::INFINITY;
+    for _ in 0..ROUNDS {
+        let start = Instant::now();
+        let out = replay_many(&stream, geom, &refs, warmup, &perf);
+        batched_best = batched_best.min(start.elapsed().as_secs_f64());
+        std::hint::black_box(out);
+    }
+    let batched_rate = (stream.len() * refs.len()) as f64 / batched_best.max(1e-12);
+
+    let mono_geomean = geomean(rows.iter().map(Row::speedup));
+    let sharded_geomean = geomean(rows.iter().map(Row::sharded_speedup));
     for r in &rows {
         println!(
-            "  {:<12} seed {:>11.0} acc/s   dyn {:>11.0} acc/s   mono {:>11.0} acc/s   mono/seed {:.2}x",
-            r.name, r.seed_rate, r.dyn_rate, r.mono_rate,
-            r.speedup()
+            "  {:<12} seed {:>11.0} acc/s   dyn {:>11.0} acc/s   mono {:>11.0} acc/s   \
+             sharded {:>11.0} acc/s   mono/seed {:.2}x   sharded/mono {:.2}x",
+            r.name,
+            r.seed_rate,
+            r.dyn_rate,
+            r.mono_rate,
+            r.sharded_rate,
+            r.speedup(),
+            r.sharded_speedup()
         );
     }
-    println!("  geomean speedup (mono over seed engine): {geomean:.2}x");
+    println!("  geomean speedup (mono over seed engine): {mono_geomean:.2}x");
+    println!("  geomean speedup (sharded over mono engine): {sharded_geomean:.2}x");
+    println!(
+        "  aggregate batched roster rate (routing included): {:.0} acc/s",
+        batched_rate
+    );
 
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str(&format!("  \"scale\": \"{scale}\",\n"));
     json.push_str(&format!("  \"benchmark\": \"{bench}\",\n"));
     json.push_str(&format!("  \"stream_accesses\": {},\n", stream.len()));
+    json.push_str(&format!("  \"shards\": {},\n", sharded.shards()));
+    json.push_str(&format!("  \"cores\": {cores},\n"));
     json.push_str("  \"baseline\": \"seed (v0) dyn-dispatch replay engine\",\n");
     json.push_str("  \"policies\": [\n");
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"name\": \"{}\", \"seed_accesses_per_sec\": {:.0}, \
              \"dyn_accesses_per_sec\": {:.0}, \"mono_accesses_per_sec\": {:.0}, \
-             \"speedup\": {:.4}}}{}\n",
+             \"sharded_accesses_per_sec\": {:.0}, \"speedup\": {:.4}, \
+             \"sharded_speedup\": {:.4}}}{}\n",
             r.name,
             r.seed_rate,
             r.dyn_rate,
             r.mono_rate,
+            r.sharded_rate,
             r.speedup(),
+            r.sharded_speedup(),
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
     json.push_str("  ],\n");
-    json.push_str(&format!("  \"geomean_speedup\": {geomean:.4}\n"));
+    json.push_str(&format!(
+        "  \"batched_accesses_per_sec\": {batched_rate:.0},\n"
+    ));
+    json.push_str(&format!("  \"geomean_speedup\": {mono_geomean:.4},\n"));
+    json.push_str(&format!(
+        "  \"geomean_sharded_speedup\": {sharded_geomean:.4}\n"
+    ));
     json.push_str("}\n");
     let mut f = std::fs::File::create(&json_path).expect("create json output");
     f.write_all(json.as_bytes()).expect("write json output");

@@ -31,13 +31,11 @@ fn main() {
         mode.label()
     );
 
-    // Spill captured workloads to disk so repeated runs skip the L1/L2
-    // simulation entirely (PLRU_CACHE_DIR overrides the location; already
-    // handled inside workload_cache() if set).
+    // Captured workloads spill to disk so repeated runs skip the L1/L2
+    // simulation entirely; workload_cache() resolves the directory
+    // (SIM_CACHE_DIR, then PLRU_CACHE_DIR, then results/cache/) and
+    // prunes stale spill files once at initialization.
     let cache = harness::workload_cache();
-    if cache.disk_dir().is_none() {
-        cache.set_disk_dir(Some(std::path::PathBuf::from("results/cache")));
-    }
 
     emit(&vectors_tab::run(), &out, "tab-vectors.csv");
     emit(&overhead::run(), &out, "tab-overhead.csv");

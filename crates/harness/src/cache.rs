@@ -19,10 +19,14 @@
 //!
 //! # On-disk spill
 //!
-//! When a spill directory is configured ([`WorkloadCache::set_disk_dir`],
-//! or the `PLRU_CACHE_DIR` environment variable for the global cache),
-//! captured workloads are also persisted as one `<scale>-<bench>.wlc` file
-//! each, and later runs load them instead of re-capturing. The file format
+//! When a spill directory is configured ([`WorkloadCache::set_disk_dir`];
+//! the global cache resolves `SIM_CACHE_DIR`, then the legacy
+//! `PLRU_CACHE_DIR`, then defaults to `results/cache/` — setting either
+//! variable to an empty string disables spilling), captured workloads are
+//! also persisted as one `<scale>-<bench>.wlc` file each, and later runs
+//! load them instead of re-capturing. At global-cache initialization,
+//! stale spill files whose `<scale>-<bench>` stem no longer names a known
+//! scale and benchmark are pruned ([`prune_stale_spills`]). The file format
 //! is a small header (magic, version, a fingerprint of every capture
 //! parameter, the LRU baseline) followed by each simpoint's weight,
 //! warm-up split, and stream as an embedded `PLRUTRC1` trace container,
@@ -205,17 +209,73 @@ impl WorkloadCache {
 
 /// The process-global cache used by
 /// [`prepare_workloads`](crate::runner::prepare_workloads) and the
-/// experiment drivers. Honors `PLRU_CACHE_DIR` for on-disk spill.
+/// experiment drivers. The spill directory comes from `SIM_CACHE_DIR`,
+/// falling back to the legacy `PLRU_CACHE_DIR`, then to `results/cache/`;
+/// setting either variable to an empty string disables spilling. Stale
+/// spill files are pruned once, here at initialization.
 pub fn workload_cache() -> &'static WorkloadCache {
     static GLOBAL: OnceLock<WorkloadCache> = OnceLock::new();
     GLOBAL.get_or_init(|| {
         let cache = WorkloadCache::new();
-        if let Some(dir) = std::env::var_os("PLRU_CACHE_DIR") {
-            if !dir.is_empty() {
-                cache.set_disk_dir(Some(PathBuf::from(dir)));
+        if let Some(dir) = spill_dir_from(|var| std::env::var_os(var)) {
+            let pruned = prune_stale_spills(&dir);
+            if pruned > 0 {
+                eprintln!(
+                    "note: pruned {pruned} stale workload-cache file(s) from {}",
+                    dir.display()
+                );
             }
+            cache.set_disk_dir(Some(dir));
         }
         cache
+    })
+}
+
+/// Resolves the global cache's spill directory from an environment
+/// lookup: `SIM_CACHE_DIR` wins, then the legacy `PLRU_CACHE_DIR`, then
+/// the `results/cache/` default. A variable that is set but empty
+/// returns `None` (spill disabled) — the escape hatch for fully
+/// stateless runs.
+fn spill_dir_from(lookup: impl Fn(&str) -> Option<std::ffi::OsString>) -> Option<PathBuf> {
+    for var in ["SIM_CACHE_DIR", "PLRU_CACHE_DIR"] {
+        if let Some(dir) = lookup(var) {
+            return (!dir.is_empty()).then(|| PathBuf::from(dir));
+        }
+    }
+    Some(PathBuf::from("results/cache"))
+}
+
+/// Deletes stale spill files in `dir`: any `*.wlc` whose
+/// `<scale>-<bench>` stem no longer names a known [`Scale`] and
+/// [`Spec2006`] benchmark (renamed benchmarks, removed scales, foreign
+/// leftovers from older layouts), plus abandoned `*.wlc.tmp`
+/// temporaries from interrupted writes. Files with current stems are
+/// untouched — staleness from changed *capture parameters* is still
+/// detected per file by the fingerprint check at load time. Returns how
+/// many files were removed; a missing directory prunes nothing.
+pub fn prune_stale_spills(dir: &Path) -> usize {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return 0;
+    };
+    let mut pruned = 0;
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let stale = match name.strip_suffix(".wlc") {
+            Some(stem) => !stem_is_current(stem),
+            None => name.ends_with(".wlc.tmp"),
+        };
+        if stale && fs::remove_file(entry.path()).is_ok() {
+            pruned += 1;
+        }
+    }
+    pruned
+}
+
+/// Whether a spill file stem still names a live `(scale, bench)` pair.
+fn stem_is_current(stem: &str) -> bool {
+    stem.split_once('-').is_some_and(|(scale, bench)| {
+        Scale::parse(scale).is_some() && Spec2006::from_name(bench).is_some()
     })
 }
 
@@ -616,6 +676,66 @@ mod tests {
         fs::write(&path, &bytes).unwrap();
         assert!(load_workload(&path, Scale::Micro, bench()).is_none());
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spill_dir_resolution_prefers_sim_cache_dir() {
+        use std::ffi::OsString;
+        let env = |pairs: &'static [(&'static str, &'static str)]| {
+            move |var: &str| -> Option<OsString> {
+                pairs
+                    .iter()
+                    .find(|(k, _)| *k == var)
+                    .map(|(_, v)| OsString::from(v))
+            }
+        };
+        // SIM_CACHE_DIR beats the legacy variable.
+        assert_eq!(
+            spill_dir_from(env(&[("SIM_CACHE_DIR", "/a"), ("PLRU_CACHE_DIR", "/b")])),
+            Some(PathBuf::from("/a"))
+        );
+        // The legacy variable still works alone.
+        assert_eq!(
+            spill_dir_from(env(&[("PLRU_CACHE_DIR", "/b")])),
+            Some(PathBuf::from("/b"))
+        );
+        // Nothing set: the default directory.
+        assert_eq!(
+            spill_dir_from(env(&[])),
+            Some(PathBuf::from("results/cache"))
+        );
+        // Set-but-empty disables spilling entirely.
+        assert_eq!(spill_dir_from(env(&[("SIM_CACHE_DIR", "")])), None);
+        assert_eq!(spill_dir_from(env(&[("PLRU_CACHE_DIR", "")])), None);
+    }
+
+    #[test]
+    fn prune_removes_stale_spills_and_keeps_current() {
+        let (dir, path, _) = spilled_file("prune");
+        // Stale neighbors: unknown scale, unknown benchmark, no separator,
+        // and an abandoned temp file. The `.txt` is foreign and untouched.
+        for stale in [
+            "nosuchscale-462.libquantum.wlc",
+            "quick-999.nothing.wlc",
+            "noseparator.wlc",
+            "micro-462.libquantum.wlc.tmp",
+        ] {
+            fs::write(dir.join(stale), b"PLRUWLC1junk").unwrap();
+        }
+        fs::write(dir.join("README.txt"), b"not a spill").unwrap();
+
+        assert_eq!(prune_stale_spills(&dir), 4);
+        assert!(path.exists(), "current spill survives pruning");
+        assert!(dir.join("README.txt").exists(), "foreign files untouched");
+        assert!(
+            load_workload(&path, Scale::Micro, bench()).is_some(),
+            "survivor still loads"
+        );
+        // Idempotent: a second pass finds nothing stale.
+        assert_eq!(prune_stale_spills(&dir), 0);
+        // A missing directory prunes nothing.
+        let _ = fs::remove_dir_all(&dir);
+        assert_eq!(prune_stale_spills(&dir), 0);
     }
 
     #[test]

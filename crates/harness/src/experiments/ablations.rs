@@ -5,12 +5,12 @@
 
 use crate::policies;
 use crate::report::{fmt_geomean, Table};
-use crate::runner::{measure_policy, prepare_workloads, WorkloadData};
+use crate::runner::{measure_policies, prepare_workloads};
 use crate::scale::Scale;
 use crate::stats::geometric_mean;
 use gippr::{DgipprPolicy, GiplrPolicy, GipprPolicy};
 use sim_core::policy::factory;
-use sim_core::{CacheGeometry, PolicyFactory};
+use sim_core::PolicyFactory;
 use traces::spec2006::Spec2006;
 
 /// The mixed subset used for ablations: thrash-heavy, recency-friendly,
@@ -28,18 +28,6 @@ pub fn ablation_benches() -> [Spec2006; 8] {
     ]
 }
 
-fn geomean_normalized(
-    workloads: &[WorkloadData],
-    factory: &PolicyFactory,
-    geom: CacheGeometry,
-) -> Option<f64> {
-    let ratios: Vec<f64> = workloads
-        .iter()
-        .map(|w| measure_policy(w, factory, geom).normalized_misses(&w.lru))
-        .collect();
-    geometric_mean(&ratios)
-}
-
 /// Runs all ablation sweeps and returns one table.
 pub fn run(scale: Scale) -> Table {
     let workloads = prepare_workloads(scale, &ablation_benches());
@@ -54,9 +42,13 @@ pub fn run(scale: Scale) -> Table {
         ),
         &["configuration", "misses vs LRU"],
     );
+    // Collect every sweep configuration first, then measure the whole
+    // roster with one sharded single-pass replay per workload — the
+    // routing pre-pass is shared across all ~15 configurations instead of
+    // being re-derived per (configuration × workload) pair.
+    let mut configs: Vec<(String, PolicyFactory)> = Vec::new();
     let mut push = |name: String, f: PolicyFactory| {
-        let v = geomean_normalized(&workloads, &f, geom);
-        table.row(vec![name, fmt_geomean(v)]);
+        configs.push((name, f));
     };
 
     // Leader-set count sweep (default 32 at full scale; scaled caches use
@@ -183,6 +175,24 @@ pub fn run(scale: Scale) -> Table {
             )
         }),
     );
+
+    // Batched measurement: one `replay_many` per workload covers every
+    // configuration above; per-configuration geomeans then read column i
+    // of the transposed results. Bit-identical to per-config
+    // `measure_policy` loops, just without N redundant routing passes.
+    let refs: Vec<&PolicyFactory> = configs.iter().map(|(_, f)| f).collect();
+    let per_workload: Vec<Vec<_>> = workloads
+        .iter()
+        .map(|w| measure_policies(w, &refs, geom))
+        .collect();
+    for (i, (name, _)) in configs.iter().enumerate() {
+        let ratios: Vec<f64> = workloads
+            .iter()
+            .zip(&per_workload)
+            .map(|(w, measured)| measured[i].normalized_misses(&w.lru))
+            .collect();
+        table.row(vec![name.clone(), fmt_geomean(geometric_mean(&ratios))]);
+    }
 
     // Writeback-convention ablation (DESIGN.md §5.0): replaying a
     // writeback-inclusive LLC stream lets writebacks update replacement

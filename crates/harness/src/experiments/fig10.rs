@@ -7,9 +7,10 @@
 use crate::experiments::{assign_vectors, VectorMode};
 use crate::policies;
 use crate::report::{fmt_geomean, fmt_ratio, Table};
-use crate::runner::{measure_min, measure_policy, prepare_workloads};
+use crate::runner::{measure_min, measure_policies, prepare_workloads};
 use crate::scale::Scale;
 use crate::stats::geometric_mean;
+use sim_core::PolicyFactory;
 use traces::spec2006::Spec2006;
 
 /// Runs Figure 10 and returns the normalized-miss table (sorted ascending
@@ -24,28 +25,22 @@ pub fn run(scale: Scale, mode: VectorMode) -> Table {
     let mut rows: Vec<(String, [f64; 4])> = workloads
         .iter()
         .map(|w| {
-            let single = measure_policy(
-                w,
-                &policies::gippr(vectors.single[&w.bench].clone(), "GIPPR"),
-                geom,
-            );
-            let pair = measure_policy(
-                w,
-                &policies::dgippr(vectors.pair[&w.bench].clone(), "2-DGIPPR"),
-                geom,
-            );
-            let quad = measure_policy(
-                w,
-                &policies::dgippr(vectors.quad[&w.bench].clone(), "4-DGIPPR"),
-                geom,
-            );
+            // One sharded single-pass replay per simpoint covers the whole
+            // roster; results are bit-identical to per-policy replays.
+            let roster = [
+                policies::gippr(vectors.single[&w.bench].clone(), "GIPPR"),
+                policies::dgippr(vectors.pair[&w.bench].clone(), "2-DGIPPR"),
+                policies::dgippr(vectors.quad[&w.bench].clone(), "4-DGIPPR"),
+            ];
+            let refs: Vec<&PolicyFactory> = roster.iter().collect();
+            let measured = measure_policies(w, &refs, geom);
             let min = measure_min(w, geom);
             (
                 w.bench.name().to_string(),
                 [
-                    single.normalized_misses(&w.lru),
-                    pair.normalized_misses(&w.lru),
-                    quad.normalized_misses(&w.lru),
+                    measured[0].normalized_misses(&w.lru),
+                    measured[1].normalized_misses(&w.lru),
+                    measured[2].normalized_misses(&w.lru),
                     min.normalized_misses(&w.lru),
                 ],
             )

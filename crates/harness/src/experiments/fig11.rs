@@ -8,9 +8,10 @@
 use crate::experiments::{assign_vectors, VectorMode};
 use crate::policies;
 use crate::report::{fmt_geomean, fmt_ratio, Table};
-use crate::runner::{measure_min, measure_policy, measure_policy_all, prepare_workloads};
+use crate::runner::{measure_min, measure_policies, prepare_workloads};
 use crate::scale::Scale;
 use crate::stats::geometric_mean;
+use sim_core::PolicyFactory;
 use traces::spec2006::Spec2006;
 
 /// Runs Figure 11 and returns the normalized-miss table (sorted ascending
@@ -22,25 +23,24 @@ pub fn run(scale: Scale, mode: VectorMode) -> Table {
     let vectors = assign_vectors(scale, &benches, mode);
     let label = mode.label();
 
-    let drrip = measure_policy_all(&workloads, &policies::drrip(), geom);
-    let pdp = measure_policy_all(&workloads, &policies::pdp(), geom);
-
     let mut rows: Vec<(String, [f64; 4])> = workloads
         .iter()
-        .zip(drrip.iter().zip(pdp.iter()))
-        .map(|(w, (d, p))| {
-            let quad = measure_policy(
-                w,
-                &policies::dgippr(vectors.quad[&w.bench].clone(), "4-DGIPPR"),
-                geom,
-            );
+        .map(|w| {
+            // The full per-workload roster shares one routing pre-pass.
+            let roster = [
+                policies::drrip(),
+                policies::pdp(),
+                policies::dgippr(vectors.quad[&w.bench].clone(), "4-DGIPPR"),
+            ];
+            let refs: Vec<&PolicyFactory> = roster.iter().collect();
+            let measured = measure_policies(w, &refs, geom);
             let min = measure_min(w, geom);
             (
                 w.bench.name().to_string(),
                 [
-                    d.normalized_misses(&w.lru),
-                    p.normalized_misses(&w.lru),
-                    quad.normalized_misses(&w.lru),
+                    measured[0].normalized_misses(&w.lru),
+                    measured[1].normalized_misses(&w.lru),
+                    measured[2].normalized_misses(&w.lru),
                     min.normalized_misses(&w.lru),
                 ],
             )

@@ -11,9 +11,10 @@
 use crate::experiments::{assign_vectors, VectorMode};
 use crate::policies;
 use crate::report::{fmt_pct, fmt_ratio, Table};
-use crate::runner::{measure_policy, measure_policy_all, prepare_workloads};
+use crate::runner::{measure_policies, prepare_workloads};
 use crate::scale::Scale;
 use crate::stats::geometric_mean;
+use sim_core::PolicyFactory;
 use traces::spec2006::Spec2006;
 
 /// The full Figure 13 output: the per-benchmark table plus subset
@@ -37,24 +38,23 @@ pub fn run(scale: Scale, mode: VectorMode) -> Fig13 {
     let vectors = assign_vectors(scale, &benches, mode);
     let label = format!("{}-4-DGIPPR", mode.label());
 
-    let drrip = measure_policy_all(&workloads, &policies::drrip(), geom);
-    let pdp = measure_policy_all(&workloads, &policies::pdp(), geom);
-
     let mut rows: Vec<(Spec2006, [f64; 3])> = workloads
         .iter()
-        .zip(drrip.iter().zip(pdp.iter()))
-        .map(|(w, (d, p))| {
-            let quad = measure_policy(
-                w,
-                &policies::dgippr(vectors.quad[&w.bench].clone(), &label),
-                geom,
-            );
+        .map(|w| {
+            // The full per-workload roster shares one routing pre-pass.
+            let roster = [
+                policies::drrip(),
+                policies::pdp(),
+                policies::dgippr(vectors.quad[&w.bench].clone(), &label),
+            ];
+            let refs: Vec<&PolicyFactory> = roster.iter().collect();
+            let measured = measure_policies(w, &refs, geom);
             (
                 w.bench,
                 [
-                    d.speedup_over(&w.lru),
-                    p.speedup_over(&w.lru),
-                    quad.speedup_over(&w.lru),
+                    measured[0].speedup_over(&w.lru),
+                    measured[1].speedup_over(&w.lru),
+                    measured[2].speedup_over(&w.lru),
                 ],
             )
         })

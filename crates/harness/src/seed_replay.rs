@@ -127,6 +127,7 @@ impl SeedCache {
         self.stats.misses += 1;
         self.policy.on_miss(set, ctx);
         if self.policy.should_bypass(set, ctx) {
+            self.stats.bypasses += 1;
             return false;
         }
 

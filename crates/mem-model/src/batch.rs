@@ -1,0 +1,287 @@
+//! Single-pass multi-policy replay over a set-sharded stream.
+//!
+//! [`replay_many`] is the batched counterpart of [`replay_llc`]: one
+//! routing pre-pass splits the stream by set index
+//! ([`sim_core::ShardedStream`]), then every (policy × shard) pair runs
+//! concurrently on the persistent worker pool, and per-shard results
+//! merge deterministically into one [`LlcRunResult`] per policy — bit
+//! identical to replaying each policy sequentially with [`replay_llc`].
+//!
+//! Two properties make the merge exact rather than approximate:
+//!
+//! * **Statistics.** For a [`ShardAffinity::SetLocal`] policy, sharded
+//!   replay produces exactly the per-set state transitions of a
+//!   sequential replay (stable bucketing preserves per-set order), so
+//!   the per-shard counters sum — in fixed ascending shard order — to
+//!   the sequential totals.
+//! * **Cycles.** The window model clusters misses by *global* stream
+//!   order, which sharding destroys. Each shard therefore records a hit
+//!   bitmap over its measured entries, and the merge replays those bits
+//!   in exact global order (one cursor per shard, driven by
+//!   [`ShardedStream::shard_of`]) through the same
+//!   [`PerfAccumulator`], reproducing the sequential cycle estimate to
+//!   the last bit.
+//!
+//! Policies with cache-global mutable state ([`ShardAffinity::Global`]
+//! — PSEL duels, global RNG, reuse samplers) cannot shard exactly; they
+//! take a sequential whole-stream fallback as a single pool task, so the
+//! batch API is uniform and always exact. A degenerate single-shard
+//! routing (single-core hosts) takes the same fallback for every policy:
+//! one shard cannot fan out, so the batch engine never does worse than a
+//! sequential replay. See DESIGN.md §10 for the DGIPPR/PSEL semantics
+//! decision.
+
+use crate::cpi::{PerfAccumulator, WindowPerfModel};
+use crate::llc::{replay_llc, LlcRunResult};
+use sim_core::pool;
+use sim_core::shard::ShardRun;
+use sim_core::{
+    Access, CacheGeometry, PolicyFactory, ReplacementPolicy, ShardAffinity, ShardedStream,
+};
+
+/// Replays `stream` under every policy in `factories` with one shared
+/// routing pre-pass, returning results in factory order. Semantics
+/// (warm-up split, statistics, instructions, cycles) are exactly those of
+/// calling [`replay_llc`] once per factory.
+///
+/// The shard count is chosen from the worker pool's executor budget;
+/// pre-route with [`ShardedStream`] and call [`replay_many_sharded`] to
+/// reuse one routing across several batches over the same stream.
+pub fn replay_many(
+    stream: &[Access],
+    geom: CacheGeometry,
+    factories: &[&PolicyFactory],
+    warmup: usize,
+    perf: &WindowPerfModel,
+) -> Vec<LlcRunResult> {
+    let sharded = ShardedStream::for_parallelism(stream, &geom, warmup, pool::global().cap());
+    replay_many_sharded(stream, &sharded, factories, perf)
+}
+
+/// [`replay_many`] over a pre-routed stream. `stream` must be the exact
+/// stream `sharded` was built from (the sequential fallback for
+/// [`ShardAffinity::Global`] policies replays it whole).
+pub fn replay_many_sharded(
+    stream: &[Access],
+    sharded: &ShardedStream,
+    factories: &[&PolicyFactory],
+    perf: &WindowPerfModel,
+) -> Vec<LlcRunResult> {
+    let geom = *sharded.geometry();
+    let warmup = sharded.warmup();
+    let shards = sharded.shards();
+
+    // One cheap probe instance per factory decides its execution shape.
+    let affinities: Vec<ShardAffinity> = factories
+        .iter()
+        .map(|f| f(&geom).shard_affinity())
+        .collect();
+
+    // Flatten every unit of work — (policy × shard) for set-local
+    // policies, one whole-stream pass for global ones — into a single
+    // pool batch so the scheduler can interleave them freely.
+    enum Unit {
+        Shard { policy: usize, shard: usize },
+        Whole { policy: usize },
+    }
+    let mut units = Vec::new();
+    for (i, aff) in affinities.iter().enumerate() {
+        match aff {
+            // A single-shard routing is the sequential replay with extra
+            // steps (hit bitmap + merge); degenerate to the whole-stream
+            // path so single-core hosts never pay for parallelism they
+            // cannot have. Results are identical either way.
+            ShardAffinity::SetLocal if shards > 1 => {
+                units.extend((0..shards).map(|s| Unit::Shard {
+                    policy: i,
+                    shard: s,
+                }));
+            }
+            ShardAffinity::SetLocal | ShardAffinity::Global => {
+                units.push(Unit::Whole { policy: i })
+            }
+        }
+    }
+
+    enum Out {
+        Shard(ShardRun),
+        Whole(LlcRunResult),
+    }
+    let outs = pool::global().run(units.len(), usize::MAX, |u| match units[u] {
+        Unit::Shard { policy, shard } => {
+            Out::Shard(sharded.replay_shard(shard, factories[policy](&geom)))
+        }
+        Unit::Whole { policy } => Out::Whole(replay_llc(
+            stream,
+            geom,
+            factories[policy](&geom),
+            warmup,
+            perf,
+        )),
+    });
+
+    // Reassemble in factory order; `pool.run` returns results in unit
+    // order, and units were emitted in factory order, so this is a single
+    // forward scan. Per-policy merges are independent — run them as a
+    // second (deterministic) pool batch.
+    let mut shard_runs: Vec<Vec<ShardRun>> = factories.iter().map(|_| Vec::new()).collect();
+    let mut whole: Vec<Option<LlcRunResult>> = factories.iter().map(|_| None).collect();
+    for (unit, out) in units.iter().zip(outs) {
+        match (unit, out) {
+            (Unit::Shard { policy, .. }, Out::Shard(run)) => shard_runs[*policy].push(run),
+            (Unit::Whole { policy }, Out::Whole(result)) => whole[*policy] = Some(result),
+            _ => unreachable!("unit and outcome kinds always correspond"),
+        }
+    }
+    pool::global().run(factories.len(), usize::MAX, |i| match &whole[i] {
+        Some(result) => result.clone(),
+        None => merge_shard_runs(sharded, &shard_runs[i], perf),
+    })
+}
+
+/// Sharded replay of a single monomorphized policy: replays every shard
+/// (sequentially — callers parallelize across policies or workloads) on a
+/// fresh instance from `make` and merges. Exactly equivalent to
+/// [`crate::replay_llc_mono`] for [`ShardAffinity::SetLocal`] policies.
+pub fn replay_llc_sharded<P, F>(
+    sharded: &ShardedStream,
+    make: F,
+    perf: &WindowPerfModel,
+) -> LlcRunResult
+where
+    P: ReplacementPolicy,
+    F: Fn() -> P,
+{
+    let runs: Vec<ShardRun> = (0..sharded.shards())
+        .map(|s| sharded.replay_shard(s, make()))
+        .collect();
+    merge_shard_runs(sharded, &runs, perf)
+}
+
+/// Merges one policy's per-shard runs: counters sum in ascending shard
+/// order, and the cycle model replays the hit bitmaps in exact global
+/// stream order via one cursor per shard.
+fn merge_shard_runs(
+    sharded: &ShardedStream,
+    runs: &[ShardRun],
+    perf: &WindowPerfModel,
+) -> LlcRunResult {
+    let stats = ShardedStream::merge_stats(runs);
+    let mut acc = PerfAccumulator::new();
+    let mut cursors = vec![0usize; runs.len()];
+    let icount = sharded.icount();
+    for (k, &s) in sharded.shard_of().iter().enumerate() {
+        let s = s as usize;
+        let hit = ShardedStream::hit_at(&runs[s], cursors[s]);
+        cursors[s] += 1;
+        acc.note_llc(icount[k], hit, perf);
+    }
+    LlcRunResult {
+        stats,
+        instructions: acc.instructions(),
+        cycles: acc.cycles(perf),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::llc::replay_llc_mono;
+    use baselines::{DrripPolicy, TrueLru};
+    use gippr::GipprPolicy;
+    use sim_core::policy::factory;
+
+    fn geom() -> CacheGeometry {
+        CacheGeometry::from_sets(64, 16, 64).unwrap()
+    }
+
+    fn mixed_stream(n: usize) -> Vec<Access> {
+        let mut state = 0x2545f4914f6cdd1du64;
+        (0..n)
+            .map(|i| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let addr = if i % 4 == 0 {
+                    (state % 256) * 64
+                } else {
+                    (state % 16384) * 64
+                };
+                let a = if state & 3 == 0 {
+                    Access::write(addr, state % 512)
+                } else {
+                    Access::read(addr, state % 512)
+                };
+                a.with_icount_delta((state % 9) as u32 + 1)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn replay_many_matches_sequential_exactly() {
+        let g = geom();
+        let stream = mixed_stream(30_000);
+        let warmup = 10_000;
+        let perf = WindowPerfModel::default();
+
+        let lru = factory(|g| Box::new(TrueLru::new(g)));
+        let gippr = factory(|g| Box::new(GipprPolicy::new(g, gippr::vectors::wi_gippr()).unwrap()));
+        let drrip = factory(|g| Box::new(DrripPolicy::new(g).unwrap()));
+        let roster = [&lru, &gippr, &drrip];
+
+        // The convenience entry (host-budget shard count) …
+        let batched = replay_many(&stream, g, &roster, warmup, &perf);
+        for (f, b) in roster.iter().zip(&batched) {
+            let seq = replay_llc(&stream, g, f(&g), warmup, &perf);
+            assert_eq!(*b, seq, "batched result diverged for {}", f(&g).name());
+        }
+        // … and pinned multi-shard routings, so the shard-and-merge path
+        // is exercised even when the host budget degenerates to 1 shard.
+        for shards in [2usize, 8, 64] {
+            let sharded = ShardedStream::build(&stream, &g, warmup, shards);
+            let batched = replay_many_sharded(&stream, &sharded, &roster, &perf);
+            for (f, b) in roster.iter().zip(&batched) {
+                let seq = replay_llc(&stream, g, f(&g), warmup, &perf);
+                assert_eq!(*b, seq, "shards={shards} diverged for {}", f(&g).name());
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_mono_matches_replay_llc_mono() {
+        let g = geom();
+        let stream = mixed_stream(20_000);
+        let warmup = 5_000;
+        let perf = WindowPerfModel::default();
+        for shards in [1usize, 4, 64] {
+            let sharded = ShardedStream::build(&stream, &g, warmup, shards);
+            let got = replay_llc_sharded(&sharded, || TrueLru::new(&g), &perf);
+            let want = replay_llc_mono(&stream, g, TrueLru::new(&g), warmup, &perf);
+            assert_eq!(got, want, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn replay_many_is_deterministic_run_to_run() {
+        let g = geom();
+        let stream = mixed_stream(10_000);
+        let perf = WindowPerfModel::default();
+        let lru = factory(|g| Box::new(TrueLru::new(g)));
+        let drrip = factory(|g| Box::new(DrripPolicy::new(g).unwrap()));
+        let roster = [&lru, &drrip];
+        let a = replay_many(&stream, g, &roster, 2_000, &perf);
+        let b = replay_many(&stream, g, &roster, 2_000, &perf);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_roster_and_empty_stream() {
+        let g = geom();
+        let perf = WindowPerfModel::default();
+        assert!(replay_many(&[], g, &[], 0, &perf).is_empty());
+        let lru = factory(|g| Box::new(TrueLru::new(g)));
+        let r = replay_many(&[], g, &[&lru], 0, &perf);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].stats.accesses, 0);
+    }
+}

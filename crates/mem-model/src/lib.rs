@@ -16,6 +16,9 @@
 //!   LLC policy experiment then replays cheaply.
 //! * [`llc`] — the fast LLC-only replayer with warm-up/measure split
 //!   (paper: first third warms the cache, the rest is measured).
+//! * [`batch`] — the sharded single-pass multi-policy replayer: one
+//!   routing pre-pass per stream, every (policy × shard) pair on the
+//!   worker pool, results bit-identical to sequential [`replay_llc`].
 //! * [`cpi`] — the linear CPI model (fitness) and the MLP-aware window
 //!   model (reporting), substituting for CMP$im per DESIGN.md §2.
 //! * [`optimal`] — Belady's MIN on a captured LLC stream (the paper's
@@ -25,6 +28,7 @@
 //!   L1/L2 per core over one shared LLC, multiprogrammed mixes.
 
 pub mod analysis;
+pub mod batch;
 pub mod cpi;
 pub mod hierarchy;
 pub mod llc;
@@ -32,6 +36,7 @@ pub mod multicore;
 pub mod optimal;
 pub mod prefetch;
 
+pub use batch::{replay_llc_sharded, replay_many, replay_many_sharded};
 pub use cpi::{LinearCpiModel, WindowPerfModel};
 pub use hierarchy::{capture_llc_stream, Hierarchy, HierarchyConfig, Inclusion, ServiceLevel};
 pub use llc::{default_warmup, replay_llc, replay_llc_mono, LlcRunResult};

@@ -131,6 +131,7 @@ impl MulticoreHierarchy {
             misses: after.misses - before.misses,
             evictions: after.evictions - before.evictions,
             writebacks: after.writebacks - before.writebacks,
+            bypasses: after.bypasses - before.bypasses,
         };
         self.llc_by_core[core] += delta;
         if out.hit {

@@ -187,6 +187,16 @@ impl<P: ReplacementPolicy> SetAssocCache<P> {
         let ctx = access.context();
         let set = self.geom.set_of_block(block_addr);
         let tag = self.geom.tag_of_block(block_addr);
+        self.access_tagged(set, tag, &ctx)
+    }
+
+    /// [`SetAssocCache::access_fast`] with the set/tag arithmetic already
+    /// done. The sharded replay engine pre-routes each access to its set
+    /// once per *stream* and then drives every policy from the packed
+    /// buckets, so the hot loop must accept pre-split coordinates instead
+    /// of re-deriving them per policy.
+    #[inline]
+    pub fn access_tagged(&mut self, set: usize, tag: u64, ctx: &AccessContext) -> bool {
         let ways = self.geom.ways();
         let base = set * ways;
         self.stats.accesses += 1;
@@ -202,13 +212,14 @@ impl<P: ReplacementPolicy> SetAssocCache<P> {
             let way = match_mask.trailing_zeros() as usize;
             self.lines[base + way].set_dirty(ctx.is_write);
             self.stats.hits += 1;
-            self.policy.on_hit(set, way, &ctx);
+            self.policy.on_hit(set, way, ctx);
             return true;
         }
 
         self.stats.misses += 1;
-        self.policy.on_miss(set, &ctx);
-        if self.policy.should_bypass(set, &ctx) {
+        self.policy.on_miss(set, ctx);
+        if self.policy.should_bypass(set, ctx) {
+            self.stats.bypasses += 1;
             return false;
         }
 
@@ -216,7 +227,7 @@ impl<P: ReplacementPolicy> SetAssocCache<P> {
         let fill_way = if first_invalid < ways {
             first_invalid
         } else {
-            let w = self.policy.victim(set, &ctx);
+            let w = self.policy.victim(set, ctx);
             assert!(
                 w < ways,
                 "policy {} returned way {w} >= {ways}",
@@ -230,7 +241,7 @@ impl<P: ReplacementPolicy> SetAssocCache<P> {
             w
         };
         self.lines[base + fill_way] = Line::new(tag, ctx.is_write);
-        self.policy.on_fill(set, fill_way, &ctx);
+        self.policy.on_fill(set, fill_way, ctx);
         false
     }
 
@@ -275,6 +286,7 @@ impl<P: ReplacementPolicy> SetAssocCache<P> {
         self.stats.misses += 1;
         self.policy.on_miss(set, ctx);
         if self.policy.should_bypass(set, ctx) {
+            self.stats.bypasses += 1;
             return AccessOutcome {
                 hit: false,
                 evicted: None,

@@ -49,6 +49,7 @@ pub mod geometry;
 pub mod overhead;
 pub mod policy;
 pub mod pool;
+pub mod shard;
 pub mod stats;
 
 pub use access::{Access, AccessContext, AccessKind};
@@ -56,5 +57,6 @@ pub use cache::{AccessOutcome, Evicted, SetAssocCache};
 pub use dueling::{DuelController, LeaderMap, Psel, Selector, SetRole};
 pub use geometry::{CacheGeometry, GeometryError};
 pub use overhead::OverheadReport;
-pub use policy::{PolicyFactory, ReplacementPolicy};
+pub use policy::{PolicyFactory, ReplacementPolicy, ShardAffinity};
+pub use shard::{ShardRun, ShardedStream};
 pub use stats::CacheStats;

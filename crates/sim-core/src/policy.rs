@@ -3,6 +3,31 @@
 use crate::access::AccessContext;
 use crate::geometry::CacheGeometry;
 
+/// How a policy's state decomposes across cache sets, which determines
+/// whether the sharded replay engine (`sim_core::shard`) may drive disjoint
+/// set ranges of the same stream concurrently on independent policy clones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardAffinity {
+    /// Every state transition depends only on the set being accessed, so
+    /// replaying disjoint set ranges independently (each on a fresh policy
+    /// instance) produces exactly the per-set transitions of a sequential
+    /// replay. Global *read-only* configuration (an IPV, a seed vector) is
+    /// fine; global *mutable* counters are not — with one exception: a
+    /// global monotonic clock whose influence reduces to within-set
+    /// relative order (e.g. true-LRU timestamps) still qualifies, because
+    /// stable bucketing preserves per-set access order.
+    ///
+    /// Policies claiming `SetLocal` must also not depend on the sub-line
+    /// bits of `AccessContext::addr`: the sharded engine reconstructs the
+    /// address from the block address, zeroing the line offset.
+    SetLocal,
+    /// State is shared across sets (PSEL duel counters, global RNG streams,
+    /// reuse-distance samplers keyed on the full access sequence). Sharded
+    /// replay falls back to a sequential whole-stream pass for these, which
+    /// preserves exact semantics at the cost of per-policy parallelism only.
+    Global,
+}
+
 /// A cache replacement policy.
 ///
 /// One policy object serves an entire cache level; every callback carries the
@@ -52,6 +77,15 @@ pub trait ReplacementPolicy {
     /// Cache-global metadata cost in bits (e.g. PSEL counters). Defaults to 0.
     fn global_bits(&self) -> u64 {
         0
+    }
+
+    /// Whether this policy's transitions are per-set independent (see
+    /// [`ShardAffinity`]). Defaults to [`ShardAffinity::Global`] — the
+    /// conservative answer: the sharded engine then replays the policy
+    /// sequentially, which is always correct. Policies whose state is
+    /// provably per-set opt in to [`ShardAffinity::SetLocal`].
+    fn shard_affinity(&self) -> ShardAffinity {
+        ShardAffinity::Global
     }
 }
 
@@ -103,6 +137,11 @@ impl<P: ReplacementPolicy + ?Sized> ReplacementPolicy for Box<P> {
     #[inline]
     fn global_bits(&self) -> u64 {
         (**self).global_bits()
+    }
+
+    #[inline]
+    fn shard_affinity(&self) -> ShardAffinity {
+        (**self).shard_affinity()
     }
 }
 
@@ -163,6 +202,10 @@ pub mod fifo_like_fixture {
 
         fn bits_per_set(&self) -> u64 {
             0
+        }
+
+        fn shard_affinity(&self) -> ShardAffinity {
+            ShardAffinity::SetLocal
         }
     }
 }

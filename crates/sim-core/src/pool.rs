@@ -20,6 +20,13 @@
 //!   workers still completes) and makes nested `run` calls deadlock-free:
 //!   a worker that itself calls `run` will drain the inner job on its own
 //!   if no one else is free.
+//! * **A depth-aware executor budget.** Each pool admits at most `cap`
+//!   concurrently executing threads (workers and callers combined). A
+//!   thread holds exactly one slot regardless of how deeply its task
+//!   re-enters [`WorkerPool::run`], so stacked fan-out — the runner
+//!   batching workloads whose tasks themselves batch policies — cannot
+//!   oversubscribe the machine. The [`global`] pool's budget is
+//!   `available_parallelism`.
 //! * **Panic transparency.** A panicking task does not poison the pool;
 //!   the first payload is captured and re-raised on the calling thread
 //!   after the batch drains, mirroring `std::thread::scope`.
@@ -33,10 +40,22 @@
 // crate-level `#![deny(unsafe_code)]` is lifted for this module only.
 #![allow(unsafe_code)]
 
+use std::cell::Cell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
+
+thread_local! {
+    /// The `Shared` of the pool whose execution slot this thread currently
+    /// holds (null when none). A thread that already owns a slot — a worker
+    /// inside `worker_loop`, or a caller inside `run` — must not acquire a
+    /// second one for nested `run` calls on the same pool, otherwise an
+    /// outer batch fanning out through callees (runner → replay_many →
+    /// fitness_many) would stack one slot per nesting level and
+    /// oversubscribe the machine.
+    static SLOT_OWNER: Cell<*const ()> = const { Cell::new(std::ptr::null()) };
+}
 
 /// The erased task function: call with a task index in `0..n`.
 #[derive(Clone, Copy)]
@@ -101,11 +120,30 @@ struct Board {
     job: Option<(u64, Arc<Job>)>,
     generation: u64,
     shutdown: bool,
+    /// Executors (workers + external callers) currently holding one of the
+    /// pool's `cap` execution slots. Guarded by the board mutex so slot
+    /// checks and `work_cv` waits share one lock — no lost wakeups.
+    live: usize,
 }
 
 struct Shared {
     board: Mutex<Board>,
     work_cv: Condvar,
+    /// Pool-wide executor budget: total threads concurrently executing
+    /// tasks, counting every nesting depth exactly once per thread.
+    cap: usize,
+}
+
+impl Shared {
+    /// Releases one execution slot and wakes anything waiting for it
+    /// (budget-blocked workers and external callers both wait on `work_cv`).
+    fn release_slot(&self) {
+        let mut board = self.board.lock().unwrap();
+        debug_assert!(board.live > 0, "slot released twice");
+        board.live -= 1;
+        drop(board);
+        self.work_cv.notify_all();
+    }
 }
 
 /// A pool of persistent worker threads executing indexed task batches.
@@ -128,14 +166,35 @@ impl WorkerPool {
     /// Creates a pool with `workers` background threads. The calling thread
     /// participates in every [`run`](WorkerPool::run), so `workers: 0` is a
     /// valid (sequential) pool.
+    ///
+    /// The executor budget is `workers + 1` (all workers plus one caller may
+    /// run at once), which never binds for a single caller — use
+    /// [`WorkerPool::with_cap`] to bound total live executors below the
+    /// thread count.
     pub fn new(workers: usize) -> Self {
+        Self::with_cap(workers, workers + 1)
+    }
+
+    /// Creates a pool with `workers` background threads and a hard budget of
+    /// `cap` concurrently *executing* threads (workers and external callers
+    /// combined, nested [`run`](WorkerPool::run) depths counted once).
+    ///
+    /// The budget is what keeps stacked fan-out honest: an experiment
+    /// submitting with `usize::MAX` concurrency whose tasks themselves call
+    /// `run` on the same pool holds one slot per thread, not per nesting
+    /// level, so total live executors never exceed `cap` no matter how the
+    /// parallelism nests.
+    pub fn with_cap(workers: usize, cap: usize) -> Self {
+        assert!(cap >= 1, "executor budget must admit at least one thread");
         let shared = Arc::new(Shared {
             board: Mutex::new(Board {
                 job: None,
                 generation: 0,
                 shutdown: false,
+                live: 0,
             }),
             work_cv: Condvar::new(),
+            cap,
         });
         let handles = (0..workers)
             .map(|i| {
@@ -152,6 +211,11 @@ impl WorkerPool {
     /// Number of background worker threads (excluding callers).
     pub fn workers(&self) -> usize {
         self.handles.len()
+    }
+
+    /// The executor budget: maximum threads concurrently executing tasks.
+    pub fn cap(&self) -> usize {
+        self.shared.cap
     }
 
     /// Executes `f(0..n)` across the pool and returns the results in index
@@ -171,6 +235,22 @@ impl WorkerPool {
         if n == 0 {
             return Vec::new();
         }
+        // Take an execution slot unless this thread already holds one of
+        // this pool's slots (a worker executing a task that fans out again,
+        // or a nested `run` on the caller's own stack). Acquiring *before*
+        // publishing cannot deadlock: every slot holder makes progress
+        // without waiting on us (`help` drains finite work, and nested
+        // calls skip acquisition), so slots are always eventually released.
+        let pool_id = Arc::as_ptr(&self.shared) as *const ();
+        let nested = SLOT_OWNER.with(|s| s.get()) == pool_id;
+        if !nested {
+            let mut board = self.shared.board.lock().unwrap();
+            while board.live >= self.shared.cap {
+                board = self.shared.work_cv.wait(board).unwrap();
+            }
+            board.live += 1;
+        }
+        let prev_owner = SLOT_OWNER.with(|s| s.replace(pool_id));
         let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
         let task = |i: usize| {
             let value = f(i);
@@ -209,6 +289,10 @@ impl WorkerPool {
                 guard = job.done_cv.wait(guard).unwrap();
             }
         }
+        SLOT_OWNER.with(|s| s.set(prev_owner));
+        if !nested {
+            self.shared.release_slot();
+        }
         if job.panicked.load(Ordering::SeqCst) {
             if let Some(payload) = job.panic.lock().unwrap().take() {
                 resume_unwind(payload);
@@ -239,6 +323,7 @@ impl Drop for WorkerPool {
 }
 
 fn worker_loop(shared: &Shared) {
+    let shared_id = shared as *const Shared as *const ();
     let mut seen_generation = 0u64;
     loop {
         let job = {
@@ -249,33 +334,47 @@ fn worker_loop(shared: &Shared) {
                 }
                 match &board.job {
                     Some((generation, job)) if *generation != seen_generation => {
-                        seen_generation = *generation;
-                        break Arc::clone(job);
+                        // A job is pending, but only join it if the pool's
+                        // executor budget has a free slot; otherwise sleep
+                        // until `release_slot` (or a new publish) wakes us.
+                        if board.live < shared.cap {
+                            let (generation, job) = (*generation, Arc::clone(job));
+                            board.live += 1;
+                            seen_generation = generation;
+                            break job;
+                        }
+                        board = shared.work_cv.wait(board).unwrap();
                     }
                     _ => board = shared.work_cv.wait(board).unwrap(),
                 }
             }
         };
         // Respect the job's executor cap (the caller counts as one).
-        if job.active.fetch_add(1, Ordering::SeqCst) >= job.max_workers {
-            job.active.fetch_sub(1, Ordering::SeqCst);
-            continue;
+        if job.active.fetch_add(1, Ordering::SeqCst) < job.max_workers {
+            // Mark slot ownership so tasks that fan out again (nested
+            // `run`) reuse this thread's slot instead of stacking another.
+            SLOT_OWNER.with(|s| s.set(shared_id));
+            job.help();
+            SLOT_OWNER.with(|s| s.set(std::ptr::null()));
         }
-        job.help();
         job.active.fetch_sub(1, Ordering::SeqCst);
+        shared.release_slot();
     }
 }
 
 static GLOBAL: OnceLock<WorkerPool> = OnceLock::new();
 
 /// The process-wide pool, created on first use with one worker per
-/// available core (minus one for the calling thread).
+/// available core (minus one for the calling thread) and an executor
+/// budget of exactly `available_parallelism`: the workers plus one
+/// external caller saturate the machine, and any further callers (or
+/// nested fan-out) wait for a slot instead of oversubscribing it.
 pub fn global() -> &'static WorkerPool {
     GLOBAL.get_or_init(|| {
         let cores = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(4);
-        WorkerPool::new(cores.saturating_sub(1))
+        WorkerPool::with_cap(cores.saturating_sub(1), cores)
     })
 }
 
@@ -370,6 +469,103 @@ mod tests {
             assert!(seen.lock().unwrap().insert(i), "index {i} claimed twice");
         });
         assert_eq!(seen.lock().unwrap().len(), 200);
+    }
+
+    #[test]
+    fn budget_caps_concurrent_executors() {
+        // 8 workers but a budget of 2: no matter how wide the job, at most
+        // two threads (caller included) execute tasks at any instant.
+        let pool = WorkerPool::with_cap(8, 2);
+        let concurrent = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        pool.run(64, usize::MAX, |_| {
+            let now = concurrent.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            concurrent.fetch_sub(1, Ordering::SeqCst);
+        });
+        assert!(peak.load(Ordering::SeqCst) <= 2, "budget of 2 exceeded");
+    }
+
+    #[test]
+    fn nested_fanout_stays_within_budget() {
+        // Outer tasks fan out again on the same pool (the runner →
+        // replay_many shape). Each thread holds one slot across all
+        // nesting depths, so inner-task concurrency stays within the
+        // budget instead of stacking outer × inner.
+        let pool = WorkerPool::with_cap(8, 3);
+        let concurrent = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let out = pool.run(6, usize::MAX, |i| {
+            pool.run(6, usize::MAX, |j| {
+                let now = concurrent.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                concurrent.fetch_sub(1, Ordering::SeqCst);
+                i * 10 + j
+            })
+            .into_iter()
+            .sum::<usize>()
+        });
+        assert_eq!(out.len(), 6);
+        assert!(
+            peak.load(Ordering::SeqCst) <= 3,
+            "nested fan-out exceeded budget: peak {}",
+            peak.load(Ordering::SeqCst)
+        );
+    }
+
+    #[test]
+    fn external_callers_share_budget() {
+        // Three independent caller threads hammer one budget-2 pool; the
+        // third always waits for a slot rather than oversubscribing.
+        let pool = Arc::new(WorkerPool::with_cap(4, 2));
+        let concurrent = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let mut joins = Vec::new();
+        for _ in 0..3 {
+            let pool = Arc::clone(&pool);
+            let concurrent = Arc::clone(&concurrent);
+            let peak = Arc::clone(&peak);
+            joins.push(std::thread::spawn(move || {
+                pool.run(8, usize::MAX, |_| {
+                    let now = concurrent.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                    concurrent.fetch_sub(1, Ordering::SeqCst);
+                });
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert!(peak.load(Ordering::SeqCst) <= 2, "budget of 2 exceeded");
+    }
+
+    #[test]
+    fn default_budget_never_binds() {
+        // `new(w)` keeps the historical behaviour: all workers plus the
+        // caller may run at once.
+        let pool = WorkerPool::new(3);
+        assert_eq!(pool.cap(), 4);
+        let concurrent = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        pool.run(32, usize::MAX, |_| {
+            let now = concurrent.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            concurrent.fetch_sub(1, Ordering::SeqCst);
+        });
+        assert!(peak.load(Ordering::SeqCst) <= 4);
+    }
+
+    #[test]
+    fn global_pool_budget_is_available_parallelism() {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        assert_eq!(global().cap(), cores);
+        assert_eq!(global().workers(), cores.saturating_sub(1));
     }
 
     #[test]

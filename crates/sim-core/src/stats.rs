@@ -16,6 +16,8 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Evicted blocks that were dirty (must be written downstream).
     pub writebacks: u64,
+    /// Misses the policy chose not to fill (left the cache untouched).
+    pub bypasses: u64,
 }
 
 impl CacheStats {
@@ -68,6 +70,7 @@ impl AddAssign for CacheStats {
         self.misses += rhs.misses;
         self.evictions += rhs.evictions;
         self.writebacks += rhs.writebacks;
+        self.bypasses += rhs.bypasses;
     }
 }
 
@@ -75,13 +78,14 @@ impl fmt::Display for CacheStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} accesses, {} hits, {} misses ({:.2}% miss), {} evictions, {} writebacks",
+            "{} accesses, {} hits, {} misses ({:.2}% miss), {} evictions, {} writebacks, {} bypasses",
             self.accesses,
             self.hits,
             self.misses,
             self.miss_ratio() * 100.0,
             self.evictions,
-            self.writebacks
+            self.writebacks,
+            self.bypasses
         )
     }
 }
@@ -97,7 +101,7 @@ mod tests {
             hits: 7,
             misses: 3,
             evictions: 1,
-            writebacks: 0,
+            ..CacheStats::new()
         };
         assert!((s.miss_ratio() - 0.3).abs() < 1e-12);
         assert!((s.hit_ratio() - 0.7).abs() < 1e-12);
@@ -126,9 +130,7 @@ mod tests {
         let a = CacheStats {
             accesses: 1,
             hits: 1,
-            misses: 0,
-            evictions: 0,
-            writebacks: 0,
+            ..CacheStats::new()
         };
         let b = CacheStats {
             accesses: 2,
@@ -136,11 +138,13 @@ mod tests {
             misses: 2,
             evictions: 1,
             writebacks: 1,
+            bypasses: 1,
         };
         let c = a + b;
         assert_eq!(c.accesses, 3);
         assert_eq!(c.misses, 2);
         assert_eq!(c.writebacks, 1);
+        assert_eq!(c.bypasses, 1);
     }
 
     #[test]

@@ -61,10 +61,12 @@ pub enum DivergenceKind {
     },
     /// Final statistics differed after an otherwise-clean replay.
     Stats {
-        /// `(accesses, hits, misses, evictions, writebacks)` optimized.
-        block: [u64; 5],
-        /// `(accesses, hits, misses, evictions, writebacks)` reference.
-        reference: [u64; 5],
+        /// `(accesses, hits, misses, evictions, writebacks, bypasses)`
+        /// optimized.
+        block: [u64; 6],
+        /// `(accesses, hits, misses, evictions, writebacks, bypasses)`
+        /// reference.
+        reference: [u64; 6],
     },
 }
 
@@ -125,8 +127,15 @@ impl PolicyPair {
     }
 }
 
-fn stats_vec(s: &sim_core::CacheStats) -> [u64; 5] {
-    [s.accesses, s.hits, s.misses, s.evictions, s.writebacks]
+fn stats_vec(s: &sim_core::CacheStats) -> [u64; 6] {
+    [
+        s.accesses,
+        s.hits,
+        s.misses,
+        s.evictions,
+        s.writebacks,
+        s.bypasses,
+    ]
 }
 
 /// Replays `stream` through the three models, returning `Err` with the
@@ -141,7 +150,8 @@ pub fn diff_replay(
 ) -> Result<sim_core::CacheStats, Divergence> {
     match run_once(pair, geom, stream) {
         Ok(stats) => Ok(stats),
-        Err((index, access, kind)) => {
+        Err(raw) => {
+            let (index, access, kind) = *raw;
             let minimized = minimize(pair, geom, stream, index);
             Err(Divergence {
                 policy: pair.name.to_string(),
@@ -154,7 +164,11 @@ pub fn diff_replay(
     }
 }
 
-type RawDivergence = (usize, Option<Access>, DivergenceKind);
+type RawDivergence = Box<(usize, Option<Access>, DivergenceKind)>;
+
+fn raw(index: usize, access: Option<Access>, kind: DivergenceKind) -> RawDivergence {
+    Box::new((index, access, kind))
+}
 
 fn run_once(
     pair: &PolicyPair,
@@ -171,7 +185,7 @@ fn run_once(
         let rf = reference.access(a);
 
         if fast_hit != opt.hit || opt.hit != rf.hit {
-            return Err((
+            return Err(raw(
                 i,
                 Some(*a),
                 DivergenceKind::HitMiss {
@@ -182,7 +196,7 @@ fn run_once(
             ));
         }
         if opt.bypassed != rf.bypassed {
-            return Err((
+            return Err(raw(
                 i,
                 Some(*a),
                 DivergenceKind::Bypass {
@@ -193,7 +207,7 @@ fn run_once(
         }
         let opt_evicted = opt.evicted.map(|e| (e.block_addr, e.dirty));
         if opt_evicted != rf.evicted {
-            return Err((
+            return Err(raw(
                 i,
                 Some(*a),
                 DivergenceKind::Eviction {
@@ -206,7 +220,7 @@ fn run_once(
         let opt_resident = block.resident_blocks(set);
         let ref_resident = reference.resident_blocks(set);
         if opt_resident != ref_resident {
-            return Err((
+            return Err(raw(
                 i,
                 Some(*a),
                 DivergenceKind::Contents {
@@ -221,7 +235,7 @@ fn run_once(
     let ref_stats = stats_vec(reference.stats());
     let fast_stats = stats_vec(fast.stats());
     if opt_stats != ref_stats || fast_stats != ref_stats {
-        return Err((
+        return Err(raw(
             stream.len(),
             None,
             DivergenceKind::Stats {

@@ -92,6 +92,7 @@ impl RefCache {
         self.stats.misses += 1;
         self.policy.on_miss(set, ctx);
         if self.policy.should_bypass(set, ctx) {
+            self.stats.bypasses += 1;
             return RefOutcome {
                 hit: false,
                 bypassed: true,

@@ -1,0 +1,58 @@
+//! Differential test for the sharded single-pass multi-policy engine:
+//! [`mem_model::replay_many`] must reproduce the sequential
+//! [`mem_model::replay_llc`] result — every stat and the cycle estimate,
+//! to the bit — for every policy in the verification roster, on every
+//! oracle workload. Set-local policies exercise the shard-and-merge
+//! path; global-state policies (duels, RNG, samplers) exercise the
+//! documented sequential fallback, so the whole roster goes through the
+//! batch API exactly as the figure harness uses it.
+
+use mem_model::cpi::WindowPerfModel;
+use mem_model::{replay_llc, replay_many, replay_many_sharded};
+use sim_core::{PolicyFactory, ShardedStream};
+use sim_verify::diff::{oracle_geometry, roster};
+use sim_verify::workloads::workloads;
+
+#[test]
+fn sharded_replay_matches_sequential_for_full_roster() {
+    let geom = oracle_geometry();
+    let perf = WindowPerfModel::default();
+    let pairs = roster("all");
+    assert!(
+        pairs.len() >= 17,
+        "expected the full roster, got {} pairs",
+        pairs.len()
+    );
+    let factories: Vec<&PolicyFactory> = pairs.iter().map(|p| &p.optimized).collect();
+    for (name, stream) in workloads(0xc0ffee, 40_000) {
+        let warmup = mem_model::llc::default_warmup(stream.len());
+        let sequential: Vec<_> = pairs
+            .iter()
+            .map(|p| replay_llc(&stream, geom, (p.optimized)(&geom), warmup, &perf))
+            .collect();
+
+        // The convenience entry picks its shard count from the host's
+        // worker budget (possibly 1); pinned routings below force the
+        // shard-and-merge path on any host.
+        let batched = replay_many(&stream, geom, &factories, warmup, &perf);
+        assert_eq!(batched.len(), pairs.len());
+        for ((pair, want), got) in pairs.iter().zip(&sequential).zip(&batched) {
+            assert_eq!(
+                got, want,
+                "sharded replay diverged for policy {} on workload {name}",
+                pair.name
+            );
+        }
+        for shards in [4usize, 32] {
+            let sharded = ShardedStream::build(&stream, &geom, warmup, shards);
+            let batched = replay_many_sharded(&stream, &sharded, &factories, &perf);
+            for ((pair, want), got) in pairs.iter().zip(&sequential).zip(&batched) {
+                assert_eq!(
+                    got, want,
+                    "{shards}-shard replay diverged for policy {} on workload {name}",
+                    pair.name
+                );
+            }
+        }
+    }
+}
