@@ -1,0 +1,446 @@
+//! GA checkpointing: crash-safe snapshots of an in-progress evolution.
+//!
+//! The paper's full-scale GA is hours of CPU time (20 000 initial
+//! candidates, 50 generations, 29 workloads each); losing a run to a crash
+//! at generation 49 is not acceptable. A [`Checkpointing`] policy makes
+//! [`crate::Ga`] snapshot its complete loop state — generation index,
+//! population, RNG state, best-fitness history, and the fitness memo —
+//! every `every` generations through `sim_core::persist::atomic_write`,
+//! and load the newest snapshot on the next run. Because the snapshot is
+//! taken at the top of a generation and includes the RNG's internal state,
+//! a resumed run replays the exact random stream of an uninterrupted one:
+//! resumption is bit-identical, not merely "close" (proven by a
+//! differential test in `ga.rs`).
+//!
+//! # File format (`PLRUGAC1`)
+//!
+//! ```text
+//! magic            8 B   "PLRUGAC1"
+//! version          u32   1
+//! fingerprint      u64   FNV-1a over the GaConfig + stage label
+//! status           u8    0 = in-progress state, 1 = final result
+//! -- status 0 --
+//! generation       u32
+//! rng state        4 × u64
+//! history          u32 count + count × f64
+//! population       u32 count + count × (u32 len + genome bytes)
+//! memo             u32 count + count × (u32 len + key bytes + f64)
+//! -- status 1 --
+//! best             u32 len + genome bytes
+//! best fitness     f64
+//! history          u32 count + count × f64
+//! -- both --
+//! crc32            u32   over everything after the magic
+//! ```
+//!
+//! Genome bytes come from [`crate::Genome::encode`]. All integers are
+//! little-endian. A checkpoint that fails *any* validation — magic,
+//! version, CRC, fingerprint, or genome decode — is ignored with a warning
+//! and the stage restarts from scratch: a corrupt checkpoint can cost
+//! recomputation, never correctness.
+
+use crate::ga::{GaConfig, GaResult, Genome};
+use rand::rngs::StdRng;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use traces::format::Crc32;
+
+const MAGIC: &[u8; 8] = b"PLRUGAC1";
+const VERSION: u32 = 1;
+
+/// Where and how often a GA run checkpoints. Each stage of a multi-stage
+/// run (the paper's stage-1 islands, the seeded final stage, each duel
+/// size) gets its own file under `dir`, named by its stage label.
+#[derive(Debug, Clone)]
+pub struct Checkpointing {
+    /// Directory holding one checkpoint file per stage.
+    pub dir: PathBuf,
+    /// Snapshot every `every` generations (clamped to at least 1).
+    pub every: usize,
+}
+
+impl Checkpointing {
+    /// Checkpoints under `dir` every generation.
+    pub fn in_dir(dir: impl Into<PathBuf>) -> Self {
+        Checkpointing {
+            dir: dir.into(),
+            every: 1,
+        }
+    }
+
+    /// The checkpoint file for the stage labeled `label`.
+    pub fn stage_path(&self, label: &str) -> PathBuf {
+        self.dir.join(format!("{label}.ckpt"))
+    }
+
+    /// Removes every checkpoint under `dir` (a non-resuming run starts
+    /// clean so stale snapshots from an earlier configuration are never
+    /// picked up).
+    pub fn clear(&self) {
+        if let Ok(entries) = std::fs::read_dir(&self.dir) {
+            for entry in entries.flatten() {
+                let path = entry.path();
+                let is_ckpt = path.extension().is_some_and(|e| e == "ckpt" || e == "tmp");
+                if is_ckpt {
+                    let _ = std::fs::remove_file(path);
+                }
+            }
+        }
+    }
+}
+
+/// The complete loop state of a GA run at the top of a generation.
+pub(crate) struct ResumeState<G> {
+    pub generation: usize,
+    pub rng: StdRng,
+    pub history: Vec<f64>,
+    pub population: Vec<G>,
+    pub memo: HashMap<Vec<u8>, f64>,
+}
+
+/// What a checkpoint file held.
+pub(crate) enum Loaded<G> {
+    /// No usable checkpoint (absent, corrupt, or different config).
+    None,
+    /// An in-progress run to resume.
+    State(ResumeState<G>),
+    /// The stage already finished; its result short-circuits the run.
+    Final(GaResult<G>),
+}
+
+/// Stage fingerprint: a checkpoint is only resumable by the exact GA
+/// configuration (and stage) that wrote it.
+pub(crate) fn fingerprint(config: &GaConfig, label: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    eat(&(config.initial_population as u64).to_le_bytes());
+    eat(&(config.population as u64).to_le_bytes());
+    eat(&(config.generations as u64).to_le_bytes());
+    eat(&config.mutation_rate.to_le_bytes());
+    eat(&(config.elitism as u64).to_le_bytes());
+    eat(&(config.tournament as u64).to_le_bytes());
+    eat(&config.seed.to_le_bytes());
+    eat(label.as_bytes());
+    h
+}
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new() -> Self {
+        Writer {
+            buf: MAGIC.to_vec(),
+        }
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn bytes(&mut self, v: &[u8]) {
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+
+    fn finish(mut self) -> Vec<u8> {
+        let mut crc = Crc32::new();
+        crc.update(&self.buf[MAGIC.len()..]);
+        let crc = crc.finish();
+        self.buf.extend_from_slice(&crc.to_le_bytes());
+        self.buf
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let slice = self.buf.get(self.pos..self.pos + n)?;
+        self.pos += n;
+        Some(slice)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    fn f64(&mut self) -> Option<f64> {
+        Some(f64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    fn bytes(&mut self) -> Option<&'a [u8]> {
+        let len = self.u32()? as usize;
+        self.take(len)
+    }
+}
+
+/// Serializes and atomically persists an in-progress snapshot (taken at
+/// the top of `generation`, before its fitness evaluation).
+pub(crate) fn save_state<G: Genome>(
+    path: &Path,
+    fp: u64,
+    generation: usize,
+    rng: &StdRng,
+    history: &[f64],
+    population: &[G],
+    memo: &HashMap<Vec<u8>, f64>,
+) -> std::io::Result<()> {
+    let mut w = Writer::new();
+    w.u32(VERSION);
+    w.u64(fp);
+    w.buf.push(0); // status: in-progress
+    w.u32(generation as u32);
+    for word in rng.state() {
+        w.u64(word);
+    }
+    w.u32(history.len() as u32);
+    for &h in history {
+        w.f64(h);
+    }
+    w.u32(population.len() as u32);
+    for g in population {
+        w.bytes(&g.encode());
+    }
+    // Deterministic memo order so identical states write identical bytes.
+    let mut entries: Vec<(&Vec<u8>, &f64)> = memo.iter().collect();
+    entries.sort_by(|a, b| a.0.cmp(b.0));
+    w.u32(entries.len() as u32);
+    for (key, &value) in entries {
+        w.bytes(key);
+        w.f64(value);
+    }
+    sim_core::persist::atomic_write(path, &w.finish())
+}
+
+/// Serializes and atomically persists a finished stage's result, so a
+/// later resume short-circuits the whole stage.
+pub(crate) fn save_final<G: Genome>(
+    path: &Path,
+    fp: u64,
+    result: &GaResult<G>,
+) -> std::io::Result<()> {
+    let mut w = Writer::new();
+    w.u32(VERSION);
+    w.u64(fp);
+    w.buf.push(1); // status: final
+    w.bytes(&result.best.encode());
+    w.f64(result.best_fitness);
+    w.u32(result.history.len() as u32);
+    for &h in &result.history {
+        w.f64(h);
+    }
+    sim_core::persist::atomic_write(path, &w.finish())
+}
+
+/// Loads whatever `path` holds, validating magic, version, CRC, and the
+/// stage fingerprint. Every failure degrades to [`Loaded::None`].
+pub(crate) fn load<G: Genome>(path: &Path, fp: u64, assoc: usize) -> Loaded<G> {
+    let buf = match std::fs::read(path) {
+        Ok(buf) => buf,
+        Err(_) => return Loaded::None,
+    };
+    match parse(&buf, fp, assoc) {
+        Some(loaded) => loaded,
+        None => {
+            eprintln!(
+                "evolve: ignoring unusable checkpoint {} (corrupt or from a \
+                 different configuration); restarting the stage",
+                path.display()
+            );
+            Loaded::None
+        }
+    }
+}
+
+fn parse<G: Genome>(buf: &[u8], fp: u64, assoc: usize) -> Option<Loaded<G>> {
+    if buf.len() < MAGIC.len() + 4 || &buf[..MAGIC.len()] != MAGIC {
+        return None;
+    }
+    let body = &buf[MAGIC.len()..buf.len() - 4];
+    let stored_crc = u32::from_le_bytes(buf[buf.len() - 4..].try_into().ok()?);
+    let mut crc = Crc32::new();
+    crc.update(body);
+    if crc.finish() != stored_crc {
+        return None;
+    }
+    let mut r = Reader { buf: body, pos: 0 };
+    if r.u32()? != VERSION || r.u64()? != fp {
+        return None;
+    }
+    match r.u8()? {
+        0 => {
+            let generation = r.u32()? as usize;
+            let rng = StdRng::from_state([r.u64()?, r.u64()?, r.u64()?, r.u64()?]);
+            let history = (0..r.u32()?).map(|_| r.f64()).collect::<Option<Vec<_>>>()?;
+            let population = (0..r.u32()?)
+                .map(|_| G::decode(r.bytes()?, assoc))
+                .collect::<Option<Vec<_>>>()?;
+            let memo = (0..r.u32()?)
+                .map(|_| Some((r.bytes()?.to_vec(), r.f64()?)))
+                .collect::<Option<HashMap<_, _>>>()?;
+            Some(Loaded::State(ResumeState {
+                generation,
+                rng,
+                history,
+                population,
+                memo,
+            }))
+        }
+        1 => {
+            let best = G::decode(r.bytes()?, assoc)?;
+            let best_fitness = r.f64()?;
+            let history = (0..r.u32()?).map(|_| r.f64()).collect::<Option<Vec<_>>>()?;
+            Some(Loaded::Final(GaResult {
+                best,
+                best_fitness,
+                history,
+            }))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gippr::Ipv;
+
+    fn cfg() -> GaConfig {
+        GaConfig::quick(17)
+    }
+
+    fn state() -> ResumeState<Ipv> {
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        rng.gen::<u64>();
+        let population: Vec<Ipv> = (0..6).map(|_| Ipv::random(16, &mut rng)).collect();
+        let mut memo = HashMap::new();
+        memo.insert(population[0].encode(), 1.25);
+        memo.insert(population[1].encode(), f64::NEG_INFINITY);
+        ResumeState {
+            generation: 3,
+            rng,
+            history: vec![1.0, 1.1, 1.2],
+            population,
+            memo,
+        }
+    }
+
+    fn save(path: &Path, fp: u64, s: &ResumeState<Ipv>) {
+        save_state(
+            path,
+            fp,
+            s.generation,
+            &s.rng,
+            &s.history,
+            &s.population,
+            &s.memo,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn state_roundtrips_exactly() {
+        let dir = std::env::temp_dir().join(format!("gack-rt-{}", std::process::id()));
+        let path = dir.join("stage.ckpt");
+        let fp = fingerprint(&cfg(), "stage");
+        let original = state();
+        save(&path, fp, &original);
+        match load::<Ipv>(&path, fp, 16) {
+            Loaded::State(loaded) => {
+                assert_eq!(loaded.generation, original.generation);
+                assert_eq!(loaded.rng, original.rng);
+                assert_eq!(loaded.history, original.history);
+                assert_eq!(loaded.population, original.population);
+                assert_eq!(loaded.memo, original.memo);
+            }
+            _ => panic!("expected an in-progress state"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn final_roundtrips_and_wrong_fingerprint_is_rejected() {
+        let dir = std::env::temp_dir().join(format!("gack-fin-{}", std::process::id()));
+        let path = dir.join("stage.ckpt");
+        let fp = fingerprint(&cfg(), "stage");
+        let result = GaResult {
+            best: Ipv::lru_insertion(16),
+            best_fitness: 1.5,
+            history: vec![1.0, 1.5],
+        };
+        save_final(&path, fp, &result).unwrap();
+        match load::<Ipv>(&path, fp, 16) {
+            Loaded::Final(loaded) => {
+                assert_eq!(loaded.best, result.best);
+                assert_eq!(loaded.best_fitness, result.best_fitness);
+                assert_eq!(loaded.history, result.history);
+            }
+            _ => panic!("expected a final result"),
+        }
+        // A different stage label (or config) must not resume this file.
+        let other = fingerprint(&cfg(), "other-stage");
+        assert!(matches!(load::<Ipv>(&path, other, 16), Loaded::None));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_checkpoints_degrade_to_restart() {
+        let dir = std::env::temp_dir().join(format!("gack-bad-{}", std::process::id()));
+        let path = dir.join("stage.ckpt");
+        let fp = fingerprint(&cfg(), "stage");
+        save(&path, fp, &state());
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(
+            matches!(load::<Ipv>(&path, fp, 16), Loaded::None),
+            "CRC must catch a flipped byte"
+        );
+        // Truncation and absence likewise restart rather than panic.
+        std::fs::write(&path, &bytes[..10]).unwrap();
+        assert!(matches!(load::<Ipv>(&path, fp, 16), Loaded::None));
+        let _ = std::fs::remove_file(&path);
+        assert!(matches!(load::<Ipv>(&path, fp, 16), Loaded::None));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn clear_removes_stage_files() {
+        let dir = std::env::temp_dir().join(format!("gack-clear-{}", std::process::id()));
+        let ckpt = Checkpointing::in_dir(&dir);
+        let fp = fingerprint(&cfg(), "stage");
+        save(&ckpt.stage_path("stage"), fp, &state());
+        assert!(ckpt.stage_path("stage").exists());
+        ckpt.clear();
+        assert!(!ckpt.stage_path("stage").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

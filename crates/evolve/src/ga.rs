@@ -9,11 +9,18 @@
 //! The algorithm is generic over a [`Genome`], so the same machinery
 //! evolves single IPVs (GIPPR) and dueling vector sets (2-/4-DGIPPR).
 
+use crate::checkpoint::{self, Checkpointing, Loaded};
 use crate::fitness::{FitnessContext, Substrate};
 use gippr::Ipv;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
 use std::fmt;
+
+/// Fitness-memo size bound: above this the memo is pruned to the current
+/// generation's keys. Purely a memory cap — pruning changes which genomes
+/// are *recomputed*, never their (deterministic) fitness values.
+const MEMO_CAP: usize = 1 << 17;
 
 /// A searchable genome: random initialization, crossover, mutation.
 pub trait Genome: Clone + Send + Sync + fmt::Display {
@@ -30,6 +37,13 @@ pub trait Genome: Clone + Send + Sync + fmt::Display {
     fn is_viable(&self) -> bool {
         true
     }
+    /// Serializes the genome for checkpoint files and as the fitness-memo
+    /// key; two genomes encode equal iff they are behaviorally identical.
+    fn encode(&self) -> Vec<u8>;
+    /// Rebuilds a genome from [`Genome::encode`] bytes for an `assoc`-way
+    /// cache; `None` (never a panic) for bytes that are not a valid
+    /// genome, so corrupt checkpoints degrade to a restart.
+    fn decode(bytes: &[u8], assoc: usize) -> Option<Self>;
 }
 
 impl Genome for Ipv {
@@ -61,6 +75,17 @@ impl Genome for Ipv {
     /// ordering, so their fitness is known without simulation.
     fn is_viable(&self) -> bool {
         !self.is_degenerate()
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        self.entries().to_vec()
+    }
+
+    fn decode(bytes: &[u8], assoc: usize) -> Option<Self> {
+        if bytes.len() != assoc + 1 {
+            return None;
+        }
+        Ipv::from_slice(bytes).ok()
     }
 }
 
@@ -152,6 +177,27 @@ impl Genome for VectorSet {
     fn is_viable(&self) -> bool {
         self.vectors.iter().all(Genome::is_viable)
     }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut out = vec![self.vectors.len() as u8];
+        for v in &self.vectors {
+            out.extend_from_slice(v.entries());
+        }
+        out
+    }
+
+    fn decode(bytes: &[u8], assoc: usize) -> Option<Self> {
+        let (&count, rest) = bytes.split_first()?;
+        let count = count as usize;
+        if !(count == 2 || count == 4) || rest.len() != count * (assoc + 1) {
+            return None;
+        }
+        let vectors = rest
+            .chunks(assoc + 1)
+            .map(|chunk| Ipv::from_slice(chunk).ok())
+            .collect::<Option<Vec<_>>>()?;
+        Some(VectorSet { vectors })
+    }
 }
 
 /// Genetic-algorithm parameters.
@@ -226,11 +272,23 @@ impl Ga {
 
     /// Evolves a single IPV on `substrate` (GIPPR/GIPLR).
     pub fn run_single(&self, ctx: &FitnessContext, substrate: Substrate) -> GaResult<Ipv> {
-        self.run_seeded(
+        self.run_single_checkpointed(ctx, substrate, None)
+    }
+
+    /// [`run_single`](Ga::run_single) with optional crash-safe
+    /// checkpointing under the given stage label.
+    pub fn run_single_checkpointed(
+        &self,
+        ctx: &FitnessContext,
+        substrate: Substrate,
+        ckpt: Option<(&Checkpointing, &str)>,
+    ) -> GaResult<Ipv> {
+        self.run_seeded_checkpointed(
             ctx,
             Vec::new(),
             |ctx, g| ctx.fitness_single(g, substrate),
             Ipv::sample,
+            ckpt,
         )
     }
 
@@ -243,11 +301,24 @@ impl Ga {
         n: usize,
         seeds: Vec<VectorSet>,
     ) -> GaResult<VectorSet> {
-        self.run_seeded(
+        self.run_set_checkpointed(ctx, n, seeds, None)
+    }
+
+    /// [`run_set`](Ga::run_set) with optional crash-safe checkpointing
+    /// under the given stage label.
+    pub fn run_set_checkpointed(
+        &self,
+        ctx: &FitnessContext,
+        n: usize,
+        seeds: Vec<VectorSet>,
+        ckpt: Option<(&Checkpointing, &str)>,
+    ) -> GaResult<VectorSet> {
+        self.run_seeded_checkpointed(
             ctx,
             seeds,
             |ctx, g: &VectorSet| ctx.fitness_set(g.vectors()),
             move |assoc, rng| VectorSet::sample_n(n, assoc, rng),
+            ckpt,
         )
     }
 
@@ -264,20 +335,49 @@ impl Ga {
         substrate: Substrate,
         first_stage_runs: usize,
     ) -> GaResult<Ipv> {
+        self.run_two_stage_single_checkpointed(ctx, substrate, first_stage_runs, None)
+    }
+
+    /// [`run_two_stage_single`](Ga::run_two_stage_single) with optional
+    /// crash-safe checkpointing: each stage-one island checkpoints under
+    /// `<label>-s1-<i>` and the seeded final stage under `<label>-final`,
+    /// so a crash anywhere in the multi-hour pipeline resumes at the
+    /// interrupted stage (completed stages short-circuit off their final
+    /// markers).
+    pub fn run_two_stage_single_checkpointed(
+        &self,
+        ctx: &FitnessContext,
+        substrate: Substrate,
+        first_stage_runs: usize,
+        ckpt: Option<(&Checkpointing, &str)>,
+    ) -> GaResult<Ipv> {
         let winners: Vec<Ipv> = (0..first_stage_runs.max(1))
             .map(|i| {
                 let cfg = GaConfig {
                     seed: self.config.seed.wrapping_add(1 + i as u64),
                     ..self.config
                 };
-                Ga::new(cfg).run_single(ctx, substrate).best
+                let label = ckpt.map(|(_, base)| format!("{base}-s1-{i}"));
+                let stage = match (&ckpt, &label) {
+                    (Some((c, _)), Some(label)) => Some((*c, label.as_str())),
+                    _ => None,
+                };
+                Ga::new(cfg)
+                    .run_single_checkpointed(ctx, substrate, stage)
+                    .best
             })
             .collect();
-        self.run_seeded(
+        let label = ckpt.map(|(_, base)| format!("{base}-final"));
+        let stage = match (&ckpt, &label) {
+            (Some((c, _)), Some(label)) => Some((*c, label.as_str())),
+            _ => None,
+        };
+        self.run_seeded_checkpointed(
             ctx,
             winners,
             |c, g| c.fitness_single(g, substrate),
             Ipv::sample,
+            stage,
         )
     }
 
@@ -294,29 +394,108 @@ impl Ga {
         F: Fn(&FitnessContext, &G) -> f64 + Sync,
         S: Fn(usize, &mut StdRng) -> G,
     {
+        self.run_seeded_checkpointed(ctx, seeds, eval, sample, None)
+    }
+
+    /// [`run_seeded`](Ga::run_seeded) with optional crash-safe
+    /// checkpointing. When `ckpt` is set, the complete loop state
+    /// (generation, population, RNG state, history, fitness memo) is
+    /// snapshotted through `sim_core::persist::atomic_write` every
+    /// [`Checkpointing::every`] generations, and an existing snapshot for
+    /// the same configuration and stage label is resumed **bit-identically**:
+    /// the result is byte-for-byte the one an uninterrupted run produces
+    /// (see the differential test). A completed stage writes a final
+    /// marker that short-circuits re-runs; an unusable snapshot restarts
+    /// the stage with a warning.
+    pub fn run_seeded_checkpointed<G, F, S>(
+        &self,
+        ctx: &FitnessContext,
+        seeds: Vec<G>,
+        eval: F,
+        sample: S,
+        ckpt: Option<(&Checkpointing, &str)>,
+    ) -> GaResult<G>
+    where
+        G: Genome,
+        F: Fn(&FitnessContext, &G) -> f64 + Sync,
+        S: Fn(usize, &mut StdRng) -> G,
+    {
         let cfg = &self.config;
         let assoc = ctx.geometry().ways();
+        let generations = cfg.generations.max(1);
+        let station = ckpt.map(|(c, label)| {
+            (
+                c.stage_path(label),
+                checkpoint::fingerprint(cfg, label),
+                c.every.max(1),
+            )
+        });
+
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut population: Vec<G> = seeds;
         population.truncate(cfg.initial_population);
         while population.len() < cfg.initial_population.max(2) {
             population.push(sample(assoc, &mut rng));
         }
+        let mut history = Vec::with_capacity(generations);
+        // Fitness memo keyed by genome encoding: elites (and any
+        // re-discovered genome) skip their replays on later generations,
+        // and a resumed run inherits the interrupted run's evaluations.
+        let mut memo: HashMap<Vec<u8>, f64> = HashMap::new();
+        let mut start_gen = 0;
+        if let Some((path, fp, _)) = &station {
+            match checkpoint::load::<G>(path, *fp, assoc) {
+                Loaded::Final(result) => return result,
+                Loaded::State(state) => {
+                    start_gen = state.generation.min(generations - 1);
+                    rng = state.rng;
+                    history = state.history;
+                    population = state.population;
+                    memo = state.memo;
+                }
+                Loaded::None => {}
+            }
+        }
 
-        let mut history = Vec::with_capacity(cfg.generations);
         let mut scored: Vec<(G, f64)> = Vec::new();
-        for _gen in 0..cfg.generations.max(1) {
+        for gen in start_gen..generations {
+            if let Some((path, fp, every)) = &station {
+                if gen % every == 0 && gen != 0 {
+                    if let Err(e) =
+                        checkpoint::save_state(path, *fp, gen, &rng, &history, &population, &memo)
+                    {
+                        eprintln!(
+                            "evolve: failed to write checkpoint {}: {e} (continuing unprotected)",
+                            path.display()
+                        );
+                    }
+                }
+            }
             // Static viability pruning: degenerate genomes are sunk to
             // -inf without reaching `eval`, saving a full trace replay per
             // pruned candidate. They still participate in selection (and
             // lose every tournament to any finite-fitness rival).
-            let fitness = ctx.fitness_many(&population, |c: &FitnessContext, g: &G| {
+            let viable_eval = |c: &FitnessContext, g: &G| {
                 if g.is_viable() {
                     eval(c, g)
                 } else {
                     f64::NEG_INFINITY
                 }
-            });
+            };
+            let keys: Vec<Vec<u8>> = population.iter().map(Genome::encode).collect();
+            let fresh_idx: Vec<usize> = (0..population.len())
+                .filter(|&i| !memo.contains_key(&keys[i]))
+                .collect();
+            let fresh: Vec<G> = fresh_idx.iter().map(|&i| population[i].clone()).collect();
+            let fresh_fitness = ctx.fitness_many(&fresh, viable_eval);
+            for (&i, value) in fresh_idx.iter().zip(fresh_fitness) {
+                memo.insert(keys[i].clone(), value);
+            }
+            let fitness: Vec<f64> = keys.iter().map(|k| memo[k]).collect();
+            if memo.len() > MEMO_CAP {
+                let keep: std::collections::HashSet<&Vec<u8>> = keys.iter().collect();
+                memo.retain(|k, _| keep.contains(k));
+            }
             scored = population.iter().cloned().zip(fitness).collect();
             // Descending by fitness; NaN-safe (NaN sinks to the bottom).
             scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
@@ -338,11 +517,20 @@ impl Ga {
             population = next;
         }
         let (best, best_fitness) = scored.swap_remove(0);
-        GaResult {
+        let result = GaResult {
             best,
             best_fitness,
             history,
+        };
+        if let Some((path, fp, _)) = &station {
+            if let Err(e) = checkpoint::save_final(path, *fp, &result) {
+                eprintln!(
+                    "evolve: failed to write final checkpoint {}: {e}",
+                    path.display()
+                );
+            }
         }
+        result
     }
 }
 
@@ -562,5 +750,104 @@ mod tests {
     #[should_panic(expected = "2 or 4")]
     fn vector_set_rejects_odd_sizes() {
         let _ = VectorSet::new(vec![Ipv::lru(16)]);
+    }
+
+    #[test]
+    fn genome_encoding_roundtrips() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..20 {
+            let ipv = Ipv::random(16, &mut rng);
+            assert_eq!(Ipv::decode(&ipv.encode(), 16), Some(ipv.clone()));
+            let set = VectorSet::sample_n(4, 16, &mut rng);
+            assert_eq!(VectorSet::decode(&set.encode(), 16), Some(set));
+        }
+        assert_eq!(Ipv::decode(&[0u8; 5], 16), None, "wrong length rejected");
+        assert_eq!(VectorSet::decode(&[3u8, 0, 0], 16), None, "bad count");
+        assert_eq!(VectorSet::decode(&[], 16), None, "empty rejected");
+    }
+
+    /// The tentpole's differential guarantee: a GA run interrupted
+    /// mid-generation and resumed from its checkpoint produces the
+    /// *bit-identical* result of an uninterrupted run — same best genome,
+    /// same fitness bits, same per-generation history.
+    #[test]
+    fn checkpoint_resume_is_bit_identical_to_uninterrupted_run() {
+        use crate::checkpoint::Checkpointing;
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        let ctx = ctx();
+        let cfg = GaConfig {
+            initial_population: 14,
+            population: 10,
+            generations: 6,
+            mutation_rate: 0.2,
+            elitism: 2,
+            tournament: 2,
+            seed: 0xC0FFEE,
+        };
+        // Synthetic deterministic fitness (no simulation) keeps the test
+        // fast; any pure function of the genome works.
+        let synth = |_c: &FitnessContext, g: &Ipv| {
+            let shape: f64 = g.entries().iter().map(|&e| e as f64).sum();
+            g.insertion() as f64 - shape / 64.0
+        };
+        let reference = Ga::new(cfg).run_seeded(&ctx, Vec::new(), synth, Ipv::sample);
+
+        let dir = std::env::temp_dir().join(format!("ga-diff-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let ckpt = Checkpointing::in_dir(&dir);
+
+        // Interrupted run: the fitness function itself dies partway
+        // through a mid-run generation (the worker pool surfaces the
+        // panic after draining, exactly like a crashed experiment).
+        let calls = AtomicUsize::new(0);
+        let crashed = catch_unwind(AssertUnwindSafe(|| {
+            Ga::new(cfg).run_seeded_checkpointed(
+                &ctx,
+                Vec::new(),
+                |c: &FitnessContext, g: &Ipv| {
+                    if calls.fetch_add(1, Ordering::SeqCst) == 30 {
+                        panic!("injected crash mid-generation");
+                    }
+                    synth(c, g)
+                },
+                Ipv::sample,
+                Some((&ckpt, "diff")),
+            )
+        }));
+        assert!(crashed.is_err(), "the interrupted run must actually crash");
+        assert!(
+            calls.load(Ordering::SeqCst) > cfg.initial_population,
+            "crash must land beyond generation 0 for the resume to matter"
+        );
+
+        // Resume with the healthy fitness function.
+        let resumed = Ga::new(cfg).run_seeded_checkpointed(
+            &ctx,
+            Vec::new(),
+            synth,
+            Ipv::sample,
+            Some((&ckpt, "diff")),
+        );
+        assert_eq!(resumed.best, reference.best);
+        assert_eq!(
+            resumed.best_fitness.to_bits(),
+            reference.best_fitness.to_bits()
+        );
+        assert_eq!(resumed.history, reference.history);
+
+        // A third run short-circuits on the final marker without a single
+        // fitness evaluation.
+        let replayed = Ga::new(cfg).run_seeded_checkpointed(
+            &ctx,
+            Vec::new(),
+            |_c: &FitnessContext, _g: &Ipv| panic!("a finished stage must not re-evaluate"),
+            Ipv::sample,
+            Some((&ckpt, "diff")),
+        );
+        assert_eq!(replayed.best, reference.best);
+        assert_eq!(replayed.history, reference.history);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

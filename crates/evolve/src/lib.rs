@@ -30,11 +30,13 @@
 //! println!("best vector {} at {:.3}x LRU", result.best, result.best_fitness);
 //! ```
 
+pub mod checkpoint;
 pub mod crossval;
 pub mod fitness;
 pub mod ga;
 pub mod search;
 
+pub use checkpoint::Checkpointing;
 pub use crossval::{wn1_evaluation, Wn1Outcome};
 pub use fitness::{FitnessContext, FitnessScale, Substrate, WorkloadStream};
 pub use ga::{Ga, GaConfig, GaResult, Genome, VectorSet};

@@ -5,15 +5,13 @@
 //!
 //! Usage: `analyze-workloads [--scale quick|medium|paper] [--out DIR]`
 
-use harness::report::parse_args;
-use harness::Table;
+use harness::{Args, Table};
 use mem_model::analysis::stack_distances;
 use sim_core::Access;
 use traces::spec2006::Spec2006;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let (scale, out, _) = parse_args(&args);
+    let Args { scale, out, .. } = Args::from_env();
     let llc_blocks = (scale.hierarchy().llc.size_bytes() / 64) as usize;
     let geom = scale.hierarchy().llc;
 

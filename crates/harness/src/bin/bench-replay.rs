@@ -40,7 +40,6 @@ use harness::{policies, Scale};
 use mem_model::cpi::WindowPerfModel;
 use mem_model::{replay_llc, replay_llc_mono, replay_many, replay_many_sharded, LlcRunResult};
 use sim_core::{Access, CacheGeometry, PolicyFactory, ReplacementPolicy, ShardedStream};
-use std::io::Write;
 use std::time::Instant;
 use traces::spec2006::Spec2006;
 
@@ -422,7 +421,7 @@ fn main() {
         "  \"geomean_sharded_speedup\": {sharded_geomean:.4}\n"
     ));
     json.push_str("}\n");
-    let mut f = std::fs::File::create(&json_path).expect("create json output");
-    f.write_all(json.as_bytes()).expect("write json output");
+    sim_core::persist::atomic_write(std::path::Path::new(&json_path), json.as_bytes())
+        .expect("write json output");
     println!("wrote {json_path}");
 }

@@ -3,11 +3,10 @@
 //! Usage: `fig01-random-space [--scale quick|medium|paper] [--out DIR]`
 
 use harness::experiments::fig01;
-use harness::report::parse_args;
+use harness::Args;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let (scale, out, _) = parse_args(&args);
+    let Args { scale, out, .. } = Args::from_env();
     let table = fig01::run(scale);
     let (worst, best, geomean, better) = fig01::summary(scale);
     println!("{table}");

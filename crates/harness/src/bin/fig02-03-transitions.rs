@@ -5,11 +5,10 @@
 
 use gippr::graph::to_dot;
 use gippr::Ipv;
-use harness::report::parse_args;
+use harness::Args;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let (_, out, _) = parse_args(&args);
+    let Args { out, .. } = Args::from_env();
     let fig2 = to_dot(&Ipv::lru(16), "Figure 2: Transition Graph for LRU");
     let fig3 = to_dot(
         &gippr::vectors::giplr_best(),
@@ -18,9 +17,15 @@ fn main() {
     println!("{fig2}");
     println!("{fig3}");
     if let Some(dir) = out {
-        std::fs::create_dir_all(&dir).expect("create output dir");
-        std::fs::write(format!("{dir}/fig02.dot"), &fig2).expect("write fig02.dot");
-        std::fs::write(format!("{dir}/fig03.dot"), &fig3).expect("write fig03.dot");
+        let write = |name: &str, text: &str| {
+            sim_core::persist::atomic_write(
+                &std::path::Path::new(&dir).join(name),
+                text.as_bytes(),
+            )
+            .unwrap_or_else(|e| panic!("write {name}: {e}"));
+        };
+        write("fig02.dot", &fig2);
+        write("fig03.dot", &fig3);
         println!("wrote {dir}/fig02.dot and {dir}/fig03.dot");
     }
 }

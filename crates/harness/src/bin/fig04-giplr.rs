@@ -3,11 +3,10 @@
 //! Usage: `fig04-giplr [--scale quick|medium|paper] [--out DIR]`
 
 use harness::experiments::fig04;
-use harness::report::parse_args;
+use harness::Args;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let (scale, out, _) = parse_args(&args);
+    let Args { scale, out, .. } = Args::from_env();
     let table = fig04::run(scale);
     println!("{table}");
     println!("(paper: GIPLR geomean 1.031, Random 0.999, PseudoLRU about 1.0)");

@@ -7,11 +7,12 @@
 //! evolves workload-neutral vectors per holdout (slow).
 
 use harness::experiments::{fig10, VectorMode};
-use harness::report::parse_args;
+use harness::Args;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let (scale, out, wn1) = parse_args(&args);
+    let Args {
+        scale, out, wn1, ..
+    } = Args::from_env();
     let table = fig10::run(scale, VectorMode::from_flag(wn1));
     println!("{table}");
     println!(

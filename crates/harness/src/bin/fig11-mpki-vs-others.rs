@@ -4,11 +4,12 @@
 //! Usage: `fig11-mpki-vs-others [--scale quick|medium|paper] [--wn1] [--out DIR]`
 
 use harness::experiments::{fig11, VectorMode};
-use harness::report::parse_args;
+use harness::Args;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let (scale, out, wn1) = parse_args(&args);
+    let Args {
+        scale, out, wn1, ..
+    } = Args::from_env();
     let table = fig11::run(scale, VectorMode::from_flag(wn1));
     println!("{table}");
     println!("(paper geomeans: DRRIP 0.915, PDP 0.902, WN1-4-DGIPPR 0.910, MIN 0.675)");

@@ -5,11 +5,10 @@
 //! Usage: `fig12-wn-vs-wi [--scale quick|medium|paper] [--out DIR]`
 
 use harness::experiments::fig12;
-use harness::report::parse_args;
+use harness::Args;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let (scale, out, _) = parse_args(&args);
+    let Args { scale, out, .. } = Args::from_env();
     let table = fig12::run(scale);
     println!("{table}");
     println!(

@@ -4,11 +4,12 @@
 //! Usage: `fig13-speedup [--scale quick|medium|paper] [--wn1] [--out DIR]`
 
 use harness::experiments::{fig13, VectorMode};
-use harness::report::parse_args;
+use harness::Args;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let (scale, out, wn1) = parse_args(&args);
+    let Args {
+        scale, out, wn1, ..
+    } = Args::from_env();
     let fig = fig13::run(scale, VectorMode::from_flag(wn1));
     println!("{}", fig.table);
     println!(

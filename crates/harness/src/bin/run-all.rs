@@ -1,7 +1,16 @@
 //! Regenerates the paper's complete evaluation in one command: every
 //! figure and table, printed and (with `--out`) written as CSV.
 //!
-//! Usage: `run-all [--scale quick|medium|paper] [--wn1] [--out DIR]`
+//! Usage: `run-all [--scale quick|medium|paper] [--wn1] [--out DIR]
+//! [--resume] [--only NAME[,NAME...]]`
+//!
+//! Each experiment runs fail-soft with a bounded retry budget; progress is
+//! recorded in `<out>/manifest.json` after every experiment, so an
+//! interrupted run (crash, kill, power loss) picks up where it left off
+//! with `--resume` — completed experiments are skipped after their CSV
+//! artifacts are verified against the manifest's digests. If any
+//! experiment still fails after retries, the remaining ones run anyway, a
+//! failure summary is printed, and the exit code is nonzero.
 //!
 //! Note: Figure 12 runs 3 + 87 genetic algorithms and dominates the run
 //! time; everything else finishes in seconds at quick scale.
@@ -10,22 +19,13 @@ use harness::experiments::{
     ablations, assoc_sweep, fig01, fig04, fig10, fig11, fig12, fig13, multicore_tab, overhead,
     vectors_tab, VectorMode,
 };
-use harness::report::parse_args;
-use harness::Table;
+use harness::{Args, Experiment, Pipeline};
+use std::process::ExitCode;
 
-fn emit(table: &Table, out: &Option<String>, file: &str) {
-    println!("{table}");
-    if let Some(dir) = out {
-        let path = format!("{dir}/{file}");
-        table.write_csv(&path).expect("write CSV");
-        println!("wrote {path}\n");
-    }
-}
-
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let (scale, out, wn1) = parse_args(&args);
-    let mode = VectorMode::from_flag(wn1);
+fn main() -> ExitCode {
+    let args = Args::from_env();
+    let scale = args.scale;
+    let mode = VectorMode::from_flag(args.wn1);
     println!(
         "regenerating the full evaluation at {scale} scale ({} vectors)\n",
         mode.label()
@@ -37,21 +37,34 @@ fn main() {
     // prunes stale spill files once at initialization.
     let cache = harness::workload_cache();
 
-    emit(&vectors_tab::run(), &out, "tab-vectors.csv");
-    emit(&overhead::run(), &out, "tab-overhead.csv");
-    emit(&fig01::run(scale), &out, "fig01.csv");
-    emit(&fig04::run(scale), &out, "fig04.csv");
-    emit(&fig10::run(scale, mode), &out, "fig10.csv");
-    emit(&fig11::run(scale, mode), &out, "fig11.csv");
-    let f13 = fig13::run(scale, mode);
-    emit(&f13.table, &out, "fig13.csv");
-    emit(&ablations::run(scale), &out, "tab-ablations.csv");
-    emit(&assoc_sweep::run(scale), &out, "tab-assoc.csv");
-    emit(&multicore_tab::run(scale), &out, "tab-multicore.csv");
-    emit(&fig12::run(scale), &out, "fig12.csv");
+    let experiments = vec![
+        Experiment::new("tab-vectors", "tab-vectors.csv", vectors_tab::run),
+        Experiment::new("tab-overhead", "tab-overhead.csv", overhead::run),
+        Experiment::new("fig01", "fig01.csv", move || fig01::run(scale)),
+        Experiment::new("fig04", "fig04.csv", move || fig04::run(scale)),
+        Experiment::new("fig10", "fig10.csv", move || fig10::run(scale, mode)),
+        Experiment::new("fig11", "fig11.csv", move || fig11::run(scale, mode)),
+        Experiment::new("fig13", "fig13.csv", move || fig13::run(scale, mode).table),
+        Experiment::new("tab-ablations", "tab-ablations.csv", move || {
+            ablations::run(scale)
+        }),
+        Experiment::new("tab-assoc", "tab-assoc.csv", move || {
+            assoc_sweep::run(scale)
+        }),
+        Experiment::new("tab-multicore", "tab-multicore.csv", move || {
+            multicore_tab::run(scale)
+        }),
+        Experiment::new("fig12", "fig12.csv", move || fig12::run(scale)),
+    ];
+
+    let report = Pipeline::new(&args).run(&experiments, &scale.to_string(), mode.label());
 
     println!(
-        "done. workload cache: {} fresh captures, {} loaded from disk ({}).",
+        "done: {} completed, {} skipped, {} failed. workload cache: {} fresh captures, \
+         {} loaded from disk ({}).",
+        report.completed.len(),
+        report.skipped.len(),
+        report.failed.len(),
         cache.captures(),
         cache.disk_loads(),
         cache
@@ -59,4 +72,9 @@ fn main() {
             .map(|d| d.display().to_string())
             .unwrap_or_else(|| "no spill dir".into()),
     );
+    if report.all_ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }

@@ -3,11 +3,10 @@
 //! Usage: `tab-assoc [--scale quick|medium|paper] [--out DIR]`
 
 use harness::experiments::assoc_sweep;
-use harness::report::parse_args;
+use harness::Args;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let (scale, out, _) = parse_args(&args);
+    let Args { scale, out, .. } = Args::from_env();
     let table = assoc_sweep::run(scale);
     println!("{table}");
     println!(

@@ -4,11 +4,10 @@
 //! Usage: `tab-multicore [--scale quick|medium|paper] [--out DIR]`
 
 use harness::experiments::multicore_tab;
-use harness::report::parse_args;
+use harness::Args;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let (scale, out, _) = parse_args(&args);
+    let Args { scale, out, .. } = Args::from_env();
     let table = multicore_tab::run(scale);
     println!("{table}");
     if let Some(dir) = out {

@@ -3,11 +3,10 @@
 //! Usage: `tab-overhead [--out DIR]` (overheads are scale-independent).
 
 use harness::experiments::overhead;
-use harness::report::parse_args;
+use harness::Args;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let (_, out, _) = parse_args(&args);
+    let Args { out, .. } = Args::from_env();
     let table = overhead::run();
     println!("{table}");
     println!(

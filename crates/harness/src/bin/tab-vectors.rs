@@ -3,11 +3,10 @@
 //! Usage: `tab-vectors [--out DIR]`
 
 use harness::experiments::vectors_tab;
-use harness::report::parse_args;
+use harness::Args;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let (_, out, _) = parse_args(&args);
+    let Args { out, .. } = Args::from_env();
     let table = vectors_tab::run();
     println!("{table}");
     if let Some(dir) = out {

@@ -21,6 +21,8 @@
 
 pub mod cache;
 pub mod experiments;
+pub mod manifest;
+pub mod pipeline;
 pub mod policies;
 pub mod report;
 pub mod runner;
@@ -29,7 +31,8 @@ pub mod seed_replay;
 pub mod stats;
 
 pub use cache::{workload_cache, WorkloadCache};
-pub use report::Table;
+pub use pipeline::{Experiment, Pipeline, PipelineReport};
+pub use report::{Args, Table};
 pub use runner::{measure_min, measure_policy, prepare_workloads, PolicyMeasurement, WorkloadData};
 pub use scale::Scale;
 pub use stats::geometric_mean;

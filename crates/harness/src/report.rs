@@ -1,7 +1,7 @@
-//! Table rendering and CSV output for the experiment binaries.
+//! Table rendering, CSV output, and the standard CLI for the experiment
+//! binaries.
 
 use std::fmt;
-use std::fs;
 use std::io;
 use std::path::Path;
 
@@ -64,17 +64,8 @@ impl Table {
         self.rows.is_empty()
     }
 
-    /// Writes the table as CSV (header row first) to `path`, creating
-    /// parent directories.
-    ///
-    /// # Errors
-    ///
-    /// Propagates filesystem errors.
-    pub fn write_csv<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
-        let path = path.as_ref();
-        if let Some(dir) = path.parent() {
-            fs::create_dir_all(dir)?;
-        }
+    /// Renders the table as CSV text (header row first).
+    pub fn to_csv_string(&self) -> String {
         let mut out = String::new();
         let escape = |cell: &str| {
             if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
@@ -96,7 +87,19 @@ impl Table {
             out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
             out.push('\n');
         }
-        fs::write(path, out)
+        out
+    }
+
+    /// Writes the table as CSV (header row first) to `path`, creating
+    /// parent directories. The write is atomic (tmp + fsync + rename via
+    /// [`sim_core::persist`]): a crash mid-write leaves any previous
+    /// artifact at `path` intact.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_csv<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        sim_core::persist::atomic_write(path.as_ref(), self.to_csv_string().as_bytes())
     }
 }
 
@@ -160,35 +163,85 @@ pub fn fmt_pct(v: f64) -> String {
     }
 }
 
-/// Parses the standard experiment CLI: `--scale <s>`, `--out <dir>`,
-/// `--wn1`. Returns `(scale, out_dir, wn1)`; `wn1` asks figure drivers to
-/// run true workload-neutral cross-validation (GA per holdout) instead of
-/// the fast default that reuses the paper's published workload-inclusive
-/// vectors.
-pub fn parse_args(args: &[String]) -> (crate::Scale, Option<String>, bool) {
-    let mut scale = crate::Scale::Quick;
-    let mut out = None;
-    let mut wn1 = false;
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--scale" => {
-                i += 1;
-                scale = args
-                    .get(i)
-                    .and_then(|s| crate::Scale::parse(s))
-                    .unwrap_or_else(|| panic!("--scale needs quick|medium|paper"));
-            }
-            "--out" => {
-                i += 1;
-                out = Some(args.get(i).expect("--out needs a directory").clone());
-            }
-            "--wn1" => wn1 = true,
-            other => panic!("unknown argument {other:?} (try --scale quick|medium|paper)"),
+/// Parsed standard experiment CLI arguments.
+///
+/// Every experiment binary accepts `--scale quick|medium|paper`,
+/// `--out DIR`, and `--wn1` (run true workload-neutral cross-validation —
+/// GA per holdout — instead of the fast default that reuses the paper's
+/// published workload-inclusive vectors). The resumable drivers
+/// (`run-all`, `evolve-vectors`) additionally honor `--resume` (continue
+/// an interrupted run from its manifest/checkpoints) and
+/// `--only NAME[,NAME...]` (restrict to the named experiments).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Args {
+    /// Experiment scale (`--scale`, default quick).
+    pub scale: crate::Scale,
+    /// Output directory for CSV artifacts (`--out`).
+    pub out: Option<String>,
+    /// Workload-neutral cross-validation requested (`--wn1`).
+    pub wn1: bool,
+    /// Resume an interrupted run (`--resume`).
+    pub resume: bool,
+    /// Restrict to the named experiments (`--only`, repeatable and
+    /// comma-separable); empty means all.
+    pub only: Vec<String>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            scale: crate::Scale::Quick,
+            out: None,
+            wn1: false,
+            resume: false,
+            only: Vec::new(),
         }
-        i += 1;
     }
-    (scale, out, wn1)
+}
+
+impl Args {
+    /// Parses command-line arguments (without the program name).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage hint on unknown flags or missing values.
+    pub fn parse(args: &[String]) -> Args {
+        let mut parsed = Args::default();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--scale" => {
+                    i += 1;
+                    parsed.scale = args
+                        .get(i)
+                        .and_then(|s| crate::Scale::parse(s))
+                        .unwrap_or_else(|| panic!("--scale needs quick|medium|paper"));
+                }
+                "--out" => {
+                    i += 1;
+                    parsed.out = Some(args.get(i).expect("--out needs a directory").clone());
+                }
+                "--wn1" => parsed.wn1 = true,
+                "--resume" => parsed.resume = true,
+                "--only" => {
+                    i += 1;
+                    let names = args.get(i).expect("--only needs experiment name(s)");
+                    parsed
+                        .only
+                        .extend(names.split(',').map(|n| n.trim().to_string()));
+                }
+                other => panic!("unknown argument {other:?} (try --scale quick|medium|paper)"),
+            }
+            i += 1;
+        }
+        parsed
+    }
+
+    /// Parses the current process's command line.
+    pub fn from_env() -> Args {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        Args::parse(&args)
+    }
 }
 
 #[cfg(test)]
@@ -238,12 +291,51 @@ mod tests {
 
     #[test]
     fn arg_parsing() {
-        let (s, o, p) = parse_args(&["--scale".into(), "medium".into(), "--wn1".into()]);
-        assert_eq!(s, crate::Scale::Medium);
-        assert!(o.is_none());
-        assert!(p);
-        let (s, o, _) = parse_args(&["--out".into(), "results".into()]);
-        assert_eq!(s, crate::Scale::Quick);
-        assert_eq!(o.as_deref(), Some("results"));
+        let a = Args::parse(&["--scale".into(), "medium".into(), "--wn1".into()]);
+        assert_eq!(a.scale, crate::Scale::Medium);
+        assert!(a.out.is_none());
+        assert!(a.wn1);
+        assert!(!a.resume);
+        let a = Args::parse(&["--out".into(), "results".into()]);
+        assert_eq!(a.scale, crate::Scale::Quick);
+        assert_eq!(a.out.as_deref(), Some("results"));
+        let a = Args::parse(&[
+            "--resume".into(),
+            "--only".into(),
+            "fig01,fig04".into(),
+            "--only".into(),
+            "fig10".into(),
+        ]);
+        assert!(a.resume);
+        assert_eq!(a.only, vec!["fig01", "fig04", "fig10"]);
+    }
+
+    #[test]
+    fn csv_write_is_atomic_under_injected_torn_write() {
+        if !sim_fault::COMPILED_IN {
+            return;
+        }
+        let dir = std::env::temp_dir().join("plru-test-csv-torn");
+        let path = dir.join("t.csv");
+        let mut old = Table::new("t", &["a"]);
+        old.row(vec!["old".into()]);
+        old.write_csv(&path).unwrap();
+
+        let mut new = Table::new("t", &["a"]);
+        new.row(vec!["new".into()]);
+        sim_fault::with_plan("torn", || {
+            let err = new.write_csv(&path).unwrap_err();
+            assert!(err.to_string().contains("torn"), "unexpected error: {err}");
+        });
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            text.contains("old"),
+            "old artifact must survive a torn write, got: {text}"
+        );
+        assert!(
+            !sim_core::persist::tmp_path(&path).exists(),
+            "torn tmp file must be cleaned up"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,0 +1,112 @@
+//! End-to-end fault drills for the experiment pipeline: the real
+//! `run-all` binary under injected write faults and worker-spawn
+//! failures. Complements the per-module injection tests (persist, pool,
+//! cache, report, pipeline) by proving the recovery behavior composes
+//! through a whole process run.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+const SUBSET: &str = "tab-vectors,tab-overhead";
+
+fn temp(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("plru-faults-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn run_all(out: &Path, cache: &Path, fault: Option<&str>) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_run-all"));
+    cmd.args(["--scale", "micro", "--only", SUBSET, "--out"])
+        .arg(out)
+        .env("SIM_CACHE_DIR", cache)
+        .env("SIM_RETRY_BASE_MS", "0")
+        .env_remove("SIM_FAULT");
+    if let Some(f) = fault {
+        cmd.env("SIM_FAULT", f);
+    }
+    cmd.output().expect("spawn run-all")
+}
+
+#[test]
+fn torn_csv_write_is_retried_to_success() {
+    let cache = temp("cache-torn");
+    let out = temp("torn");
+    let output = run_all(&out, &cache, Some("torn@tab-vectors.csv:n=1"));
+    assert!(
+        output.status.success(),
+        "one torn write is absorbed by a retry; stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert!(out.join("tab-vectors.csv").exists());
+    assert!(
+        !out.join("tab-vectors.csv.tmp").exists(),
+        "no orphan temp file"
+    );
+    let manifest = harness::manifest::Manifest::load(&out.join("manifest.json")).unwrap();
+    assert_eq!(
+        manifest.entry("tab-vectors").unwrap().status,
+        harness::manifest::Status::Done
+    );
+    assert_eq!(
+        manifest.entry("tab-vectors").unwrap().attempts,
+        2,
+        "the manifest records the extra attempt"
+    );
+    for dir in [&cache, &out] {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
+
+#[test]
+fn unwritable_manifest_does_not_stop_the_run() {
+    let cache = temp("cache-manifest");
+    let out = temp("manifest");
+    // Every manifest write fails; the experiments themselves must still
+    // run to completion and their CSVs commit.
+    let output = run_all(&out, &cache, Some("enospc@manifest.json:sticky"));
+    assert!(
+        output.status.success(),
+        "manifest persistence is best-effort; stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert!(out.join("tab-vectors.csv").exists());
+    assert!(out.join("tab-overhead.csv").exists());
+    assert!(
+        !out.join("manifest.json").exists(),
+        "the injected fault kept every manifest write out"
+    );
+    for dir in [&cache, &out] {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
+
+#[test]
+fn worker_spawn_failure_degrades_without_changing_results() {
+    let cache_a = temp("cache-spawn-a");
+    let cache_b = temp("cache-spawn-b");
+    let ref_out = temp("spawn-ref");
+    let out = temp("spawn");
+
+    let reference = run_all(&ref_out, &cache_a, None);
+    assert!(reference.status.success());
+
+    // Every worker spawn fails: the pool degrades to caller-only
+    // sequential execution, the run still completes, and — the replay
+    // being deterministic — produces byte-identical artifacts.
+    let degraded = run_all(&out, &cache_b, Some("spawn-fail:sticky"));
+    assert!(
+        degraded.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&degraded.stderr)
+    );
+    for file in ["tab-vectors.csv", "tab-overhead.csv"] {
+        let want = std::fs::read(ref_out.join(file)).unwrap();
+        let got = std::fs::read(out.join(file)).unwrap();
+        assert_eq!(got, want, "{file} must not depend on worker count");
+    }
+
+    for dir in [&cache_a, &cache_b, &ref_out, &out] {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

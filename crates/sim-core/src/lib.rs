@@ -22,6 +22,8 @@
 //!   DGIPPR.
 //! * [`overhead`] — storage-overhead accounting used to regenerate the
 //!   paper's Section 3.6 cost comparison.
+//! * [`persist`] — crash-safe atomic artifact writes (tmp + fsync +
+//!   rename) used for every file the experiment pipeline produces.
 //!
 //! # Example
 //!
@@ -47,6 +49,7 @@ pub mod cache;
 pub mod dueling;
 pub mod geometry;
 pub mod overhead;
+pub mod persist;
 pub mod policy;
 pub mod pool;
 pub mod shard;
@@ -57,6 +60,7 @@ pub use cache::{AccessOutcome, Evicted, SetAssocCache};
 pub use dueling::{DuelController, LeaderMap, Psel, Selector, SetRole};
 pub use geometry::{CacheGeometry, GeometryError};
 pub use overhead::OverheadReport;
+pub use persist::{atomic_write, atomic_write_with};
 pub use policy::{PolicyFactory, ReplacementPolicy, ShardAffinity};
 pub use shard::{ShardRun, ShardedStream};
 pub use stats::CacheStats;

@@ -30,6 +30,14 @@
 //! * **Panic transparency.** A panicking task does not poison the pool;
 //!   the first payload is captured and re-raised on the calling thread
 //!   after the batch drains, mirroring `std::thread::scope`.
+//! * **Graceful degradation.** A failed worker spawn shrinks the pool
+//!   (down to zero workers — the caller-helps protocol still completes
+//!   every batch sequentially) with a one-time warning instead of
+//!   aborting. While the caller waits for straggler tasks, a watchdog
+//!   reports which task indices of which labeled batch are still in
+//!   flight once they exceed `SIM_WATCHDOG_MS` (default 30 s), so a hung
+//!   task is diagnosable instead of a silent stall. Both paths are
+//!   deterministic under `sim_fault` injection.
 //!
 //! This module is the workspace's only `unsafe` whitelist: the crate root
 //! denies `unsafe_code` and every other crate forbids it outright (the
@@ -41,10 +49,12 @@
 #![allow(unsafe_code)]
 
 use std::cell::Cell;
+use std::collections::BTreeSet;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 thread_local! {
     /// The `Shared` of the pool whose execution slot this thread currently
@@ -74,6 +84,8 @@ struct Job {
     task: TaskFn,
     /// Total number of task indices.
     n: usize,
+    /// Diagnostic batch label (watchdog reports, fault-injection target).
+    label: String,
     /// Executor cap, counting the caller.
     max_workers: usize,
     /// Executors currently inside the claim loop (caller included).
@@ -82,6 +94,9 @@ struct Job {
     next: AtomicUsize,
     /// Completed task count; the job is done when this reaches `n`.
     done: AtomicUsize,
+    /// Task indices claimed but not yet finished — what the watchdog
+    /// reports when the batch stalls.
+    inflight: Mutex<BTreeSet<usize>>,
     /// First panic payload from any task.
     panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
     panicked: AtomicBool,
@@ -102,7 +117,23 @@ impl Job {
             // `done` reaches `n`, which cannot happen before this call
             // returns and is counted below.
             let task = unsafe { &*self.task.0 };
-            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| task(idx))) {
+            let fault = sim_fault::on_task(&self.label, idx);
+            self.inflight.lock().unwrap().insert(idx);
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                match fault {
+                    sim_fault::TaskFault::Panic => panic!(
+                        "injected task fault: panic in task {idx} of batch {:?}",
+                        self.label
+                    ),
+                    sim_fault::TaskFault::Stall(ms) => {
+                        std::thread::sleep(Duration::from_millis(ms))
+                    }
+                    sim_fault::TaskFault::None => {}
+                }
+                task(idx)
+            }));
+            self.inflight.lock().unwrap().remove(&idx);
+            if let Err(payload) = outcome {
                 if !self.panicked.swap(true, Ordering::SeqCst) {
                     *self.panic.lock().unwrap() = Some(payload);
                 }
@@ -132,6 +163,11 @@ struct Shared {
     /// Pool-wide executor budget: total threads concurrently executing
     /// tasks, counting every nesting depth exactly once per thread.
     cap: usize,
+    /// Straggler-wait threshold in milliseconds before the watchdog
+    /// reports in-flight tasks (`SIM_WATCHDOG_MS`, default 30 000).
+    watchdog_ms: AtomicU64,
+    /// Watchdog reports emitted so far (also mirrored to stderr).
+    watchdog_log: Mutex<Vec<String>>,
 }
 
 impl Shared {
@@ -195,16 +231,34 @@ impl WorkerPool {
             }),
             work_cv: Condvar::new(),
             cap,
+            watchdog_ms: AtomicU64::new(default_watchdog_ms()),
+            watchdog_log: Mutex::new(Vec::new()),
         });
-        let handles = (0..workers)
-            .map(|i| {
-                let shared = Arc::clone(&shared);
+        // A failed spawn (thread exhaustion, injected fault) degrades the
+        // pool instead of aborting the run: the caller-helps protocol
+        // completes every batch even with zero workers, just sequentially.
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let worker_shared = Arc::clone(&shared);
+            let spawned = if sim_fault::on_spawn() {
+                Err(std::io::Error::other("injected spawn failure"))
+            } else {
                 std::thread::Builder::new()
                     .name(format!("sim-pool-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawn pool worker")
-            })
-            .collect();
+                    .spawn(move || worker_loop(&worker_shared))
+            };
+            match spawned {
+                Ok(handle) => handles.push(handle),
+                Err(e) => {
+                    eprintln!(
+                        "sim-pool: failed to spawn worker {i} of {workers}: {e}; \
+                         continuing with {} worker(s) (the caller still participates)",
+                        handles.len()
+                    );
+                    break;
+                }
+            }
+        }
         WorkerPool { shared, handles }
     }
 
@@ -218,6 +272,19 @@ impl WorkerPool {
         self.shared.cap
     }
 
+    /// Sets the straggler-wait watchdog threshold. Tests drive this down
+    /// to observe reports quickly; the default comes from `SIM_WATCHDOG_MS`
+    /// (30 000 ms when unset).
+    pub fn set_watchdog_ms(&self, ms: u64) {
+        self.shared.watchdog_ms.store(ms, Ordering::Relaxed);
+    }
+
+    /// Watchdog reports emitted by this pool so far (each names the batch
+    /// label and the in-flight task indices at the time of the report).
+    pub fn watchdog_reports(&self) -> Vec<String> {
+        self.shared.watchdog_log.lock().unwrap().clone()
+    }
+
     /// Executes `f(0..n)` across the pool and returns the results in index
     /// order. At most `max_workers` threads (counting the caller) execute
     /// concurrently; pass `usize::MAX` for no cap. Blocks until every task
@@ -228,6 +295,17 @@ impl WorkerPool {
     /// Re-raises the first panic from any task after the whole batch has
     /// drained (no task is abandoned mid-flight).
     pub fn run<R, F>(&self, n: usize, max_workers: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        self.run_labeled(n, max_workers, "", f)
+    }
+
+    /// [`run`](WorkerPool::run) with a diagnostic batch label: watchdog
+    /// reports name it, and `sim_fault` task clauses (`panic@label`,
+    /// `stall@label`) match against it.
+    pub fn run_labeled<R, F>(&self, n: usize, max_workers: usize, label: &str, f: F) -> Vec<R>
     where
         R: Send,
         F: Fn(usize) -> R + Sync,
@@ -263,10 +341,12 @@ impl WorkerPool {
         let job = Arc::new(Job {
             task: TaskFn(task_static as *const _),
             n,
+            label: label.to_string(),
             max_workers: max_workers.max(1),
             active: AtomicUsize::new(1), // the caller
             next: AtomicUsize::new(0),
             done: AtomicUsize::new(0),
+            inflight: Mutex::new(BTreeSet::new()),
             panic: Mutex::new(None),
             panicked: AtomicBool::new(false),
             done_lock: Mutex::new(()),
@@ -282,11 +362,33 @@ impl WorkerPool {
         }
         job.help();
 
-        // Wait for stragglers still executing claimed tasks.
+        // Wait for stragglers still executing claimed tasks. A watchdog
+        // tick reports which task indices are hung once the wait exceeds
+        // the threshold (once per batch — this is a diagnostic, not a
+        // timeout: the wait still lasts until the batch drains).
         {
+            let threshold =
+                Duration::from_millis(self.shared.watchdog_ms.load(Ordering::Relaxed).max(1));
+            let waited_since = Instant::now();
+            let mut reported = false;
             let mut guard = job.done_lock.lock().unwrap();
             while job.done.load(Ordering::SeqCst) < n {
-                guard = job.done_cv.wait(guard).unwrap();
+                let (g, timeout) = job.done_cv.wait_timeout(guard, threshold).unwrap();
+                guard = g;
+                let done = job.done.load(Ordering::SeqCst);
+                if timeout.timed_out() && !reported && done < n {
+                    reported = true;
+                    let stuck: Vec<usize> = job.inflight.lock().unwrap().iter().copied().collect();
+                    let report = format!(
+                        "pool watchdog: batch {:?}: {} of {n} task(s) outstanding after {:?}; \
+                         hung task indices: {stuck:?}",
+                        job.label,
+                        n - done,
+                        waited_since.elapsed()
+                    );
+                    eprintln!("sim-pool: {report}");
+                    self.shared.watchdog_log.lock().unwrap().push(report);
+                }
             }
         }
         SLOT_OWNER.with(|s| s.set(prev_owner));
@@ -360,6 +462,15 @@ fn worker_loop(shared: &Shared) {
         job.active.fetch_sub(1, Ordering::SeqCst);
         shared.release_slot();
     }
+}
+
+/// Initial watchdog threshold: `SIM_WATCHDOG_MS` or 30 s. Read once per
+/// pool at construction; [`WorkerPool::set_watchdog_ms`] overrides later.
+fn default_watchdog_ms() -> u64 {
+    std::env::var("SIM_WATCHDOG_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(30_000)
 }
 
 static GLOBAL: OnceLock<WorkerPool> = OnceLock::new();
@@ -566,6 +677,95 @@ mod tests {
             .unwrap_or(4);
         assert_eq!(global().cap(), cores);
         assert_eq!(global().workers(), cores.saturating_sub(1));
+    }
+
+    #[test]
+    fn injected_spawn_failure_degrades_worker_count() {
+        if !sim_fault::COMPILED_IN {
+            return;
+        }
+        // The 3rd spawn fails: the pool keeps the 2 workers it got and
+        // still completes batches.
+        sim_fault::with_plan("spawn-fail:n=3:sticky", || {
+            let pool = WorkerPool::new(4);
+            assert_eq!(pool.workers(), 2, "degraded to the workers that spawned");
+            assert_eq!(
+                pool.run(9, usize::MAX, |i| i * 3),
+                (0..9).map(|i| i * 3).collect::<Vec<_>>()
+            );
+        });
+    }
+
+    #[test]
+    fn injected_spawn_failure_falls_back_to_sequential() {
+        if !sim_fault::COMPILED_IN {
+            return;
+        }
+        sim_fault::with_plan("spawn-fail:sticky", || {
+            let pool = WorkerPool::new(3);
+            assert_eq!(pool.workers(), 0, "every spawn failed");
+            // Zero workers: the caller-helps protocol runs the batch
+            // sequentially rather than deadlocking or aborting.
+            assert_eq!(pool.run(5, usize::MAX, |i| i + 1), vec![1, 2, 3, 4, 5]);
+        });
+    }
+
+    #[test]
+    fn injected_task_panic_follows_panic_protocol() {
+        if !sim_fault::COMPILED_IN {
+            return;
+        }
+        sim_fault::with_plan("panic@fitness:task=3", || {
+            let pool = WorkerPool::new(2);
+            let completed = AtomicUsize::new(0);
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                pool.run_labeled(8, usize::MAX, "fitness-gen0", |_| {
+                    completed.fetch_add(1, Ordering::SeqCst);
+                })
+            }));
+            assert!(result.is_err(), "injected panic must surface to the caller");
+            assert_eq!(completed.load(Ordering::SeqCst), 7, "other tasks drained");
+            // The pool survives, and unlabeled batches are untouched by the
+            // label-filtered clause.
+            assert_eq!(pool.run(3, usize::MAX, |i| i), vec![0, 1, 2]);
+        });
+    }
+
+    #[test]
+    fn watchdog_reports_hung_task_under_injected_stall() {
+        if !sim_fault::COMPILED_IN {
+            return;
+        }
+        // Task 3 of each "replay" batch stalls well past the watchdog
+        // threshold. The non-stalled tasks sleep briefly so the workers
+        // (already parked on the condvar) claim the tail of the batch and
+        // the caller reaches the straggler wait; if the caller happens to
+        // claim the stalled task itself there is no one left to watch, so
+        // retry — the sticky clause stalls task 3 of every round.
+        sim_fault::with_plan("stall@replay:task=3:ms=150:sticky", || {
+            let pool = WorkerPool::new(3);
+            pool.set_watchdog_ms(20);
+            for _round in 0..10 {
+                let out = pool.run_labeled(4, usize::MAX, "replay-batch", |i| {
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                    i
+                });
+                assert_eq!(out, vec![0, 1, 2, 3], "stalled batch still completes");
+                if !pool.watchdog_reports().is_empty() {
+                    break;
+                }
+            }
+            let reports = pool.watchdog_reports();
+            assert!(
+                !reports.is_empty(),
+                "watchdog never fired across 10 stalled rounds"
+            );
+            assert!(
+                reports[0].contains("replay-batch") && reports[0].contains("[3]"),
+                "report must name the batch and the hung task: {:?}",
+                reports[0]
+            );
+        });
     }
 
     #[test]

@@ -25,7 +25,9 @@ fn usage() -> ExitCode {
 }
 
 fn write_trace(spec: &traces::WorkloadSpec, n: usize, path: &str) -> Result<(), String> {
-    let file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+    // Streams arbitrarily large traces straight to the user-named file;
+    // buffering everything for an atomic rename would defeat the tool.
+    let file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?; // lint: direct-write
     let mut writer = TraceWriter::new(BufWriter::new(file)).map_err(|e| format!("header: {e}"))?;
     for a in spec.generator(0).take(n) {
         writer.write(&a).map_err(|e| format!("write: {e}"))?;

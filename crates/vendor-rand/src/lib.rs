@@ -221,6 +221,19 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// Snapshots the generator's internal state (GA checkpointing:
+        /// a resumed run must continue the exact random stream).
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a [`StdRng::state`] snapshot.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            StdRng { s }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             let result = self.s[0]
@@ -253,6 +266,19 @@ mod tests {
         }
         let mut c = StdRng::seed_from_u64(8);
         assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn state_snapshot_resumes_exact_stream() {
+        let mut a = StdRng::seed_from_u64(9);
+        for _ in 0..10 {
+            a.gen::<u64>();
+        }
+        let snap = a.state();
+        let tail: Vec<u64> = (0..20).map(|_| a.gen::<u64>()).collect();
+        let mut b = StdRng::from_state(snap);
+        let resumed: Vec<u64> = (0..20).map(|_| b.gen::<u64>()).collect();
+        assert_eq!(tail, resumed, "from_state must continue the exact stream");
     }
 
     #[test]

@@ -5,7 +5,9 @@
 //! * `lint` — the source-hygiene and roster-coverage gate: audits the
 //!   `unsafe` whitelist, checks every policy in the harness roster has a
 //!   `sim-verify` differential twin, statically analyzes every published
-//!   paper vector, and (unless `--skip-clippy`) shells out to
+//!   paper vector, checks that artifact writes go through the crash-safe
+//!   `sim_core::persist` path instead of raw `fs::write`/`File::create`,
+//!   and (unless `--skip-clippy`) shells out to
 //!   `cargo clippy --workspace --all-targets -- -D warnings`.
 //! * `model-check` — exhaustively model-checks the production
 //!   `gippr::PlruTree` under plain PLRU, classic vectors, and every
@@ -64,6 +66,7 @@ fn lint(args: &[String]) -> usize {
     failures += lint_unsafe_hygiene(&root);
     failures += lint_policy_twins();
     failures += lint_paper_vectors();
+    failures += lint_direct_writes(&root);
     if skip_clippy {
         println!("lint: clippy skipped (--skip-clippy)");
     } else {
@@ -294,7 +297,59 @@ fn lint_paper_vectors() -> usize {
     failures
 }
 
-/// Audit 4: clippy with warnings denied, over every target.
+/// Audit 4: artifact writes go through `sim_core::persist`.
+///
+/// Raw `fs::write` / `File::create` calls bypass the crash-safe atomic
+/// write path (tmp + fsync + rename) and its fault-injection points, so a
+/// crash mid-write can leave torn artifacts. Outside `persist.rs` itself,
+/// vendored crates, xtask, and test code (`tests/` directories and the
+/// trailing `#[cfg(test)]` module of a file), every such call must carry
+/// a `// lint: direct-write` justification on the same line.
+fn lint_direct_writes(root: &Path) -> usize {
+    let mut failures = 0;
+    let mut sources = Vec::new();
+    rust_sources_under(root, &mut sources);
+    let persist = root.join("crates/sim-core/src/persist.rs");
+    let mut scanned = 0;
+    for path in &sources {
+        let rel = path.strip_prefix(root).unwrap_or(path);
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        if rel_str.starts_with("crates/vendor-")
+            || rel_str.starts_with("crates/xtask/")
+            || rel_str.contains("/tests/")
+            || *path == persist
+        {
+            continue;
+        }
+        scanned += 1;
+        let source = std::fs::read_to_string(path).expect("source is readable");
+        for (lineno, line) in source.lines().enumerate() {
+            // By repo idiom the `#[cfg(test)]` module closes out a file;
+            // test code may write scratch files however it likes.
+            if line.trim_start().starts_with("#[cfg(test)]") {
+                break;
+            }
+            let code = line.split("//").next().unwrap_or("");
+            if (code.contains("fs::write(") || code.contains("File::create("))
+                && !line.contains("lint: direct-write")
+            {
+                eprintln!(
+                    "lint(direct-writes): {rel_str}:{}: raw file write bypasses \
+                     sim_core::persist::atomic_write; route it through persist or \
+                     annotate `// lint: direct-write` with a reason",
+                    lineno + 1
+                );
+                failures += 1;
+            }
+        }
+    }
+    if failures == 0 {
+        println!("lint: direct-write audit ok ({scanned} sources)");
+    }
+    failures
+}
+
+/// Audit 5: clippy with warnings denied, over every target.
 fn lint_clippy(root: &Path) -> usize {
     println!("lint: running cargo clippy --workspace --all-targets -- -D warnings");
     let status = Command::new("cargo")

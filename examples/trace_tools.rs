@@ -21,7 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let path = std::env::temp_dir().join(format!("{}.plrutrc", bench.name()));
     println!("generating {n} accesses of {bench} into {}", path.display());
-    let mut writer = TraceWriter::new(BufWriter::new(File::create(&path)?))?;
+    let mut writer = TraceWriter::new(BufWriter::new(File::create(&path)?))?; // lint: direct-write (scratch file in a demo)
     for access in bench.workload().generator(0).take(n) {
         writer.write(&access)?;
     }
