@@ -94,6 +94,17 @@ impl ReplacementPolicy for TrueLru {
     fn shard_affinity(&self) -> ShardAffinity {
         ShardAffinity::SetLocal
     }
+
+    // True LRU is the all-zero stack IPV: hit and fill both move the block
+    // to MRU, the victim is the stack bottom. The timestamp argmin above
+    // observes only within-set recency order, which the packed stack
+    // reproduces exactly (victims are only requested for full sets, and
+    // every fill touches).
+    fn slice_kernel(&self) -> Option<sim_core::slice::SliceKernel> {
+        Some(sim_core::slice::SliceKernel::StackIpv {
+            ipv: vec![0; self.ways + 1],
+        })
+    }
 }
 
 #[cfg(test)]

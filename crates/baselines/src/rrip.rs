@@ -115,6 +115,13 @@ impl ReplacementPolicy for SrripPolicy {
     fn shard_affinity(&self) -> ShardAffinity {
         ShardAffinity::SetLocal
     }
+
+    // SRRIP as an RRIP vector: hits promote to 0, fills insert at max - 1.
+    fn slice_kernel(&self) -> Option<sim_core::slice::SliceKernel> {
+        Some(sim_core::slice::SliceKernel::RripIpv {
+            vector: [0, 0, 0, 0, self.table.max - 1],
+        })
+    }
 }
 
 /// Bimodal RRIP: insert with RRPV `max`, occasionally (1/32) `max - 1`.

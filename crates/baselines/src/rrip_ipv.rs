@@ -146,6 +146,12 @@ impl ReplacementPolicy for RripIpvPolicy {
     fn shard_affinity(&self) -> ShardAffinity {
         ShardAffinity::SetLocal
     }
+
+    fn slice_kernel(&self) -> Option<sim_core::slice::SliceKernel> {
+        Some(sim_core::slice::SliceKernel::RripIpv {
+            vector: self.vector,
+        })
+    }
 }
 
 #[cfg(test)]

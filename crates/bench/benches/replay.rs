@@ -1,20 +1,22 @@
 //! Replay-engine throughput: the frozen v0 engine (`harness::seed_replay`)
-//! versus the live engine through dynamic dispatch (`replay_llc`) and
-//! monomorphized (`replay_llc_mono`). This is the Criterion counterpart of
-//! the `bench-replay` binary; `BENCH_replay.json` is produced by the
-//! binary, this bench exists for `cargo bench` regression tracking with
-//! Criterion's statistics.
+//! versus the live engine through dynamic dispatch (`replay_llc`),
+//! monomorphized (`replay_llc_mono`), and bit-sliced
+//! (`replay_llc_sliced`, 4 PLRU sets per `u64`). This is the Criterion
+//! counterpart of the `bench-replay` binary; `BENCH_replay.json` is
+//! produced by the binary, this bench exists for `cargo bench` regression
+//! tracking with Criterion's statistics.
 //!
-//! The three engines produce identical `LlcRunResult`s on the same stream
-//! (asserted in `tests/replay_equivalence.rs`); only their speed differs.
+//! The engines produce identical `LlcRunResult`s on the same stream
+//! (asserted in `tests/replay_equivalence.rs` and the sim-verify
+//! differentials); only their speed differs.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use harness::seed_replay::replay_llc_seed;
 use mem_model::{
-    default_warmup, replay_llc, replay_llc_mono, replay_llc_sharded, replay_many_sharded,
-    WindowPerfModel,
+    default_warmup, replay_llc, replay_llc_mono, replay_llc_sharded, replay_llc_sliced,
+    replay_many_sharded, WindowPerfModel,
 };
-use sim_core::{Access, CacheGeometry, PolicyFactory, ShardedStream};
+use sim_core::{Access, CacheGeometry, PolicyFactory, ReplacementPolicy, ShardedStream};
 use std::hint::black_box;
 
 fn mixed_stream(n: usize) -> Vec<Access> {
@@ -151,5 +153,68 @@ fn bench_replay_sharded(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(replay_bench, bench_replay_engines, bench_replay_sharded);
+fn bench_replay_sliced(c: &mut Criterion) {
+    let geom = CacheGeometry::new(128 * 1024, 16, 64).unwrap();
+    let stream = mixed_stream(50_000);
+    let warmup = default_warmup(stream.len());
+    let perf = WindowPerfModel::default();
+
+    let mut g = c.benchmark_group("replay_sliced");
+    g.throughput(Throughput::Elements((stream.len() - warmup) as u64));
+
+    // Each pair below is (bit-sliced kernel, monomorphized baseline) for
+    // the same policy; `tests/replay_equivalence.rs` and the sim-verify
+    // differential prove the results bit-identical, so the delta here is
+    // pure engine speed.
+    let plru_kernel = gippr::PlruPolicy::new(&geom).slice_kernel().unwrap();
+    g.bench_function("sliced/PseudoLRU", |b| {
+        b.iter(|| {
+            black_box(replay_llc_sliced(
+                black_box(&stream),
+                geom,
+                &plru_kernel,
+                warmup,
+                &perf,
+            ))
+        })
+    });
+
+    let gippr_kernel = gippr::GipprPolicy::new(&geom, gippr::vectors::wi_gippr())
+        .unwrap()
+        .slice_kernel()
+        .unwrap();
+    g.bench_function("sliced/WI-GIPPR", |b| {
+        b.iter(|| {
+            black_box(replay_llc_sliced(
+                black_box(&stream),
+                geom,
+                &gippr_kernel,
+                warmup,
+                &perf,
+            ))
+        })
+    });
+
+    let lru_kernel = baselines::TrueLru::new(&geom).slice_kernel().unwrap();
+    g.bench_function("sliced/LRU", |b| {
+        b.iter(|| {
+            black_box(replay_llc_sliced(
+                black_box(&stream),
+                geom,
+                &lru_kernel,
+                warmup,
+                &perf,
+            ))
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(
+    replay_bench,
+    bench_replay_engines,
+    bench_replay_sharded,
+    bench_replay_sliced
+);
 criterion_main!(replay_bench);

@@ -11,7 +11,8 @@ use baselines::TrueLru;
 use gippr::{DgipprPolicy, GiplrPolicy, GipprPolicy, Ipv};
 use mem_model::cpi::LinearCpiModel;
 use mem_model::{
-    capture_llc_stream, replay_llc_mono, replay_llc_sharded, HierarchyConfig, WindowPerfModel,
+    capture_llc_stream, replay_llc_mono, replay_llc_sharded, replay_llc_sliced, HierarchyConfig,
+    WindowPerfModel,
 };
 use sim_core::{Access, CacheGeometry, ReplacementPolicy, ShardAffinity, ShardedStream};
 use std::sync::Arc;
@@ -208,17 +209,24 @@ impl FitnessContext {
         let perf = WindowPerfModel::default();
         // One probe instance picks the replay path: set-local policies
         // (GIPPR/GIPLR substrates) reuse the routing pre-pass captured at
-        // context construction; policies with cache-global state (the
-        // DGIPPR duel's PSEL) keep the sequential whole-stream replay, as
-        // does a degenerate single-shard routing (single-core hosts),
-        // where the pre-routed path is the sequential replay with merge
-        // overhead on top. All paths produce bit-identical results.
-        let set_local = make().shard_affinity() == ShardAffinity::SetLocal;
+        // context construction when it actually fans out; otherwise the
+        // bit-sliced kernel engine runs the whole stream when the policy
+        // describes one (GIPPR/GIPLR always do), and the monomorphized
+        // sequential replay covers the rest (cache-global policies such
+        // as the DGIPPR duel's PSEL, or kernels declining the geometry).
+        // All paths produce bit-identical results.
+        let probe = make();
+        let set_local = probe.shard_affinity() == ShardAffinity::SetLocal;
+        let kernel = probe.slice_kernel();
         let mut total_weight = 0.0;
         let mut total = 0.0;
         for ws in &self.streams {
             let run = if set_local && ws.sharded.shards() > 1 {
                 replay_llc_sharded(&ws.sharded, &make, &perf)
+            } else if let Some(run) = kernel.as_ref().and_then(|k| {
+                replay_llc_sliced(&ws.stream, self.geom, k, ws.warmup, &perf)
+            }) {
+                run
             } else {
                 replay_llc_mono(&ws.stream, self.geom, make(), ws.warmup, &perf)
             };

@@ -109,6 +109,14 @@ impl ReplacementPolicy for GiplrPolicy {
     fn shard_affinity(&self) -> ShardAffinity {
         ShardAffinity::SetLocal
     }
+
+    // The packed stack starts from the same identity permutation as
+    // `RecencyStack::new`, so transitions line up from access zero.
+    fn slice_kernel(&self) -> Option<sim_core::slice::SliceKernel> {
+        Some(sim_core::slice::SliceKernel::StackIpv {
+            ipv: self.ipv.entries().to_vec(),
+        })
+    }
 }
 
 #[cfg(test)]

@@ -72,6 +72,13 @@ impl ReplacementPolicy for PlruPolicy {
     fn shard_affinity(&self) -> ShardAffinity {
         ShardAffinity::SetLocal
     }
+
+    // Plain PLRU is the all-zero IPV: promote-to-MRU on hit and fill.
+    fn slice_kernel(&self) -> Option<sim_core::slice::SliceKernel> {
+        Some(sim_core::slice::SliceKernel::PlruIpv {
+            ipv: vec![0; self.trees[0].ways() + 1],
+        })
+    }
 }
 
 /// GIPPR: Genetic Insertion and Promotion for PseudoLRU Replacement
@@ -171,6 +178,12 @@ impl ReplacementPolicy for GipprPolicy {
     // The IPV is read-only; mutable state is one PLRU tree per set.
     fn shard_affinity(&self) -> ShardAffinity {
         ShardAffinity::SetLocal
+    }
+
+    fn slice_kernel(&self) -> Option<sim_core::slice::SliceKernel> {
+        Some(sim_core::slice::SliceKernel::PlruIpv {
+            ipv: self.ipv.entries().to_vec(),
+        })
     }
 }
 

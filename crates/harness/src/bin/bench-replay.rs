@@ -5,7 +5,7 @@
 //! Usage: `bench-replay [--scale micro|quick|medium|paper] [--json PATH]`
 //!        `bench-replay --smoke`
 //!
-//! For each policy the same captured LLC stream is replayed through four
+//! For each policy the same captured LLC stream is replayed through five
 //! engines:
 //!
 //! * `seed` — [`harness::seed_replay::replay_llc_seed`], a verbatim copy
@@ -21,6 +21,10 @@
 //!   Set-local policies fan out across shards; global-state policies
 //!   (DRRIP, DGIPPR) take the documented sequential fallback, so their
 //!   sharded rate tracks the dyn engine.
+//! * `slice` — [`mem_model::replay_llc_sliced`], the bit-sliced kernel
+//!   engine (4 PLRU trees per `u64`, SWAR stacks/RRPV arrays). Only
+//!   policies that describe themselves as a [`sim_core::SliceKernel`]
+//!   have this column; global-state policies report `null`.
 //!
 //! The roster is also replayed as one [`mem_model::replay_many`] batch —
 //! routing pre-pass included in the timed region — reported as the
@@ -60,6 +64,10 @@ struct Row {
     dyn_rate: f64,
     mono_rate: f64,
     sharded_rate: f64,
+    /// Bit-sliced engine rate; `None` for policies without a `SliceKernel`.
+    slice_rate: Option<f64>,
+    /// Sets packed per state word by the policy's kernel (`None` without one).
+    lanes: Option<usize>,
 }
 
 impl Row {
@@ -68,15 +76,56 @@ impl Row {
         self.mono_rate / self.seed_rate
     }
 
-    /// The sharded batch engine over the mono engine (this PR's number).
+    /// The sharded batch engine over the mono engine.
     fn sharded_speedup(&self) -> f64 {
         self.sharded_rate / self.mono_rate
+    }
+
+    /// The bit-sliced engine over the mono engine (this PR's number).
+    fn slice_speedup(&self) -> Option<f64> {
+        self.slice_rate.map(|s| s / self.mono_rate)
     }
 }
 
 fn geomean(values: impl Iterator<Item = f64>) -> f64 {
     let (sum, n) = values.fold((0.0, 0usize), |(s, n), v| (s + v.ln(), n + 1));
     (sum / n.max(1) as f64).exp()
+}
+
+/// Compile-time SIMD/bit-manipulation features the binary was built with —
+/// recorded as provenance so rates in `BENCH_replay.json` are comparable
+/// across hosts (a `target-cpu=native` build on an AVX2 host is not the
+/// same benchmark as a baseline x86-64 build).
+fn target_features() -> Vec<&'static str> {
+    let mut features = Vec::new();
+    if cfg!(target_feature = "sse2") {
+        features.push("sse2");
+    }
+    if cfg!(target_feature = "sse4.2") {
+        features.push("sse4.2");
+    }
+    if cfg!(target_feature = "avx") {
+        features.push("avx");
+    }
+    if cfg!(target_feature = "avx2") {
+        features.push("avx2");
+    }
+    if cfg!(target_feature = "avx512f") {
+        features.push("avx512f");
+    }
+    if cfg!(target_feature = "popcnt") {
+        features.push("popcnt");
+    }
+    if cfg!(target_feature = "bmi1") {
+        features.push("bmi1");
+    }
+    if cfg!(target_feature = "bmi2") {
+        features.push("bmi2");
+    }
+    if cfg!(target_feature = "neon") {
+        features.push("neon");
+    }
+    features
 }
 
 fn measure<P, M>(
@@ -98,8 +147,14 @@ where
     // available. The mono policy is boxed-in-value only: its concrete
     // type (and thus inlining) is unaffected.
     let perf = WindowPerfModel::default();
-    let (mut seed_best, mut dyn_best, mut mono_best, mut sharded_best) =
-        (f64::INFINITY, f64::INFINITY, f64::INFINITY, f64::INFINITY);
+    let kernel = factory(&geom).slice_kernel();
+    let (mut seed_best, mut dyn_best, mut mono_best, mut sharded_best, mut slice_best) = (
+        f64::INFINITY,
+        f64::INFINITY,
+        f64::INFINITY,
+        f64::INFINITY,
+        f64::INFINITY,
+    );
     for _ in 0..ROUNDS {
         let (t, seed_misses) = timed(|| {
             replay_llc_seed(
@@ -150,6 +205,17 @@ where
             mono_misses, sharded_misses,
             "{name}: sharded engine must agree before being compared"
         );
+        if let Some(k) = &kernel {
+            let (t, slice_misses) = timed(|| {
+                mem_model::replay_llc_sliced(stream, geom, std::hint::black_box(k), warmup, &perf)
+                    .expect("qualifying kernels support the bench geometry")
+            });
+            slice_best = slice_best.min(t);
+            assert_eq!(
+                mono_misses, slice_misses,
+                "{name}: bit-sliced engine must agree before being compared"
+            );
+        }
     }
     let rate = |best: f64| stream.len() as f64 / best.max(1e-12);
     Row {
@@ -158,6 +224,8 @@ where
         dyn_rate: rate(dyn_best),
         mono_rate: rate(mono_best),
         sharded_rate: rate(sharded_best),
+        slice_rate: kernel.as_ref().map(|_| rate(slice_best)),
+        lanes: kernel.as_ref().map(|k| k.lanes(geom.ways())),
     }
 }
 
@@ -177,9 +245,11 @@ fn roster() -> Vec<(&'static str, PolicyFactory)> {
 }
 
 /// `--smoke`: a fast correctness-plus-sanity gate for CI. Replays a tiny
-/// synthetic stream through `replay_many` and the sequential engine for
-/// the whole roster, asserting exact result equality, then checks the
-/// batch engine clears a deliberately generous throughput floor.
+/// synthetic stream through `replay_many`, a pinned 8-shard batch, the
+/// bit-sliced engine (for every kernel-carrying policy), and the
+/// sequential engine for the whole roster, asserting exact result
+/// equality, then checks the batch engine clears a deliberately generous
+/// throughput floor.
 fn smoke() {
     let geom = Scale::Micro.hierarchy().llc;
     let perf = WindowPerfModel::default();
@@ -218,6 +288,7 @@ fn smoke() {
     // shard (where replay_many falls back to sequential replays).
     let pinned = ShardedStream::build(&stream, &geom, warmup, 8);
     let batched_pinned = replay_many_sharded(&stream, &pinned, &refs, &perf);
+    let mut sliced_checked = 0;
     for (((name, factory), got), got_pinned) in named.iter().zip(&batched).zip(&batched_pinned) {
         let want = replay_llc(&stream, geom, factory(&geom), warmup, &perf);
         assert_eq!(
@@ -228,7 +299,23 @@ fn smoke() {
             *got_pinned, want,
             "{name}: 8-shard batch result diverged from sequential replay"
         );
+        // Pinned bit-identity for the sliced engine: every policy that
+        // advertises a kernel must reproduce the sequential result exactly.
+        if let Some(kernel) = factory(&geom).slice_kernel() {
+            let sliced = mem_model::replay_llc_sliced(&stream, geom, &kernel, warmup, &perf)
+                .expect("smoke geometry is a supported associativity");
+            assert_eq!(
+                sliced, want,
+                "{name}: bit-sliced result diverged from sequential replay"
+            );
+            sliced_checked += 1;
+        }
     }
+    // LRU, PseudoLRU, and WI-GIPPR carry kernels in this roster.
+    assert!(
+        sliced_checked >= 3,
+        "expected >=3 sliced-kernel policies in the smoke roster, got {sliced_checked}"
+    );
     let rate = (stream.len() * refs.len()) as f64 / elapsed.max(1e-12);
     // Floor is ~100x below a release-build single-core replay rate: it
     // only trips on catastrophic regressions (accidental debug logic,
@@ -238,7 +325,8 @@ fn smoke() {
         "batched throughput sanity floor: {rate:.0} accesses/sec"
     );
     println!(
-        "smoke OK: {} policies x {} accesses, batch == sequential, {:.1}M acc/s aggregate",
+        "smoke OK: {} policies x {} accesses, batch == sequential, \
+         {sliced_checked} sliced kernels bit-identical, {:.1}M acc/s aggregate",
         refs.len(),
         stream.len(),
         rate / 1.0e6
@@ -367,10 +455,15 @@ fn main() {
 
     let mono_geomean = geomean(rows.iter().map(Row::speedup));
     let sharded_geomean = geomean(rows.iter().map(Row::sharded_speedup));
+    let slice_geomean = geomean(rows.iter().filter_map(Row::slice_speedup));
     for r in &rows {
+        let slice_col = match (r.slice_rate, r.slice_speedup()) {
+            (Some(rate), Some(x)) => format!("slice {rate:>11.0} acc/s ({x:.2}x)"),
+            _ => format!("slice {:>11} (no kernel)", "-"),
+        };
         println!(
             "  {:<12} seed {:>11.0} acc/s   dyn {:>11.0} acc/s   mono {:>11.0} acc/s   \
-             sharded {:>11.0} acc/s   mono/seed {:.2}x   sharded/mono {:.2}x",
+             sharded {:>11.0} acc/s   {slice_col}   mono/seed {:.2}x   sharded/mono {:.2}x",
             r.name,
             r.seed_rate,
             r.dyn_rate,
@@ -382,6 +475,7 @@ fn main() {
     }
     println!("  geomean speedup (mono over seed engine): {mono_geomean:.2}x");
     println!("  geomean speedup (sharded over mono engine): {sharded_geomean:.2}x");
+    println!("  geomean speedup (sliced over mono engine, qualifying roster): {slice_geomean:.2}x");
     println!(
         "  aggregate batched roster rate (routing included): {:.0} acc/s",
         batched_rate
@@ -394,21 +488,38 @@ fn main() {
     json.push_str(&format!("  \"stream_accesses\": {},\n", stream.len()));
     json.push_str(&format!("  \"shards\": {},\n", sharded.shards()));
     json.push_str(&format!("  \"cores\": {cores},\n"));
+    json.push_str(&format!(
+        "  \"host\": {{\"cores\": {cores}, \"target_arch\": \"{}\", \"target_features\": [{}]}},\n",
+        std::env::consts::ARCH,
+        target_features()
+            .iter()
+            .map(|f| format!("\"{f}\""))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
     json.push_str("  \"baseline\": \"seed (v0) dyn-dispatch replay engine\",\n");
     json.push_str("  \"policies\": [\n");
+    let opt_num = |v: Option<f64>, digits: usize| match v {
+        Some(x) => format!("{x:.digits$}"),
+        None => "null".to_string(),
+    };
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"name\": \"{}\", \"seed_accesses_per_sec\": {:.0}, \
              \"dyn_accesses_per_sec\": {:.0}, \"mono_accesses_per_sec\": {:.0}, \
-             \"sharded_accesses_per_sec\": {:.0}, \"speedup\": {:.4}, \
-             \"sharded_speedup\": {:.4}}}{}\n",
+             \"sharded_accesses_per_sec\": {:.0}, \"slice_accesses_per_sec\": {}, \
+             \"lanes\": {}, \"speedup\": {:.4}, \"sharded_speedup\": {:.4}, \
+             \"slice_speedup\": {}}}{}\n",
             r.name,
             r.seed_rate,
             r.dyn_rate,
             r.mono_rate,
             r.sharded_rate,
+            opt_num(r.slice_rate, 0),
+            r.lanes.map_or("null".to_string(), |l| l.to_string()),
             r.speedup(),
             r.sharded_speedup(),
+            opt_num(r.slice_speedup(), 4),
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
@@ -418,7 +529,10 @@ fn main() {
     ));
     json.push_str(&format!("  \"geomean_speedup\": {mono_geomean:.4},\n"));
     json.push_str(&format!(
-        "  \"geomean_sharded_speedup\": {sharded_geomean:.4}\n"
+        "  \"geomean_sharded_speedup\": {sharded_geomean:.4},\n"
+    ));
+    json.push_str(&format!(
+        "  \"geomean_slice_speedup\": {slice_geomean:.4}\n"
     ));
     json.push_str("}\n");
     sim_core::persist::atomic_write(std::path::Path::new(&json_path), json.as_bytes())

@@ -33,10 +33,12 @@
 
 use crate::cpi::{PerfAccumulator, WindowPerfModel};
 use crate::llc::{replay_llc, LlcRunResult};
+use crate::sliced::replay_llc_sliced;
 use sim_core::pool;
 use sim_core::shard::ShardRun;
 use sim_core::{
     Access, CacheGeometry, PolicyFactory, ReplacementPolicy, ShardAffinity, ShardedStream,
+    SliceKernel,
 };
 
 /// Replays `stream` under every policy in `factories` with one shared
@@ -54,8 +56,55 @@ pub fn replay_many(
     warmup: usize,
     perf: &WindowPerfModel,
 ) -> Vec<LlcRunResult> {
-    let sharded = ShardedStream::for_parallelism(stream, &geom, warmup, pool::global().cap());
+    replay_many_with_parallelism(stream, geom, factories, warmup, pool::global().cap(), perf)
+}
+
+/// [`replay_many`] with an explicit parallelism target instead of the
+/// pool budget.
+///
+/// When the target degenerates to one shard (single-core hosts, or a
+/// single-set geometry), the routing pre-pass is pure overhead — the one
+/// bucket would be the stream in order — so this entry skips
+/// [`ShardedStream`] construction entirely and replays each policy whole
+/// (bit-sliced where the policy provides a supported
+/// [`SliceKernel`], monomorphized otherwise). Results are bit-identical
+/// to every other path.
+pub fn replay_many_with_parallelism(
+    stream: &[Access],
+    geom: CacheGeometry,
+    factories: &[&PolicyFactory],
+    warmup: usize,
+    target: usize,
+    perf: &WindowPerfModel,
+) -> Vec<LlcRunResult> {
+    if target.max(1) == 1 || geom.sets() == 1 {
+        let kernels: Vec<Option<SliceKernel>> =
+            factories.iter().map(|f| f(&geom).slice_kernel()).collect();
+        return pool::global().run(factories.len(), usize::MAX, |i| {
+            replay_whole(stream, geom, factories[i], kernels[i].as_ref(), warmup, perf)
+        });
+    }
+    let sharded = ShardedStream::for_parallelism(stream, &geom, warmup, target);
     replay_many_sharded(stream, &sharded, factories, perf)
+}
+
+/// One whole-stream pass for a single policy: the bit-sliced engine when
+/// a supported kernel is in hand, the (always exact) dynamic replay
+/// otherwise.
+fn replay_whole(
+    stream: &[Access],
+    geom: CacheGeometry,
+    factory: &PolicyFactory,
+    kernel: Option<&SliceKernel>,
+    warmup: usize,
+    perf: &WindowPerfModel,
+) -> LlcRunResult {
+    if let Some(k) = kernel {
+        if let Some(result) = replay_llc_sliced(stream, geom, k, warmup, perf) {
+            return result;
+        }
+    }
+    replay_llc(stream, geom, factory(&geom), warmup, perf)
 }
 
 /// [`replay_many`] over a pre-routed stream. `stream` must be the exact
@@ -71,10 +120,14 @@ pub fn replay_many_sharded(
     let warmup = sharded.warmup();
     let shards = sharded.shards();
 
-    // One cheap probe instance per factory decides its execution shape.
-    let affinities: Vec<ShardAffinity> = factories
+    // One cheap probe instance per factory decides its execution shape
+    // and supplies the bit-sliced kernel, if the policy has one.
+    let probes: Vec<(ShardAffinity, Option<SliceKernel>)> = factories
         .iter()
-        .map(|f| f(&geom).shard_affinity())
+        .map(|f| {
+            let p = f(&geom);
+            (p.shard_affinity(), p.slice_kernel())
+        })
         .collect();
 
     // Flatten every unit of work — (policy × shard) for set-local
@@ -85,7 +138,7 @@ pub fn replay_many_sharded(
         Whole { policy: usize },
     }
     let mut units = Vec::new();
-    for (i, aff) in affinities.iter().enumerate() {
+    for (i, (aff, _)) in probes.iter().enumerate() {
         match aff {
             // A single-shard routing is the sequential replay with extra
             // steps (hit bitmap + merge); degenerate to the whole-stream
@@ -111,10 +164,11 @@ pub fn replay_many_sharded(
         Unit::Shard { policy, shard } => {
             Out::Shard(sharded.replay_shard(shard, factories[policy](&geom)))
         }
-        Unit::Whole { policy } => Out::Whole(replay_llc(
+        Unit::Whole { policy } => Out::Whole(replay_whole(
             stream,
             geom,
-            factories[policy](&geom),
+            factories[policy],
+            probes[policy].1.as_ref(),
             warmup,
             perf,
         )),
@@ -152,6 +206,24 @@ where
     P: ReplacementPolicy,
     F: Fn() -> P,
 {
+    if sharded.shards() == 1 {
+        // Degenerate routing: the single bucket is the stream in global
+        // order, so hits feed the cycle model directly — no hit bitmap,
+        // no merge-cursor second pass. This removes the measured 0.87×
+        // single-core regression of the bitmap-and-merge path.
+        let mut acc = PerfAccumulator::new();
+        let icount = sharded.icount();
+        let mut k = 0usize;
+        let stats = sharded.replay_shard_with(0, make(), |hit| {
+            acc.note_llc(icount[k], hit, perf);
+            k += 1;
+        });
+        return LlcRunResult {
+            stats,
+            instructions: acc.instructions(),
+            cycles: acc.cycles(perf),
+        };
+    }
     let runs: Vec<ShardRun> = (0..sharded.shards())
         .map(|s| sharded.replay_shard(s, make()))
         .collect();

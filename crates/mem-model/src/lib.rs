@@ -19,6 +19,10 @@
 //! * [`batch`] — the sharded single-pass multi-policy replayer: one
 //!   routing pre-pass per stream, every (policy × shard) pair on the
 //!   worker pool, results bit-identical to sequential [`replay_llc`].
+//! * [`sliced`] — the bit-sliced kernel engine for self-describing
+//!   set-local policies (packed PLRU trees, SWAR stacks/RRPVs), again
+//!   bit-identical to [`replay_llc`], with mono fallback when a kernel
+//!   declines the geometry.
 //! * [`cpi`] — the linear CPI model (fitness) and the MLP-aware window
 //!   model (reporting), substituting for CMP$im per DESIGN.md §2.
 //! * [`optimal`] — Belady's MIN on a captured LLC stream (the paper's
@@ -35,8 +39,10 @@ pub mod llc;
 pub mod multicore;
 pub mod optimal;
 pub mod prefetch;
+pub mod sliced;
 
-pub use batch::{replay_llc_sharded, replay_many, replay_many_sharded};
+pub use batch::{replay_llc_sharded, replay_many, replay_many_sharded, replay_many_with_parallelism};
+pub use sliced::replay_llc_sliced;
 pub use cpi::{LinearCpiModel, WindowPerfModel};
 pub use hierarchy::{capture_llc_stream, Hierarchy, HierarchyConfig, Inclusion, ServiceLevel};
 pub use llc::{default_warmup, replay_llc, replay_llc_mono, LlcRunResult};

@@ -1,0 +1,72 @@
+//! Regression test for the single-core degenerate path: at a parallelism
+//! target of 1 the batch engine must not run the `ShardedStream` routing
+//! pre-pass at all (it used to, costing a measured 0.87× slowdown vs the
+//! plain sequential replay), and the routing-free results must stay
+//! bit-identical to `replay_llc`.
+//!
+//! This lives in its own integration-test binary on purpose: the routing
+//! pre-pass counter is process-global, and the unit-test binary runs many
+//! tests concurrently that legitimately route.
+
+use mem_model::{replay_llc, replay_many_with_parallelism, WindowPerfModel};
+use sim_core::policy::factory;
+use sim_core::shard::routing_prepasses;
+use sim_core::{Access, CacheGeometry};
+
+fn stream(n: usize) -> Vec<Access> {
+    let mut state = 0x0123_4567_89ab_cdefu64;
+    (0..n)
+        .map(|i| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let addr = if i % 3 == 0 {
+                (state % 512) * 64
+            } else {
+                (state % 32768) * 64
+            };
+            let a = if state & 3 == 0 {
+                Access::write(addr, state % 128)
+            } else {
+                Access::read(addr, state % 128)
+            };
+            a.with_icount_delta((state % 6) as u32 + 1)
+        })
+        .collect()
+}
+
+#[test]
+fn one_shard_skips_routing_and_matches_sequential() {
+    let geom = CacheGeometry::from_sets(128, 16, 64).unwrap();
+    let accesses = stream(20_000);
+    let warmup = 6_000;
+    let perf = WindowPerfModel::default();
+
+    let lru = factory(|g| Box::new(baselines::TrueLru::new(g)));
+    let gippr =
+        factory(|g| Box::new(gippr::GipprPolicy::new(g, gippr::vectors::wi_gippr()).unwrap()));
+    let drrip = factory(|g| Box::new(baselines::DrripPolicy::new(g).unwrap()));
+    let roster = [&lru, &gippr, &drrip];
+
+    // Parallelism 1: no routing pre-pass may run.
+    let before = routing_prepasses();
+    let results = replay_many_with_parallelism(&accesses, geom, &roster, warmup, 1, &perf);
+    assert_eq!(
+        routing_prepasses(),
+        before,
+        "a ShardedStream routing pre-pass ran on the 1-shard degenerate path"
+    );
+
+    // …and the routing-free results are still bit-identical to replay_llc.
+    for (f, got) in roster.iter().zip(&results) {
+        let want = replay_llc(&accesses, geom, f(&geom), warmup, &perf);
+        assert_eq!(*got, want, "1-shard result diverged for {}", f(&geom).name());
+    }
+
+    // Sanity check on the counter itself: a multi-shard target routes
+    // exactly once.
+    let before = routing_prepasses();
+    let sharded = replay_many_with_parallelism(&accesses, geom, &roster, warmup, 4, &perf);
+    assert_eq!(routing_prepasses(), before + 1);
+    assert_eq!(sharded, results, "shard count changed replay results");
+}

@@ -20,6 +20,9 @@
 //! * [`dueling`] — the set-dueling framework (leader-set maps, PSEL
 //!   counters, two-way and tournament selection) shared by DIP, DRRIP, and
 //!   DGIPPR.
+//! * [`slice`] / [`simd`] — the bit-sliced replay kernel (4 PLRU sets per
+//!   `u64`, SWAR recency stacks and RRPV arrays) and the stable-Rust wide
+//!   tag-scan primitives backing both it and [`SetAssocCache`].
 //! * [`overhead`] — storage-overhead accounting used to regenerate the
 //!   paper's Section 3.6 cost comparison.
 //! * [`persist`] — crash-safe atomic artifact writes (tmp + fsync +
@@ -53,6 +56,8 @@ pub mod persist;
 pub mod policy;
 pub mod pool;
 pub mod shard;
+pub mod simd;
+pub mod slice;
 pub mod stats;
 
 pub use access::{Access, AccessContext, AccessKind};
@@ -63,4 +68,5 @@ pub use overhead::OverheadReport;
 pub use persist::{atomic_write, atomic_write_with};
 pub use policy::{PolicyFactory, ReplacementPolicy, ShardAffinity};
 pub use shard::{ShardRun, ShardedStream};
+pub use slice::{replay_sliced, SliceKernel, SlicedTree, SlicedTreeLane};
 pub use stats::CacheStats;

@@ -87,6 +87,22 @@ pub trait ReplacementPolicy {
     fn shard_affinity(&self) -> ShardAffinity {
         ShardAffinity::Global
     }
+
+    /// A plain-data [`SliceKernel`](crate::slice::SliceKernel) description
+    /// of this policy for the bit-sliced replay engine, or `None` (the
+    /// default) if its transitions cannot be expressed as one.
+    ///
+    /// A policy may only return `Some` when the kernel reproduces its
+    /// `victim`/`on_hit`/`on_fill` *exactly* (same victim on every full
+    /// set, same state after every transition, starting from the same
+    /// initial state) and its `on_miss`/`on_evict`/`should_bypass` are the
+    /// trait defaults — the sliced engine never calls back into the policy
+    /// object. Engines still validate the kernel against the concrete
+    /// geometry via [`SliceKernel::supports`](crate::slice::SliceKernel)
+    /// and fall back to the monomorphized replay when it declines.
+    fn slice_kernel(&self) -> Option<crate::slice::SliceKernel> {
+        None
+    }
 }
 
 /// Boxed policies are policies too: this keeps `Box<dyn ReplacementPolicy>`
@@ -142,6 +158,11 @@ impl<P: ReplacementPolicy + ?Sized> ReplacementPolicy for Box<P> {
     #[inline]
     fn shard_affinity(&self) -> ShardAffinity {
         (**self).shard_affinity()
+    }
+
+    #[inline]
+    fn slice_kernel(&self) -> Option<crate::slice::SliceKernel> {
+        (**self).slice_kernel()
     }
 }
 

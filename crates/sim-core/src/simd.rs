@@ -1,0 +1,145 @@
+//! Explicit SIMD emulation on stable Rust: a fixed 4-lane `u64` vector.
+//!
+//! The tag scan in [`SetAssocCache`](crate::SetAssocCache) and the
+//! bit-sliced replay kernel ([`crate::slice`]) both reduce a set's packed
+//! line words to a match mask and a valid mask. Written as a scalar loop
+//! the reduction *may* auto-vectorize; written against [`U64x4`] the wide
+//! shape is explicit — four loads, four ANDs, four compares, one 4-bit
+//! movemask per chunk — and survives compiler and flag changes without
+//! depending on the nightly-only `std::simd`. Every operation is plain
+//! safe arithmetic, so the module stays `forbid(unsafe_code)` and the
+//! backend is free to lower chunks to `pcmpeqq`/`vpcmpeqq` under
+//! `-C target-cpu=native`.
+
+#![forbid(unsafe_code)]
+
+/// A 4-lane vector of `u64`, emulated with an array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct U64x4(pub [u64; 4]);
+
+impl U64x4 {
+    /// Number of lanes.
+    pub const LANES: usize = 4;
+
+    /// All four lanes set to `x`.
+    #[inline(always)]
+    pub fn splat(x: u64) -> Self {
+        U64x4([x; 4])
+    }
+
+    /// Loads four consecutive words from `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` has fewer than four elements.
+    #[inline(always)]
+    pub fn load(w: &[u64]) -> Self {
+        U64x4([w[0], w[1], w[2], w[3]])
+    }
+
+    /// Lane-wise bitwise AND.
+    #[inline(always)]
+    pub fn and(self, o: Self) -> Self {
+        U64x4([
+            self.0[0] & o.0[0],
+            self.0[1] & o.0[1],
+            self.0[2] & o.0[2],
+            self.0[3] & o.0[3],
+        ])
+    }
+
+    /// Lane-wise equality compare reduced to a 4-bit movemask: bit `i` is
+    /// set iff lane `i` of `self` equals lane `i` of `o`.
+    #[inline(always)]
+    pub fn eq_mask(self, o: Self) -> u64 {
+        u64::from(self.0[0] == o.0[0])
+            | u64::from(self.0[1] == o.0[1]) << 1
+            | u64::from(self.0[2] == o.0[2]) << 2
+            | u64::from(self.0[3] == o.0[3]) << 3
+    }
+}
+
+/// One wide pass over a set's packed line words: returns
+/// `(match_mask, valid_mask)` with bit `way` set iff that way matches
+/// `tag` / holds a valid line. `want` must be `tag | valid_bit` and the
+/// masks follow the packing of [`crate::SetAssocCache`]'s lines (tag in
+/// the low bits, `valid_bit` and `dirty_bit` flags above it): a line
+/// matches iff `word & !dirty_bit == want`.
+#[inline(always)]
+pub fn scan_masks(words: &[u64], want: u64, valid_bit: u64, dirty_bit: u64) -> (u64, u64) {
+    let mut match_mask = 0u64;
+    let mut valid_mask = 0u64;
+    let not_dirty = U64x4::splat(!dirty_bit);
+    let want_v = U64x4::splat(want);
+    let valid_v = U64x4::splat(valid_bit);
+    let mut chunks = words.chunks_exact(U64x4::LANES);
+    let mut way = 0u32;
+    for c in chunks.by_ref() {
+        let w = U64x4::load(c);
+        match_mask |= w.and(not_dirty).eq_mask(want_v) << way;
+        valid_mask |= w.and(valid_v).eq_mask(valid_v) << way;
+        way += U64x4::LANES as u32;
+    }
+    for &word in chunks.remainder() {
+        match_mask |= u64::from(word & !dirty_bit == want) << way;
+        valid_mask |= u64::from(word & valid_bit != 0) << way;
+        way += 1;
+    }
+    (match_mask, valid_mask)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const VALID: u64 = 1 << 62;
+    const DIRTY: u64 = 1 << 63;
+
+    #[test]
+    fn splat_and_eq_mask() {
+        let a = U64x4::splat(7);
+        let b = U64x4([7, 8, 7, 9]);
+        assert_eq!(a.eq_mask(b), 0b0101);
+        assert_eq!(a.eq_mask(a), 0b1111);
+    }
+
+    #[test]
+    fn and_is_lanewise() {
+        let a = U64x4([0b1100, 0b1010, u64::MAX, 0]);
+        let b = U64x4::splat(0b1001);
+        assert_eq!(a.and(b).0, [0b1000, 0b1000, 0b1001, 0]);
+    }
+
+    #[test]
+    fn scan_matches_scalar_reference_for_all_ways() {
+        for ways in [1usize, 2, 3, 4, 5, 7, 8, 12, 15, 16, 32] {
+            let words: Vec<u64> = (0..ways as u64)
+                .map(|w| match w % 4 {
+                    0 => 0,                        // invalid
+                    1 => (w / 2) | VALID,          // clean
+                    2 => (w / 2) | VALID | DIRTY,  // dirty
+                    _ => (900 + w) | VALID,        // other tag
+                })
+                .collect();
+            for tag in 0..10u64 {
+                let want = tag | VALID;
+                let (m, v) = scan_masks(&words, want, VALID, DIRTY);
+                let mut rm = 0u64;
+                let mut rv = 0u64;
+                for (w, &word) in words.iter().enumerate() {
+                    rm |= u64::from(word & !DIRTY == want) << w;
+                    rv |= u64::from(word & VALID != 0) << w;
+                }
+                assert_eq!((m, v), (rm, rv), "ways={ways} tag={tag}");
+            }
+        }
+    }
+
+    #[test]
+    fn dirty_bit_does_not_defeat_match() {
+        let words = [5 | VALID | DIRTY];
+        let (m, v) = scan_masks(&words, 5 | VALID, VALID, DIRTY);
+        assert_eq!(m, 1);
+        assert_eq!(v, 1);
+    }
+}

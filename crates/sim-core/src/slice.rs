@@ -1,0 +1,1052 @@
+//! Bit-sliced replay kernel: packed replacement state advanced with
+//! word-parallel ALU ops.
+//!
+//! A 16-way tree PseudoLRU set is 15 bits of state; this module packs
+//! four such trees (one per 16-bit lane) into a single `u64` and runs
+//! victim selection, position reads, and position writes directly on the
+//! packed word — no per-set struct, no bounds-checked `Vec<PlruTree>`
+//! indexing, and co-resident sets share cache lines. Recency stacks and
+//! RRPV arrays get the same treatment as 4-bit-per-way nibble vectors
+//! driven by SWAR (SIMD-within-a-register) find/shift ops.
+//!
+//! The kernel is *data-driven*: a policy that qualifies describes itself
+//! as a [`SliceKernel`] (via
+//! [`ReplacementPolicy::slice_kernel`](crate::ReplacementPolicy::slice_kernel)),
+//! and [`replay_sliced`] interprets that description over a captured
+//! stream with the exact per-access protocol of
+//! [`SetAssocCache::access_tagged`](crate::SetAssocCache) — same
+//! statistics fields, same fill-invalid-first rule, same dirty/writeback
+//! accounting — so final stats are bit-identical to a monomorphized
+//! sequential replay (proven roster-wide by `sim-verify`).
+//!
+//! Lane layout for the PLRU family (16-way shown; `k`-way uses
+//! `64 / k`-lane words, each lane `k` bits: `k - 1` tree bits plus one
+//! pad bit that is never written):
+//!
+//! ```text
+//!   u64 word:  [ lane 3 | lane 2 | lane 1 | lane 0 ]   4 sets per word
+//!   lane bits:  b14 .. b1 b0 | pad                      node i at bit i-1
+//! ```
+//!
+//! The packed tree is model-checked: [`SlicedTree`] implements
+//! `sim_lint::PlruState`, so `cargo xtask model-check` sweeps its full
+//! state space at every lane offset, with sibling lanes filled with a
+//! poison pattern whose integrity is asserted on every state read —
+//! any cross-lane contamination is caught immediately.
+
+#![forbid(unsafe_code)]
+
+use crate::access::Access;
+use crate::cache::{LINE_DIRTY, LINE_VALID};
+use crate::geometry::CacheGeometry;
+use crate::simd::scan_masks;
+use crate::stats::CacheStats;
+
+/// A plain-data description of a qualifying replacement policy, complete
+/// enough for [`replay_sliced`] to reproduce its transitions exactly.
+///
+/// A policy must only return one of these (from
+/// [`ReplacementPolicy::slice_kernel`](crate::ReplacementPolicy::slice_kernel))
+/// if its `on_miss`, `on_evict`, and `should_bypass` are the trait
+/// defaults (no-ops / never bypass) and its `victim`/`on_hit`/`on_fill`
+/// are fully determined by the kernel data below — the sliced engine
+/// never calls back into the policy object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SliceKernel {
+    /// Tree PseudoLRU driven by an insertion/promotion vector
+    /// `V[0..=k]`: a hit at pseudo-position `p` rewrites the block to
+    /// position `V[p]`, a fill lands at `V[k]`, the victim sits at
+    /// position `k - 1`. Plain PLRU is the all-zero vector.
+    PlruIpv {
+        /// The `k + 1` vector entries, each `< k`.
+        ipv: Vec<u8>,
+    },
+    /// A true-LRU recency stack driven by an insertion/promotion vector
+    /// with shift-by-one move semantics (GIPLR). True LRU is the
+    /// all-zero vector.
+    StackIpv {
+        /// The `k + 1` vector entries, each `< k`.
+        ipv: Vec<u8>,
+    },
+    /// RRIP with a 5-entry vector `V[0..=4]`: a hit at RRPV `i` rewrites
+    /// to `V[i]`, a fill installs `V[4]`; the victim is the lowest way
+    /// at max RRPV, aging all ways until one exists. SRRIP is
+    /// `[0, 0, 0, 0, 2]`.
+    RripIpv {
+        /// Promotion targets for RRPVs 0–3 plus the insertion RRPV.
+        vector: [u8; 5],
+    },
+}
+
+impl SliceKernel {
+    /// Whether [`replay_sliced`] can run this kernel on `geom`: the
+    /// associativity must be a power of two in `2..=16` and the vector
+    /// entries must be in range.
+    pub fn supports(&self, geom: &CacheGeometry) -> bool {
+        let ways = geom.ways();
+        if !matches!(ways, 2 | 4 | 8 | 16) {
+            return false;
+        }
+        match self {
+            SliceKernel::PlruIpv { ipv } | SliceKernel::StackIpv { ipv } => {
+                ipv.len() == ways + 1 && ipv.iter().all(|&e| usize::from(e) < ways)
+            }
+            SliceKernel::RripIpv { vector } => vector.iter().all(|&e| e < 4),
+        }
+    }
+
+    /// Sets packed per `u64` state word at associativity `ways`: `64/k`
+    /// for the PLRU family (the headline bit-slicing win), 1 for the
+    /// nibble-vector kernels (a 16-way stack or RRPV array fills the
+    /// word by itself).
+    pub fn lanes(&self, ways: usize) -> usize {
+        match self {
+            SliceKernel::PlruIpv { .. } => 64 / ways,
+            SliceKernel::StackIpv { .. } | SliceKernel::RripIpv { .. } => 1,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PLRU lane math. One runtime-`ways` implementation serves both the hot
+// kernel (where `ways` is a const-propagated literal, so the walks unroll)
+// and the model-checked `SlicedTree`.
+// ---------------------------------------------------------------------------
+
+/// Victim walk over the tree in the lane at bit offset `off`: follow node
+/// bits from the root (node 1, stored at `off`), 0 = left, 1 = right.
+#[inline(always)]
+fn lane_victim(word: u64, off: u32, ways: usize) -> usize {
+    let mut node = 1usize;
+    while node < ways {
+        let bit = (word >> (off + node as u32 - 1)) & 1;
+        node = 2 * node + bit as usize;
+    }
+    node - ways
+}
+
+/// Reads `way`'s pseudo recency position from the lane at `off`: walking
+/// leaf-to-root, visited node `i` contributes bit `i` of the position —
+/// the parent's bit if the node is a right child, its complement if left.
+#[inline(always)]
+fn lane_position(word: u64, off: u32, ways: usize, way: usize) -> usize {
+    let mut node = ways + way;
+    let mut pos = 0usize;
+    let mut i = 0u32;
+    while node > 1 {
+        let parent = node / 2;
+        let pbit = ((word >> (off + parent as u32 - 1)) & 1) as usize;
+        pos |= (pbit ^ ((node & 1) ^ 1)) << i;
+        node = parent;
+        i += 1;
+    }
+    pos
+}
+
+/// Writes `way`'s position into the lane at `off`, rewriting the
+/// `log2 ways` bits on its root-to-leaf path; sibling lanes untouched.
+#[inline(always)]
+fn lane_set_position(word: u64, off: u32, ways: usize, way: usize, position: usize) -> u64 {
+    let mut w = word;
+    let mut node = ways + way;
+    let mut i = 0u32;
+    while node > 1 {
+        let parent = node / 2;
+        let bit = (position >> i) & 1;
+        let stored = (bit ^ ((node & 1) ^ 1)) as u64;
+        let sh = off + parent as u32 - 1;
+        w = (w & !(1u64 << sh)) | (stored << sh);
+        node = parent;
+        i += 1;
+    }
+    w
+}
+
+/// Mask of a lane's `ways - 1` tree bits (lane-relative).
+#[inline]
+fn tree_mask(ways: usize) -> u64 {
+    (1u64 << (ways - 1)) - 1
+}
+
+/// Deterministic non-zero filler for inactive lanes of a [`SlicedTree`].
+fn lane_poison(ways: usize, lane: usize) -> u64 {
+    0x9e37_79b9_7f4a_7c15u64.rotate_left(lane as u32 * 7) & tree_mask(ways)
+}
+
+/// One PLRU tree living in a chosen lane of a packed `u64` word, with
+/// every *other* lane filled with a poison pattern that is re-asserted on
+/// each state read — the model-checkable face of the bit-sliced tree.
+///
+/// Semantics (victim walk, position algebra) are exactly those of
+/// `gippr::PlruTree`; the `sim_lint::PlruState` impl lets the exhaustive
+/// model checker sweep the full `2^(k-1)` state space per lane offset,
+/// proving both the tree invariants and lane isolation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlicedTree {
+    word: u64,
+    ways: usize,
+    lane: usize,
+}
+
+impl SlicedTree {
+    /// Builds a tree with bit pattern `bits` in lane `lane`, poison
+    /// elsewhere.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `ways` is a power of two in `2..=16`, `lane` is
+    /// below `64 / ways`, and `bits` fits in `ways - 1` bits.
+    pub fn at_lane(ways: usize, bits: u64, lane: usize) -> Self {
+        assert!(
+            ways.is_power_of_two() && (2..=16).contains(&ways),
+            "sliced tree supports power-of-two ways in 2..=16, got {ways}"
+        );
+        let lanes = 64 / ways;
+        assert!(lane < lanes, "lane {lane} out of range for {ways}-way");
+        assert!(
+            bits >> (ways - 1) == 0,
+            "bits {bits:#x} exceed the {} tree bits",
+            ways - 1
+        );
+        let mut word = bits << (lane * ways);
+        for l in 0..lanes {
+            if l != lane {
+                word |= lane_poison(ways, l) << (l * ways);
+            }
+        }
+        SlicedTree { word, ways, lane }
+    }
+
+    /// The lane this tree occupies.
+    pub fn lane(&self) -> usize {
+        self.lane
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    #[inline]
+    fn off(&self) -> u32 {
+        (self.lane * self.ways) as u32
+    }
+
+    /// This lane's tree bits in the canonical encoding (node `i` at bit
+    /// `i - 1`), verifying on the way out that every sibling lane's
+    /// poison — and this lane's pad bit — survived intact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any bit outside this lane's tree bits changed: that
+    /// would mean a lane operation leaked across a lane boundary.
+    pub fn tree_bits(&self) -> u64 {
+        let lanes = 64 / self.ways;
+        for l in 0..lanes {
+            let lane_bits = (self.word >> (l * self.ways)) & ((1u64 << self.ways) - 1);
+            if l != self.lane {
+                assert_eq!(
+                    lane_bits,
+                    lane_poison(self.ways, l),
+                    "lane {l} poison clobbered by an operation on lane {}",
+                    self.lane
+                );
+            } else {
+                assert_eq!(lane_bits >> (self.ways - 1), 0, "pad bit written");
+            }
+        }
+        (self.word >> self.off()) & tree_mask(self.ways)
+    }
+
+    /// The PseudoLRU victim way of this lane.
+    pub fn victim(&self) -> usize {
+        lane_victim(self.word, self.off(), self.ways)
+    }
+
+    /// `way`'s pseudo recency position (0 = MRU, `ways - 1` = victim).
+    pub fn position(&self, way: usize) -> usize {
+        assert!(way < self.ways, "way {way} out of range");
+        lane_position(self.word, self.off(), self.ways, way)
+    }
+
+    /// Rewrites `way`'s root-to-leaf path so it occupies `position`.
+    pub fn set_position(&mut self, way: usize, position: usize) {
+        assert!(way < self.ways, "way {way} out of range");
+        assert!(position < self.ways, "position {position} out of range");
+        self.word = lane_set_position(self.word, self.off(), self.ways, way, position);
+    }
+}
+
+/// [`SlicedTree`] pinned to a compile-time lane, so the `sim_lint` model
+/// checker (whose [`PlruState`](sim_lint::PlruState) constructor carries
+/// only `(ways, bits)`) can be instantiated per lane offset. For small
+/// associativities with more than `LANE + 1` lanes the requested lane is
+/// taken modulo the lane count, keeping every `(ways, LANE)` combination
+/// valid.
+#[derive(Debug, Clone)]
+pub struct SlicedTreeLane<const LANE: usize>(SlicedTree);
+
+impl<const LANE: usize> SlicedTreeLane<LANE> {
+    /// The underlying packed tree.
+    pub fn inner(&self) -> &SlicedTree {
+        &self.0
+    }
+}
+
+impl<const LANE: usize> sim_lint::PlruState for SlicedTreeLane<LANE> {
+    fn from_bits(ways: usize, bits: u64) -> Self {
+        SlicedTreeLane(SlicedTree::at_lane(ways, bits, LANE % (64 / ways)))
+    }
+
+    fn bits(&self) -> u64 {
+        self.0.tree_bits()
+    }
+
+    fn ways(&self) -> usize {
+        self.0.ways()
+    }
+
+    fn victim(&self) -> usize {
+        self.0.victim()
+    }
+
+    fn position(&self, way: usize) -> usize {
+        self.0.position(way)
+    }
+
+    fn set_position(&mut self, way: usize, position: usize) {
+        self.0.set_position(way, position)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Nibble SWAR: recency stacks and RRPV arrays as 4-bit-per-entry words.
+// ---------------------------------------------------------------------------
+
+/// `0x1111…` repeated over the low `ways` nibbles.
+#[inline(always)]
+fn nib_rep(ways: usize) -> u64 {
+    (0x1111_1111_1111_1111u128 & ((1u128 << (4 * ways)) - 1)) as u64
+}
+
+/// Index of the lowest nibble of `word` equal to `target` (which must be
+/// present among the low `ways` nibbles). Classic SWAR zero-detect on
+/// `word ^ target·rep`: below the lowest genuine zero nibble no borrow
+/// has started, so the lowest flagged nibble is exact.
+#[inline(always)]
+fn nib_find(word: u64, target: u64, ways: usize) -> usize {
+    let rep = nib_rep(ways);
+    let x = word ^ target.wrapping_mul(rep);
+    let y = x.wrapping_sub(rep) & !x & (rep << 3);
+    debug_assert_ne!(y, 0, "target nibble must be present");
+    (y.trailing_zeros() / 4) as usize
+}
+
+/// Nibble `idx` of `word`.
+#[inline(always)]
+fn nib_read(word: u64, idx: usize) -> u64 {
+    (word >> (4 * idx as u32)) & 0xF
+}
+
+/// `word` with nibble `idx` replaced by `val` (`val < 16`).
+#[inline(always)]
+fn nib_write(word: u64, idx: usize, val: u64) -> u64 {
+    let sh = 4 * idx as u32;
+    (word & !(0xFu64 << sh)) | (val << sh)
+}
+
+/// Bit mask covering nibbles `lo..hi` (i.e. bits `4·lo..4·hi`, `hi ≤ 16`).
+#[inline(always)]
+fn nib_span(lo: usize, hi: usize) -> u64 {
+    ((1u128 << (4 * hi)) - (1u128 << (4 * lo))) as u64
+}
+
+/// Moves `way` from stack position `current` to `target` in a packed
+/// nibble list (`nibble p` = way at position `p`), shifting the
+/// intervening occupants by one — the packed twin of
+/// `gippr::RecencyStack::move_to`.
+#[inline(always)]
+fn stack_move(list: u64, way: u64, current: usize, target: usize) -> u64 {
+    match target.cmp(&current) {
+        std::cmp::Ordering::Equal => list,
+        std::cmp::Ordering::Less => {
+            // Occupants of positions [target, current) slide up one.
+            (list & !nib_span(target, current + 1))
+                | ((list & nib_span(target, current)) << 4)
+                | (way << (4 * target as u32))
+        }
+        std::cmp::Ordering::Greater => {
+            // Occupants of positions (current, target] slide down one.
+            (list & !nib_span(current, target + 1))
+                | ((list & nib_span(current + 1, target + 1)) >> 4)
+                | (way << (4 * target as u32))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Packed per-kernel replacement state.
+// ---------------------------------------------------------------------------
+
+/// The replacement-state interface the replay loop drives. `ways` is
+/// passed by the (const-dispatched) caller so every division and shift
+/// below folds to a constant.
+trait ReplState {
+    fn victim(&mut self, ways: usize, set: usize) -> usize;
+    fn on_hit(&mut self, ways: usize, set: usize, way: usize);
+    fn on_fill(&mut self, ways: usize, set: usize, way: usize);
+}
+
+/// `64/k` PLRU trees per word, IPV-driven.
+struct PlruLanes {
+    words: Vec<u64>,
+    promo: [u8; 16],
+    insert: u8,
+}
+
+impl PlruLanes {
+    fn new(sets: usize, ways: usize, ipv: &[u8]) -> Self {
+        let mut promo = [0u8; 16];
+        promo[..ways].copy_from_slice(&ipv[..ways]);
+        PlruLanes {
+            words: vec![0u64; sets.div_ceil(64 / ways)],
+            promo,
+            insert: ipv[ways],
+        }
+    }
+
+    #[inline(always)]
+    fn locate(ways: usize, set: usize) -> (usize, u32) {
+        let lanes = 64 / ways; // power of two: folds to shift + mask
+        (set / lanes, ((set % lanes) * ways) as u32)
+    }
+}
+
+impl ReplState for PlruLanes {
+    #[inline(always)]
+    fn victim(&mut self, ways: usize, set: usize) -> usize {
+        let (ix, off) = Self::locate(ways, set);
+        lane_victim(self.words[ix], off, ways)
+    }
+
+    #[inline(always)]
+    fn on_hit(&mut self, ways: usize, set: usize, way: usize) {
+        let (ix, off) = Self::locate(ways, set);
+        let w = self.words[ix];
+        let pos = lane_position(w, off, ways, way);
+        self.words[ix] =
+            lane_set_position(w, off, ways, way, usize::from(self.promo[pos & 15]));
+    }
+
+    #[inline(always)]
+    fn on_fill(&mut self, ways: usize, set: usize, way: usize) {
+        let (ix, off) = Self::locate(ways, set);
+        self.words[ix] =
+            lane_set_position(self.words[ix], off, ways, way, usize::from(self.insert));
+    }
+}
+
+/// One packed recency stack per set: nibble `p` holds the way at
+/// position `p`, starting from the identity permutation (way `p` at
+/// position `p`, matching `RecencyStack::new`).
+struct StackList {
+    list: Vec<u64>,
+    promo: [u8; 16],
+    insert: u8,
+}
+
+impl StackList {
+    fn new(sets: usize, ways: usize, ipv: &[u8]) -> Self {
+        let mut promo = [0u8; 16];
+        promo[..ways].copy_from_slice(&ipv[..ways]);
+        let mut identity = 0u64;
+        for p in 0..ways {
+            identity |= (p as u64) << (4 * p as u32);
+        }
+        StackList {
+            list: vec![identity; sets],
+            promo,
+            insert: ipv[ways],
+        }
+    }
+}
+
+impl ReplState for StackList {
+    #[inline(always)]
+    fn victim(&mut self, ways: usize, set: usize) -> usize {
+        nib_read(self.list[set], ways - 1) as usize
+    }
+
+    #[inline(always)]
+    fn on_hit(&mut self, ways: usize, set: usize, way: usize) {
+        let l = self.list[set];
+        let pos = nib_find(l, way as u64, ways);
+        self.list[set] = stack_move(l, way as u64, pos, usize::from(self.promo[pos & 15]));
+    }
+
+    #[inline(always)]
+    fn on_fill(&mut self, ways: usize, set: usize, way: usize) {
+        let l = self.list[set];
+        let pos = nib_find(l, way as u64, ways);
+        self.list[set] = stack_move(l, way as u64, pos, usize::from(self.insert));
+    }
+}
+
+/// One packed RRPV array per set: nibble `w` holds way `w`'s RRPV,
+/// starting at max (3), matching the reference RRIP tables.
+struct RripNibbles {
+    nib: Vec<u64>,
+    vector: [u8; 5],
+}
+
+impl RripNibbles {
+    fn new(sets: usize, ways: usize, vector: [u8; 5]) -> Self {
+        RripNibbles {
+            nib: vec![nib_rep(ways).wrapping_mul(3); sets],
+            vector,
+        }
+    }
+}
+
+impl ReplState for RripNibbles {
+    #[inline(always)]
+    fn victim(&mut self, ways: usize, set: usize) -> usize {
+        let rep = nib_rep(ways);
+        let max = rep.wrapping_mul(3);
+        let word = &mut self.nib[set];
+        loop {
+            let x = *word ^ max;
+            let y = x.wrapping_sub(rep) & !x & (rep << 3);
+            if y != 0 {
+                // Lowest max nibble = lowest-index way at max RRPV,
+                // matching the reference's ascending-way scan.
+                return (y.trailing_zeros() / 4) as usize;
+            }
+            // Age every way by one. No nibble is at max here, so the
+            // per-nibble add never carries.
+            *word += rep;
+        }
+    }
+
+    #[inline(always)]
+    fn on_hit(&mut self, _ways: usize, set: usize, way: usize) {
+        let r = nib_read(self.nib[set], way) as usize;
+        self.nib[set] = nib_write(self.nib[set], way, u64::from(self.vector[r & 3]));
+    }
+
+    #[inline(always)]
+    fn on_fill(&mut self, _ways: usize, set: usize, way: usize) {
+        self.nib[set] = nib_write(self.nib[set], way, u64::from(self.vector[4]));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The replay loop.
+// ---------------------------------------------------------------------------
+
+/// One access against the packed tag array + replacement state, with the
+/// exact statistics protocol of `SetAssocCache::access_tagged`.
+/// Qualifying kernels use the default (no-op) `on_miss`, `should_bypass`,
+/// and `on_evict`, so those callbacks are elided rather than emulated.
+#[inline(always)]
+fn step<P: ReplState>(
+    ways: usize,
+    geom: &CacheGeometry,
+    lines: &mut [u64],
+    state: &mut P,
+    stats: &mut CacheStats,
+    a: &Access,
+) -> bool {
+    let block = geom.block_of(a.addr);
+    let set = geom.set_of_block(block);
+    let tag = geom.tag_of_block(block);
+    let base = set * ways;
+    let is_write = a.is_write();
+    stats.accesses += 1;
+
+    let (match_mask, valid_mask) =
+        scan_masks(&lines[base..base + ways], tag | LINE_VALID, LINE_VALID, LINE_DIRTY);
+
+    if match_mask != 0 {
+        let way = match_mask.trailing_zeros() as usize;
+        if is_write {
+            lines[base + way] |= LINE_DIRTY;
+        }
+        stats.hits += 1;
+        state.on_hit(ways, set, way);
+        return true;
+    }
+
+    stats.misses += 1;
+    let first_invalid = (!valid_mask).trailing_zeros() as usize;
+    let fill_way = if first_invalid < ways {
+        first_invalid
+    } else {
+        let w = state.victim(ways, set);
+        debug_assert!(w < ways, "sliced victim out of range");
+        stats.evictions += 1;
+        stats.writebacks += u64::from(lines[base + w] & LINE_DIRTY != 0);
+        w
+    };
+    lines[base + fill_way] = tag | LINE_VALID | if is_write { LINE_DIRTY } else { 0 };
+    state.on_fill(ways, set, fill_way);
+    false
+}
+
+#[inline(always)]
+fn run<P: ReplState, S: FnMut(u32, bool)>(
+    ways: usize,
+    geom: &CacheGeometry,
+    state: &mut P,
+    stream: &[Access],
+    warmup: usize,
+    sink: &mut S,
+) -> CacheStats {
+    let mut lines = vec![0u64; geom.sets() * ways];
+    let mut stats = CacheStats::new();
+    let warmup = warmup.min(stream.len());
+    for a in &stream[..warmup] {
+        step(ways, geom, &mut lines, state, &mut stats, a);
+    }
+    stats = CacheStats::new();
+    for a in &stream[warmup..] {
+        let hit = step(ways, geom, &mut lines, state, &mut stats, a);
+        sink(a.icount_delta, hit);
+    }
+    stats
+}
+
+/// Replays `stream` through the bit-sliced engine: the first `warmup`
+/// accesses only warm the cache, then statistics cover the remainder
+/// while `sink` receives each measured access's `(icount_delta, hit)` in
+/// exact stream order (for cycle accounting).
+///
+/// Returns `None` — without touching `sink` — when the kernel does not
+/// support `geom` (see [`SliceKernel::supports`]); callers fall back to
+/// the monomorphized engine, which is always exact.
+pub fn replay_sliced<S: FnMut(u32, bool)>(
+    stream: &[Access],
+    geom: &CacheGeometry,
+    kernel: &SliceKernel,
+    warmup: usize,
+    mut sink: S,
+) -> Option<CacheStats> {
+    if !kernel.supports(geom) {
+        return None;
+    }
+    let sets = geom.sets();
+    // Dispatch on the (validated) associativity with literal arguments so
+    // each arm monomorphizes `run` with a constant `ways`: the lane walks
+    // unroll and the `64/ways` lane math folds to shifts.
+    macro_rules! run_ways {
+        ($st:expr) => {
+            match geom.ways() {
+                2 => run(2, geom, $st, stream, warmup, &mut sink),
+                4 => run(4, geom, $st, stream, warmup, &mut sink),
+                8 => run(8, geom, $st, stream, warmup, &mut sink),
+                16 => run(16, geom, $st, stream, warmup, &mut sink),
+                _ => unreachable!("supports() admitted ways {}", geom.ways()),
+            }
+        };
+    }
+    Some(match kernel {
+        SliceKernel::PlruIpv { ipv } => run_ways!(&mut PlruLanes::new(sets, geom.ways(), ipv)),
+        SliceKernel::StackIpv { ipv } => run_ways!(&mut StackList::new(sets, geom.ways(), ipv)),
+        SliceKernel::RripIpv { vector } => {
+            run_ways!(&mut RripNibbles::new(sets, geom.ways(), *vector))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::{Access, AccessContext};
+    use crate::cache::SetAssocCache;
+    use crate::policy::{ReplacementPolicy, ShardAffinity};
+    use sim_lint::PlruState;
+
+    // -- SWAR helpers against naive models ---------------------------------
+
+    #[test]
+    fn nib_find_matches_linear_scan() {
+        for ways in [2usize, 4, 8, 16] {
+            let mut word = 0u64;
+            // An arbitrary permutation of 0..ways.
+            for p in 0..ways {
+                word |= (((p * 7 + 3) % ways) as u64) << (4 * p);
+            }
+            for target in 0..ways as u64 {
+                let naive = (0..ways).find(|&p| nib_read(word, p) == target).unwrap();
+                assert_eq!(nib_find(word, target, ways), naive, "ways={ways}");
+            }
+        }
+    }
+
+    #[test]
+    fn stack_move_matches_vec_model() {
+        // Drive the packed stack and a positions-vector model (the exact
+        // RecencyStack::move_to semantics) through chaotic moves.
+        for ways in [2usize, 4, 8, 16] {
+            let mut list = 0u64;
+            for p in 0..ways {
+                list |= (p as u64) << (4 * p);
+            }
+            let mut pos: Vec<usize> = (0..ways).collect(); // pos[way]
+            let mut seed = 0x12345678u64;
+            for _ in 0..500 {
+                seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let way = (seed >> 33) as usize % ways;
+                let target = (seed >> 49) as usize % ways;
+                let current = pos[way];
+                list = stack_move(list, way as u64, current, target);
+                // Reference shift semantics.
+                if target < current {
+                    for p in pos.iter_mut() {
+                        if (target..current).contains(p) {
+                            *p += 1;
+                        }
+                    }
+                } else {
+                    for p in pos.iter_mut() {
+                        if *p > current && *p <= target {
+                            *p -= 1;
+                        }
+                    }
+                }
+                pos[way] = target;
+                for (w, &p) in pos.iter().enumerate() {
+                    assert_eq!(
+                        nib_read(list, p),
+                        w as u64,
+                        "ways={ways} way={way} target={target}"
+                    );
+                }
+            }
+        }
+    }
+
+    // -- Sliced tree vs an independent naive tree --------------------------
+
+    /// A deliberately naive PLRU tree (Vec<bool> nodes, heap-indexed from
+    /// 1) coded without bit packing, as an in-crate reference.
+    #[derive(Clone)]
+    struct NaiveTree {
+        node: Vec<bool>, // node[i] for i in 1..ways
+        ways: usize,
+    }
+
+    impl NaiveTree {
+        fn new(ways: usize, bits: u64) -> Self {
+            NaiveTree {
+                node: (0..=ways).map(|i| i >= 1 && (bits >> (i - 1)) & 1 == 1).collect(),
+                ways,
+            }
+        }
+
+        fn victim(&self) -> usize {
+            let mut n = 1;
+            while n < self.ways {
+                n = 2 * n + usize::from(self.node[n]);
+            }
+            n - self.ways
+        }
+
+        fn position(&self, way: usize) -> usize {
+            let mut n = self.ways + way;
+            let mut pos = 0;
+            let mut i = 0;
+            while n > 1 {
+                let toward = if n % 2 == 1 {
+                    self.node[n / 2]
+                } else {
+                    !self.node[n / 2]
+                };
+                pos |= usize::from(toward) << i;
+                n /= 2;
+                i += 1;
+            }
+            pos
+        }
+
+        fn set_position(&mut self, way: usize, position: usize) {
+            let mut n = self.ways + way;
+            let mut i = 0;
+            while n > 1 {
+                let bit = (position >> i) & 1 == 1;
+                self.node[n / 2] = if n % 2 == 1 { bit } else { !bit };
+                n /= 2;
+                i += 1;
+            }
+        }
+
+        fn bits(&self) -> u64 {
+            (1..self.ways).fold(0, |acc, i| acc | (u64::from(self.node[i]) << (i - 1)))
+        }
+    }
+
+    #[test]
+    fn sliced_tree_matches_naive_tree_at_every_lane() {
+        for ways in [2usize, 4, 8, 16] {
+            let states = 1u64 << (ways - 1);
+            // Exhaustive for ways <= 8; strided sample at 16.
+            let stride = if ways == 16 { 641 } else { 1 };
+            for lane in 0..64 / ways {
+                let mut bits = 0u64;
+                while bits < states {
+                    let t = SlicedTree::at_lane(ways, bits, lane);
+                    let n = NaiveTree::new(ways, bits);
+                    assert_eq!(t.victim(), n.victim(), "ways={ways} lane={lane}");
+                    for w in 0..ways {
+                        assert_eq!(t.position(w), n.position(w));
+                        for p in 0..ways {
+                            let mut t2 = t.clone();
+                            let mut n2 = n.clone();
+                            t2.set_position(w, p);
+                            n2.set_position(w, p);
+                            assert_eq!(
+                                t2.tree_bits(),
+                                n2.bits(),
+                                "ways={ways} lane={lane} bits={bits:#x} w={w} p={p}"
+                            );
+                        }
+                    }
+                    bits += stride;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sliced_tree_lane_plru_state_round_trips() {
+        for ways in [2usize, 4, 8, 16] {
+            let bits = 0x5a5a & ((1u64 << (ways - 1)) - 1);
+            let t = <SlicedTreeLane<3> as PlruState>::from_bits(ways, bits);
+            assert_eq!(t.bits(), bits);
+            assert_eq!(PlruState::ways(&t), ways);
+            let mut t2 = t.clone();
+            for w in 0..ways {
+                for p in 0..ways {
+                    t2.set_position(w, p);
+                    assert_eq!(t2.position(w), p);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "poison")]
+    fn cross_lane_write_is_detected() {
+        let mut t = SlicedTree::at_lane(16, 0, 1);
+        // Simulate a stray write into lane 0's bits.
+        t.word ^= 1;
+        let _ = t.tree_bits();
+    }
+
+    // -- Whole-kernel differential: sliced replay vs SetAssocCache ---------
+
+    /// Interprets a [`SliceKernel`] naively as a boxed policy, so the
+    /// sliced engine can be differentially tested against the production
+    /// cache without depending on the policy crates (which sit above
+    /// `sim-core` in the workspace graph).
+    struct NaiveKernelPolicy {
+        kernel: SliceKernel,
+        trees: Vec<NaiveTree>,
+        stacks: Vec<Vec<usize>>, // pos[way] per set
+        rrpv: Vec<Vec<u8>>,
+        ways: usize,
+    }
+
+    impl NaiveKernelPolicy {
+        fn new(geom: &CacheGeometry, kernel: SliceKernel) -> Self {
+            let (sets, ways) = (geom.sets(), geom.ways());
+            NaiveKernelPolicy {
+                kernel,
+                trees: vec![NaiveTree::new(ways, 0); sets],
+                stacks: vec![(0..ways).collect(); sets],
+                rrpv: vec![vec![3u8; ways]; sets],
+                ways,
+            }
+        }
+
+        fn stack_move_to(&mut self, set: usize, way: usize, target: usize) {
+            let current = self.stacks[set][way];
+            if target < current {
+                for p in self.stacks[set].iter_mut() {
+                    if (target..current).contains(p) {
+                        *p += 1;
+                    }
+                }
+            } else {
+                for p in self.stacks[set].iter_mut() {
+                    if *p > current && *p <= target {
+                        *p -= 1;
+                    }
+                }
+            }
+            self.stacks[set][way] = target;
+        }
+    }
+
+    impl ReplacementPolicy for NaiveKernelPolicy {
+        fn name(&self) -> &str {
+            "naive-kernel"
+        }
+
+        fn victim(&mut self, set: usize, _ctx: &AccessContext) -> usize {
+            match &self.kernel {
+                SliceKernel::PlruIpv { .. } => self.trees[set].victim(),
+                SliceKernel::StackIpv { .. } => {
+                    (0..self.ways).find(|&w| self.stacks[set][w] == self.ways - 1).unwrap()
+                }
+                SliceKernel::RripIpv { .. } => loop {
+                    if let Some(w) = (0..self.ways).find(|&w| self.rrpv[set][w] == 3) {
+                        break w;
+                    }
+                    for r in self.rrpv[set].iter_mut() {
+                        *r += 1;
+                    }
+                },
+            }
+        }
+
+        fn on_hit(&mut self, set: usize, way: usize, _ctx: &AccessContext) {
+            match &self.kernel.clone() {
+                SliceKernel::PlruIpv { ipv } => {
+                    let p = self.trees[set].position(way);
+                    self.trees[set].set_position(way, usize::from(ipv[p]));
+                }
+                SliceKernel::StackIpv { ipv } => {
+                    let p = self.stacks[set][way];
+                    self.stack_move_to(set, way, usize::from(ipv[p]));
+                }
+                SliceKernel::RripIpv { vector } => {
+                    let r = usize::from(self.rrpv[set][way]);
+                    self.rrpv[set][way] = vector[r];
+                }
+            }
+        }
+
+        fn on_fill(&mut self, set: usize, way: usize, _ctx: &AccessContext) {
+            match &self.kernel.clone() {
+                SliceKernel::PlruIpv { ipv } => {
+                    self.trees[set].set_position(way, usize::from(ipv[self.ways]));
+                }
+                SliceKernel::StackIpv { ipv } => {
+                    self.stack_move_to(set, way, usize::from(ipv[self.ways]));
+                }
+                SliceKernel::RripIpv { vector } => self.rrpv[set][way] = vector[4],
+            }
+        }
+
+        fn bits_per_set(&self) -> u64 {
+            0
+        }
+
+        fn shard_affinity(&self) -> ShardAffinity {
+            ShardAffinity::SetLocal
+        }
+    }
+
+    fn mixed_stream(n: usize, blocks: u64) -> Vec<Access> {
+        let mut state = 0x9e3779b97f4a7c15u64;
+        (0..n)
+            .map(|i| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let hot = i % 3 == 0;
+                let addr = (state % if hot { blocks / 8 } else { blocks }) * 64;
+                let a = if state & 3 == 0 {
+                    Access::write(addr, state % 256)
+                } else {
+                    Access::read(addr, state % 256)
+                };
+                a.with_icount_delta((state % 5) as u32 + 1)
+            })
+            .collect()
+    }
+
+    fn kernels(ways: usize) -> Vec<SliceKernel> {
+        let mut zero = vec![0u8; ways + 1];
+        let mut churn = vec![0u8; ways + 1];
+        for (i, e) in churn.iter_mut().enumerate() {
+            *e = ((i * 3 + 1) % ways) as u8;
+        }
+        zero[ways] = 0;
+        vec![
+            SliceKernel::PlruIpv { ipv: zero.clone() },
+            SliceKernel::PlruIpv { ipv: churn.clone() },
+            SliceKernel::StackIpv { ipv: zero },
+            SliceKernel::StackIpv { ipv: churn },
+            SliceKernel::RripIpv { vector: [0, 0, 0, 0, 2] },
+            SliceKernel::RripIpv { vector: [0, 1, 1, 2, 3] },
+        ]
+    }
+
+    #[test]
+    fn sliced_replay_is_bit_identical_to_cache_replay() {
+        for ways in [2usize, 4, 8, 16] {
+            let geom = CacheGeometry::from_sets(32, ways, 64).unwrap();
+            let stream = mixed_stream(12_000, 32 * ways as u64 * 3);
+            let warmup = 3_000;
+            for kernel in kernels(ways) {
+                // Reference: the production cache driving the naive
+                // kernel interpreter.
+                let mut cache = SetAssocCache::with_policy(
+                    geom,
+                    NaiveKernelPolicy::new(&geom, kernel.clone()),
+                );
+                for a in &stream[..warmup] {
+                    cache.access_fast(a);
+                }
+                cache.reset_stats();
+                let mut ref_hits = Vec::new();
+                for a in &stream[warmup..] {
+                    ref_hits.push(cache.access_fast(a));
+                }
+
+                let mut hits = Vec::new();
+                let stats = replay_sliced(&stream, &geom, &kernel, warmup, |_, h| hits.push(h))
+                    .expect("kernel supports geometry");
+                assert_eq!(stats, *cache.stats(), "ways={ways} kernel={kernel:?}");
+                assert_eq!(hits, ref_hits, "ways={ways} kernel={kernel:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn unsupported_geometry_falls_back() {
+        let geom = CacheGeometry::from_sets(4, 32, 64).unwrap(); // 32-way
+        let kernel = SliceKernel::PlruIpv { ipv: vec![0; 33] };
+        assert!(!kernel.supports(&geom));
+        assert!(replay_sliced(&[], &geom, &kernel, 0, |_, _| {}).is_none());
+    }
+
+    #[test]
+    fn malformed_kernels_are_rejected() {
+        let geom = CacheGeometry::from_sets(4, 16, 64).unwrap();
+        assert!(!SliceKernel::PlruIpv { ipv: vec![0; 16] }.supports(&geom)); // short
+        assert!(!SliceKernel::StackIpv { ipv: vec![16; 17] }.supports(&geom)); // out of range
+        assert!(!SliceKernel::RripIpv { vector: [0, 0, 0, 0, 4] }.supports(&geom));
+        assert!(SliceKernel::RripIpv { vector: [0, 0, 0, 0, 2] }.supports(&geom));
+    }
+
+    #[test]
+    fn lanes_reporting() {
+        let plru = SliceKernel::PlruIpv { ipv: vec![0; 17] };
+        assert_eq!(plru.lanes(16), 4);
+        assert_eq!(plru.lanes(8), 8);
+        assert_eq!(SliceKernel::StackIpv { ipv: vec![0; 17] }.lanes(16), 1);
+        assert_eq!(SliceKernel::RripIpv { vector: [0; 5] }.lanes(16), 1);
+    }
+
+    #[test]
+    fn warmup_longer_than_stream_is_clamped() {
+        let geom = CacheGeometry::from_sets(4, 4, 64).unwrap();
+        let stream = mixed_stream(100, 64);
+        let kernel = SliceKernel::PlruIpv { ipv: vec![0; 5] };
+        let stats = replay_sliced(&stream, &geom, &kernel, 1_000, |_, _| {}).unwrap();
+        assert_eq!(stats.accesses, 0);
+    }
+}

@@ -10,10 +10,12 @@
 //!   and (unless `--skip-clippy`) shells out to
 //!   `cargo clippy --workspace --all-targets -- -D warnings`.
 //! * `model-check` — exhaustively model-checks the production
-//!   `gippr::PlruTree` under plain PLRU, classic vectors, and every
-//!   published paper vector, at associativities 2–16, and cross-checks the
-//!   bit-packed tree against the naive mirror over the complete state
-//!   space. Nonzero exit on any counterexample.
+//!   `gippr::PlruTree` and the bit-sliced `sim_core::SlicedTreeLane`
+//!   (4+ trees packed per `u64`, checked at a non-zero lane offset with
+//!   live poison in sibling lanes) under plain PLRU, classic vectors, and
+//!   every published paper vector, at associativities 2–16, and
+//!   cross-checks both packed trees against the naive mirror over the
+//!   complete state space. Nonzero exit on any counterexample.
 
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
@@ -128,6 +130,9 @@ fn rust_sources_under(dir: &Path, out: &mut Vec<PathBuf>) {
 ///   `#![deny(unsafe_op_in_unsafe_fn)]`.
 /// * `sim-core/src/pool.rs` is the only file using the keyword, with
 ///   exactly four sites, each annotated `// SAFETY:`.
+/// * The bit-sliced kernel modules (`sim-core/src/slice.rs`,
+///   `sim-core/src/simd.rs`) opt back up to `forbid` inside sim-core's
+///   `deny` root: packed-word tricks must stay entirely safe code.
 fn lint_unsafe_hygiene(root: &Path) -> usize {
     let mut failures = 0;
     let mut fail = |msg: String| {
@@ -162,6 +167,19 @@ fn lint_unsafe_hygiene(root: &Path) -> usize {
             if !source.contains(&attr) {
                 fail(format!("{} lacks `{attr}`", path.display()));
             }
+        }
+    }
+
+    // The bit-sliced kernel modules must carry their own inner `forbid`:
+    // they sit inside sim-core's (merely `deny`) root, and the packed-word
+    // bit tricks are exactly the kind of code that must never quietly gain
+    // an `allow` escape hatch.
+    for module in ["crates/sim-core/src/slice.rs", "crates/sim-core/src/simd.rs"] {
+        let path = root.join(module);
+        let source = std::fs::read_to_string(&path).expect("sliced kernel module is readable");
+        let attr = format!("#![forbid({}_code)]", unsafe_token());
+        if !source.contains(&attr) {
+            fail(format!("{} lacks `{attr}`", path.display()));
         }
     }
 
@@ -399,7 +417,7 @@ fn model_check(args: &[String]) -> usize {
             continue;
         }
         for (name, rule) in rules_for(ways) {
-            match sim_lint::ModelChecker::new(ways, rule).run::<gippr::PlruTree>() {
+            match sim_lint::ModelChecker::new(ways, rule.clone()).run::<gippr::PlruTree>() {
                 Ok(report) => println!(
                     "{:>4}  {:<28} {:>12} {:>12} {:>12}  ok",
                     ways, name, report.tree_states, report.reachable_states, report.transitions
@@ -410,19 +428,54 @@ fn model_check(args: &[String]) -> usize {
                     failures += 1;
                 }
             }
+            // Same rule, this time interpreted by the bit-sliced tree at a
+            // non-zero lane offset: the packed arithmetic must honor every
+            // rule while the sibling lanes hold live poison (SlicedTreeLane
+            // panics if a write leaks across a lane boundary).
+            let sliced_name = format!("{name} [sliced]");
+            match sim_lint::ModelChecker::new(ways, rule).run::<sim_core::SlicedTreeLane<3>>() {
+                Ok(report) => println!(
+                    "{:>4}  {:<28} {:>12} {:>12} {:>12}  ok",
+                    ways,
+                    sliced_name,
+                    report.tree_states,
+                    report.reachable_states,
+                    report.transitions
+                ),
+                Err(ce) => {
+                    println!("{ways:>4}  {sliced_name:<28} {:>38}  COUNTEREXAMPLE", "");
+                    eprintln!("{ce}");
+                    failures += 1;
+                }
+            }
         }
-        match sim_lint::cross_check::<gippr::PlruTree, sim_lint::MirrorTree>(ways) {
-            Ok(states) => println!(
-                "{:>4}  {:<28} {:>12} {:>12} {:>12}  ok",
-                ways, "cross-check vs mirror", states, "-", "-"
+        type Sliced0 = sim_core::SlicedTreeLane<0>;
+        type Sliced3 = sim_core::SlicedTreeLane<3>;
+        let cross: [(&str, Result<u64, _>); 3] = [
+            (
+                "cross-check vs mirror",
+                sim_lint::cross_check::<gippr::PlruTree, sim_lint::MirrorTree>(ways),
             ),
-            Err(ce) => {
-                println!(
-                    "{:>4}  {:<28} {:>38}  COUNTEREXAMPLE",
-                    ways, "cross-check vs mirror", ""
-                );
-                eprintln!("{ce}");
-                failures += 1;
+            (
+                "cross-check vs sliced[0]",
+                sim_lint::cross_check::<gippr::PlruTree, Sliced0>(ways),
+            ),
+            (
+                "cross-check vs sliced[3]",
+                sim_lint::cross_check::<gippr::PlruTree, Sliced3>(ways),
+            ),
+        ];
+        for (label, result) in cross {
+            match result {
+                Ok(states) => println!(
+                    "{:>4}  {:<28} {:>12} {:>12} {:>12}  ok",
+                    ways, label, states, "-", "-"
+                ),
+                Err(ce) => {
+                    println!("{:>4}  {:<28} {:>38}  COUNTEREXAMPLE", ways, label, "");
+                    eprintln!("{ce}");
+                    failures += 1;
+                }
             }
         }
     }
