@@ -1,0 +1,217 @@
+//! AWRP: Adaptive Weight Ranking Policy (Swain et al., IJCSI 2011;
+//! arXiv 1107.4851).
+//!
+//! AWRP ranks every resident line by a weight combining recency and
+//! access frequency, evicting the lowest-weight line — a middle ground
+//! between LRU (pure recency, thrashes on scans) and LFU (pure
+//! frequency, hoards stale hot blocks). This implementation expresses
+//! the ranking in recency-clock units: each line carries the per-set
+//! timestamp of its last touch plus a capped frequency bonus worth
+//! [`FREQ_WEIGHT`] touches per recorded hit, so a block hit `n` times
+//! survives a scan `16 n` accesses long before it ages out, and stale
+//! blocks still expire because the bonus saturates while the clock does
+//! not.
+
+use sim_core::{AccessContext, CacheGeometry, ReplacementPolicy, ShardAffinity};
+
+/// Recency-clock ticks one frequency step is worth.
+pub const FREQ_WEIGHT: u64 = 16;
+/// Frequency ceiling (4-bit counter).
+pub const FREQ_MAX: u8 = 15;
+
+/// Weight-ranking replacement: victim = argmin(last-use + frequency
+/// bonus).
+///
+/// The clock is **per set** and strides by `ways` per touch, for two
+/// load-bearing reasons: the low `log2(ways)` bits stay zero so
+/// [`victim`](ReplacementPolicy::victim) can pack the way index into the
+/// timestamp and take a branchless `min` (the [`crate::TrueLru`]
+/// trick), and — unlike a cache-global clock — per-set timestamps make
+/// weight *differences* depend only on the set's own access
+/// subsequence, which stable shard bucketing preserves. A global clock
+/// would stretch gaps by other sets' traffic and flip weight
+/// comparisons under sharded replay; with per-set clocks the policy is
+/// exactly [`ShardAffinity::SetLocal`].
+#[derive(Debug, Clone)]
+pub struct AwrpPolicy {
+    ways: usize,
+    clock: Vec<u64>,
+    last_use: Vec<u64>,
+    freq: Vec<u8>,
+}
+
+impl AwrpPolicy {
+    /// Creates AWRP for `geom`.
+    pub fn new(geom: &CacheGeometry) -> Self {
+        AwrpPolicy {
+            ways: geom.ways(),
+            clock: vec![0; geom.sets()],
+            last_use: vec![0; geom.sets() * geom.ways()],
+            freq: vec![0; geom.sets() * geom.ways()],
+        }
+    }
+
+    #[inline]
+    fn touch(&mut self, set: usize, way: usize) {
+        self.clock[set] += self.ways as u64;
+        self.last_use[set * self.ways + way] = self.clock[set];
+    }
+
+    /// The ranking weight of one line, in clock units (way bits clear).
+    #[inline]
+    fn weight(&self, idx: usize) -> u64 {
+        self.last_use[idx] + u64::from(self.freq[idx]) * FREQ_WEIGHT * self.ways as u64
+    }
+}
+
+impl ReplacementPolicy for AwrpPolicy {
+    fn name(&self) -> &str {
+        "AWRP"
+    }
+
+    #[inline]
+    fn victim(&mut self, set: usize, _ctx: &AccessContext) -> usize {
+        let base = set * self.ways;
+        let key = (0..self.ways)
+            .map(|w| self.weight(base + w) | w as u64)
+            .min()
+            .expect("ways > 0");
+        (key as usize) & (self.ways - 1)
+    }
+
+    #[inline]
+    fn on_hit(&mut self, set: usize, way: usize, _ctx: &AccessContext) {
+        self.touch(set, way);
+        let idx = set * self.ways + way;
+        self.freq[idx] = (self.freq[idx] + 1).min(FREQ_MAX);
+    }
+
+    #[inline]
+    fn on_fill(&mut self, set: usize, way: usize, _ctx: &AccessContext) {
+        self.touch(set, way);
+        self.freq[set * self.ways + way] = 0;
+    }
+
+    fn bits_per_set(&self) -> u64 {
+        // Recency ordering at the stack-LRU figure plus the 4-bit
+        // frequency counter per line.
+        sim_core::overhead::lru_bits_per_set(self.ways) + self.ways as u64 * 4
+    }
+
+    // Per-set clocks (see the struct docs): every quantity the victim
+    // comparison reads is a function of the set's own access
+    // subsequence, so sharded replay is exact.
+    fn shard_affinity(&self) -> ShardAffinity {
+        ShardAffinity::SetLocal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::SetAssocCache;
+
+    fn ctx() -> AccessContext {
+        AccessContext::blank()
+    }
+
+    #[test]
+    fn degenerates_to_lru_without_hits() {
+        let g = CacheGeometry::from_sets(2, 4, 64).unwrap();
+        let mut p = AwrpPolicy::new(&g);
+        for w in 0..4 {
+            p.on_fill(0, w, &ctx());
+        }
+        p.on_fill(0, 0, &ctx()); // refresh way 0; way 1 is now oldest
+        assert_eq!(p.victim(0, &ctx()), 1);
+    }
+
+    #[test]
+    fn frequency_bonus_outranks_recency() {
+        let g = CacheGeometry::from_sets(1, 4, 64).unwrap();
+        let mut p = AwrpPolicy::new(&g);
+        for w in 0..4 {
+            p.on_fill(0, w, &ctx());
+        }
+        // Way 0 is oldest by recency but earns two hits' worth of bonus
+        // (32 touches); ways 1..4 were touched within 3 ticks of it.
+        p.on_hit(0, 0, &ctx());
+        p.on_hit(0, 0, &ctx());
+        let v = p.victim(0, &ctx());
+        assert_ne!(v, 0, "frequent way must not be the victim");
+        assert_eq!(v, 1, "oldest un-hit way loses");
+    }
+
+    #[test]
+    fn saturated_frequency_still_ages_out() {
+        let g = CacheGeometry::from_sets(1, 2, 64).unwrap();
+        let mut p = AwrpPolicy::new(&g);
+        p.on_fill(0, 0, &ctx());
+        p.on_fill(0, 1, &ctx());
+        for _ in 0..100 {
+            p.on_hit(0, 0, &ctx()); // freq saturates at FREQ_MAX
+        }
+        // Touch way 1 often enough that way 0's capped bonus can't save
+        // it: the bonus is worth FREQ_MAX * FREQ_WEIGHT = 240 touches.
+        for _ in 0..300 {
+            p.on_hit(0, 1, &ctx());
+        }
+        assert_eq!(p.victim(0, &ctx()), 0, "stale hot block must expire");
+    }
+
+    #[test]
+    fn refill_resets_the_bonus() {
+        let g = CacheGeometry::from_sets(1, 2, 64).unwrap();
+        let mut p = AwrpPolicy::new(&g);
+        p.on_fill(0, 0, &ctx());
+        for _ in 0..5 {
+            p.on_hit(0, 0, &ctx());
+        }
+        p.on_fill(0, 0, &ctx()); // new tenant, no inherited credit
+        p.on_fill(0, 1, &ctx());
+        p.on_hit(0, 1, &ctx());
+        assert_eq!(p.victim(0, &ctx()), 0);
+    }
+
+    #[test]
+    fn sets_do_not_interfere() {
+        let g = CacheGeometry::from_sets(2, 2, 64).unwrap();
+        let mut p = AwrpPolicy::new(&g);
+        p.on_fill(0, 0, &ctx());
+        p.on_fill(1, 0, &ctx());
+        p.on_fill(0, 1, &ctx());
+        p.on_fill(1, 1, &ctx());
+        p.on_hit(0, 0, &ctx());
+        assert_eq!(p.victim(0, &ctx()), 1);
+        assert_eq!(p.victim(1, &ctx()), 0);
+    }
+
+    #[test]
+    fn cache_scan_keeps_the_hot_block() {
+        // A 4-way set holds one block hit repeatedly plus a scan: AWRP
+        // keeps the hot block where LRU would have evicted it.
+        let g = CacheGeometry::from_sets(1, 4, 64).unwrap();
+        let mut c = SetAssocCache::new(g, Box::new(AwrpPolicy::new(&g)));
+        c.access_block(100, &ctx());
+        for _ in 0..4 {
+            c.access_block(100, &ctx());
+        }
+        for blk in 0..8u64 {
+            c.access_block(blk, &ctx());
+        }
+        let out = c.access_block(100, &ctx());
+        assert!(out.hit, "hot block survived the scan");
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let g = CacheGeometry::from_sets(4, 16, 64).unwrap();
+        let p = AwrpPolicy::new(&g);
+        assert_eq!(
+            p.bits_per_set(),
+            sim_core::overhead::lru_bits_per_set(16) + 64
+        );
+        assert_eq!(p.global_bits(), 0);
+        assert_eq!(p.shard_affinity(), ShardAffinity::SetLocal);
+    }
+}

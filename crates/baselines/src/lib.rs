@@ -23,6 +23,15 @@
 //!   distance expires.
 //! * [`ShipPolicy`] — Signature-based Hit Predictor (Wu et al., MICRO
 //!   2011) over an SRRIP substrate, using memory-instruction PCs.
+//! * [`EhcPolicy`] — Expected-Hit-Count replacement (Vakil-Ghahani et
+//!   al., CAL 2018): a PC-signature table learns hits-per-residency and
+//!   the victim is the line with the fewest remaining expected hits.
+//! * [`AwrpPolicy`] — Adaptive Weight Ranking Policy (Swain et al.,
+//!   2011): victim = argmin of recency timestamp plus a capped
+//!   frequency bonus.
+//! * [`ArcPolicy`] — ARC-style adaptive replacement (Megiddo & Modha,
+//!   FAST 2003) with per-set T1/T2/B1/B2 lists and one cache-global
+//!   adaptation target.
 //!
 //! # Example
 //!
@@ -41,7 +50,10 @@
 //! # }
 //! ```
 
+pub mod arc;
+pub mod awrp;
 pub mod dip;
+pub mod ehc;
 pub mod fifo;
 pub mod lru;
 pub mod pdp;
@@ -51,7 +63,10 @@ pub mod rrip_ipv;
 pub mod sdbp;
 pub mod ship;
 
+pub use arc::ArcPolicy;
+pub use awrp::AwrpPolicy;
 pub use dip::DipPolicy;
+pub use ehc::EhcPolicy;
 pub use fifo::FifoPolicy;
 pub use lru::TrueLru;
 pub use pdp::{PdpConfig, PdpPolicy};

@@ -7,14 +7,15 @@
 //! the resulting CPI as a linear function of the number of misses" and
 //! evolve for "a good arithmetic mean speedup").
 
-use baselines::TrueLru;
 use gippr::{DgipprPolicy, GiplrPolicy, GipprPolicy, Ipv};
 use mem_model::cpi::LinearCpiModel;
 use mem_model::{
     capture_llc_stream, replay_llc_mono, replay_llc_sharded, replay_llc_sliced, HierarchyConfig,
     WindowPerfModel,
 };
-use sim_core::{Access, CacheGeometry, ReplacementPolicy, ShardAffinity, ShardedStream};
+use sim_core::{
+    Access, CacheGeometry, ReplacementPolicy, ShardAffinity, ShardedStream, StackDistanceProfile,
+};
 use std::sync::Arc;
 use traces::spec2006::Spec2006;
 use traces::WorkloadSpec;
@@ -70,6 +71,12 @@ pub struct WorkloadStream {
     pub instructions: u64,
     /// LRU misses over the measured portion (the speedup denominator).
     pub lru_misses: u64,
+    /// Single-pass stack-distance profile of the stream at the context
+    /// geometry's set partition: exact LRU hit/miss counts at every
+    /// associativity up to the geometry's ways, captured once. Source of
+    /// `lru_misses`/`instructions` and of the associativity prefilter
+    /// ([`FitnessContext::lru_speedup_at`]).
+    pub profile: Arc<StackDistanceProfile>,
     /// Simpoint/benchmark weight in the mean.
     pub weight: f64,
 }
@@ -93,7 +100,6 @@ impl FitnessContext {
     ) -> Self {
         let config = HierarchyConfig::paper_scaled(scale.shift)
             .expect("scale shift leaves valid geometries");
-        let perf = WindowPerfModel::default();
         let streams = specs
             .iter()
             .map(|(spec, weight)| {
@@ -101,13 +107,14 @@ impl FitnessContext {
                 let (stream, _core_instructions) =
                     capture_llc_stream(config, scaled.generator(0).take(accesses_per_stream));
                 let warmup = mem_model::llc::default_warmup(stream.len());
-                let lru = replay_llc_mono(
-                    &stream,
-                    config.llc,
-                    TrueLru::new(&config.llc),
-                    warmup,
-                    &perf,
-                );
+                // One Mattson pass replaces the LRU baseline replay: the
+                // profile's miss count at the full associativity IS the
+                // sequential replay's (exactness is proven in sim-verify
+                // and the mem-model differential tests), and the same
+                // capture answers every narrower associativity for the
+                // prefilter below.
+                let profile =
+                    StackDistanceProfile::capture(&stream, &config.llc, warmup, config.llc.ways());
                 let sharded = ShardedStream::for_parallelism(
                     &stream,
                     &config.llc,
@@ -119,8 +126,9 @@ impl FitnessContext {
                     stream: Arc::new(stream),
                     sharded: Arc::new(sharded),
                     warmup,
-                    instructions: lru.instructions.max(1),
-                    lru_misses: lru.stats.misses,
+                    instructions: profile.instructions().max(1),
+                    lru_misses: profile.misses(config.llc.ways()),
+                    profile: Arc::new(profile),
                     weight: *weight,
                 }
             })
@@ -170,6 +178,32 @@ impl FitnessContext {
     /// Worker threads used by [`FitnessContext::fitness_many`].
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Cheap associativity prefilter: the weighted-mean linear-CPI speedup
+    /// of `ways`-way true LRU (same set count, narrower sets) over the
+    /// context's full-width LRU baseline, read straight off the per-stream
+    /// stack-distance profiles with no replay. LRU is inclusion-preserving,
+    /// so these are exact miss counts, not estimates — the GA can rank
+    /// candidate associativities (or bound how much headroom a narrower
+    /// cache leaves) before paying for any per-candidate replays.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= ways <= geometry().ways()`.
+    pub fn lru_speedup_at(&self, ways: usize) -> f64 {
+        let mut total = 0.0;
+        let mut total_weight = 0.0;
+        for ws in &self.streams {
+            let misses = ws.profile.misses(ways);
+            total += self.model.speedup(ws.instructions, ws.lru_misses, misses) * ws.weight;
+            total_weight += ws.weight;
+        }
+        if total_weight == 0.0 {
+            1.0
+        } else {
+            total / total_weight
+        }
     }
 
     /// Re-routes every captured stream into exactly `shards` shards
@@ -223,9 +257,10 @@ impl FitnessContext {
         for ws in &self.streams {
             let run = if set_local && ws.sharded.shards() > 1 {
                 replay_llc_sharded(&ws.sharded, &make, &perf)
-            } else if let Some(run) = kernel.as_ref().and_then(|k| {
-                replay_llc_sliced(&ws.stream, self.geom, k, ws.warmup, &perf)
-            }) {
+            } else if let Some(run) = kernel
+                .as_ref()
+                .and_then(|k| replay_llc_sliced(&ws.stream, self.geom, k, ws.warmup, &perf))
+            {
                 run
             } else {
                 replay_llc_mono(&ws.stream, self.geom, make(), ws.warmup, &perf)
@@ -415,6 +450,40 @@ mod tests {
                 total_weight += ws.weight;
             }
             assert_eq!(sharded, total / total_weight, "{substrate:?}");
+        }
+    }
+
+    #[test]
+    fn assoc_prefilter_matches_replayed_lru() {
+        // The prefilter reads miss counts off the stored profiles; they
+        // must be bit-identical to actually replaying true LRU at the
+        // narrower associativity (same set count), and the full-width
+        // prefilter is the baseline itself: exactly 1.0.
+        let ctx = tiny_ctx();
+        assert_eq!(ctx.lru_speedup_at(ctx.geometry().ways()), 1.0);
+        let perf = WindowPerfModel::default();
+        for ways in [2usize, 4] {
+            let narrow =
+                CacheGeometry::from_sets(ctx.geometry().sets(), ways, ctx.geometry().line_bytes())
+                    .unwrap();
+            let mut total = 0.0;
+            let mut total_weight = 0.0;
+            for ws in ctx.streams() {
+                let run = replay_llc_mono(
+                    &ws.stream,
+                    narrow,
+                    baselines::TrueLru::new(&narrow),
+                    ws.warmup,
+                    &perf,
+                );
+                assert_eq!(ws.profile.misses(ways), run.stats.misses, "{}", ws.name);
+                total += ctx
+                    .model
+                    .speedup(ws.instructions, ws.lru_misses, run.stats.misses)
+                    * ws.weight;
+                total_weight += ws.weight;
+            }
+            assert_eq!(ctx.lru_speedup_at(ways), total / total_weight);
         }
     }
 

@@ -12,9 +12,12 @@ use crate::stats::geometric_mean;
 use gippr::Ipv;
 use mem_model::cpi::WindowPerfModel;
 use mem_model::replay_llc;
-use sim_core::{Access, CacheGeometry};
+use sim_core::{Access, CacheGeometry, StackDistanceProfile};
 use std::sync::Arc;
 use traces::spec2006::Spec2006;
+
+/// The sweep's associativities.
+const SWEEP_WAYS: [usize; 5] = [4, 8, 16, 32, 64];
 
 /// Benchmarks exercised by the sweep.
 pub fn sweep_benches() -> [Spec2006; 5] {
@@ -54,9 +57,35 @@ pub fn run(scale: Scale) -> Table {
             "lru bits/set",
         ],
     );
-    for ways in [4usize, 8, 16, 32, 64] {
-        let geom = CacheGeometry::new(config.llc.size_bytes(), ways, 64)
-            .expect("capacity divisible at all sweep widths");
+    // The LRU denominators come from one Mattson stack-distance pass per
+    // stream instead of one full replay per (stream × ways): LRU is
+    // inclusion-preserving, so a single capture at the sweep's geometries
+    // answers every associativity's exact miss count at once (the
+    // per-ways set counts differ at fixed capacity, so `capture_many`
+    // advances one bounded stack structure per geometry — still one
+    // stream traversal). The tree/IPV policies are not stack algorithms
+    // and keep their per-configuration replays.
+    let specs: Vec<(CacheGeometry, usize)> = SWEEP_WAYS
+        .iter()
+        .map(|&ways| {
+            let geom = CacheGeometry::new(config.llc.size_bytes(), ways, 64)
+                .expect("capacity divisible at all sweep widths");
+            (geom, ways)
+        })
+        .collect();
+    let lru_misses: Vec<Vec<u64>> = streams
+        .iter()
+        .map(|stream| {
+            let warmup = mem_model::llc::default_warmup(stream.len());
+            StackDistanceProfile::capture_many(stream, &specs, warmup)
+                .iter()
+                .map(|p| p.misses(p.max_ways()))
+                .collect()
+        })
+        .collect();
+
+    for (wi, &ways) in SWEEP_WAYS.iter().enumerate() {
+        let geom = specs[wi].0;
         let mut plru_ratios = Vec::new();
         let mut lip_ratios = Vec::new();
         let mut dgippr_ratios = Vec::new();
@@ -64,9 +93,8 @@ pub fn run(scale: Scale) -> Table {
             .iter()
             .map(|v| v.rescaled(ways).expect("supported width"))
             .collect();
-        for stream in &streams {
+        for (si, stream) in streams.iter().enumerate() {
             let warmup = mem_model::llc::default_warmup(stream.len());
-            let lru = replay_llc(stream, geom, policies::lru()(&geom), warmup, &perf);
             let plru = replay_llc(stream, geom, policies::plru()(&geom), warmup, &perf);
             let lip = replay_llc(
                 stream,
@@ -85,7 +113,7 @@ pub fn run(scale: Scale) -> Table {
                 warmup,
                 &perf,
             );
-            let denom = lru.stats.misses.max(1) as f64;
+            let denom = lru_misses[si][wi].max(1) as f64;
             plru_ratios.push(plru.stats.misses as f64 / denom);
             lip_ratios.push(lip.stats.misses as f64 / denom);
             dgippr_ratios.push(dgippr.stats.misses as f64 / denom);
@@ -112,5 +140,28 @@ mod tests {
         assert_eq!(t.len(), 5);
         let text = t.to_string();
         assert!(text.contains("64"));
+    }
+
+    #[test]
+    fn profile_denominator_equals_lru_replay() {
+        // The sweep's single-pass LRU miss counts must be bit-identical
+        // to the per-config replays they replaced.
+        let config = Scale::Micro.hierarchy();
+        let perf = WindowPerfModel::default();
+        let streams: Vec<Arc<Vec<Access>>> = prepare_workloads(Scale::Micro, &[Spec2006::Mcf])
+            .iter()
+            .flat_map(|w| w.simpoints.iter().map(|sp| sp.stream.clone()))
+            .collect();
+        for ways in [4usize, 16] {
+            let geom = CacheGeometry::new(config.llc.size_bytes(), ways, 64).unwrap();
+            for stream in &streams {
+                let warmup = mem_model::llc::default_warmup(stream.len());
+                let p = StackDistanceProfile::capture(stream, &geom, warmup, ways);
+                let lru = replay_llc(stream, geom, policies::lru()(&geom), warmup, &perf);
+                assert_eq!(p.misses(ways), lru.stats.misses);
+                assert_eq!(p.hits(ways), lru.stats.hits);
+                assert_eq!(p.instructions(), lru.instructions);
+            }
+        }
     }
 }

@@ -1,7 +1,8 @@
 //! A named registry of every policy the experiments compare.
 
 use baselines::{
-    DipPolicy, DrripPolicy, FifoPolicy, PdpPolicy, RandomPolicy, ShipPolicy, SrripPolicy, TrueLru,
+    ArcPolicy, AwrpPolicy, DipPolicy, DrripPolicy, EhcPolicy, FifoPolicy, PdpPolicy, RandomPolicy,
+    ShipPolicy, SrripPolicy, TrueLru,
 };
 use gippr::{DgipprPolicy, GiplrPolicy, GipprPolicy, Ipv, PlruPolicy};
 use sim_core::policy::factory;
@@ -60,6 +61,21 @@ pub fn ship() -> PolicyFactory {
     factory(|g| Box::new(ShipPolicy::new(g)))
 }
 
+/// Factory for EHC (Expected-Hit-Count).
+pub fn ehc() -> PolicyFactory {
+    factory(|g| Box::new(EhcPolicy::new(g)))
+}
+
+/// Factory for AWRP (Adaptive Weight Ranking Policy).
+pub fn awrp() -> PolicyFactory {
+    factory(|g| Box::new(AwrpPolicy::new(g)))
+}
+
+/// Factory for the ARC-style adaptive baseline.
+pub fn arc() -> PolicyFactory {
+    factory(|g| Box::new(ArcPolicy::new(g)))
+}
+
 /// Factory for GIPLR (true-LRU stacks driven by `ipv`).
 pub fn giplr(ipv: Ipv, name: &str) -> PolicyFactory {
     let name = name.to_string();
@@ -100,6 +116,9 @@ pub fn baseline_roster(seed: u64) -> Vec<(&'static str, PolicyFactory)> {
         ("DRRIP", drrip()),
         ("PDP", pdp()),
         ("SHiP", ship()),
+        ("EHC", ehc()),
+        ("AWRP", awrp()),
+        ("ARC", arc()),
     ]
 }
 

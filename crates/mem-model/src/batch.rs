@@ -62,13 +62,16 @@ pub fn replay_many(
 /// [`replay_many`] with an explicit parallelism target instead of the
 /// pool budget.
 ///
-/// When the target degenerates to one shard (single-core hosts, or a
-/// single-set geometry), the routing pre-pass is pure overhead — the one
-/// bucket would be the stream in order — so this entry skips
-/// [`ShardedStream`] construction entirely and replays each policy whole
-/// (bit-sliced where the policy provides a supported
-/// [`SliceKernel`], monomorphized otherwise). Results are bit-identical
-/// to every other path.
+/// The routing pre-pass only pays for itself when some roster member can
+/// actually shard, so this entry probes every factory's
+/// [`ShardAffinity`] *before* routing and skips [`ShardedStream`]
+/// construction entirely when nothing would use it: a degenerate target
+/// (single-core hosts), a single-set geometry, or an all-
+/// [`Global`](ShardAffinity::Global) roster (whose members take an exact
+/// whole-stream pass regardless — routing for them is pure overhead).
+/// Each policy then replays whole (bit-sliced where it provides a
+/// supported [`SliceKernel`], monomorphized otherwise). Results are
+/// bit-identical to every other path.
 pub fn replay_many_with_parallelism(
     stream: &[Access],
     geom: CacheGeometry,
@@ -77,15 +80,39 @@ pub fn replay_many_with_parallelism(
     target: usize,
     perf: &WindowPerfModel,
 ) -> Vec<LlcRunResult> {
-    if target.max(1) == 1 || geom.sets() == 1 {
-        let kernels: Vec<Option<SliceKernel>> =
-            factories.iter().map(|f| f(&geom).slice_kernel()).collect();
+    let probes = probe(&geom, factories);
+    let can_shard = probes
+        .iter()
+        .any(|(aff, _)| matches!(aff, ShardAffinity::SetLocal));
+    if target.max(1) == 1 || geom.sets() == 1 || !can_shard {
         return pool::global().run(factories.len(), usize::MAX, |i| {
-            replay_whole(stream, geom, factories[i], kernels[i].as_ref(), warmup, perf)
+            replay_whole(
+                stream,
+                geom,
+                factories[i],
+                probes[i].1.as_ref(),
+                warmup,
+                perf,
+            )
         });
     }
     let sharded = ShardedStream::for_parallelism(stream, &geom, warmup, target);
-    replay_many_sharded(stream, &sharded, factories, perf)
+    replay_many_probed(stream, &sharded, factories, &probes, perf)
+}
+
+/// One cheap probe instance per factory: its execution shape and, if the
+/// policy has one, its bit-sliced kernel.
+fn probe(
+    geom: &CacheGeometry,
+    factories: &[&PolicyFactory],
+) -> Vec<(ShardAffinity, Option<SliceKernel>)> {
+    factories
+        .iter()
+        .map(|f| {
+            let p = f(geom);
+            (p.shard_affinity(), p.slice_kernel())
+        })
+        .collect()
 }
 
 /// One whole-stream pass for a single policy: the bit-sliced engine when
@@ -116,19 +143,23 @@ pub fn replay_many_sharded(
     factories: &[&PolicyFactory],
     perf: &WindowPerfModel,
 ) -> Vec<LlcRunResult> {
+    let probes = probe(sharded.geometry(), factories);
+    replay_many_probed(stream, sharded, factories, &probes, perf)
+}
+
+/// [`replay_many_sharded`] with the per-factory probes already in hand,
+/// so entries that probed to decide whether to route at all don't pay
+/// for a second round of throwaway policy instances.
+fn replay_many_probed(
+    stream: &[Access],
+    sharded: &ShardedStream,
+    factories: &[&PolicyFactory],
+    probes: &[(ShardAffinity, Option<SliceKernel>)],
+    perf: &WindowPerfModel,
+) -> Vec<LlcRunResult> {
     let geom = *sharded.geometry();
     let warmup = sharded.warmup();
     let shards = sharded.shards();
-
-    // One cheap probe instance per factory decides its execution shape
-    // and supplies the bit-sliced kernel, if the policy has one.
-    let probes: Vec<(ShardAffinity, Option<SliceKernel>)> = factories
-        .iter()
-        .map(|f| {
-            let p = f(&geom);
-            (p.shard_affinity(), p.slice_kernel())
-        })
-        .collect();
 
     // Flatten every unit of work — (policy × shard) for set-local
     // policies, one whole-stream pass for global ones — into a single

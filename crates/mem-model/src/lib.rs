@@ -41,10 +41,12 @@ pub mod optimal;
 pub mod prefetch;
 pub mod sliced;
 
-pub use batch::{replay_llc_sharded, replay_many, replay_many_sharded, replay_many_with_parallelism};
-pub use sliced::replay_llc_sliced;
+pub use batch::{
+    replay_llc_sharded, replay_many, replay_many_sharded, replay_many_with_parallelism,
+};
 pub use cpi::{LinearCpiModel, WindowPerfModel};
 pub use hierarchy::{capture_llc_stream, Hierarchy, HierarchyConfig, Inclusion, ServiceLevel};
 pub use llc::{default_warmup, replay_llc, replay_llc_mono, LlcRunResult};
 pub use multicore::MulticoreHierarchy;
 pub use optimal::min_misses;
+pub use sliced::replay_llc_sliced;

@@ -1,0 +1,95 @@
+//! Regression test for the all-Global dispatch path: a roster whose
+//! members all carry [`ShardAffinity::Global`] takes an exact
+//! whole-stream pass per policy no matter how many shards are available,
+//! so the batch engine must not pay for a `ShardedStream` routing
+//! pre-pass it will never consume (BENCH_replay.json showed DRRIP at
+//! 0.88× and WI-4-DGIPPR at 0.92× `sharded_speedup` before this fix).
+//! Results must stay bit-identical to `replay_llc`.
+//!
+//! Lives in its own integration-test binary on purpose: the routing
+//! pre-pass counter is process-global, and the unit-test binary runs
+//! many tests concurrently that legitimately route.
+
+use mem_model::{replay_llc, replay_many_with_parallelism, WindowPerfModel};
+use sim_core::policy::factory;
+use sim_core::shard::routing_prepasses;
+use sim_core::{Access, CacheGeometry, ShardAffinity};
+
+fn stream(n: usize) -> Vec<Access> {
+    let mut state = 0xfeed_face_cafe_beefu64;
+    (0..n)
+        .map(|i| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let addr = if i % 3 == 0 {
+                (state % 512) * 64
+            } else {
+                (state % 32768) * 64
+            };
+            let a = if state & 3 == 0 {
+                Access::write(addr, state % 128)
+            } else {
+                Access::read(addr, state % 128)
+            };
+            a.with_icount_delta((state % 6) as u32 + 1)
+        })
+        .collect()
+}
+
+#[test]
+fn all_global_roster_skips_routing_and_matches_sequential() {
+    let geom = CacheGeometry::from_sets(128, 16, 64).unwrap();
+    let accesses = stream(20_000);
+    let warmup = 6_000;
+    let perf = WindowPerfModel::default();
+
+    // Every member must actually be Global or the test proves nothing.
+    let drrip = factory(|g| Box::new(baselines::DrripPolicy::new(g).unwrap()));
+    let ship = factory(|g| Box::new(baselines::ShipPolicy::new(g)));
+    let dgippr = factory(|g| {
+        Box::new(gippr::DgipprPolicy::four_vector(g, gippr::vectors::wi_4dgippr()).unwrap())
+    });
+    let roster = [&drrip, &ship, &dgippr];
+    for f in &roster {
+        assert_eq!(
+            f(&geom).shard_affinity(),
+            ShardAffinity::Global,
+            "{} is not Global-affinity; pick another roster member",
+            f(&geom).name()
+        );
+    }
+
+    // A generous multi-shard target: routing would have run before the
+    // fix, but no member can consume it, so zero pre-passes may run.
+    let before = routing_prepasses();
+    let results = replay_many_with_parallelism(&accesses, geom, &roster, warmup, 8, &perf);
+    assert_eq!(
+        routing_prepasses(),
+        before,
+        "a ShardedStream routing pre-pass ran for an all-Global roster"
+    );
+
+    // …and the routing-free results are still bit-identical to replay_llc.
+    for (f, got) in roster.iter().zip(&results) {
+        let want = replay_llc(&accesses, geom, f(&geom), warmup, &perf);
+        assert_eq!(
+            *got,
+            want,
+            "all-Global result diverged for {}",
+            f(&geom).name()
+        );
+    }
+
+    // A mixed roster still routes (exactly once): the fix must not
+    // disable sharding for rosters that can use it.
+    let lru = factory(|g| Box::new(baselines::TrueLru::new(g)));
+    let mixed = [&lru, &drrip];
+    let before = routing_prepasses();
+    let _ = replay_many_with_parallelism(&accesses, geom, &mixed, warmup, 8, &perf);
+    assert_eq!(
+        routing_prepasses(),
+        before + 1,
+        "a mixed roster with a SetLocal member must still route"
+    );
+}

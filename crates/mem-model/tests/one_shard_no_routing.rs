@@ -60,7 +60,12 @@ fn one_shard_skips_routing_and_matches_sequential() {
     // …and the routing-free results are still bit-identical to replay_llc.
     for (f, got) in roster.iter().zip(&results) {
         let want = replay_llc(&accesses, geom, f(&geom), warmup, &perf);
-        assert_eq!(*got, want, "1-shard result diverged for {}", f(&geom).name());
+        assert_eq!(
+            *got,
+            want,
+            "1-shard result diverged for {}",
+            f(&geom).name()
+        );
     }
 
     // Sanity check on the counter itself: a multi-shard target routes

@@ -422,10 +422,10 @@ mod tests {
                     state ^= state >> 7;
                     state ^= state << 17;
                     let word = match state % 4 {
-                        0 => 0,                                          // invalid
-                        1 => tag | LINE_VALID,                           // clean match
-                        2 => tag | LINE_VALID | LINE_DIRTY,              // dirty match
-                        _ => (state & 0xff) | LINE_VALID,                // other tag
+                        0 => 0,                             // invalid
+                        1 => tag | LINE_VALID,              // clean match
+                        2 => tag | LINE_VALID | LINE_DIRTY, // dirty match
+                        _ => (state & 0xff) | LINE_VALID,   // other tag
                     };
                     lines.push(Line(word));
                     words.push(word);

@@ -23,6 +23,9 @@
 //! * [`slice`] / [`simd`] — the bit-sliced replay kernel (4 PLRU sets per
 //!   `u64`, SWAR recency stacks and RRPV arrays) and the stable-Rust wide
 //!   tag-scan primitives backing both it and [`SetAssocCache`].
+//! * [`mattson`] — single-pass stack-distance profiling: one stream pass
+//!   yields exact LRU hit/miss counts at every associativity for
+//!   inclusion-preserving policies.
 //! * [`overhead`] — storage-overhead accounting used to regenerate the
 //!   paper's Section 3.6 cost comparison.
 //! * [`persist`] — crash-safe atomic artifact writes (tmp + fsync +
@@ -51,6 +54,7 @@ pub mod access;
 pub mod cache;
 pub mod dueling;
 pub mod geometry;
+pub mod mattson;
 pub mod overhead;
 pub mod persist;
 pub mod policy;
@@ -64,6 +68,7 @@ pub use access::{Access, AccessContext, AccessKind};
 pub use cache::{AccessOutcome, Evicted, SetAssocCache};
 pub use dueling::{DuelController, LeaderMap, Psel, Selector, SetRole};
 pub use geometry::{CacheGeometry, GeometryError};
+pub use mattson::StackDistanceProfile;
 pub use overhead::OverheadReport;
 pub use persist::{atomic_write, atomic_write_with};
 pub use policy::{PolicyFactory, ReplacementPolicy, ShardAffinity};

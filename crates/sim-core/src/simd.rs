@@ -115,10 +115,10 @@ mod tests {
         for ways in [1usize, 2, 3, 4, 5, 7, 8, 12, 15, 16, 32] {
             let words: Vec<u64> = (0..ways as u64)
                 .map(|w| match w % 4 {
-                    0 => 0,                        // invalid
-                    1 => (w / 2) | VALID,          // clean
-                    2 => (w / 2) | VALID | DIRTY,  // dirty
-                    _ => (900 + w) | VALID,        // other tag
+                    0 => 0,                       // invalid
+                    1 => (w / 2) | VALID,         // clean
+                    2 => (w / 2) | VALID | DIRTY, // dirty
+                    _ => (900 + w) | VALID,       // other tag
                 })
                 .collect();
             for tag in 0..10u64 {

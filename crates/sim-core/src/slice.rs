@@ -434,8 +434,7 @@ impl ReplState for PlruLanes {
         let (ix, off) = Self::locate(ways, set);
         let w = self.words[ix];
         let pos = lane_position(w, off, ways, way);
-        self.words[ix] =
-            lane_set_position(w, off, ways, way, usize::from(self.promo[pos & 15]));
+        self.words[ix] = lane_set_position(w, off, ways, way, usize::from(self.promo[pos & 15]));
     }
 
     #[inline(always)]
@@ -564,8 +563,12 @@ fn step<P: ReplState>(
     let is_write = a.is_write();
     stats.accesses += 1;
 
-    let (match_mask, valid_mask) =
-        scan_masks(&lines[base..base + ways], tag | LINE_VALID, LINE_VALID, LINE_DIRTY);
+    let (match_mask, valid_mask) = scan_masks(
+        &lines[base..base + ways],
+        tag | LINE_VALID,
+        LINE_VALID,
+        LINE_DIRTY,
+    );
 
     if match_mask != 0 {
         let way = match_mask.trailing_zeros() as usize;
@@ -739,7 +742,9 @@ mod tests {
     impl NaiveTree {
         fn new(ways: usize, bits: u64) -> Self {
             NaiveTree {
-                node: (0..=ways).map(|i| i >= 1 && (bits >> (i - 1)) & 1 == 1).collect(),
+                node: (0..=ways)
+                    .map(|i| i >= 1 && (bits >> (i - 1)) & 1 == 1)
+                    .collect(),
                 ways,
             }
         }
@@ -896,9 +901,9 @@ mod tests {
         fn victim(&mut self, set: usize, _ctx: &AccessContext) -> usize {
             match &self.kernel {
                 SliceKernel::PlruIpv { .. } => self.trees[set].victim(),
-                SliceKernel::StackIpv { .. } => {
-                    (0..self.ways).find(|&w| self.stacks[set][w] == self.ways - 1).unwrap()
-                }
+                SliceKernel::StackIpv { .. } => (0..self.ways)
+                    .find(|&w| self.stacks[set][w] == self.ways - 1)
+                    .unwrap(),
                 SliceKernel::RripIpv { .. } => loop {
                     if let Some(w) = (0..self.ways).find(|&w| self.rrpv[set][w] == 3) {
                         break w;
@@ -979,8 +984,12 @@ mod tests {
             SliceKernel::PlruIpv { ipv: churn.clone() },
             SliceKernel::StackIpv { ipv: zero },
             SliceKernel::StackIpv { ipv: churn },
-            SliceKernel::RripIpv { vector: [0, 0, 0, 0, 2] },
-            SliceKernel::RripIpv { vector: [0, 1, 1, 2, 3] },
+            SliceKernel::RripIpv {
+                vector: [0, 0, 0, 0, 2],
+            },
+            SliceKernel::RripIpv {
+                vector: [0, 1, 1, 2, 3],
+            },
         ]
     }
 
@@ -993,10 +1002,8 @@ mod tests {
             for kernel in kernels(ways) {
                 // Reference: the production cache driving the naive
                 // kernel interpreter.
-                let mut cache = SetAssocCache::with_policy(
-                    geom,
-                    NaiveKernelPolicy::new(&geom, kernel.clone()),
-                );
+                let mut cache =
+                    SetAssocCache::with_policy(geom, NaiveKernelPolicy::new(&geom, kernel.clone()));
                 for a in &stream[..warmup] {
                     cache.access_fast(a);
                 }
@@ -1028,8 +1035,14 @@ mod tests {
         let geom = CacheGeometry::from_sets(4, 16, 64).unwrap();
         assert!(!SliceKernel::PlruIpv { ipv: vec![0; 16] }.supports(&geom)); // short
         assert!(!SliceKernel::StackIpv { ipv: vec![16; 17] }.supports(&geom)); // out of range
-        assert!(!SliceKernel::RripIpv { vector: [0, 0, 0, 0, 4] }.supports(&geom));
-        assert!(SliceKernel::RripIpv { vector: [0, 0, 0, 0, 2] }.supports(&geom));
+        assert!(!SliceKernel::RripIpv {
+            vector: [0, 0, 0, 0, 4]
+        }
+        .supports(&geom));
+        assert!(SliceKernel::RripIpv {
+            vector: [0, 0, 0, 0, 2]
+        }
+        .supports(&geom));
     }
 
     #[test]

@@ -16,10 +16,12 @@
 //! carrying a greedily minimized repro stream.
 
 use crate::refcache::RefCache;
-use crate::refmodels::{RefFifo, RefGiplr, RefGippr, RefLru, RefPdp, RefPlruPolicy, RefSrrip};
+use crate::refmodels::{
+    RefAwrp, RefFifo, RefGiplr, RefGippr, RefLru, RefPdp, RefPlruPolicy, RefSrrip,
+};
 use baselines::{
-    BrripPolicy, DipPolicy, DrripPolicy, FifoPolicy, PdpPolicy, RandomPolicy, RripIpvPolicy,
-    SdbpPolicy, ShipPolicy, SrripPolicy, TrueLru,
+    ArcPolicy, AwrpPolicy, BrripPolicy, DipPolicy, DrripPolicy, EhcPolicy, FifoPolicy, PdpPolicy,
+    RandomPolicy, RripIpvPolicy, SdbpPolicy, ShipPolicy, SrripPolicy, TrueLru,
 };
 use gippr::{DgipprPolicy, GiplrPolicy, GipprPolicy, PlruPolicy};
 use sim_core::policy::{factory, PolicyFactory};
@@ -293,7 +295,7 @@ fn minimize(
 /// The verification roster.
 ///
 /// Pairs with a truly independent reference implementation:
-/// LRU, FIFO, PLRU, SRRIP, PDP, GIPPR, GIPLR. The remaining policies are
+/// LRU, FIFO, PLRU, SRRIP, PDP, GIPPR, GIPLR, AWRP. The remaining policies are
 /// *self-paired* (the same deterministic construction on both sides): they
 /// cannot catch a policy-logic bug, but they still drive the packed
 /// [`SetAssocCache`] against the naive [`RefCache`] tag store, which is
@@ -337,6 +339,11 @@ pub fn roster(which: &str) -> Vec<PolicyPair> {
             }),
             factory(|g| Box::new(RefGiplr::new(g, gippr::vectors::giplr_best()))),
         ),
+        PolicyPair::new(
+            "awrp",
+            factory(|g| Box::new(AwrpPolicy::new(g))),
+            factory(|g| Box::new(RefAwrp::new(g))),
+        ),
         // Self-paired substrate checks.
         PolicyPair::new(
             "random",
@@ -367,6 +374,16 @@ pub fn roster(which: &str) -> Vec<PolicyPair> {
             "sdbp",
             factory(|g| Box::new(SdbpPolicy::new(g))),
             factory(|g| Box::new(SdbpPolicy::new(g))),
+        ),
+        PolicyPair::new(
+            "ehc",
+            factory(|g| Box::new(EhcPolicy::new(g))),
+            factory(|g| Box::new(EhcPolicy::new(g))),
+        ),
+        PolicyPair::new(
+            "arc",
+            factory(|g| Box::new(ArcPolicy::new(g))),
+            factory(|g| Box::new(ArcPolicy::new(g))),
         ),
         PolicyPair::new(
             "rrip-ipv",
@@ -432,7 +449,10 @@ mod tests {
     fn roster_filters_by_name() {
         assert_eq!(roster("lru").len(), 1);
         assert_eq!(roster("no-such-policy").len(), 0);
-        assert!(roster("all").len() >= 15);
+        assert!(roster("all").len() >= 20);
+        assert_eq!(roster("awrp").len(), 1);
+        assert_eq!(roster("ehc").len(), 1);
+        assert_eq!(roster("arc").len(), 1);
     }
 
     #[test]

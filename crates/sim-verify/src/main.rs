@@ -14,10 +14,80 @@ use sim_verify::diff::{diff_replay, oracle_geometry, roster};
 use sim_verify::workloads::workloads;
 use std::process::ExitCode;
 
+/// The `--mattson` mode: one single-pass stack-distance profile per
+/// workload must reproduce per-configuration `replay_llc` hit/miss
+/// counts (and MPKI) for true LRU at every associativity in {2,4,8,16},
+/// at a fixed set count. One profile answers all four sweeps — the
+/// whole point of the Mattson tentpole — so any disagreement here means
+/// either the profiler or the replay engine broke.
+fn mattson_check(seed: u64, accesses: usize) -> ExitCode {
+    let sets = 1024usize;
+    let max_ways = 16usize;
+    let streams = workloads(seed, accesses);
+    let perf = mem_model::WindowPerfModel::default();
+    println!(
+        "sim-verify --mattson: {} workload(s) x {} accesses, {} sets, ways 2..={} (seed {})",
+        streams.len(),
+        accesses,
+        sets,
+        max_ways,
+        seed
+    );
+    let mut failures = 0u32;
+    for (wname, stream) in &streams {
+        let warmup = mem_model::default_warmup(stream.len());
+        let profile_geom = sim_core::CacheGeometry::from_sets(sets, max_ways, 64)
+            .expect("static geometry is valid");
+        let profile =
+            sim_core::StackDistanceProfile::capture(stream, &profile_geom, warmup, max_ways);
+        for ways in [2usize, 4, 8, 16] {
+            let geom = sim_core::CacheGeometry::from_sets(sets, ways, 64)
+                .expect("static geometry is valid");
+            let replay = mem_model::replay_llc(
+                stream,
+                geom,
+                Box::new(baselines::TrueLru::new(&geom)),
+                warmup,
+                &perf,
+            );
+            let ok = profile.hits(ways) == replay.stats.hits
+                && profile.misses(ways) == replay.stats.misses
+                && profile.accesses() == replay.stats.accesses
+                && profile.instructions() == replay.instructions
+                && profile.mpki(ways) == replay.mpki();
+            if ok {
+                println!(
+                    "  ok   {wname:<14} {ways:>2} ways: {} hits / {} misses (MPKI {:.3})",
+                    replay.stats.hits,
+                    replay.stats.misses,
+                    replay.mpki()
+                );
+            } else {
+                failures += 1;
+                println!(
+                    "  FAIL {wname:<14} {ways:>2} ways: profile {}h/{}m vs replay {}h/{}m",
+                    profile.hits(ways),
+                    profile.misses(ways),
+                    replay.stats.hits,
+                    replay.stats.misses,
+                );
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("sim-verify --mattson: {failures} disagreement(s)");
+        ExitCode::FAILURE
+    } else {
+        println!("sim-verify --mattson: profile and replay agree at every associativity");
+        ExitCode::SUCCESS
+    }
+}
+
 struct Args {
     policy: String,
     accesses: usize,
     seed: u64,
+    mattson: bool,
 }
 
 fn parse_count(s: &str) -> Result<usize, String> {
@@ -37,6 +107,7 @@ fn parse_args() -> Result<Args, String> {
         policy: "all".to_string(),
         accesses: 1_000_000,
         seed: 1,
+        mattson: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -47,12 +118,11 @@ fn parse_args() -> Result<Args, String> {
             "--seed" => {
                 args.seed = value()?.parse().map_err(|e| format!("bad seed: {e}"))?;
             }
-            "--help" | "-h" => {
-                return Err(
-                    "usage: sim-verify [--policy NAME|all] [--accesses N[k|M]] [--seed N]"
-                        .to_string(),
-                )
-            }
+            "--mattson" => args.mattson = true,
+            "--help" | "-h" => return Err(
+                "usage: sim-verify [--policy NAME|all] [--accesses N[k|M]] [--seed N] [--mattson]"
+                    .to_string(),
+            ),
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -67,6 +137,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if args.mattson {
+        return mattson_check(args.seed, args.accesses);
+    }
     let pairs = roster(&args.policy);
     if pairs.is_empty() {
         eprintln!(

@@ -10,6 +10,8 @@
 //!   (the optimized [`gippr::RecencyStack`] stores each way's integer
 //!   position), so its shifting semantics fall out of `remove`/`insert`.
 //! * [`RefLru`] orders ways by recency rather than comparing timestamps.
+//! * [`RefAwrp`] re-derives the weight ranking in per-set touch units
+//!   instead of the optimized way-packed, `ways`-strided clock.
 //! * [`RefFifo`], [`RefSrrip`], and [`RefPdp`] are clarity-first ports of
 //!   the published policy descriptions.
 //! * [`RefPlruPolicy`], [`RefGippr`], and [`RefGiplr`] drive the naive
@@ -219,6 +221,75 @@ impl ReplacementPolicy for RefLru {
 
     fn bits_per_set(&self) -> u64 {
         sim_core::overhead::lru_bits_per_set(self.ways)
+    }
+}
+
+/// Reference AWRP: weight ranking re-derived in per-set *touch units*.
+///
+/// Where the optimized [`baselines::AwrpPolicy`] scales a per-set clock
+/// by the associativity so it can pack way indices into timestamp low
+/// bits, this model counts the set's touches directly (1 per touch) and
+/// takes an explicit `min_by_key` over `(last_touch + FREQ_WEIGHT ×
+/// freq, way)`. Untouched ways keep `(0, 0)` — infinitely old, ties to
+/// the lowest way — matching the optimized zero-initialized state.
+pub struct RefAwrp {
+    ways: usize,
+    touches: Vec<u64>,
+    last_touch: Vec<Vec<u64>>,
+    freq: Vec<Vec<u8>>,
+}
+
+impl RefAwrp {
+    /// Creates the reference AWRP policy for `geom`.
+    pub fn new(geom: &CacheGeometry) -> Self {
+        RefAwrp {
+            ways: geom.ways(),
+            touches: vec![0; geom.sets()],
+            last_touch: vec![vec![0; geom.ways()]; geom.sets()],
+            freq: vec![vec![0; geom.ways()]; geom.sets()],
+        }
+    }
+
+    fn touch(&mut self, set: usize, way: usize) {
+        self.touches[set] += 1;
+        self.last_touch[set][way] = self.touches[set];
+    }
+}
+
+impl ReplacementPolicy for RefAwrp {
+    fn name(&self) -> &str {
+        "ref-AWRP"
+    }
+
+    fn victim(&mut self, set: usize, _ctx: &AccessContext) -> usize {
+        (0..self.ways)
+            .min_by_key(|&w| {
+                (
+                    self.last_touch[set][w]
+                        + u64::from(self.freq[set][w]) * baselines::awrp::FREQ_WEIGHT,
+                    w,
+                )
+            })
+            .expect("ways > 0")
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize, _ctx: &AccessContext) {
+        self.touch(set, way);
+        let f = &mut self.freq[set][way];
+        *f = (*f + 1).min(baselines::awrp::FREQ_MAX);
+    }
+
+    fn on_fill(&mut self, set: usize, way: usize, _ctx: &AccessContext) {
+        self.touch(set, way);
+        self.freq[set][way] = 0;
+    }
+
+    fn bits_per_set(&self) -> u64 {
+        sim_core::overhead::lru_bits_per_set(self.ways) + self.ways as u64 * 4
+    }
+
+    fn shard_affinity(&self) -> sim_core::ShardAffinity {
+        sim_core::ShardAffinity::SetLocal
     }
 }
 

@@ -174,7 +174,10 @@ fn lint_unsafe_hygiene(root: &Path) -> usize {
     // they sit inside sim-core's (merely `deny`) root, and the packed-word
     // bit tricks are exactly the kind of code that must never quietly gain
     // an `allow` escape hatch.
-    for module in ["crates/sim-core/src/slice.rs", "crates/sim-core/src/simd.rs"] {
+    for module in [
+        "crates/sim-core/src/slice.rs",
+        "crates/sim-core/src/simd.rs",
+    ] {
         let path = root.join(module);
         let source = std::fs::read_to_string(&path).expect("sliced kernel module is readable");
         let attr = format!("#![forbid({}_code)]", unsafe_token());
@@ -261,6 +264,12 @@ fn lint_policy_twins() -> usize {
     // (not part of the baseline roster) but must be verified as well.
     for paper in ["gippr", "giplr", "dgippr2", "dgippr4"] {
         required.push(paper.to_string());
+    }
+    // The related-work roster members are required by name, not only via
+    // the baseline roster, so dropping one from the roster cannot
+    // silently drop its verification twin.
+    for related in ["ehc", "awrp", "arc"] {
+        required.push(related.to_string());
     }
 
     for name in required {
