@@ -13,6 +13,8 @@
 //! makes it [`ShardAffinity::Global`]: ghost hits in any set move the
 //! target every other set duels against.
 
+#![forbid(unsafe_code)]
+
 use sim_core::{AccessContext, CacheGeometry, ReplacementPolicy};
 
 /// Fixed-point scale for the adaptation target `p` (per-set T1 ways).
@@ -65,6 +67,8 @@ pub struct ArcPolicy {
     p: u64,
     /// Set in `on_miss` on a ghost hit; routes the following fill to T2.
     fill_to_t2: bool,
+    /// Seeded-defect switch: skip the upper clamp when growing `p`.
+    poison_p_clamp: bool,
 }
 
 impl ArcPolicy {
@@ -77,12 +81,23 @@ impl ArcPolicy {
             blocks: vec![0; geom.sets() * geom.ways()],
             p: 0,
             fill_to_t2: false,
+            poison_p_clamp: false,
         }
     }
 
     /// The current T1 target in ways (diagnostic aid; truncating).
     pub fn t1_target(&self) -> u64 {
         self.p / P_SCALE
+    }
+
+    /// Disables the upper clamp on the adaptation target `p`, so repeated
+    /// B1 ghost hits push it past `ways * P_SCALE`. This is a *seeded
+    /// defect* used to prove the bounded model checker catches broken `p`
+    /// updates; it exercises the production `on_miss` path with only the
+    /// clamp removed.
+    #[doc(hidden)]
+    pub fn poison_p_clamp(&mut self) {
+        self.poison_p_clamp = true;
     }
 }
 
@@ -117,7 +132,11 @@ impl ReplacementPolicy for ArcPolicy {
             // Recency ghost hit: T1 was too small — grow the target.
             s.b1.remove(i);
             let step = (s.b2.len() as u64 / s.b1.len().max(1) as u64).max(1);
-            self.p = (self.p + step * P_SCALE).min(self.ways as u64 * P_SCALE);
+            self.p = if self.poison_p_clamp {
+                self.p + step * P_SCALE
+            } else {
+                (self.p + step * P_SCALE).min(self.ways as u64 * P_SCALE)
+            };
             self.fill_to_t2 = true;
         } else if let Some(i) = s.b2.iter().position(|&b| b == block) {
             // Frequency ghost hit: T2 was too small — shrink the target.
@@ -172,6 +191,73 @@ impl ReplacementPolicy for ArcPolicy {
     // One global `p` trained by every set's ghost hits: sharding would
     // split the adaptation stream. Default ShardAffinity::Global is
     // correct and load-bearing.
+
+    fn audit_set_digest(&self, set: usize) -> Option<Vec<u8>> {
+        let s = &self.lists[set];
+        let mut d = Vec::new();
+        // Resident lists with their block addresses (only resident ways'
+        // `blocks` entries are behaviourally live — evicted ways keep a
+        // stale copy that the next fill overwrites before any read).
+        for list in [&s.t1, &s.t2] {
+            for &w in list {
+                d.push(w as u8);
+                d.extend_from_slice(&self.blocks[set * self.ways + w].to_le_bytes());
+            }
+            d.push(0xff);
+        }
+        for ghost in [&s.b1, &s.b2] {
+            for &b in ghost {
+                d.extend_from_slice(&b.to_le_bytes());
+            }
+            d.push(0xff);
+        }
+        Some(d)
+    }
+
+    fn audit_global_digest(&self) -> Vec<u8> {
+        let mut d = self.p.to_le_bytes().to_vec();
+        d.push(u8::from(self.fill_to_t2));
+        d
+    }
+
+    fn audit_invariants(&self) -> Result<(), String> {
+        let cap = self.ways as u64 * P_SCALE;
+        if self.p > cap {
+            return Err(format!(
+                "ARC adaptation target p = {} exceeds {cap} (ways * P_SCALE)",
+                self.p
+            ));
+        }
+        for (set, s) in self.lists.iter().enumerate() {
+            if s.b1.len() > self.ways || s.b2.len() > self.ways {
+                return Err(format!(
+                    "ARC ghost lists in set {set} exceed capacity {}: |B1| = {}, |B2| = {}",
+                    self.ways,
+                    s.b1.len(),
+                    s.b2.len()
+                ));
+            }
+            if s.t1.len() + s.t2.len() > self.ways {
+                return Err(format!(
+                    "ARC resident lists in set {set} exceed {} ways",
+                    self.ways
+                ));
+            }
+            let mut seen = vec![false; self.ways];
+            for &w in s.t1.iter().chain(&s.t2) {
+                if w >= self.ways {
+                    return Err(format!("ARC way {w} in set {set} is out of range"));
+                }
+                if seen[w] {
+                    return Err(format!(
+                        "ARC way {w} in set {set} appears on T1/T2 more than once"
+                    ));
+                }
+                seen[w] = true;
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -12,6 +12,8 @@
 //! blocks still expire because the bonus saturates while the clock does
 //! not.
 
+#![forbid(unsafe_code)]
+
 use sim_core::{AccessContext, CacheGeometry, ReplacementPolicy, ShardAffinity};
 
 /// Recency-clock ticks one frequency step is worth.
@@ -43,24 +45,40 @@ pub struct AwrpPolicy {
 impl AwrpPolicy {
     /// Creates AWRP for `geom`.
     pub fn new(geom: &CacheGeometry) -> Self {
+        Self::with_clock_origin(geom, 0)
+    }
+
+    /// Creates AWRP with every per-set clock started at `origin` (rounded
+    /// down to a multiple of `ways` to keep timestamps stride-aligned).
+    ///
+    /// Victim ranking reads only modular clock *distances*, so behaviour is
+    /// origin-independent — including across the `u64` wrap. This
+    /// constructor exists to let tests (and the proptest wraparound suite)
+    /// pin that claim by starting clocks just below `u64::MAX`.
+    pub fn with_clock_origin(geom: &CacheGeometry, origin: u64) -> Self {
+        let ways = geom.ways();
+        let origin = origin - origin % ways as u64;
         AwrpPolicy {
-            ways: geom.ways(),
-            clock: vec![0; geom.sets()],
-            last_use: vec![0; geom.sets() * geom.ways()],
+            ways,
+            clock: vec![origin; geom.sets()],
+            last_use: vec![origin; geom.sets() * geom.ways()],
             freq: vec![0; geom.sets() * geom.ways()],
         }
     }
 
     #[inline]
     fn touch(&mut self, set: usize, way: usize) {
-        self.clock[set] += self.ways as u64;
+        // Wrapping: the clock is only ever read through `age`'s modular
+        // subtraction, so crossing u64::MAX is harmless.
+        self.clock[set] = self.clock[set].wrapping_add(self.ways as u64);
         self.last_use[set * self.ways + way] = self.clock[set];
     }
 
-    /// The ranking weight of one line, in clock units (way bits clear).
+    /// Clock ticks since this line's last touch (exact modular distance:
+    /// `last_use` is always a past value of the same set's clock).
     #[inline]
-    fn weight(&self, idx: usize) -> u64 {
-        self.last_use[idx] + u64::from(self.freq[idx]) * FREQ_WEIGHT * self.ways as u64
+    fn age(&self, set: usize, idx: usize) -> u64 {
+        self.clock[set].wrapping_sub(self.last_use[idx])
     }
 }
 
@@ -71,12 +89,18 @@ impl ReplacementPolicy for AwrpPolicy {
 
     #[inline]
     fn victim(&mut self, set: usize, _ctx: &AccessContext) -> usize {
+        // Minimizing `last_use + bonus` equals minimizing `bonus - age`
+        // (the set clock is a common constant), and the age form survives
+        // clock wraparound. Ties fall to the lowest way, as the old packed
+        // `weight | way` argmin did.
         let base = set * self.ways;
-        let key = (0..self.ways)
-            .map(|w| self.weight(base + w) | w as u64)
-            .min()
-            .expect("ways > 0");
-        (key as usize) & (self.ways - 1)
+        (0..self.ways)
+            .min_by_key(|&w| {
+                let bonus =
+                    i128::from(self.freq[base + w]) * FREQ_WEIGHT as i128 * self.ways as i128;
+                (bonus - i128::from(self.age(set, base + w)), w)
+            })
+            .expect("ways > 0")
     }
 
     #[inline]
@@ -103,6 +127,47 @@ impl ReplacementPolicy for AwrpPolicy {
     // subsequence, so sharded replay is exact.
     fn shard_affinity(&self) -> ShardAffinity {
         ShardAffinity::SetLocal
+    }
+
+    // Behaviour is a function of each line's (age, freq) alone — the raw
+    // clock origin cancels out of every comparison — so rebasing
+    // timestamps against the set clock is an exact, origin-independent
+    // quotient that keeps the checker's reachable space finite.
+    fn audit_set_digest(&self, set: usize) -> Option<Vec<u8>> {
+        let base = set * self.ways;
+        let mut d = Vec::with_capacity(self.ways * 9);
+        for w in 0..self.ways {
+            d.extend_from_slice(&self.age(set, base + w).to_le_bytes());
+            d.push(self.freq[base + w]);
+        }
+        Some(d)
+    }
+
+    fn audit_invariants(&self) -> Result<(), String> {
+        if let Some(idx) = self.freq.iter().position(|&f| f > FREQ_MAX) {
+            return Err(format!(
+                "AWRP frequency counter {} at line {idx} exceeds {FREQ_MAX}",
+                self.freq[idx]
+            ));
+        }
+        let ways = self.ways as u64;
+        for (set, &clk) in self.clock.iter().enumerate() {
+            if clk % ways != 0 {
+                return Err(format!(
+                    "AWRP clock {clk} in set {set} lost its way alignment"
+                ));
+            }
+            let base = set * self.ways;
+            for w in 0..self.ways {
+                if self.age(set, base + w) % ways != 0 {
+                    return Err(format!(
+                        "AWRP timestamp in set {set} way {w} is not stride-aligned \
+                         with its set clock"
+                    ));
+                }
+            }
+        }
+        Ok(())
     }
 }
 

@@ -99,6 +99,26 @@ impl ReplacementPolicy for DipPolicy {
     fn global_bits(&self) -> u64 {
         self.duel.counter_bits()
     }
+
+    fn audit_set_digest(&self, set: usize) -> Option<Vec<u8>> {
+        Some(self.stacks[set].positions().to_vec())
+    }
+
+    // BIP's tick only matters modulo the bimodal epsilon.
+    fn audit_global_digest(&self) -> Vec<u8> {
+        let mut d = self.duel.audit_digest();
+        d.extend_from_slice(&(self.bip_tick % BIP_EPSILON).to_le_bytes());
+        d
+    }
+
+    fn audit_invariants(&self) -> Result<(), String> {
+        match self.stacks.iter().position(|s| !s.is_permutation()) {
+            Some(set) => Err(format!(
+                "DIP recency stack in set {set} is no longer a permutation"
+            )),
+            None => Ok(()),
+        }
+    }
 }
 
 #[cfg(test)]

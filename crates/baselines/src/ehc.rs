@@ -13,6 +13,8 @@
 //! channel GIPPR deliberately avoids — so it rides in the roster as a
 //! related-work baseline, not a contender under the paper's constraints.
 
+#![forbid(unsafe_code)]
+
 use sim_core::{AccessContext, CacheGeometry, ReplacementPolicy};
 
 /// log2 of the EHCT size.
@@ -114,6 +116,48 @@ impl ReplacementPolicy for EhcPolicy {
     // The EHCT is one table shared by every set and trained on evictions
     // from all of them; sharding would split its training stream.
     // Default ShardAffinity::Global is correct and load-bearing.
+
+    fn audit_set_digest(&self, set: usize) -> Option<Vec<u8>> {
+        let base = set * self.ways;
+        let mut d = Vec::with_capacity(self.ways * 3);
+        for idx in base..base + self.ways {
+            d.extend_from_slice(&self.signature[idx].to_le_bytes());
+            d.push(self.hits[idx]);
+        }
+        Some(d)
+    }
+
+    fn audit_global_digest(&self) -> Vec<u8> {
+        // Only touched entries can ever differ from the optimistic init
+        // value, so a sparse (index, value) digest stays tiny while still
+        // distinguishing every reachable table state.
+        let mut d = Vec::new();
+        for (i, &v) in self.ehct.iter().enumerate() {
+            if v != 1 {
+                d.extend_from_slice(&(i as u16).to_le_bytes());
+                d.push(v);
+            }
+        }
+        d
+    }
+
+    fn audit_invariants(&self) -> Result<(), String> {
+        if let Some(idx) = self.hits.iter().position(|&h| h > HITS_MAX) {
+            return Err(format!(
+                "EHC hit counter {} at line {idx} exceeds {HITS_MAX}",
+                self.hits[idx]
+            ));
+        }
+        // Init is 1 and training averages toward a value ≤ HITS_MAX, so the
+        // expectation can never leave the 4-bit field.
+        if let Some(sig) = self.ehct.iter().position(|&e| e > HITS_MAX) {
+            return Err(format!(
+                "EHCT expectation {} for signature {sig} exceeds {HITS_MAX}",
+                self.ehct[sig]
+            ));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -52,6 +52,20 @@ impl ReplacementPolicy for FifoPolicy {
     fn shard_affinity(&self) -> ShardAffinity {
         ShardAffinity::SetLocal
     }
+
+    fn audit_set_digest(&self, set: usize) -> Option<Vec<u8>> {
+        Some(vec![self.next[set]])
+    }
+
+    fn audit_invariants(&self) -> Result<(), String> {
+        match self.next.iter().position(|&n| usize::from(n) >= self.ways) {
+            Some(set) => Err(format!(
+                "FIFO pointer {} in set {set} is out of range (ways = {})",
+                self.next[set], self.ways
+            )),
+            None => Ok(()),
+        }
+    }
 }
 
 #[cfg(test)]

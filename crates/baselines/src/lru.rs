@@ -105,6 +105,46 @@ impl ReplacementPolicy for TrueLru {
             ipv: vec![0; self.ways + 1],
         })
     }
+
+    // Raw timestamps grow without bound, but behaviour depends only on the
+    // within-set recency *order* (victim is an argmin, touch installs a new
+    // maximum). Digesting the rank permutation is exactly the quotient that
+    // justifies the `SetLocal` claim above, and it keeps the reachable state
+    // space finite for the bounded model checker. Ties (untouched ways share
+    // timestamp 0) break toward the lower way, matching the packed argmin.
+    fn audit_set_digest(&self, set: usize) -> Option<Vec<u8>> {
+        let base = set * self.ways;
+        let stamps = &self.last_use[base..base + self.ways];
+        let mut order: Vec<usize> = (0..self.ways).collect();
+        order.sort_by_key(|&w| (stamps[w], w));
+        let mut rank = vec![0u8; self.ways];
+        for (r, &w) in order.iter().enumerate() {
+            rank[w] = r as u8;
+        }
+        Some(rank)
+    }
+
+    fn audit_invariants(&self) -> Result<(), String> {
+        let ways = self.ways as u64;
+        if self.clock % ways != 0 {
+            return Err(format!(
+                "LRU clock {} is not a multiple of ways {ways}",
+                self.clock
+            ));
+        }
+        if let Some((idx, &t)) = self
+            .last_use
+            .iter()
+            .enumerate()
+            .find(|&(_, &t)| t > self.clock || t % ways != 0)
+        {
+            return Err(format!(
+                "LRU timestamp {t} at line {idx} exceeds clock {} or breaks way alignment",
+                self.clock
+            ));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -272,6 +272,70 @@ impl ReplacementPolicy for PdpPolicy {
         let hist_bits = self.cfg.max_distance as u64 * 16;
         sampler_bits + hist_bits + 64
     }
+
+    fn audit_set_digest(&self, set: usize) -> Option<Vec<u8>> {
+        let base = set * self.ways;
+        let mut d = Vec::with_capacity(self.ways * 2 + 1);
+        for w in 0..self.ways {
+            d.push(self.rpd[base + w]);
+            d.push(u8::from(self.reused[base + w]));
+        }
+        d.push(self.tick[set]);
+        Some(d)
+    }
+
+    // The raw access counter drives the periodic PD recomputation, so it is
+    // genuinely part of the behavioural state and genuinely unbounded: PDP
+    // is one of the policies the checker covers bounded-only.
+    fn audit_global_digest(&self) -> Vec<u8> {
+        let mut d = Vec::new();
+        d.extend_from_slice(&(self.pd as u64).to_le_bytes());
+        d.push(self.quantum);
+        d.extend_from_slice(&self.accesses.to_le_bytes());
+        d.extend_from_slice(&self.total_sampled.to_le_bytes());
+        for (i, &h) in self.hist.iter().enumerate() {
+            if h != 0 {
+                d.extend_from_slice(&(i as u16).to_le_bytes());
+                d.extend_from_slice(&h.to_le_bytes());
+            }
+        }
+        for (idx, entries) in self.sampler.iter().enumerate() {
+            d.extend_from_slice(&self.set_access_count[idx].to_le_bytes());
+            for e in entries {
+                d.extend_from_slice(&e.tag.to_le_bytes());
+                d.extend_from_slice(&e.last_count.to_le_bytes());
+            }
+            d.push(0xff);
+        }
+        d
+    }
+
+    fn audit_invariants(&self) -> Result<(), String> {
+        if let Some(idx) = self.rpd.iter().position(|&v| v > self.rpd_max) {
+            return Err(format!(
+                "PDP RPD counter {} at line {idx} exceeds max {}",
+                self.rpd[idx], self.rpd_max
+            ));
+        }
+        if self.quantum != self.quantum_for(self.pd) {
+            return Err(format!(
+                "PDP cached quantum {} is stale for PD {}",
+                self.quantum, self.pd
+            ));
+        }
+        if let Some(idx) = self
+            .sampler
+            .iter()
+            .position(|e| e.len() > self.cfg.sampler_depth)
+        {
+            return Err(format!(
+                "PDP sampler {idx} holds {} entries, over depth {}",
+                self.sampler[idx].len(),
+                self.cfg.sampler_depth
+            ));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

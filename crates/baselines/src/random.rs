@@ -62,6 +62,23 @@ impl ReplacementPolicy for RandomPolicy {
     fn bits_per_set(&self) -> u64 {
         0
     }
+
+    // The RNG word is the only state, and it is shared across sets (hence
+    // the default `Global` affinity). Its 2^64 − 1 cycle means the bounded
+    // checker explores a budget-truncated slice rather than closing the
+    // state space — exactly what the `BoundedReport::complete` flag is for.
+    fn audit_global_digest(&self) -> Vec<u8> {
+        self.state.to_le_bytes().to_vec()
+    }
+
+    fn audit_invariants(&self) -> Result<(), String> {
+        // xorshift64* is a bijection on nonzero words; reaching zero would
+        // wedge the generator forever.
+        if self.state == 0 {
+            return Err("random policy RNG state collapsed to zero".into());
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -64,6 +64,21 @@ impl RrpvTable {
     fn bits_per_set(&self) -> u64 {
         sim_core::overhead::rrip_bits_per_set(self.ways, RRPV_BITS)
     }
+
+    fn set_digest(&self, set: usize) -> Vec<u8> {
+        let base = set * self.ways;
+        self.rrpv[base..base + self.ways].to_vec()
+    }
+
+    fn check_bounds(&self) -> Result<(), String> {
+        match self.rrpv.iter().position(|&v| v > self.max) {
+            Some(idx) => Err(format!(
+                "RRPV {} at line {idx} exceeds max {} ({}-bit field)",
+                self.rrpv[idx], self.max, RRPV_BITS
+            )),
+            None => Ok(()),
+        }
+    }
 }
 
 /// Static RRIP: insert with RRPV `max - 1`, promote hits to 0.
@@ -122,6 +137,14 @@ impl ReplacementPolicy for SrripPolicy {
             vector: [0, 0, 0, 0, self.table.max - 1],
         })
     }
+
+    fn audit_set_digest(&self, set: usize) -> Option<Vec<u8>> {
+        Some(self.table.set_digest(set))
+    }
+
+    fn audit_invariants(&self) -> Result<(), String> {
+        self.table.check_bounds()
+    }
 }
 
 /// Bimodal RRIP: insert with RRPV `max`, occasionally (1/32) `max - 1`.
@@ -169,6 +192,21 @@ impl ReplacementPolicy for BrripPolicy {
 
     fn bits_per_set(&self) -> u64 {
         self.table.bits_per_set()
+    }
+
+    fn audit_set_digest(&self, set: usize) -> Option<Vec<u8>> {
+        Some(self.table.set_digest(set))
+    }
+
+    // The bimodal tick influences behaviour only through `tick mod epsilon`,
+    // so digesting the residue keeps the state space finite without merging
+    // distinguishable states.
+    fn audit_global_digest(&self) -> Vec<u8> {
+        (self.tick % BRRIP_EPSILON).to_le_bytes().to_vec()
+    }
+
+    fn audit_invariants(&self) -> Result<(), String> {
+        self.table.check_bounds()
     }
 }
 
@@ -257,6 +295,20 @@ impl ReplacementPolicy for DrripPolicy {
 
     fn global_bits(&self) -> u64 {
         self.duel.counter_bits()
+    }
+
+    fn audit_set_digest(&self, set: usize) -> Option<Vec<u8>> {
+        Some(self.table.set_digest(set))
+    }
+
+    fn audit_global_digest(&self) -> Vec<u8> {
+        let mut d = self.duel.audit_digest();
+        d.extend_from_slice(&(self.tick % BRRIP_EPSILON).to_le_bytes());
+        d
+    }
+
+    fn audit_invariants(&self) -> Result<(), String> {
+        self.table.check_bounds()
     }
 }
 

@@ -109,6 +109,17 @@ impl RripIpvPolicy {
     pub fn rrpv(&self, set: usize, way: usize) -> u8 {
         self.rrpv[set * self.ways + way]
     }
+
+    /// Full static analysis of this vector, mirroring `gippr::Ipv::analysis`.
+    ///
+    /// An RRIP IPV is a 4-level recency vector plus an insertion entry —
+    /// exactly the shape `sim_lint::analyze` accepts, with RRPV levels
+    /// standing in for stack positions. Construction enforces the
+    /// analyzer's range rules, so this cannot fail.
+    pub fn analysis(&self) -> sim_lint::IpvAnalysis {
+        sim_lint::analyze(&self.vector)
+            .expect("RripIpvPolicy construction enforces the analyzer's well-formedness rules")
+    }
 }
 
 impl ReplacementPolicy for RripIpvPolicy {
@@ -151,6 +162,22 @@ impl ReplacementPolicy for RripIpvPolicy {
         Some(sim_core::slice::SliceKernel::RripIpv {
             vector: self.vector,
         })
+    }
+
+    fn audit_set_digest(&self, set: usize) -> Option<Vec<u8>> {
+        let base = set * self.ways;
+        Some(self.rrpv[base..base + self.ways].to_vec())
+    }
+
+    fn audit_invariants(&self) -> Result<(), String> {
+        match self.rrpv.iter().position(|&r| usize::from(r) >= LEVELS) {
+            Some(idx) => Err(format!(
+                "RRIP-IPV RRPV {} at line {idx} exceeds max {}",
+                self.rrpv[idx],
+                LEVELS - 1
+            )),
+            None => Ok(()),
+        }
     }
 }
 
@@ -239,6 +266,48 @@ mod tests {
         let p = RripIpvPolicy::new(&geom(), RripIpvPolicy::srrip_vector()).unwrap();
         assert_eq!(p.bits_per_set(), 16);
         assert_eq!(p.global_bits(), 0);
+    }
+
+    #[test]
+    fn srrip_vector_analysis_verdict_is_pinned() {
+        // [0, 0, 0, 0 | 2]: inserts at RRPV 2 of 3 — distant insertion is
+        // the whole point of RRIP, and the analyzer agrees it is the
+        // LIP-family mechanism. Any hit promotes straight to 0, so no
+        // demotion, oscillation, or dead-level lints fire.
+        let a = RripIpvPolicy::new(&geom(), RripIpvPolicy::srrip_vector())
+            .unwrap()
+            .analysis();
+        assert_eq!(a.class(), sim_lint::IpvClass::ThrashResistant);
+        assert!(a.lints().is_empty(), "{:?}", a.lints());
+        assert_eq!(a.reachable_positions(), vec![0, 1, 2, 3]);
+        assert!(a.converges_to_fixpoint());
+    }
+
+    #[test]
+    fn cautious_vector_analysis_verdict_is_pinned() {
+        // [0, 0, 1, 2 | 3]: inserts at max RRPV (immediately evictable —
+        // the analyzer's inserts-at-victim lint) and climbs one level per
+        // hit. Still thrash-resistant, still convergent, no dead levels.
+        let a = RripIpvPolicy::new(&geom(), [0, 0, 1, 2, 3])
+            .unwrap()
+            .analysis();
+        assert_eq!(a.class(), sim_lint::IpvClass::ThrashResistant);
+        assert_eq!(a.lints(), [sim_lint::IpvLint::InsertsAtVictim]);
+        assert_eq!(a.reachable_positions(), vec![0, 1, 2, 3]);
+        assert!(a.converges_to_fixpoint());
+    }
+
+    #[test]
+    fn audit_hooks_expose_rrpv_state() {
+        let g = geom();
+        let mut p = RripIpvPolicy::new(&g, RripIpvPolicy::srrip_vector()).unwrap();
+        assert!(p.audit_invariants().is_ok());
+        let before = p.audit_set_digest(2).unwrap();
+        p.on_fill(2, 0, &ctx());
+        let after = p.audit_set_digest(2).unwrap();
+        assert_ne!(before, after, "fill must show up in the set digest");
+        assert_eq!(after.len(), g.ways());
+        assert!(p.audit_invariants().is_ok());
     }
 
     #[test]

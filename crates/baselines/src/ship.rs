@@ -114,6 +114,45 @@ impl ReplacementPolicy for ShipPolicy {
     fn global_bits(&self) -> u64 {
         (1u64 << SHCT_BITS) * 3
     }
+
+    fn audit_set_digest(&self, set: usize) -> Option<Vec<u8>> {
+        let base = set * self.ways;
+        let mut d = Vec::with_capacity(self.ways * 4);
+        for idx in base..base + self.ways {
+            d.push(self.rrpv[idx]);
+            d.extend_from_slice(&self.signature[idx].to_le_bytes());
+            d.push(u8::from(self.outcome[idx]));
+        }
+        Some(d)
+    }
+
+    fn audit_global_digest(&self) -> Vec<u8> {
+        // Sparse digest of SHCT entries that have moved off the init value.
+        let mut d = Vec::new();
+        for (i, &v) in self.shct.iter().enumerate() {
+            if v != 1 {
+                d.extend_from_slice(&(i as u16).to_le_bytes());
+                d.push(v);
+            }
+        }
+        d
+    }
+
+    fn audit_invariants(&self) -> Result<(), String> {
+        if let Some(idx) = self.rrpv.iter().position(|&v| v > RRPV_MAX) {
+            return Err(format!(
+                "SHiP RRPV {} at line {idx} exceeds {RRPV_MAX}",
+                self.rrpv[idx]
+            ));
+        }
+        if let Some(sig) = self.shct.iter().position(|&v| v > SHCT_MAX) {
+            return Err(format!(
+                "SHCT counter {} for signature {sig} exceeds {SHCT_MAX}",
+                self.shct[sig]
+            ));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -2,8 +2,8 @@
 //! that must hold for any access sequence.
 
 use baselines::{
-    DipPolicy, DrripPolicy, FifoPolicy, PdpPolicy, RandomPolicy, RripIpvPolicy, SdbpPolicy,
-    ShipPolicy, SrripPolicy, TrueLru,
+    ArcPolicy, AwrpPolicy, DipPolicy, DrripPolicy, FifoPolicy, PdpPolicy, RandomPolicy,
+    RripIpvPolicy, SdbpPolicy, ShipPolicy, SrripPolicy, TrueLru,
 };
 use proptest::prelude::*;
 use sim_core::{AccessContext, CacheGeometry, ReplacementPolicy, SetAssocCache};
@@ -157,4 +157,114 @@ proptest! {
             prop_assert_eq!(combined_set0_misses, solo_misses, "{} set isolation", name);
         }
     }
+
+    /// AWRP's per-set clocks only ever feed modular age differences, so
+    /// behaviour must be origin-independent — including across the `u64`
+    /// wrap. Replaying any stream against an origin-0 twin and a twin whose
+    /// clocks start just below `u64::MAX` (guaranteed to wrap mid-stream)
+    /// must produce identical outcomes, rebased set digests, and clean
+    /// alignment invariants throughout.
+    #[test]
+    fn awrp_clock_wraparound_is_invisible(
+        blocks in proptest::collection::vec(0u64..64, 100..400),
+        headroom in 0u64..2048,
+    ) {
+        let g = CacheGeometry::from_sets(4, 4, 64).unwrap();
+        // The stream ticks each set's clock by `ways` per touch; starting
+        // `headroom` ticks shy of the wrap puts the crossing at a
+        // proptest-chosen point inside the stream.
+        let origin = u64::MAX - headroom;
+        let mut base = SetAssocCache::with_policy(g, AwrpPolicy::new(&g));
+        let mut wrapped = SetAssocCache::with_policy(g, AwrpPolicy::with_clock_origin(&g, origin));
+        for &blk in &blocks {
+            let a = base.access_block(blk, &AccessContext::blank());
+            let b = wrapped.access_block(blk, &AccessContext::blank());
+            prop_assert_eq!(a, b, "outcome diverged at block {}", blk);
+            prop_assert!(wrapped.policy().audit_invariants().is_ok());
+            for set in 0..g.sets() {
+                prop_assert_eq!(
+                    base.policy().audit_set_digest(set),
+                    wrapped.policy().audit_set_digest(set),
+                    "set {} digest diverged across the clock wrap", set
+                );
+            }
+        }
+    }
+
+    /// ARC's defining move is the ghost hit: re-referencing a block that is
+    /// still the most recent eviction from its set is *guaranteed* to find
+    /// its ghost entry, must miss (ghosts hold no data), and must keep the
+    /// T1 target inside `0..=ways` and both ghost lists within capacity at
+    /// every step. A deterministic prelude forces one B1 ghost hit so the
+    /// adaptation path is exercised on every case, then a random tail
+    /// stresses the invariants.
+    #[test]
+    fn arc_ghost_hit_after_eviction_adapts_within_bounds(
+        blocks in proptest::collection::vec(0u64..24, 200..500),
+    ) {
+        let g = CacheGeometry::from_sets(2, 2, 64).unwrap();
+        let mut cache = SetAssocCache::with_policy(g, ArcPolicy::new(&g));
+        // Blocks 0, 2, 4 share set 0: fill two ways, evict block 0 into
+        // the B1 ghost list, then re-reference it. With an empty B2 the
+        // adaptation step is exactly one way's worth, so the T1 target
+        // must land on 1.
+        let mut last_evicted = vec![None; g.sets()];
+        let mut ghost_rerefs = 0u64;
+        for &blk in [0u64, 2, 4, 0].iter().chain(&blocks) {
+            let set = g.set_of_block(blk);
+            let ghost_guaranteed = last_evicted[set] == Some(blk);
+            let out = cache.access_block(blk, &AccessContext::blank());
+            if ghost_guaranteed {
+                // Most recent eviction from this set: its ghost entry is
+                // still at the MRU end of B1 or B2, and ghosts are never
+                // resident.
+                ghost_rerefs += 1;
+                prop_assert!(!out.hit, "ghost block {} served a hit", blk);
+            }
+            if let Some(e) = out.evicted {
+                last_evicted[set] = Some(e.block_addr);
+            }
+            prop_assert!(cache.policy().audit_invariants().is_ok());
+            let target = cache.policy().t1_target();
+            prop_assert!(target <= g.ways() as u64, "T1 target {} above ways", target);
+        }
+        prop_assert!(ghost_rerefs > 0, "the prelude guarantees one ghost re-reference");
+        // Replaying the identical stream must reproduce the exact final
+        // state — ghost adaptation is deterministic.
+        let mut replay = SetAssocCache::with_policy(g, ArcPolicy::new(&g));
+        for &blk in [0u64, 2, 4, 0].iter().chain(&blocks) {
+            replay.access_block(blk, &AccessContext::blank());
+        }
+        prop_assert_eq!(
+            replay.policy().audit_global_digest(),
+            cache.policy().audit_global_digest()
+        );
+        for set in 0..g.sets() {
+            prop_assert_eq!(
+                replay.policy().audit_set_digest(set),
+                cache.policy().audit_set_digest(set),
+                "set {} state failed to replay", set
+            );
+        }
+    }
+
+}
+
+/// The prelude from the invariant proptest, in isolation: one forced B1
+/// ghost hit with an empty B2 adapts the T1 target from 0 to exactly 1.
+#[test]
+fn arc_b1_ghost_hit_grows_target_by_one_step() {
+    let g = CacheGeometry::from_sets(2, 2, 64).unwrap();
+    let mut cache = SetAssocCache::with_policy(g, baselines::ArcPolicy::new(&g));
+    for &blk in &[0u64, 2, 4] {
+        cache.access_block(blk, &AccessContext::blank());
+    }
+    assert_eq!(cache.policy().t1_target(), 0);
+    let out = cache.access_block(0, &AccessContext::blank());
+    assert!(!out.hit, "evicted block must miss");
+    assert_eq!(
+        cache.policy().t1_target(),
+        1,
+        "B1 ghost hit grows p by one way"
+    );
 }

@@ -117,6 +117,19 @@ impl ReplacementPolicy for GiplrPolicy {
             ipv: self.ipv.entries().to_vec(),
         })
     }
+
+    fn audit_set_digest(&self, set: usize) -> Option<Vec<u8>> {
+        Some(self.stacks[set].positions().to_vec())
+    }
+
+    fn audit_invariants(&self) -> Result<(), String> {
+        match self.stacks.iter().position(|s| !s.is_permutation()) {
+            Some(set) => Err(format!(
+                "GIPLR recency stack in set {set} is no longer a permutation"
+            )),
+            None => Ok(()),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -79,6 +79,29 @@ impl ReplacementPolicy for PlruPolicy {
             ipv: vec![0; self.trees[0].ways() + 1],
         })
     }
+
+    fn audit_set_digest(&self, set: usize) -> Option<Vec<u8>> {
+        Some(self.trees[set].raw_bits().to_le_bytes().to_vec())
+    }
+
+    fn audit_invariants(&self) -> Result<(), String> {
+        check_tree_bits(&self.trees)
+    }
+}
+
+/// Shared invariant for tree-backed policies: every tree's raw bits fit in
+/// its `ways - 1` node bits.
+fn check_tree_bits(trees: &[PlruTree]) -> Result<(), String> {
+    for (set, tree) in trees.iter().enumerate() {
+        let nodes = tree.ways() as u32 - 1;
+        if tree.raw_bits() >> nodes != 0 {
+            return Err(format!(
+                "PLRU tree in set {set} has bits {:#x} outside its {nodes} nodes",
+                tree.raw_bits()
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// GIPPR: Genetic Insertion and Promotion for PseudoLRU Replacement
@@ -184,6 +207,14 @@ impl ReplacementPolicy for GipprPolicy {
         Some(sim_core::slice::SliceKernel::PlruIpv {
             ipv: self.ipv.entries().to_vec(),
         })
+    }
+
+    fn audit_set_digest(&self, set: usize) -> Option<Vec<u8>> {
+        Some(self.trees[set].raw_bits().to_le_bytes().to_vec())
+    }
+
+    fn audit_invariants(&self) -> Result<(), String> {
+        check_tree_bits(&self.trees)
     }
 }
 

@@ -94,6 +94,60 @@ fn profile_matches_replay_at_every_associativity() {
     }
 }
 
+/// The single-pass profile stands in for a replay only when
+/// `policy_qualifies` admits the policy, and that gate is load-bearing:
+/// among the shipped policies only true LRU passes, and the nearest
+/// near-miss — tree PseudoLRU, "almost equivalent" to LRU in miss ratio
+/// — produces miss counts the profile does *not* predict. Admitting it
+/// would silently corrupt every fast-path denominator.
+#[test]
+fn qualification_gate_admits_only_true_lru_and_is_load_bearing() {
+    let sets = 256usize;
+    let geom = CacheGeometry::from_sets(sets, 8, 64).unwrap();
+    use sim_core::mattson::policy_qualifies;
+    use sim_core::ReplacementPolicy;
+    let candidates: Vec<Box<dyn ReplacementPolicy>> = vec![
+        Box::new(TrueLru::new(&geom)),
+        Box::new(gippr::PlruPolicy::new(&geom)),
+        Box::new(baselines::SrripPolicy::new(&geom)),
+        Box::new(baselines::FifoPolicy::new(&geom)),
+        Box::new(
+            baselines::RripIpvPolicy::new(&geom, baselines::RripIpvPolicy::srrip_vector()).unwrap(),
+        ),
+    ];
+    for p in &candidates {
+        assert_eq!(
+            policy_qualifies(p.as_ref()),
+            p.name() == "LRU",
+            "{} mis-gated for the Mattson fast path",
+            p.name()
+        );
+    }
+    // Dynamic counterexample for the closest non-qualifier: on at least
+    // one associativity the profile's LRU miss count differs from a
+    // PseudoLRU replay, so the gate is not merely conservative.
+    let perf = WindowPerfModel::default();
+    let (_, stream) = synthetic_workloads(60_000).remove(1); // hot-cold
+    let warmup = mem_model::default_warmup(stream.len());
+    let wide = CacheGeometry::from_sets(sets, 16, 64).unwrap();
+    let profile = StackDistanceProfile::capture(&stream, &wide, warmup, 16);
+    let diverged = [4usize, 8, 16].iter().any(|&ways| {
+        let g = CacheGeometry::from_sets(sets, ways, 64).unwrap();
+        let replay = replay_llc(
+            &stream,
+            g,
+            Box::new(gippr::PlruPolicy::new(&g)),
+            warmup,
+            &perf,
+        );
+        replay.stats.misses != profile.misses(ways)
+    });
+    assert!(
+        diverged,
+        "PseudoLRU reproduced the LRU profile everywhere; the gate test lost its teeth"
+    );
+}
+
 /// Routes `stream` the way the sharded engine does: stable partition by
 /// set range (shard = set's top bits), preserving per-set order.
 fn partition_by_set(stream: &[Access], geom: &CacheGeometry, shards: usize) -> Vec<Vec<Access>> {

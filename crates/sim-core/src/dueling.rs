@@ -403,6 +403,20 @@ impl DuelController {
     pub fn counter_bits(&self) -> u64 {
         self.selector.counter_bits()
     }
+
+    /// Canonical bytes of the mutable counter state, for
+    /// `ReplacementPolicy::audit_global_digest`. The leader map is static
+    /// configuration and is excluded.
+    pub fn audit_digest(&self) -> Vec<u8> {
+        match &self.selector {
+            Selector::Static(p) => (*p as u32).to_le_bytes().to_vec(),
+            Selector::Two(psel) => psel.value().to_le_bytes().to_vec(),
+            Selector::Four { p01, p23, meta } => [p01, p23, meta]
+                .iter()
+                .flat_map(|p| p.value().to_le_bytes())
+                .collect(),
+        }
+    }
 }
 
 #[cfg(test)]

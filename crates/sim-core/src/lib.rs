@@ -73,5 +73,8 @@ pub use overhead::OverheadReport;
 pub use persist::{atomic_write, atomic_write_with};
 pub use policy::{PolicyFactory, ReplacementPolicy, ShardAffinity};
 pub use shard::{ShardRun, ShardedStream};
-pub use slice::{replay_sliced, SliceKernel, SlicedTree, SlicedTreeLane};
+pub use slice::{
+    kernel_soundness_sweep, replay_sliced, KernelSweepReport, SliceKernel, SlicedTree,
+    SlicedTreeLane,
+};
 pub use stats::CacheStats;

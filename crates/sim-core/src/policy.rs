@@ -103,6 +103,39 @@ pub trait ReplacementPolicy {
     fn slice_kernel(&self) -> Option<crate::slice::SliceKernel> {
         None
     }
+
+    /// Canonical digest of this policy's state *attributable to `set`*, or
+    /// `None` (the default) when the policy does not support state auditing.
+    ///
+    /// Used by the bounded model checker and the shard-affinity auditor
+    /// (`sim-verify`, `xtask model-check`). The contract mirrors the
+    /// soundness obligation of `sim_lint::bounded`: two per-set states with
+    /// equal digests must be behaviourally indistinguishable *for that set*.
+    /// Unbounded monotone state (timestamps, clocks) must be canonicalized —
+    /// e.g. reduced to within-set rank order or rebased against the running
+    /// minimum — precisely the reduction that justifies a
+    /// [`ShardAffinity::SetLocal`] claim in the first place.
+    fn audit_set_digest(&self, _set: usize) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Canonical digest of this policy's cross-set state (duel counters,
+    /// shared predictor tables, RNG words). Defaults to empty — correct for
+    /// policies whose state fully decomposes per set. Policies overriding
+    /// [`audit_set_digest`](ReplacementPolicy::audit_set_digest) while
+    /// keeping mutable global state must override this too, or the model
+    /// checker will merge states it should distinguish.
+    fn audit_global_digest(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    /// Checks the policy's internal metadata invariants (counter saturation,
+    /// list-capacity bounds, partition disjointness, …), returning
+    /// `Err(description)` on violation. Called by the bounded model checker
+    /// after every transition; the default has nothing to check.
+    fn audit_invariants(&self) -> Result<(), String> {
+        Ok(())
+    }
 }
 
 /// Boxed policies are policies too: this keeps `Box<dyn ReplacementPolicy>`
@@ -163,6 +196,21 @@ impl<P: ReplacementPolicy + ?Sized> ReplacementPolicy for Box<P> {
     #[inline]
     fn slice_kernel(&self) -> Option<crate::slice::SliceKernel> {
         (**self).slice_kernel()
+    }
+
+    #[inline]
+    fn audit_set_digest(&self, set: usize) -> Option<Vec<u8>> {
+        (**self).audit_set_digest(set)
+    }
+
+    #[inline]
+    fn audit_global_digest(&self) -> Vec<u8> {
+        (**self).audit_global_digest()
+    }
+
+    #[inline]
+    fn audit_invariants(&self) -> Result<(), String> {
+        (**self).audit_invariants()
     }
 }
 

@@ -28,11 +28,15 @@
 //!   lane bits:  b14 .. b1 b0 | pad                      node i at bit i-1
 //! ```
 //!
-//! The packed tree is model-checked: [`SlicedTree`] implements
+//! The packed state is model-checked twice over. [`SlicedTree`] implements
 //! `sim_lint::PlruState`, so `cargo xtask model-check` sweeps its full
 //! state space at every lane offset, with sibling lanes filled with a
-//! poison pattern whose integrity is asserted on every state read —
-//! any cross-lane contamination is caught immediately.
+//! poison pattern whose integrity is asserted on every state read — any
+//! cross-lane contamination is caught immediately. And
+//! [`kernel_soundness_sweep`] drives the *actual replay interpreters*
+//! (`PlruLanes`, `StackList`, `RripNibbles`) transition by transition
+//! against independent scalar models for every kernel shape at every lane
+//! offset, exhaustively wherever the state space permits.
 
 #![forbid(unsafe_code)]
 
@@ -540,6 +544,471 @@ impl ReplState for RripNibbles {
 }
 
 // ---------------------------------------------------------------------------
+// Kernel soundness sweep: the packed interpreters above, checked transition
+// by transition against independent scalar models.
+// ---------------------------------------------------------------------------
+
+/// A deliberately naive PLRU tree (`Vec<bool>` nodes, heap-indexed from 1)
+/// coded without bit packing: the independent scalar reference the kernel
+/// soundness sweep and the in-crate tests compare the packed lanes against.
+#[derive(Clone)]
+struct NaiveTree {
+    node: Vec<bool>, // node[i] for i in 1..ways
+    ways: usize,
+}
+
+impl NaiveTree {
+    fn new(ways: usize, bits: u64) -> Self {
+        NaiveTree {
+            node: (0..=ways)
+                .map(|i| i >= 1 && (bits >> (i - 1)) & 1 == 1)
+                .collect(),
+            ways,
+        }
+    }
+
+    fn victim(&self) -> usize {
+        let mut n = 1;
+        while n < self.ways {
+            n = 2 * n + usize::from(self.node[n]);
+        }
+        n - self.ways
+    }
+
+    fn position(&self, way: usize) -> usize {
+        let mut n = self.ways + way;
+        let mut pos = 0;
+        let mut i = 0;
+        while n > 1 {
+            let toward = if n % 2 == 1 {
+                self.node[n / 2]
+            } else {
+                !self.node[n / 2]
+            };
+            pos |= usize::from(toward) << i;
+            n /= 2;
+            i += 1;
+        }
+        pos
+    }
+
+    fn set_position(&mut self, way: usize, position: usize) {
+        let mut n = self.ways + way;
+        let mut i = 0;
+        while n > 1 {
+            let bit = (position >> i) & 1 == 1;
+            self.node[n / 2] = if n % 2 == 1 { bit } else { !bit };
+            n /= 2;
+            i += 1;
+        }
+    }
+
+    fn bits(&self) -> u64 {
+        (1..self.ways).fold(0, |acc, i| acc | (u64::from(self.node[i]) << (i - 1)))
+    }
+}
+
+/// Outcome of one [`kernel_soundness_sweep`] run over a single kernel at a
+/// single associativity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelSweepReport {
+    /// Lane offsets exercised (`64 / ways` for the PLRU family, 1 for the
+    /// nibble kernels, which fill the word by themselves).
+    pub lanes: usize,
+    /// Distinct start states driven (per lane for the PLRU family).
+    pub states: u64,
+    /// Packed transitions checked against the scalar model.
+    pub transitions: u64,
+    /// Whether the start states covered the entire state space. True for
+    /// every PLRU sweep and for nibble kernels up to 8 ways; the 16-way
+    /// nibble spaces (`16!` stack orders, `4^16` RRPV maps) are driven by
+    /// a deterministic transition walk instead.
+    pub exhaustive: bool,
+}
+
+/// Which defect (if any) the sweep driver injects into each packed hit
+/// transition — the seeded-bug hook proving the sweep catches its class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SweepDefect {
+    None,
+    /// PLRU family: flip one bit in a sibling lane after the packed op;
+    /// nibble kernels: corrupt the rewritten nibble.
+    Seeded,
+}
+
+/// Checks the packed kernel interpreter used by [`replay_sliced`] against
+/// an independent scalar model: every lane offset, every start state
+/// (every *reachable* state is a subset; a deterministic walk substitutes
+/// where the space is astronomically large), and every
+/// `victim`/`on_hit`/`on_fill` transition out of each. PLRU-family checks
+/// additionally assert that sibling-lane poison and the pad bit survive
+/// every operation, so a cross-lane leak cannot hide.
+///
+/// # Errors
+///
+/// Returns the first counterexample as a human-readable description of
+/// the kernel, lane, start state, and offending transition.
+pub fn kernel_soundness_sweep(
+    kernel: &SliceKernel,
+    ways: usize,
+) -> Result<KernelSweepReport, String> {
+    sweep(kernel, ways, SweepDefect::None)
+}
+
+/// [`kernel_soundness_sweep`] with a deliberately corrupted packed hit
+/// transition (a cross-lane bit leak for the PLRU family, a wrong nibble
+/// rewrite for the stack/RRIP kernels). Exists so tests and the
+/// `cargo xtask model-check` gate can prove the sweep detects its defect
+/// class; always returns `Err`.
+#[doc(hidden)]
+pub fn kernel_soundness_sweep_poisoned(
+    kernel: &SliceKernel,
+    ways: usize,
+) -> Result<KernelSweepReport, String> {
+    sweep(kernel, ways, SweepDefect::Seeded)
+}
+
+fn sweep(
+    kernel: &SliceKernel,
+    ways: usize,
+    defect: SweepDefect,
+) -> Result<KernelSweepReport, String> {
+    let geom = CacheGeometry::from_sets(64, ways, 64)
+        .map_err(|e| format!("no {ways}-way probe geometry: {e}"))?;
+    if !kernel.supports(&geom) {
+        return Err(format!("kernel {kernel:?} does not support {ways} ways"));
+    }
+    match kernel {
+        SliceKernel::PlruIpv { ipv } => sweep_plru(ipv, ways, defect),
+        SliceKernel::StackIpv { ipv } => sweep_stack(ipv, ways, defect),
+        SliceKernel::RripIpv { vector } => sweep_rrip(*vector, ways, defect),
+    }
+}
+
+fn sweep_plru(ipv: &[u8], ways: usize, defect: SweepDefect) -> Result<KernelSweepReport, String> {
+    let lanes = 64 / ways;
+    let tree_states = 1u64 << (ways - 1);
+    let lane_mask = (1u64 << ways) - 1;
+    let mut transitions = 0u64;
+    for lane in 0..lanes {
+        let off = (lane * ways) as u32;
+        let mut sibling = 0u64;
+        for l in 0..lanes {
+            if l != lane {
+                sibling |= lane_poison(ways, l) << (l * ways);
+            }
+        }
+        // One word hosts all lanes (`sets == lanes`); ops target `lane`.
+        let mut st = PlruLanes::new(lanes, ways, ipv);
+        let check = |word: u64, expect: u64, op: &str, way: usize, bits: u64| {
+            let lane_field = (word >> off) & lane_mask;
+            if lane_field >> (ways - 1) != 0 {
+                return Err(format!(
+                    "PlruIpv {ways}-way lane {lane}: {op}(way {way}) from state {bits:#x} \
+                     wrote the pad bit"
+                ));
+            }
+            if word & !(lane_mask << off) != sibling {
+                return Err(format!(
+                    "PlruIpv {ways}-way lane {lane}: {op}(way {way}) from state {bits:#x} \
+                     leaked across the lane boundary (sibling poison clobbered, word \
+                     {word:#018x})"
+                ));
+            }
+            if lane_field != expect {
+                return Err(format!(
+                    "PlruIpv {ways}-way lane {lane}: {op}(way {way}) from state {bits:#x} \
+                     produced tree bits {lane_field:#x}, scalar model says {expect:#x}"
+                ));
+            }
+            Ok(())
+        };
+        for bits in 0..tree_states {
+            let start = sibling | (bits << off);
+            let naive = NaiveTree::new(ways, bits);
+
+            st.words[0] = start;
+            let got = st.victim(ways, lane);
+            transitions += 1;
+            if got != naive.victim() {
+                return Err(format!(
+                    "PlruIpv {ways}-way lane {lane}: victim from state {bits:#x} is way \
+                     {got}, scalar model says {}",
+                    naive.victim()
+                ));
+            }
+            if st.words[0] != start {
+                return Err(format!(
+                    "PlruIpv {ways}-way lane {lane}: victim from state {bits:#x} mutated \
+                     the packed word"
+                ));
+            }
+
+            for way in 0..ways {
+                st.words[0] = start;
+                st.on_hit(ways, lane, way);
+                if defect == SweepDefect::Seeded {
+                    st.words[0] ^= 1u64 << (((lane + 1) % lanes) * ways);
+                }
+                let mut n = naive.clone();
+                let pos = n.position(way);
+                n.set_position(way, usize::from(ipv[pos]));
+                transitions += 1;
+                check(st.words[0], n.bits(), "on_hit", way, bits)?;
+
+                st.words[0] = start;
+                st.on_fill(ways, lane, way);
+                let mut n = naive.clone();
+                n.set_position(way, usize::from(ipv[ways]));
+                transitions += 1;
+                check(st.words[0], n.bits(), "on_fill", way, bits)?;
+            }
+        }
+    }
+    Ok(KernelSweepReport {
+        lanes,
+        states: tree_states,
+        transitions,
+        exhaustive: true,
+    })
+}
+
+/// Heap's algorithm over `0..ways`, calling `f` on every permutation.
+fn for_each_permutation(
+    ways: usize,
+    f: &mut dyn FnMut(&[u8]) -> Result<(), String>,
+) -> Result<(), String> {
+    let mut a: Vec<u8> = (0..ways as u8).collect();
+    let mut c = vec![0usize; ways];
+    f(&a)?;
+    let mut i = 0;
+    while i < ways {
+        if c[i] < i {
+            if i % 2 == 0 {
+                a.swap(0, i);
+            } else {
+                a.swap(c[i], i);
+            }
+            f(&a)?;
+            c[i] += 1;
+            i = 0;
+        } else {
+            c[i] = 0;
+            i += 1;
+        }
+    }
+    Ok(())
+}
+
+fn sweep_stack(ipv: &[u8], ways: usize, defect: SweepDefect) -> Result<KernelSweepReport, String> {
+    let insert = usize::from(ipv[ways]);
+    let mut transitions = 0u64;
+    let mut states = 0u64;
+    let mut st = StackList::new(1, ways, ipv);
+    // Scalar state: `perm[p]` = way at stack position `p`, packed one
+    // nibble per position — directly comparable to the SWAR word.
+    let pack = |perm: &[u8]| {
+        perm.iter()
+            .enumerate()
+            .fold(0u64, |acc, (p, &w)| acc | (u64::from(w) << (4 * p)))
+    };
+
+    let mut drive = |perm: &[u8]| -> Result<(), String> {
+        states += 1;
+        let word = pack(perm);
+        st.list[0] = word;
+        let got = st.victim(ways, 0);
+        transitions += 1;
+        if got != usize::from(perm[ways - 1]) {
+            return Err(format!(
+                "StackIpv {ways}-way: victim from order {perm:?} is way {got}, scalar \
+                 model says {}",
+                perm[ways - 1]
+            ));
+        }
+        if st.list[0] != word {
+            return Err(format!(
+                "StackIpv {ways}-way: victim from order {perm:?} mutated the packed word"
+            ));
+        }
+        for way in 0..ways {
+            let cur = perm.iter().position(|&w| usize::from(w) == way).unwrap();
+            for (op, target) in [("on_hit", usize::from(ipv[cur])), ("on_fill", insert)] {
+                // Reference shift-by-one move: remove at the current
+                // position, reinsert at the target.
+                let mut model = perm.to_vec();
+                let v = model.remove(cur);
+                model.insert(target, v);
+
+                st.list[0] = word;
+                if op == "on_hit" {
+                    st.on_hit(ways, 0, way);
+                    if defect == SweepDefect::Seeded {
+                        st.list[0] =
+                            nib_write(st.list[0], 0, (nib_read(st.list[0], 0) + 1) % ways as u64);
+                    }
+                } else {
+                    st.on_fill(ways, 0, way);
+                }
+                transitions += 1;
+                if st.list[0] != pack(&model) {
+                    return Err(format!(
+                        "StackIpv {ways}-way: {op}(way {way}) from order {perm:?} produced \
+                         word {:#018x}, scalar model says {:#018x}",
+                        st.list[0],
+                        pack(&model)
+                    ));
+                }
+            }
+        }
+        Ok(())
+    };
+
+    let exhaustive = ways <= 8;
+    if exhaustive {
+        for_each_permutation(ways, &mut drive)?;
+    } else {
+        // 16! start orders are out of reach: walk the transition graph
+        // deterministically from the identity order, checking every
+        // transition out of each visited state.
+        let mut perm: Vec<u8> = (0..ways as u8).collect();
+        let mut seed = 0x243f_6a88_85a3_08d3u64;
+        for _ in 0..2048 {
+            drive(&perm)?;
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let way = ((seed >> 33) as usize) % ways;
+            let cur = perm.iter().position(|&w| usize::from(w) == way).unwrap();
+            let target = if seed & 1 == 0 {
+                usize::from(ipv[cur])
+            } else {
+                insert
+            };
+            let v = perm.remove(cur);
+            perm.insert(target, v);
+        }
+    }
+    Ok(KernelSweepReport {
+        lanes: 1,
+        states,
+        transitions,
+        exhaustive,
+    })
+}
+
+fn sweep_rrip(
+    vector: [u8; 5],
+    ways: usize,
+    defect: SweepDefect,
+) -> Result<KernelSweepReport, String> {
+    let mut transitions = 0u64;
+    let mut states = 0u64;
+    let mut st = RripNibbles::new(1, ways, vector);
+    let pack = |rrpv: &[u8]| {
+        rrpv.iter()
+            .enumerate()
+            .fold(0u64, |acc, (w, &r)| acc | (u64::from(r) << (4 * w)))
+    };
+    // Scalar victim with aging side effects, mirrored into `model`.
+    let scalar_victim = |model: &mut [u8]| loop {
+        if let Some(w) = (0..model.len()).find(|&w| model[w] == 3) {
+            return w;
+        }
+        for r in model.iter_mut() {
+            *r += 1;
+        }
+    };
+
+    let mut drive = |rrpv: &[u8]| -> Result<(), String> {
+        states += 1;
+        let word = pack(rrpv);
+        let mut model = rrpv.to_vec();
+        st.nib[0] = word;
+        let got = st.victim(ways, 0);
+        let want = scalar_victim(&mut model);
+        transitions += 1;
+        if got != want || st.nib[0] != pack(&model) {
+            return Err(format!(
+                "RripIpv {ways}-way: victim from rrpv {rrpv:?} gave (way {got}, word \
+                 {:#018x}), scalar model says (way {want}, word {:#018x})",
+                st.nib[0],
+                pack(&model)
+            ));
+        }
+        for way in 0..ways {
+            let mut model = rrpv.to_vec();
+            model[way] = vector[usize::from(model[way])];
+            st.nib[0] = word;
+            st.on_hit(ways, 0, way);
+            if defect == SweepDefect::Seeded {
+                st.nib[0] = nib_write(st.nib[0], way, (nib_read(st.nib[0], way) + 1) & 3);
+            }
+            transitions += 1;
+            if st.nib[0] != pack(&model) {
+                return Err(format!(
+                    "RripIpv {ways}-way: on_hit(way {way}) from rrpv {rrpv:?} produced \
+                     word {:#018x}, scalar model says {:#018x}",
+                    st.nib[0],
+                    pack(&model)
+                ));
+            }
+
+            let mut model = rrpv.to_vec();
+            model[way] = vector[4];
+            st.nib[0] = word;
+            st.on_fill(ways, 0, way);
+            transitions += 1;
+            if st.nib[0] != pack(&model) {
+                return Err(format!(
+                    "RripIpv {ways}-way: on_fill(way {way}) from rrpv {rrpv:?} produced \
+                     word {:#018x}, scalar model says {:#018x}",
+                    st.nib[0],
+                    pack(&model)
+                ));
+            }
+        }
+        Ok(())
+    };
+
+    let exhaustive = ways <= 8;
+    if exhaustive {
+        let total = 1u64 << (2 * ways);
+        let mut rrpv = vec![0u8; ways];
+        for code in 0..total {
+            for (w, r) in rrpv.iter_mut().enumerate() {
+                *r = ((code >> (2 * w)) & 3) as u8;
+            }
+            drive(&rrpv)?;
+        }
+    } else {
+        // 4^16 RRPV maps: deterministic walk from the all-max fill state.
+        let mut rrpv = vec![3u8; ways];
+        let mut seed = 0x1319_8a2e_0370_7344u64;
+        for _ in 0..2048 {
+            drive(&rrpv)?;
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let way = ((seed >> 33) as usize) % ways;
+            match seed % 3 {
+                0 => {
+                    scalar_victim(&mut rrpv);
+                }
+                1 => rrpv[way] = vector[usize::from(rrpv[way])],
+                _ => rrpv[way] = vector[4],
+            }
+        }
+    }
+    Ok(KernelSweepReport {
+        lanes: 1,
+        states,
+        transitions,
+        exhaustive,
+    })
+}
+
+// ---------------------------------------------------------------------------
 // The replay loop.
 // ---------------------------------------------------------------------------
 
@@ -729,66 +1198,7 @@ mod tests {
         }
     }
 
-    // -- Sliced tree vs an independent naive tree --------------------------
-
-    /// A deliberately naive PLRU tree (Vec<bool> nodes, heap-indexed from
-    /// 1) coded without bit packing, as an in-crate reference.
-    #[derive(Clone)]
-    struct NaiveTree {
-        node: Vec<bool>, // node[i] for i in 1..ways
-        ways: usize,
-    }
-
-    impl NaiveTree {
-        fn new(ways: usize, bits: u64) -> Self {
-            NaiveTree {
-                node: (0..=ways)
-                    .map(|i| i >= 1 && (bits >> (i - 1)) & 1 == 1)
-                    .collect(),
-                ways,
-            }
-        }
-
-        fn victim(&self) -> usize {
-            let mut n = 1;
-            while n < self.ways {
-                n = 2 * n + usize::from(self.node[n]);
-            }
-            n - self.ways
-        }
-
-        fn position(&self, way: usize) -> usize {
-            let mut n = self.ways + way;
-            let mut pos = 0;
-            let mut i = 0;
-            while n > 1 {
-                let toward = if n % 2 == 1 {
-                    self.node[n / 2]
-                } else {
-                    !self.node[n / 2]
-                };
-                pos |= usize::from(toward) << i;
-                n /= 2;
-                i += 1;
-            }
-            pos
-        }
-
-        fn set_position(&mut self, way: usize, position: usize) {
-            let mut n = self.ways + way;
-            let mut i = 0;
-            while n > 1 {
-                let bit = (position >> i) & 1 == 1;
-                self.node[n / 2] = if n % 2 == 1 { bit } else { !bit };
-                n /= 2;
-                i += 1;
-            }
-        }
-
-        fn bits(&self) -> u64 {
-            (1..self.ways).fold(0, |acc, i| acc | (u64::from(self.node[i]) << (i - 1)))
-        }
-    }
+    // -- Sliced tree vs the independent naive tree --------------------------
 
     #[test]
     fn sliced_tree_matches_naive_tree_at_every_lane() {
@@ -1052,6 +1462,65 @@ mod tests {
         assert_eq!(plru.lanes(8), 8);
         assert_eq!(SliceKernel::StackIpv { ipv: vec![0; 17] }.lanes(16), 1);
         assert_eq!(SliceKernel::RripIpv { vector: [0; 5] }.lanes(16), 1);
+    }
+
+    // -- Kernel soundness sweep --------------------------------------------
+
+    #[test]
+    fn kernel_sweep_passes_for_every_kernel_shape() {
+        for ways in [2usize, 4, 8] {
+            for kernel in kernels(ways) {
+                let r = kernel_soundness_sweep(&kernel, ways)
+                    .unwrap_or_else(|e| panic!("ways={ways} kernel={kernel:?}: {e}"));
+                assert!(r.exhaustive, "ways={ways} kernel={kernel:?}");
+                assert!(r.transitions > 0);
+            }
+        }
+        // 16-way nibble kernels fall back to the deterministic walk; the
+        // exhaustive 16-way PLRU sweep runs from xtask model-check in
+        // release, where its 4M transitions are cheap.
+        let r = kernel_soundness_sweep(&SliceKernel::StackIpv { ipv: vec![0; 17] }, 16).unwrap();
+        assert!(!r.exhaustive);
+        let r = kernel_soundness_sweep(
+            &SliceKernel::RripIpv {
+                vector: [0, 0, 0, 0, 2],
+            },
+            16,
+        )
+        .unwrap();
+        assert!(!r.exhaustive);
+    }
+
+    #[test]
+    fn kernel_sweep_rejects_unsupported_shapes() {
+        assert!(kernel_soundness_sweep(&SliceKernel::PlruIpv { ipv: vec![0; 5] }, 3).is_err());
+        assert!(kernel_soundness_sweep(&SliceKernel::PlruIpv { ipv: vec![0; 5] }, 8).is_err());
+    }
+
+    #[test]
+    fn kernel_sweep_catches_seeded_lane_leak() {
+        let err = kernel_soundness_sweep_poisoned(&SliceKernel::PlruIpv { ipv: vec![0; 5] }, 4)
+            .unwrap_err();
+        assert!(err.contains("lane boundary"), "{err}");
+    }
+
+    #[test]
+    fn kernel_sweep_catches_seeded_nibble_corruption() {
+        let err = kernel_soundness_sweep_poisoned(&SliceKernel::StackIpv { ipv: vec![0; 5] }, 4)
+            .unwrap_err();
+        assert!(err.contains("on_hit"), "{err}");
+        let err = kernel_soundness_sweep_poisoned(
+            &SliceKernel::RripIpv {
+                vector: [0, 0, 0, 0, 2],
+            },
+            4,
+        )
+        .unwrap_err();
+        assert!(err.contains("on_hit"), "{err}");
+        // At 16 ways the walk path must catch the same defect.
+        let err = kernel_soundness_sweep_poisoned(&SliceKernel::StackIpv { ipv: vec![0; 17] }, 16)
+            .unwrap_err();
+        assert!(err.contains("on_hit"), "{err}");
     }
 
     #[test]

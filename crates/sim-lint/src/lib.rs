@@ -29,14 +29,23 @@
 //! * [`mirror`] — [`MirrorTree`](mirror::MirrorTree), an independently
 //!   coded naive tree substrate used to self-test the checker and to
 //!   cross-check bit-packed implementations.
+//! * [`bounded`] — the roster-wide *bounded* model checker: breadth-first
+//!   search with state hashing over any [`PolicyState`](bounded::PolicyState)
+//!   — an opaque, resettable state machine with a finite input alphabet and
+//!   self-checked invariants. Used by `sim-verify` to sweep every roster
+//!   policy (EHC, ARC, AWRP, …) whose state space is too large or unbounded
+//!   for exhaustive enumeration, with explicit state/depth/wall-clock
+//!   budgets and minimal counterexample trails.
 //!
-//! The `xtask lint` / `xtask model-check` binaries drive both layers as a
+//! The `xtask lint` / `xtask model-check` binaries drive all layers as a
 //! CI gate.
 
+pub mod bounded;
 pub mod ipv;
 pub mod mck;
 pub mod mirror;
 
+pub use bounded::{BoundedChecker, BoundedReport, BoundedTrail, PolicyState, StopReason};
 pub use ipv::{analyze, IpvAnalysis, IpvClass, IpvLint, IpvLintError};
 pub use mck::{
     cross_check, CheckReport, Counterexample, Event, ModelChecker, PlruState, PromotionRule,

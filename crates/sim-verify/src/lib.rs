@@ -24,6 +24,10 @@
 //!   bypass, victim identity and dirtiness, set contents, and final stats.
 //! * [`workloads`] — deterministic synthetic access streams chosen to
 //!   exercise different replacement behaviours (locality, scans, chases).
+//! * [`mck`] — roster-wide bounded model checking: every policy adapted
+//!   onto [`sim_lint::BoundedChecker`]'s [`sim_lint::PolicyState`] via a
+//!   miniature cache model, plus the shard-affinity and Mattson
+//!   fast-path contract audits. `cargo xtask model-check` sweeps these.
 //!
 //! The `sim-verify` binary runs the whole roster:
 //!
@@ -32,10 +36,15 @@
 //! ```
 
 pub mod diff;
+pub mod mck;
 pub mod refcache;
 pub mod refmodels;
 pub mod workloads;
 
 pub use diff::{diff_replay, roster, Divergence, PolicyPair};
+pub use mck::{
+    mattson_qualification_audit, mck_roster, AffinityModel, MckEntry, PolicyModel, SharedFactory,
+    StepOutcome,
+};
 pub use refcache::{RefCache, RefOutcome};
 pub use refmodels::{RefPlru, RefRecencyStack};

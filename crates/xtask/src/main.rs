@@ -9,17 +9,35 @@
 //!   `sim_core::persist` path instead of raw `fs::write`/`File::create`,
 //!   and (unless `--skip-clippy`) shells out to
 //!   `cargo clippy --workspace --all-targets -- -D warnings`.
-//! * `model-check` — exhaustively model-checks the production
-//!   `gippr::PlruTree` and the bit-sliced `sim_core::SlicedTreeLane`
-//!   (4+ trees packed per `u64`, checked at a non-zero lane offset with
-//!   live poison in sibling lanes) under plain PLRU, classic vectors, and
-//!   every published paper vector, at associativities 2–16, and
-//!   cross-checks both packed trees against the naive mirror over the
-//!   complete state space. Nonzero exit on any counterexample.
+//! * `model-check` — the roster-wide verification gate, five passes:
+//!   1. the exhaustive PLRU battery: the production `gippr::PlruTree` and
+//!      the bit-sliced `sim_core::SlicedTreeLane` (checked at a non-zero
+//!      lane offset with live poison in sibling lanes) under plain PLRU,
+//!      classic vectors, and every published paper vector, at
+//!      associativities 2–16, cross-checked against the naive mirror
+//!      over the complete state space;
+//!   2. the bounded roster sweep: every baseline-roster policy adapted
+//!      onto `sim_lint::BoundedChecker` via `sim_verify::PolicyModel`,
+//!      proving victim totality, never-evict-invalid, policy-declared
+//!      metadata invariants, and (where state is bounded) promotion-orbit
+//!      convergence over tiny-cache state graphs;
+//!   3. the shard-affinity pass: every `SetLocal` policy explored on
+//!      interleaved multi-set streams against isolated per-set twins;
+//!   4. the slice-kernel equivalence sweep: every kernel the roster
+//!      advertises (plus the published paper vectors) checked lane-by-lane
+//!      against the scalar interpreters;
+//!   5. the Mattson qualification audit plus seeded-defect self-tests
+//!      (poisoned ARC `p` update, fake-`SetLocal` fixture, poisoned lane
+//!      transitions) proving each checker catches its defect class.
+//!
+//!   `--policy NAME` restricts the roster passes to one policy;
+//!   `--budget-secs N` caps the bounded sweeps' wall clock (CI uses this
+//!   to stay under a minute). Nonzero exit on any counterexample.
 
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
+use std::time::{Duration, Instant};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -170,16 +188,20 @@ fn lint_unsafe_hygiene(root: &Path) -> usize {
         }
     }
 
-    // The bit-sliced kernel modules must carry their own inner `forbid`:
-    // they sit inside sim-core's (merely `deny`) root, and the packed-word
-    // bit tricks are exactly the kind of code that must never quietly gain
-    // an `allow` escape hatch.
+    // High-risk modules must carry their own inner `forbid`: the
+    // bit-sliced kernels sit inside sim-core's (merely `deny`) root, and
+    // the related-work baselines with intricate invariant-carrying state
+    // (ARC's lists, AWRP's clocks, EHC's tables) are pinned the same way
+    // so none can quietly gain an `allow` escape hatch.
     for module in [
         "crates/sim-core/src/slice.rs",
         "crates/sim-core/src/simd.rs",
+        "crates/baselines/src/arc.rs",
+        "crates/baselines/src/awrp.rs",
+        "crates/baselines/src/ehc.rs",
     ] {
         let path = root.join(module);
-        let source = std::fs::read_to_string(&path).expect("sliced kernel module is readable");
+        let source = std::fs::read_to_string(&path).expect("audited module is readable");
         let attr = format!("#![forbid({}_code)]", unsafe_token());
         if !source.contains(&attr) {
             fail(format!("{} lacks `{attr}`", path.display()));
@@ -278,8 +300,32 @@ fn lint_policy_twins() -> usize {
             failures += 1;
         }
     }
+
+    // The bounded model checker must cover exactly the harness roster:
+    // adding a policy to the shoot-out without a model-check entry (or
+    // vice versa) is a coverage gap this pins shut.
+    let baseline: Vec<String> = harness::policies::baseline_roster(0)
+        .iter()
+        .map(|(name, _)| name.to_string())
+        .collect();
+    let mck: Vec<String> = sim_verify::mck_roster(0)
+        .iter()
+        .map(|e| e.name.to_string())
+        .collect();
+    if baseline != mck {
+        eprintln!(
+            "lint(twins): sim_verify::mck_roster {mck:?} is out of sync with \
+             harness baseline_roster {baseline:?}"
+        );
+        failures += 1;
+    }
+
     if failures == 0 {
-        println!("lint: policy twin coverage ok ({} pairs)", twins.len());
+        println!(
+            "lint: policy twin coverage ok ({} pairs, {} model-check entries)",
+            twins.len(),
+            mck.len()
+        );
     }
     failures
 }
@@ -407,14 +453,80 @@ fn lint_clippy(root: &Path) -> usize {
 // model-check
 // ---------------------------------------------------------------------------
 
-fn model_check(args: &[String]) -> usize {
-    let max_ways: usize = args
-        .iter()
-        .position(|a| a == "--max-ways")
+/// Value of a `--flag VALUE` pair, if present.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+/// Whether a `--policy` filter selects roster entry `name`. Accepts the
+/// roster spelling case-insensitively plus the `plru` short name.
+fn filter_matches(filter: &str, name: &str) -> bool {
+    filter.eq_ignore_ascii_case(name)
+        || (name == "PseudoLRU" && filter.eq_ignore_ascii_case("plru"))
+}
+
+fn model_check(args: &[String]) -> usize {
+    let max_ways: usize = flag_value(args, "--max-ways")
         .map(|v| v.parse().expect("--max-ways takes an integer"))
         .unwrap_or(16);
+    let policy_filter: Option<String> = flag_value(args, "--policy").map(str::to_string);
+    let budget: Option<Duration> = flag_value(args, "--budget-secs")
+        .map(|v| Duration::from_secs_f64(v.parse().expect("--budget-secs takes seconds")));
 
+    let roster = sim_verify::mck_roster(0x51CE);
+    if let Some(f) = &policy_filter {
+        let paper = ["GIPPR", "GIPLR", "RRIP-IPV"];
+        if !roster.iter().any(|e| filter_matches(f, e.name))
+            && !paper.iter().any(|p| filter_matches(f, p))
+        {
+            let known: Vec<&str> = roster.iter().map(|e| e.name).chain(paper).collect();
+            eprintln!("model-check: --policy {f:?} matches none of {known:?}");
+            return 1;
+        }
+    }
+    let matches = |name: &str| {
+        policy_filter
+            .as_deref()
+            .map_or(true, |f| filter_matches(f, name))
+    };
+
+    let started = Instant::now();
+    // Budget split: the two BoundedChecker sweeps dominate the wall clock;
+    // hand each run an equal slice of 80% of the budget, reserving the
+    // rest for the fixed-cost exhaustive passes.
+    let bounded_runs = roster.iter().filter(|e| matches(e.name)).count() * 4;
+    let per_run = budget.map(|b| b.mul_f64(0.8) / bounded_runs.max(1) as u32);
+
+    let mut failures = 0;
+    if matches("PseudoLRU") {
+        failures += plru_tree_battery(max_ways);
+    }
+    failures += roster_bounded_pass(&roster, &matches, per_run);
+    failures += affinity_pass(&roster, &matches, per_run);
+    failures += kernel_sweep_pass(&roster, &matches, max_ways);
+    if matches("LRU") {
+        failures += mattson_pass();
+    }
+    if policy_filter.is_none() {
+        failures += checker_selftests();
+    }
+    println!(
+        "model-check: {:.1}s elapsed{}",
+        started.elapsed().as_secs_f64(),
+        budget.map_or(String::new(), |b| format!(
+            " (budget {:.0}s)",
+            b.as_secs_f64()
+        ))
+    );
+    failures
+}
+
+/// Pass 1: the exhaustive PLRU-tree battery (scalar and bit-sliced
+/// interpreters, full state space, every rule, cross-checks).
+fn plru_tree_battery(max_ways: usize) -> usize {
     let mut failures = 0;
     println!(
         "{:>4}  {:<28} {:>12} {:>12} {:>12}  verdict",
@@ -488,6 +600,371 @@ fn model_check(args: &[String]) -> usize {
             }
         }
     }
+    failures
+}
+
+/// The tiny geometries the bounded roster sweep explores. Small enough
+/// for BFS to close or nearly close the reachable set, large enough to
+/// exercise multi-set interaction (dueling leader maps, ARC's global
+/// target, SHiP's shared tables).
+fn bounded_geometries() -> [(sim_core::CacheGeometry, usize); 2] {
+    [
+        (
+            sim_core::CacheGeometry::from_sets(4, 2, 64).expect("valid tiny geometry"),
+            2,
+        ),
+        (
+            sim_core::CacheGeometry::from_sets(4, 4, 64).expect("valid tiny geometry"),
+            2,
+        ),
+    ]
+}
+
+/// Pass 2: bounded BFS over every roster policy's tiny-cache state graph.
+/// Victim totality, never-evict-invalid, and `audit_invariants` are
+/// checked on every transition; promotion-orbit convergence runs for the
+/// policies whose canonical state is bounded.
+fn roster_bounded_pass(
+    roster: &[sim_verify::MckEntry],
+    matches: &dyn Fn(&str) -> bool,
+    per_run: Option<Duration>,
+) -> usize {
+    use sim_lint::PolicyState;
+
+    println!("\nbounded roster sweep (BFS with state hashing, invariants on every transition):");
+    println!(
+        "{:<10} {:>5} {:>7} {:>9} {:>12} {:>7} {:>13}  verdict",
+        "policy", "ways", "inputs", "states", "transitions", "orbits", "stop"
+    );
+    let mut failures = 0;
+    for entry in roster {
+        if !matches(entry.name) {
+            continue;
+        }
+        for (geom, bps) in bounded_geometries() {
+            let mut model =
+                sim_verify::PolicyModel::new(entry.name, geom, bps, entry.build.clone());
+            let mut checker = sim_lint::BoundedChecker::new()
+                .with_max_states(4096)
+                .with_max_depth(24);
+            if !entry.orbit_converges {
+                // PDP's periodic access counter and AWRP's idle-way ages
+                // are genuinely unbounded: constant-input orbits mint
+                // fresh states forever, so only the budgeted BFS applies.
+                checker = checker.with_orbits(0, 0);
+            }
+            if let Some(b) = per_run {
+                checker = checker.with_budget(b);
+            }
+            match checker.run(&mut model) {
+                Ok(r) => println!(
+                    "{:<10} {:>5} {:>7} {:>9} {:>12} {:>7} {:>13}  ok",
+                    entry.name,
+                    geom.ways(),
+                    model.num_inputs(),
+                    r.states,
+                    r.transitions,
+                    r.orbits_checked,
+                    r.stop.to_string(),
+                ),
+                Err(trail) => {
+                    println!("{:<10} {:>5}  COUNTEREXAMPLE", entry.name, geom.ways());
+                    eprintln!("{trail}");
+                    failures += 1;
+                }
+            }
+        }
+    }
+    failures
+}
+
+/// Pass 3: the shard-affinity checker. Every policy claiming `SetLocal`
+/// is explored on interleaved multi-set streams while isolated per-set
+/// twins replay each set's subsequence; outcomes and per-set audit
+/// digests must match at every reachable state.
+fn affinity_pass(
+    roster: &[sim_verify::MckEntry],
+    matches: &dyn Fn(&str) -> bool,
+    per_run: Option<Duration>,
+) -> usize {
+    println!("\nshard-affinity pass (interleaved vs isolated per-set replicas):");
+    println!(
+        "{:<10} {:>5} {:>9} {:>12} {:>13}  verdict",
+        "policy", "ways", "states", "transitions", "stop"
+    );
+    let mut failures = 0;
+    let mut checked = 0;
+    for entry in roster {
+        if !matches(entry.name) {
+            continue;
+        }
+        for (geom, bps) in bounded_geometries() {
+            let geom = sim_core::CacheGeometry::from_sets(2, geom.ways(), 64)
+                .expect("valid tiny geometry");
+            let mut model =
+                match sim_verify::AffinityModel::new(entry.name, geom, bps, entry.build.clone()) {
+                    Ok(m) => m,
+                    // Global policies are legitimately interleaving-
+                    // sensitive; the contract only binds SetLocal claims.
+                    Err(_) => continue,
+                };
+            let mut checker = sim_lint::BoundedChecker::new()
+                .with_max_states(2048)
+                .with_max_depth(16);
+            if !entry.orbit_converges {
+                checker = checker.with_orbits(0, 0);
+            }
+            if let Some(b) = per_run {
+                checker = checker.with_budget(b);
+            }
+            match checker.run(&mut model) {
+                Ok(r) => {
+                    checked += 1;
+                    println!(
+                        "{:<10} {:>5} {:>9} {:>12} {:>13}  ok",
+                        entry.name,
+                        geom.ways(),
+                        r.states,
+                        r.transitions,
+                        r.stop.to_string(),
+                    );
+                }
+                Err(trail) => {
+                    println!("{:<10} {:>5}  COUNTEREXAMPLE", entry.name, geom.ways());
+                    eprintln!("{trail}");
+                    failures += 1;
+                }
+            }
+        }
+    }
+    println!("affinity pass: {checked} SetLocal policy/geometry combinations verified");
+    failures
+}
+
+/// Pass 4: the slice-kernel equivalence sweep. Every kernel the roster
+/// advertises — plus the published paper vectors and the RRIP-IPV
+/// variants — is checked against the scalar interpreters at every lane
+/// offset with poisoned sibling lanes.
+fn kernel_sweep_pass(
+    roster: &[sim_verify::MckEntry],
+    matches: &dyn Fn(&str) -> bool,
+    max_ways: usize,
+) -> usize {
+    use sim_core::ReplacementPolicy;
+
+    println!("\nslice-kernel equivalence sweep (packed lanes vs scalar policy):");
+    println!(
+        "{:<22} {:>5} {:>6} {:>10} {:>12}  verdict",
+        "kernel", "ways", "lanes", "states", "transitions"
+    );
+    let mut failures = 0;
+    for ways in [2usize, 4, 8, 16] {
+        if ways > max_ways {
+            continue;
+        }
+        let geom = sim_core::CacheGeometry::from_sets(64, ways, 64).expect("valid probe geometry");
+        let mut kernels: Vec<(String, sim_core::SliceKernel)> = Vec::new();
+        for entry in roster {
+            if !matches(entry.name) {
+                continue;
+            }
+            if let Some(k) = (entry.build)(&geom).slice_kernel() {
+                kernels.push((entry.name.to_string(), k));
+            }
+        }
+        if matches("RRIP-IPV") {
+            for (label, vector) in [
+                ("RRIP-IPV[srrip]", baselines::RripIpvPolicy::srrip_vector()),
+                ("RRIP-IPV[cautious]", [0, 0, 1, 2, 3]),
+            ] {
+                let policy =
+                    baselines::RripIpvPolicy::new(&geom, vector).expect("valid RRIP-IPV vector");
+                if let Some(k) = policy.slice_kernel() {
+                    kernels.push((label.to_string(), k));
+                }
+            }
+        }
+        if ways == 16 {
+            let paper: [(&str, Box<dyn sim_core::ReplacementPolicy>); 3] = [
+                (
+                    "GIPPR[wi]",
+                    Box::new(
+                        gippr::GipprPolicy::new(&geom, gippr::vectors::wi_gippr())
+                            .expect("16-way paper vector"),
+                    ),
+                ),
+                (
+                    "GIPLR[best]",
+                    Box::new(
+                        gippr::GiplrPolicy::new(&geom, gippr::vectors::giplr_best())
+                            .expect("16-way paper vector"),
+                    ),
+                ),
+                (
+                    "GIPPR[perlbench]",
+                    Box::new(
+                        gippr::GipprPolicy::new(&geom, gippr::vectors::perlbench_wn1())
+                            .expect("16-way paper vector"),
+                    ),
+                ),
+            ];
+            for (label, policy) in paper {
+                let short = label.split('[').next().unwrap_or(label);
+                if !matches(short) {
+                    continue;
+                }
+                if let Some(k) = policy.slice_kernel() {
+                    kernels.push((label.to_string(), k));
+                }
+            }
+        }
+        // One sweep per distinct kernel shape; several roster entries
+        // advertise the same kernel (e.g. LRU and the all-zero stack IPV).
+        let mut seen = BTreeSet::new();
+        for (label, kernel) in kernels {
+            if !seen.insert(format!("{kernel:?}")) {
+                continue;
+            }
+            match sim_core::kernel_soundness_sweep(&kernel, ways) {
+                Ok(r) => println!(
+                    "{:<22} {:>5} {:>6} {:>10} {:>12}  ok{}",
+                    label,
+                    ways,
+                    r.lanes,
+                    r.states,
+                    r.transitions,
+                    if r.exhaustive { "" } else { " (sampled walk)" }
+                ),
+                Err(e) => {
+                    println!("{label:<22} {ways:>5}  COUNTEREXAMPLE");
+                    eprintln!("kernel sweep ({label}, {ways} ways): {e}");
+                    failures += 1;
+                }
+            }
+        }
+    }
+    failures
+}
+
+/// Pass 5a: the Mattson fast-path qualification audit. The single-pass
+/// profiler trusts `policy_qualifies` to admit only LRU-equivalent
+/// policies; verify the qualifying roster set is exactly {LRU} and that
+/// LRU matches an independent reference over all short streams.
+fn mattson_pass() -> usize {
+    let geom = sim_core::CacheGeometry::from_sets(2, 2, 64).expect("valid tiny geometry");
+    match sim_verify::mattson_qualification_audit(geom, 2, 6) {
+        Ok(names) if names == ["LRU"] => {
+            println!(
+                "\nmattson qualification audit: {{LRU}} qualifies; verified \
+                 hit/evict-equivalent to the reference over all depth-6 streams"
+            );
+            0
+        }
+        Ok(names) => {
+            eprintln!(
+                "mattson qualification audit: qualifying set {names:?} != [\"LRU\"] — \
+                 if a new LRU-equivalent policy was added, update the pin here and in \
+                 sim-verify::mck deliberately"
+            );
+            1
+        }
+        Err(e) => {
+            eprintln!("mattson qualification audit: {e}");
+            1
+        }
+    }
+}
+
+/// Pass 5b: seeded-defect self-tests — each checker must catch the
+/// defect class it exists for. A checker that reports `ok` on poisoned
+/// input is worse than no checker.
+fn checker_selftests() -> usize {
+    use std::sync::Arc;
+
+    println!("\nchecker self-tests (seeded defects must be caught):");
+    let mut failures = 0;
+    let mut expect = |label: &str, caught: bool, detail: String| {
+        if caught {
+            println!("  {label:<46} caught");
+        } else {
+            eprintln!("model-check(self-test): {label} NOT caught: {detail}");
+            failures += 1;
+        }
+    };
+
+    // Poisoned lane transitions: the kernel sweep must flag a cross-lane
+    // XOR in the PLRU interpreter and nibble corruption in the stack and
+    // RRIP interpreters.
+    let plru = sim_core::SliceKernel::PlruIpv { ipv: vec![0; 5] };
+    let r = sim_core::slice::kernel_soundness_sweep_poisoned(&plru, 4);
+    expect(
+        "kernel sweep: cross-lane PLRU leak",
+        r.as_ref().is_err_and(|e| e.contains("lane boundary")),
+        format!("{r:?}"),
+    );
+    let stack = sim_core::SliceKernel::StackIpv { ipv: vec![0; 5] };
+    let r = sim_core::slice::kernel_soundness_sweep_poisoned(&stack, 4);
+    expect(
+        "kernel sweep: stack nibble corruption",
+        r.as_ref().is_err_and(|e| e.contains("on_hit")),
+        format!("{r:?}"),
+    );
+    let rrip = sim_core::SliceKernel::RripIpv {
+        vector: baselines::RripIpvPolicy::srrip_vector(),
+    };
+    let r = sim_core::slice::kernel_soundness_sweep_poisoned(&rrip, 4);
+    expect(
+        "kernel sweep: RRIP nibble corruption",
+        r.as_ref().is_err_and(|e| e.contains("on_hit")),
+        format!("{r:?}"),
+    );
+
+    // Poisoned ARC `p` update: the bounded checker must reach the
+    // unclamped growth past ways * P_SCALE and report a minimal trail.
+    let build: sim_verify::SharedFactory = Arc::new(|g: &sim_core::CacheGeometry| {
+        let mut p = baselines::ArcPolicy::new(g);
+        p.poison_p_clamp();
+        Box::new(p) as Box<dyn sim_core::ReplacementPolicy>
+    });
+    let geom = sim_core::CacheGeometry::from_sets(1, 2, 64).expect("valid tiny geometry");
+    let mut model = sim_verify::PolicyModel::new("ARC[poisoned-p]", geom, 4, build);
+    let r = sim_lint::BoundedChecker::new()
+        .with_max_states(8192)
+        .with_max_depth(10)
+        .with_orbits(0, 0)
+        .run(&mut model);
+    expect(
+        "bounded sweep: poisoned ARC p clamp",
+        r.as_ref().is_err_and(|t| t.invariant.contains("exceeds")),
+        match &r {
+            Ok(rep) => format!("completed: {rep:?}"),
+            Err(t) => t.invariant.clone(),
+        },
+    );
+
+    // Fake SetLocal claim: the affinity pass must see the global cursor
+    // leak across sets.
+    let build: sim_verify::SharedFactory = Arc::new(|g: &sim_core::CacheGeometry| {
+        Box::new(sim_verify::mck::SneakyGlobal::new(g)) as Box<dyn sim_core::ReplacementPolicy>
+    });
+    let geom = sim_core::CacheGeometry::from_sets(2, 2, 64).expect("valid tiny geometry");
+    let r = sim_verify::AffinityModel::new("SneakyGlobal", geom, 2, build)
+        .map_err(|e| e.to_string())
+        .and_then(|mut m| {
+            sim_lint::BoundedChecker::new()
+                .with_max_states(512)
+                .with_max_depth(8)
+                .run(&mut m)
+                .map_err(|t| t.invariant.clone())
+                .map(|_| ())
+        });
+    expect(
+        "affinity pass: fake SetLocal global cursor",
+        r.as_ref()
+            .is_err_and(|e| e.contains("shard-affinity violation")),
+        format!("{r:?}"),
+    );
+
     failures
 }
 
