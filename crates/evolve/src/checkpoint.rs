@@ -18,7 +18,9 @@
 //! magic            8 B   "PLRUGAC1"
 //! version          u32   1
 //! fingerprint      u64   FNV-1a over the GaConfig + stage label
-//! status           u8    0 = in-progress state, 1 = final result
+//! status           u8    0 = in-progress state, 1 = final result,
+//!                        2 = island state, 3 = migration mailbox,
+//!                        4 = island final
 //! -- status 0 --
 //! generation       u32
 //! rng state        4 × u64
@@ -29,7 +31,17 @@
 //! best             u32 len + genome bytes
 //! best fitness     f64
 //! history          u32 count + count × f64
-//! -- both --
+//! -- status 2 --
+//! status-0 body, then:
+//! best flag        u8    0 = no full-fidelity best yet, 1 = present
+//! best             u32 len + genome bytes      (flag 1 only)
+//! best fitness     f64                         (flag 1 only)
+//! ladder stats     5 × u64
+//! -- status 3 --
+//! migrants         u32 count + count × (u32 len + genome bytes + f64)
+//! -- status 4 --
+//! status-1 body, then ladder stats (5 × u64)
+//! -- all --
 //! crc32            u32   over everything after the magic
 //! ```
 //!
@@ -40,6 +52,7 @@
 //! recomputation, never correctness.
 
 use crate::ga::{GaConfig, GaResult, Genome};
+use crate::ladder::LadderStats;
 use rand::rngs::StdRng;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -215,6 +228,19 @@ pub(crate) fn save_state<G: Genome>(
     w.u32(VERSION);
     w.u64(fp);
     w.buf.push(0); // status: in-progress
+    write_state_body(&mut w, generation, rng, history, population, memo);
+    sim_core::persist::atomic_write(path, &w.finish())
+}
+
+/// The status-0 body shared by plain GA states and island states.
+fn write_state_body<G: Genome>(
+    w: &mut Writer,
+    generation: usize,
+    rng: &StdRng,
+    history: &[f64],
+    population: &[G],
+    memo: &HashMap<Vec<u8>, f64>,
+) {
     w.u32(generation as u32);
     for word in rng.state() {
         w.u64(word);
@@ -235,7 +261,6 @@ pub(crate) fn save_state<G: Genome>(
         w.bytes(key);
         w.f64(value);
     }
-    sim_core::persist::atomic_write(path, &w.finish())
 }
 
 /// Serializes and atomically persists a finished stage's result, so a
@@ -278,7 +303,9 @@ pub(crate) fn load<G: Genome>(path: &Path, fp: u64, assoc: usize) -> Loaded<G> {
     }
 }
 
-fn parse<G: Genome>(buf: &[u8], fp: u64, assoc: usize) -> Option<Loaded<G>> {
+/// Validates the container (magic, CRC, version, fingerprint) and returns
+/// the status byte plus a reader positioned at the status-specific body.
+fn open<'a>(buf: &'a [u8], fp: u64) -> Option<(u8, Reader<'a>)> {
     if buf.len() < MAGIC.len() + 4 || &buf[..MAGIC.len()] != MAGIC {
         return None;
     }
@@ -293,37 +320,213 @@ fn parse<G: Genome>(buf: &[u8], fp: u64, assoc: usize) -> Option<Loaded<G>> {
     if r.u32()? != VERSION || r.u64()? != fp {
         return None;
     }
-    match r.u8()? {
-        0 => {
-            let generation = r.u32()? as usize;
-            let rng = StdRng::from_state([r.u64()?, r.u64()?, r.u64()?, r.u64()?]);
-            let history = (0..r.u32()?).map(|_| r.f64()).collect::<Option<Vec<_>>>()?;
-            let population = (0..r.u32()?)
-                .map(|_| G::decode(r.bytes()?, assoc))
-                .collect::<Option<Vec<_>>>()?;
-            let memo = (0..r.u32()?)
-                .map(|_| Some((r.bytes()?.to_vec(), r.f64()?)))
-                .collect::<Option<HashMap<_, _>>>()?;
-            Some(Loaded::State(ResumeState {
-                generation,
-                rng,
-                history,
-                population,
-                memo,
-            }))
-        }
-        1 => {
-            let best = G::decode(r.bytes()?, assoc)?;
-            let best_fitness = r.f64()?;
-            let history = (0..r.u32()?).map(|_| r.f64()).collect::<Option<Vec<_>>>()?;
-            Some(Loaded::Final(GaResult {
-                best,
-                best_fitness,
-                history,
-            }))
-        }
+    let status = r.u8()?;
+    Some((status, r))
+}
+
+fn parse<G: Genome>(buf: &[u8], fp: u64, assoc: usize) -> Option<Loaded<G>> {
+    let (status, mut r) = open(buf, fp)?;
+    match status {
+        0 => Some(Loaded::State(read_state_body(&mut r, assoc)?)),
+        1 => Some(Loaded::Final(read_final_body(&mut r, assoc)?)),
         _ => None,
     }
+}
+
+fn read_state_body<G: Genome>(r: &mut Reader<'_>, assoc: usize) -> Option<ResumeState<G>> {
+    let generation = r.u32()? as usize;
+    let rng = StdRng::from_state([r.u64()?, r.u64()?, r.u64()?, r.u64()?]);
+    let history = (0..r.u32()?).map(|_| r.f64()).collect::<Option<Vec<_>>>()?;
+    let population = (0..r.u32()?)
+        .map(|_| G::decode(r.bytes()?, assoc))
+        .collect::<Option<Vec<_>>>()?;
+    let memo = (0..r.u32()?)
+        .map(|_| Some((r.bytes()?.to_vec(), r.f64()?)))
+        .collect::<Option<HashMap<_, _>>>()?;
+    Some(ResumeState {
+        generation,
+        rng,
+        history,
+        population,
+        memo,
+    })
+}
+
+fn read_final_body<G: Genome>(r: &mut Reader<'_>, assoc: usize) -> Option<GaResult<G>> {
+    let best = G::decode(r.bytes()?, assoc)?;
+    let best_fitness = r.f64()?;
+    let history = (0..r.u32()?).map(|_| r.f64()).collect::<Option<Vec<_>>>()?;
+    Some(GaResult {
+        best,
+        best_fitness,
+        history,
+    })
+}
+
+fn write_stats(w: &mut Writer, stats: &LadderStats) {
+    w.u64(stats.profile_evals);
+    w.u64(stats.sampled_evals);
+    w.u64(stats.full_evals);
+    w.u64(stats.pruned);
+    w.u64(stats.full_saved);
+}
+
+fn read_stats(r: &mut Reader<'_>) -> Option<LadderStats> {
+    Some(LadderStats {
+        profile_evals: r.u64()?,
+        sampled_evals: r.u64()?,
+        full_evals: r.u64()?,
+        pruned: r.u64()?,
+        full_saved: r.u64()?,
+    })
+}
+
+/// An island worker's loop state: the plain GA state plus the running
+/// full-fidelity best and the ladder's evaluation accounting.
+pub(crate) struct IslandState<G> {
+    pub ga: ResumeState<G>,
+    /// Best full-fidelity genome seen so far (None before the first
+    /// generation completes).
+    pub best: Option<(G, f64)>,
+    pub stats: LadderStats,
+}
+
+/// What an island checkpoint file held.
+pub(crate) enum IslandLoaded<G> {
+    /// No usable checkpoint (absent, corrupt, or different config).
+    None,
+    /// An in-progress island to resume.
+    State(IslandState<G>),
+    /// The island already finished.
+    Final(GaResult<G>, LadderStats),
+}
+
+/// Serializes and atomically persists an island snapshot (status 2),
+/// taken at the top of a generation like [`save_state`].
+pub(crate) fn save_island_state<G: Genome>(
+    path: &Path,
+    fp: u64,
+    state: &IslandState<G>,
+) -> std::io::Result<()> {
+    let mut w = Writer::new();
+    w.u32(VERSION);
+    w.u64(fp);
+    w.buf.push(2); // status: island state
+    write_state_body(
+        &mut w,
+        state.ga.generation,
+        &state.ga.rng,
+        &state.ga.history,
+        &state.ga.population,
+        &state.ga.memo,
+    );
+    match &state.best {
+        Some((g, f)) => {
+            w.buf.push(1);
+            w.bytes(&g.encode());
+            w.f64(*f);
+        }
+        None => w.buf.push(0),
+    }
+    write_stats(&mut w, &state.stats);
+    sim_core::persist::atomic_write(path, &w.finish())
+}
+
+/// Serializes and atomically persists a finished island's result
+/// (status 4): the GA result plus its ladder accounting.
+pub(crate) fn save_island_final<G: Genome>(
+    path: &Path,
+    fp: u64,
+    result: &GaResult<G>,
+    stats: &LadderStats,
+) -> std::io::Result<()> {
+    let mut w = Writer::new();
+    w.u32(VERSION);
+    w.u64(fp);
+    w.buf.push(4); // status: island final
+    w.bytes(&result.best.encode());
+    w.f64(result.best_fitness);
+    w.u32(result.history.len() as u32);
+    for &h in &result.history {
+        w.f64(h);
+    }
+    write_stats(&mut w, stats);
+    sim_core::persist::atomic_write(path, &w.finish())
+}
+
+/// Loads whatever island checkpoint `path` holds. Every failure — and any
+/// non-island status — degrades to [`IslandLoaded::None`] with a warning,
+/// exactly like [`load`].
+pub(crate) fn load_island<G: Genome>(path: &Path, fp: u64, assoc: usize) -> IslandLoaded<G> {
+    let buf = match std::fs::read(path) {
+        Ok(buf) => buf,
+        Err(_) => return IslandLoaded::None,
+    };
+    let parsed = (|| {
+        let (status, mut r) = open(&buf, fp)?;
+        match status {
+            2 => {
+                let ga = read_state_body(&mut r, assoc)?;
+                let best = match r.u8()? {
+                    0 => None,
+                    1 => Some((G::decode(r.bytes()?, assoc)?, r.f64()?)),
+                    _ => return None,
+                };
+                let stats = read_stats(&mut r)?;
+                Some(IslandLoaded::State(IslandState { ga, best, stats }))
+            }
+            4 => {
+                let result = read_final_body(&mut r, assoc)?;
+                let stats = read_stats(&mut r)?;
+                Some(IslandLoaded::Final(result, stats))
+            }
+            _ => None,
+        }
+    })();
+    match parsed {
+        Some(loaded) => loaded,
+        None => {
+            eprintln!(
+                "evolve: ignoring unusable island checkpoint {} (corrupt or \
+                 from a different configuration); restarting the island",
+                path.display()
+            );
+            IslandLoaded::None
+        }
+    }
+}
+
+/// Atomically persists a migration mailbox (status 3): the sender's elite
+/// genomes with their full-fidelity scores, in rank order.
+pub(crate) fn save_mailbox(
+    path: &Path,
+    fp: u64,
+    migrants: &[(Vec<u8>, f64)],
+) -> std::io::Result<()> {
+    let mut w = Writer::new();
+    w.u32(VERSION);
+    w.u64(fp);
+    w.buf.push(3); // status: mailbox
+    w.u32(migrants.len() as u32);
+    for (enc, fitness) in migrants {
+        w.bytes(enc);
+        w.f64(*fitness);
+    }
+    sim_core::persist::atomic_write(path, &w.finish())
+}
+
+/// Loads a migration mailbox. `None` for a missing, corrupt, torn, or
+/// wrong-fingerprint file — the reader polls until a valid mailbox
+/// appears, so an interrupted sender is indistinguishable from a slow one.
+pub(crate) fn load_mailbox(path: &Path, fp: u64) -> Option<Vec<(Vec<u8>, f64)>> {
+    let buf = std::fs::read(path).ok()?;
+    let (status, mut r) = open(&buf, fp)?;
+    if status != 3 {
+        return None;
+    }
+    (0..r.u32()?)
+        .map(|_| Some((r.bytes()?.to_vec(), r.f64()?)))
+        .collect()
 }
 
 #[cfg(test)]
@@ -429,6 +632,89 @@ mod tests {
         assert!(matches!(load::<Ipv>(&path, fp, 16), Loaded::None));
         let _ = std::fs::remove_file(&path);
         assert!(matches!(load::<Ipv>(&path, fp, 16), Loaded::None));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn island_state_and_final_roundtrip_exactly() {
+        let dir = std::env::temp_dir().join(format!("gack-isl-{}", std::process::id()));
+        let path = dir.join("island-0.ckpt");
+        let fp = fingerprint(&cfg(), "island-0");
+        let ga = state();
+        let best = Some((ga.population[0].clone(), 1.375f64));
+        let stats = LadderStats {
+            profile_evals: 10,
+            sampled_evals: 6,
+            full_evals: 3,
+            pruned: 2,
+            full_saved: 7,
+        };
+        save_island_state(
+            &path,
+            fp,
+            &IslandState {
+                ga: state(),
+                best: best.clone(),
+                stats,
+            },
+        )
+        .unwrap();
+        match load_island::<Ipv>(&path, fp, 16) {
+            IslandLoaded::State(loaded) => {
+                assert_eq!(loaded.ga.generation, ga.generation);
+                assert_eq!(loaded.ga.rng, ga.rng);
+                assert_eq!(loaded.ga.population, ga.population);
+                assert_eq!(loaded.ga.memo, ga.memo);
+                assert_eq!(loaded.best, best);
+                assert_eq!(loaded.stats, stats);
+            }
+            _ => panic!("expected an island state"),
+        }
+        // A plain GA loader must not accept an island checkpoint.
+        assert!(matches!(load::<Ipv>(&path, fp, 16), Loaded::None));
+
+        let result = GaResult {
+            best: Ipv::lru_insertion(16),
+            best_fitness: 1.5,
+            history: vec![1.1, 1.5],
+        };
+        save_island_final(&path, fp, &result, &stats).unwrap();
+        match load_island::<Ipv>(&path, fp, 16) {
+            IslandLoaded::Final(loaded, s) => {
+                assert_eq!(loaded.best, result.best);
+                assert_eq!(loaded.best_fitness, result.best_fitness);
+                assert_eq!(loaded.history, result.history);
+                assert_eq!(s, stats);
+            }
+            _ => panic!("expected an island final"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mailbox_roundtrips_and_rejects_damage() {
+        let dir = std::env::temp_dir().join(format!("gack-mbx-{}", std::process::id()));
+        let path = dir.join("mbx-island-0-epoch-1.mbx");
+        let fp = 0xDEAD_BEEFu64;
+        let migrants = vec![
+            (Ipv::lru(16).encode(), 1.25),
+            (Ipv::lru_insertion(16).encode(), 1.5),
+        ];
+        save_mailbox(&path, fp, &migrants).unwrap();
+        assert_eq!(load_mailbox(&path, fp), Some(migrants.clone()));
+        // Wrong fingerprint, truncation, and corruption all read as "not
+        // there yet".
+        assert_eq!(load_mailbox(&path, fp ^ 1), None);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert_eq!(load_mailbox(&path, fp), None);
+        let mut flipped = bytes.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x40;
+        std::fs::write(&path, &flipped).unwrap();
+        assert_eq!(load_mailbox(&path, fp), None);
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(load_mailbox(&path, fp), None);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -14,7 +14,8 @@ use mem_model::{
     WindowPerfModel,
 };
 use sim_core::{
-    Access, CacheGeometry, ReplacementPolicy, ShardAffinity, ShardedStream, StackDistanceProfile,
+    Access, CacheGeometry, ReplacementPolicy, SampledStream, ShardAffinity, ShardedStream,
+    StackDistanceProfile,
 };
 use std::sync::Arc;
 use traces::spec2006::Spec2006;
@@ -54,6 +55,44 @@ fn available_threads() -> usize {
         .unwrap_or(4)
 }
 
+/// Default sampling period for the set-sampled fitness fidelity: one in
+/// four sets is replayed (an exact 4× access-count reduction for
+/// set-local policies).
+pub const DEFAULT_SAMPLE_EVERY: usize = 4;
+
+/// A workload's set-sampled sub-stream plus its own LRU baseline, the
+/// inputs of the mid-fidelity tier ([`FitnessContext::fitness_single_sampled`]).
+#[derive(Debug, Clone)]
+pub struct SampledWorkload {
+    /// The deterministic set-sampled sub-stream.
+    pub stream: SampledStream,
+    /// Instructions attributed to the sampled accesses' measured portion.
+    pub instructions: u64,
+    /// True-LRU misses over the sampled measured portion (from a Mattson
+    /// pass over the sub-stream — exact, no replay).
+    pub lru_misses: u64,
+}
+
+impl SampledWorkload {
+    /// Captures the sampled sub-stream and its LRU baseline.
+    pub fn build(
+        stream: &[Access],
+        geom: &CacheGeometry,
+        warmup: usize,
+        every: usize,
+        offset: usize,
+    ) -> Self {
+        let sampled = SampledStream::build(stream, geom, warmup, every, offset);
+        let profile =
+            StackDistanceProfile::capture(sampled.stream(), geom, sampled.warmup(), geom.ways());
+        SampledWorkload {
+            instructions: profile.instructions().max(1),
+            lru_misses: profile.misses(geom.ways()),
+            stream: sampled,
+        }
+    }
+}
+
 /// One workload's captured LLC stream and its LRU baseline.
 #[derive(Debug, Clone)]
 pub struct WorkloadStream {
@@ -77,6 +116,11 @@ pub struct WorkloadStream {
     /// `lru_misses`/`instructions` and of the associativity prefilter
     /// ([`FitnessContext::lru_speedup_at`]).
     pub profile: Arc<StackDistanceProfile>,
+    /// Set-sampled sub-stream and its LRU baseline (fidelity 2 of the
+    /// evaluation ladder). Built once at context construction from the
+    /// same capture, so the sampled subset is a pure function of the
+    /// stream and geometry — identical across shard counts and resumes.
+    pub sampled: Arc<SampledWorkload>,
     /// Simpoint/benchmark weight in the mean.
     pub weight: f64,
 }
@@ -121,6 +165,8 @@ impl FitnessContext {
                     warmup,
                     sim_core::pool::global().cap(),
                 );
+                let sampled =
+                    SampledWorkload::build(&stream, &config.llc, warmup, DEFAULT_SAMPLE_EVERY, 0);
                 WorkloadStream {
                     name: scaled.name.clone(),
                     stream: Arc::new(stream),
@@ -129,6 +175,7 @@ impl FitnessContext {
                     instructions: profile.instructions().max(1),
                     lru_misses: profile.misses(config.llc.ways()),
                     profile: Arc::new(profile),
+                    sampled: Arc::new(sampled),
                     weight: *weight,
                 }
             })
@@ -276,6 +323,124 @@ impl FitnessContext {
         } else {
             total / total_weight
         }
+    }
+
+    /// Rebuilds every workload's sampled sub-stream with an explicit
+    /// sampling period and residue class (tests and experiments; the
+    /// default is `set % DEFAULT_SAMPLE_EVERY == 0`).
+    pub fn with_sampling(mut self, every: usize, offset: usize) -> Self {
+        for ws in &mut self.streams {
+            ws.sampled = Arc::new(SampledWorkload::build(
+                &ws.stream, &self.geom, ws.warmup, every, offset,
+            ));
+        }
+        self
+    }
+
+    /// The sampled-tier analogue of [`speedup_with`](Self::speedup_with):
+    /// replays only the sampled sub-streams against their own sampled LRU
+    /// baselines. For set-local policies the per-set results are exact
+    /// (set independence, proven by the shard-affinity model check) —
+    /// only the *aggregation* over a subset of sets makes this an
+    /// estimate of the full-stream fitness. Shard routing never touches
+    /// this path, so the value is bit-identical across shard counts.
+    fn sampled_speedup_with<P: ReplacementPolicy, F: Fn() -> P>(&self, make: F) -> f64 {
+        let perf = WindowPerfModel::default();
+        let probe = make();
+        let kernel = probe.slice_kernel();
+        let mut total_weight = 0.0;
+        let mut total = 0.0;
+        for ws in &self.streams {
+            let sw = &ws.sampled;
+            let run = if let Some(run) = kernel.as_ref().and_then(|k| {
+                replay_llc_sliced(sw.stream.stream(), self.geom, k, sw.stream.warmup(), &perf)
+            }) {
+                run
+            } else {
+                replay_llc_mono(
+                    sw.stream.stream(),
+                    self.geom,
+                    make(),
+                    sw.stream.warmup(),
+                    &perf,
+                )
+            };
+            let speedup = self
+                .model
+                .speedup(sw.instructions, sw.lru_misses, run.stats.misses);
+            total += speedup * ws.weight;
+            total_weight += ws.weight;
+        }
+        if total_weight == 0.0 {
+            1.0
+        } else {
+            total / total_weight
+        }
+    }
+
+    /// Set-sampled mean speedup of a single vector (ladder fidelity 2):
+    /// an exact per-set replay of one in
+    /// [`SampledStream::every`](sim_core::SampledStream::every) sets.
+    pub fn fitness_single_sampled(&self, ipv: &Ipv, substrate: Substrate) -> f64 {
+        let geom = self.geom;
+        match substrate {
+            Substrate::Plru => self.sampled_speedup_with(|| {
+                GipprPolicy::new(&geom, ipv.clone()).expect("assoc matches")
+            }),
+            Substrate::Lru => self.sampled_speedup_with(|| {
+                GiplrPolicy::new(&geom, ipv.clone()).expect("assoc matches")
+            }),
+        }
+    }
+
+    /// Set-sampled mean speedup of a dueling vector set (ladder
+    /// fidelity 2). Leader sets are re-derived from the *sampled* set
+    /// count, so the duel keeps its leader/follower proportions; DGIPPR's
+    /// PSEL makes this tier an estimate in a second way (cross-set
+    /// coupling), which is fine — elites are re-scored at full fidelity.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `vectors.len()` is 2 or 4.
+    pub fn fitness_set_sampled(&self, vectors: &[Ipv]) -> f64 {
+        assert!(
+            vectors.len() == 2 || vectors.len() == 4,
+            "DGIPPR duels 2 or 4 vectors, got {}",
+            vectors.len()
+        );
+        let geom = self.geom;
+        let leaders = (geom.sets() / 64).clamp(4, 32);
+        self.sampled_speedup_with(|| {
+            DgipprPolicy::with_config(&geom, vectors.to_vec(), leaders, "DGIPPR")
+                .expect("valid duel config")
+        })
+    }
+
+    /// Zero-replay profile score of a single vector (ladder fidelity 1).
+    ///
+    /// The `sim-lint` reachability analysis proves which recency positions
+    /// a vector can ever populate; a vector with `d` dead positions runs
+    /// the cache as if it were at most `ways - d` ways wide, and the
+    /// stored Mattson profiles answer "what would `ways - d`-way LRU
+    /// cost?" exactly, with no replay at all. This is a *heuristic
+    /// ranking* (insertion/promotion order within the live positions is
+    /// invisible to it), never a fitness: it only decides which genomes
+    /// graduate to the replay tiers.
+    pub fn profile_score_single(&self, ipv: &Ipv) -> f64 {
+        let analysis = ipv.analysis();
+        let live = analysis.reachable_positions().len().max(1);
+        let ways = self.geom.ways();
+        self.lru_speedup_at(live.min(ways))
+    }
+
+    /// Zero-replay profile score of a vector set (ladder fidelity 1): the
+    /// best member's score — a duel can always fall back to its best
+    /// vector, so the set's potential is bounded by its best member.
+    pub fn profile_score_set(&self, vectors: &[Ipv]) -> f64 {
+        vectors
+            .iter()
+            .map(|v| self.profile_score_single(v))
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Mean speedup over LRU of a single vector on `substrate`.

@@ -17,6 +17,12 @@
 //! * [`hillclimb`] — local refinement (Section 2.6's closing remark).
 //! * [`crossval`] — the WN1 workload-neutral protocol (Section 4.4): hold
 //!   one workload out, evolve on the rest, evaluate on the holdout.
+//! * [`ladder`] — the multi-fidelity evaluation ladder: viability →
+//!   zero-replay profile score → set-sampled replay → full replay, with
+//!   deterministic promotion and fidelity-tagged memoization.
+//! * [`island`] — the island-model GA: process-parallel populations in a
+//!   migration ring, exchanging full-fidelity elites through crash-safe
+//!   atomic mailbox files (the paper's cluster-scale search on one box).
 //!
 //! # Example
 //!
@@ -34,10 +40,16 @@ pub mod checkpoint;
 pub mod crossval;
 pub mod fitness;
 pub mod ga;
+pub mod island;
+pub mod ladder;
 pub mod search;
 
 pub use checkpoint::Checkpointing;
 pub use crossval::{wn1_evaluation, Wn1Outcome};
-pub use fitness::{FitnessContext, FitnessScale, Substrate, WorkloadStream};
+pub use fitness::{
+    FitnessContext, FitnessScale, SampledWorkload, Substrate, WorkloadStream, DEFAULT_SAMPLE_EVERY,
+};
 pub use ga::{Ga, GaConfig, GaResult, Genome, VectorSet};
+pub use island::{run_ipv_island, run_island, IslandConfig, IslandOutcome};
+pub use ladder::{Fidelity, LadderConfig, LadderStats};
 pub use search::{hillclimb, random_search};

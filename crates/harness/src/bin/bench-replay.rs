@@ -390,12 +390,135 @@ fn smoke() {
         rate > 1.0e6,
         "batched throughput sanity floor: {rate:.0} accesses/sec"
     );
+    smoke_sharded_speedup(geom, &perf);
     println!(
         "smoke OK: {} policies x {} accesses, batch == sequential, \
          {sliced_checked} sliced kernels bit-identical, {:.1}M acc/s aggregate",
         refs.len(),
         stream.len(),
         rate / 1.0e6
+    );
+}
+
+/// On a multi-core host, the sharded batch engine must actually beat the
+/// sequential mono engine for at least one set-local policy — the whole
+/// point of sharding. Single-core hosts (and hosts whose worker budget
+/// degenerates the routing to one shard) skip the assertion: there is no
+/// parallelism to validate there, and CI provides the >1-core runner.
+fn smoke_sharded_speedup(geom: CacheGeometry, perf: &WindowPerfModel) {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // A longer stream than the correctness smoke: the speedup check needs
+    // the per-shard work to dominate pool dispatch overhead.
+    let blocks = (geom.sets() * geom.ways() * 4) as u64;
+    let mut state = 0x243F_6A88_85A3_08D3u64;
+    let stream: Vec<Access> = (0..800_000usize)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            Access::read((state % blocks) * geom.line_bytes(), state % 512)
+                .with_icount_delta((state % 9) as u32 + 1)
+        })
+        .collect();
+    let warmup = mem_model::llc::default_warmup(stream.len());
+    let sharded =
+        ShardedStream::for_parallelism(&stream, &geom, warmup, sim_core::pool::global().cap());
+    if cores < 2 || sharded.shards() < 2 {
+        println!(
+            "smoke: sharded>mono speedup check skipped ({cores} core(s), {} shard(s))",
+            sharded.shards()
+        );
+        return;
+    }
+    #[allow(clippy::too_many_arguments)]
+    fn speedup_of<P, M>(
+        name: &str,
+        stream: &[Access],
+        sharded: &ShardedStream,
+        geom: CacheGeometry,
+        warmup: usize,
+        factory: &PolicyFactory,
+        make_mono: M,
+        perf: &WindowPerfModel,
+    ) -> f64
+    where
+        P: ReplacementPolicy,
+        M: Fn(&CacheGeometry) -> P,
+    {
+        assert_eq!(
+            factory(&geom).shard_affinity(),
+            ShardAffinity::SetLocal,
+            "{name}: the speedup check only makes sense for set-local policies"
+        );
+        let (mut mono_best, mut sharded_best) = (f64::INFINITY, f64::INFINITY);
+        for _ in 0..5 {
+            let start = Instant::now();
+            let mono = replay_llc_mono(
+                stream,
+                geom,
+                std::hint::black_box(make_mono(&geom)),
+                warmup,
+                perf,
+            );
+            mono_best = mono_best.min(start.elapsed().as_secs_f64());
+            let start = Instant::now();
+            let out = replay_many_sharded(stream, sharded, &[std::hint::black_box(factory)], perf);
+            sharded_best = sharded_best.min(start.elapsed().as_secs_f64());
+            assert_eq!(
+                mono.stats.misses, out[0].stats.misses,
+                "{name}: engines agree"
+            );
+        }
+        mono_best / sharded_best.max(1e-12)
+    }
+
+    let results = [
+        (
+            "PseudoLRU",
+            speedup_of(
+                "PseudoLRU",
+                &stream,
+                &sharded,
+                geom,
+                warmup,
+                &policies::plru(),
+                PlruPolicy::new,
+                perf,
+            ),
+        ),
+        (
+            "WI-GIPPR",
+            speedup_of(
+                "WI-GIPPR",
+                &stream,
+                &sharded,
+                geom,
+                warmup,
+                &policies::gippr(gippr::vectors::wi_gippr(), "WI-GIPPR"),
+                |g| {
+                    GipprPolicy::with_name(g, gippr::vectors::wi_gippr(), "WI-GIPPR")
+                        .expect("assoc matches")
+                },
+                perf,
+            ),
+        ),
+    ];
+    for (name, speedup) in &results {
+        println!(
+            "smoke: {name} sharded/mono speedup {speedup:.2}x ({} shards on {cores} cores)",
+            sharded.shards()
+        );
+    }
+    let best = results
+        .iter()
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("two candidates");
+    assert!(
+        best.1 > 1.0,
+        "on a {cores}-core host the sharded engine must beat the mono engine \
+         for at least one set-local policy; best was {} at {:.2}x",
+        best.0,
+        best.1
     );
 }
 
@@ -522,6 +645,19 @@ fn main() {
     let mono_geomean = geomean(rows.iter().map(Row::speedup));
     let sharded_geomean = geomean(rows.iter().map(Row::sharded_speedup));
     let slice_geomean = geomean(rows.iter().filter_map(Row::slice_speedup));
+    // The aggregate row: geomean accesses/sec per engine column, the
+    // one-line per-engine summary a reader (or a regression diff) wants
+    // before the per-policy detail. `slice` covers the kernel-carrying
+    // subset of the roster only.
+    let geomean_seed_rate = geomean(rows.iter().map(|r| r.seed_rate));
+    let geomean_dyn_rate = geomean(rows.iter().map(|r| r.dyn_rate));
+    let geomean_mono_rate = geomean(rows.iter().map(|r| r.mono_rate));
+    let geomean_sharded_rate = geomean(rows.iter().map(|r| r.sharded_rate));
+    let geomean_slice_rate = if rows.iter().any(|r| r.slice_rate.is_some()) {
+        Some(geomean(rows.iter().filter_map(|r| r.slice_rate)))
+    } else {
+        None
+    };
     for r in &rows {
         let slice_col = match (r.slice_rate, r.slice_speedup()) {
             (Some(rate), Some(x)) => format!("slice {rate:>11.0} acc/s ({x:.2}x)"),
@@ -539,6 +675,11 @@ fn main() {
             r.sharded_speedup()
         );
     }
+    println!(
+        "  geomean rates: seed {geomean_seed_rate:.0}  dyn {geomean_dyn_rate:.0}  \
+         mono {geomean_mono_rate:.0}  sharded {geomean_sharded_rate:.0}  slice {} acc/s",
+        geomean_slice_rate.map_or("n/a".to_string(), |r| format!("{r:.0}"))
+    );
     println!("  geomean speedup (mono over seed engine): {mono_geomean:.2}x");
     println!("  geomean speedup (sharded over mono engine): {sharded_geomean:.2}x");
     println!("  geomean speedup (sliced over mono engine, qualifying roster): {slice_geomean:.2}x");
@@ -592,6 +733,14 @@ fn main() {
         ));
     }
     json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"geomean_rates\": {{\"seed_accesses_per_sec\": {geomean_seed_rate:.0}, \
+         \"dyn_accesses_per_sec\": {geomean_dyn_rate:.0}, \
+         \"mono_accesses_per_sec\": {geomean_mono_rate:.0}, \
+         \"sharded_accesses_per_sec\": {geomean_sharded_rate:.0}, \
+         \"slice_accesses_per_sec\": {}}},\n",
+        opt_num(geomean_slice_rate, 0)
+    ));
     json.push_str(&format!(
         "  \"batched_accesses_per_sec\": {batched_rate:.0},\n"
     ));

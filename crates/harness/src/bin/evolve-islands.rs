@@ -1,0 +1,796 @@
+//! Island-model GA driver: process-parallel evolution with the
+//! multi-fidelity fitness ladder — the paper's 200-CPU cluster search
+//! run as a resumable fleet of worker processes on one box.
+//!
+//! Usage:
+//!
+//! ```text
+//! evolve-islands [--scale micro|quick|medium|paper] [--out DIR] [--resume]
+//!                [--islands N] [--migration-every E] [--migrants M]
+//!                [--mbx-timeout SECS] [--attempts K] [--seed S]
+//!                [--smoke] [--bench]
+//! ```
+//!
+//! The parent process spawns one worker per island (`--worker I`, an
+//! internal flag: the worker re-executes this same binary). Each worker
+//! runs its own selection/crossover loop over `population` genomes,
+//! climbing the fitness ladder every generation — `sim-lint` viability →
+//! zero-replay profile score → set-sampled replay → full replay for the
+//! promoted few — and exchanges full-fidelity elites with its ring
+//! neighbor through crash-safe atomic mailbox files at every epoch
+//! boundary. At `--scale paper --islands 8` the fleet evolves 8 x 2000 =
+//! 16 000 initial genomes.
+//!
+//! Everything is coordinated through `<out>`: a `manifest.json` (the
+//! `run-all` manifest format, mode `islands`) records per-island
+//! progress, `checkpoints/` holds each island's generation-boundary
+//! snapshot, `mailboxes/` the migration traffic, and `island-I.res` each
+//! worker's result. A worker that dies — crash, SIGKILL, injected fault —
+//! is respawned with bounded backoff up to `--attempts` times and resumes
+//! **bit-identically** from its last checkpoint; `--resume` does the same
+//! across parent invocations. The final `evolved-islands.txt` artifact
+//! contains only deterministic content (genomes, fitness, ladder
+//! accounting), never timings, so an interrupted-and-resumed run is
+//! byte-for-byte equal to an uninterrupted one.
+//!
+//! `--smoke` is the CI preset (micro scale, 2 islands, tiny GA).
+//! `--bench` instead runs the single-fidelity baseline (every viable
+//! genome full-replayed, same code path) against the laddered ring
+//! in-process and writes `BENCH_evolve.json` with both
+//! fitness-vs-wallclock curves, the time-to-equal-fitness speedup, and
+//! the number of full replays the ladder avoided.
+
+use evolve::island::mailbox_dir;
+use evolve::{
+    run_ipv_island, Checkpointing, FitnessContext, IslandConfig, IslandOutcome, LadderConfig,
+    LadderStats, Substrate,
+};
+use gippr::Ipv;
+use harness::manifest::{digest, Manifest, Status};
+use harness::pipeline::retry_backoff;
+use harness::Scale;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::time::{Duration, Instant};
+use traces::spec2006::Spec2006;
+
+/// Result-file format tag (first line of `island-I.res`).
+const RESULT_MAGIC: &str = "PLRUISR1";
+
+#[derive(Clone)]
+struct Opts {
+    scale: Scale,
+    out: String,
+    resume: bool,
+    islands: usize,
+    migration_every: Option<usize>,
+    migrants: Option<usize>,
+    mbx_timeout_secs: u64,
+    attempts: u64,
+    seed: u64,
+    worker: Option<usize>,
+    bench: bool,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts {
+            scale: Scale::Quick,
+            out: "results/islands".to_string(),
+            resume: false,
+            islands: 4,
+            migration_every: None,
+            migrants: None,
+            mbx_timeout_secs: 300,
+            attempts: 3,
+            seed: 0xE41,
+            worker: None,
+            bench: false,
+        }
+    }
+}
+
+fn usage() -> ! {
+    panic!(
+        "usage: evolve-islands [--scale micro|quick|medium|paper] [--out DIR] [--resume] \
+         [--islands N] [--migration-every E] [--migrants M] [--mbx-timeout SECS] \
+         [--attempts K] [--seed S] [--smoke] [--bench]"
+    )
+}
+
+fn parse_opts(args: &[String]) -> Opts {
+    let mut o = Opts::default();
+    let mut i = 0;
+    let num = |args: &[String], i: usize, flag: &str| -> u64 {
+        args.get(i)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("{flag} needs a number"))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                o.scale = args
+                    .get(i)
+                    .and_then(|s| Scale::parse(s))
+                    .unwrap_or_else(|| usage());
+            }
+            "--out" => {
+                i += 1;
+                o.out = args.get(i).cloned().unwrap_or_else(|| usage());
+            }
+            "--resume" => o.resume = true,
+            "--islands" => {
+                i += 1;
+                o.islands = num(args, i, "--islands").max(1) as usize;
+            }
+            "--migration-every" => {
+                i += 1;
+                o.migration_every = Some(num(args, i, "--migration-every").max(1) as usize);
+            }
+            "--migrants" => {
+                i += 1;
+                o.migrants = Some(num(args, i, "--migrants").max(1) as usize);
+            }
+            "--mbx-timeout" => {
+                i += 1;
+                o.mbx_timeout_secs = num(args, i, "--mbx-timeout");
+            }
+            "--attempts" => {
+                i += 1;
+                o.attempts = num(args, i, "--attempts").max(1);
+            }
+            "--seed" => {
+                i += 1;
+                o.seed = num(args, i, "--seed");
+            }
+            "--worker" => {
+                i += 1;
+                o.worker = Some(num(args, i, "--worker") as usize);
+            }
+            "--smoke" => {
+                o.scale = Scale::Micro;
+                o.islands = 2;
+                o.migration_every = Some(1);
+                o.migrants = Some(1);
+            }
+            "--bench" => o.bench = true,
+            _ => usage(),
+        }
+        i += 1;
+    }
+    o
+}
+
+fn island_cfg(o: &Opts) -> IslandConfig {
+    let ga = o.scale.ga(o.seed);
+    let migration_every = o
+        .migration_every
+        .unwrap_or_else(|| (ga.generations / 3).clamp(1, 10));
+    IslandConfig {
+        islands: o.islands,
+        migration_every,
+        migrants: o.migrants.unwrap_or(ga.elitism.max(1)),
+        mailbox_timeout: Duration::from_secs(o.mbx_timeout_secs),
+        ga,
+        ladder: LadderConfig::balanced(),
+    }
+}
+
+fn fitness_ctx(o: &Opts) -> FitnessContext {
+    FitnessContext::for_benchmarks(
+        &Spec2006::all(),
+        o.scale.simpoints(),
+        o.scale.ga_accesses(),
+        o.scale.fitness(),
+    )
+}
+
+fn island_name(i: usize) -> String {
+    format!("island-{i}")
+}
+
+fn result_file(i: usize) -> String {
+    format!("island-{i}.res")
+}
+
+// ---------------------------------------------------------------------------
+// Worker result files
+// ---------------------------------------------------------------------------
+
+/// Text encoding of a worker's [`IslandOutcome`]. Fitness values are
+/// carried as exact `f64` bit patterns; the human-readable digits are
+/// comments.
+fn encode_result(island: usize, outcome: &IslandOutcome<Ipv>) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{RESULT_MAGIC}");
+    let _ = writeln!(s, "island {island}");
+    let _ = writeln!(
+        s,
+        "best {:016x} {} # fitness {:.4}",
+        outcome.result.best_fitness.to_bits(),
+        outcome.result.best,
+        outcome.result.best_fitness
+    );
+    let _ = writeln!(
+        s,
+        "history {}",
+        outcome
+            .result
+            .history
+            .iter()
+            .map(|f| format!("{:016x}", f.to_bits()))
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    let st = &outcome.stats;
+    let _ = writeln!(
+        s,
+        "stats {} {} {} {} {}",
+        st.profile_evals, st.sampled_evals, st.full_evals, st.pruned, st.full_saved
+    );
+    let _ = writeln!(
+        s,
+        "wall_ms {}",
+        outcome
+            .gen_wall_ms
+            .iter()
+            .map(|m| m.to_string())
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    s
+}
+
+struct WorkerResult {
+    best: Ipv,
+    best_fitness: f64,
+    stats: LadderStats,
+}
+
+fn parse_result(text: &str, assoc: usize) -> Option<WorkerResult> {
+    let mut lines = text.lines();
+    if lines.next()? != RESULT_MAGIC {
+        return None;
+    }
+    let mut best: Option<(Ipv, f64)> = None;
+    let mut stats = LadderStats::default();
+    for line in lines {
+        let mut tok = line.split_whitespace();
+        match tok.next() {
+            Some("best") => {
+                let bits = u64::from_str_radix(tok.next()?, 16).ok()?;
+                let entries: Vec<&str> = tok.take_while(|t| *t != "#").collect();
+                let ipv: Ipv = entries.join(" ").parse().ok()?;
+                if ipv.assoc() != assoc {
+                    return None;
+                }
+                best = Some((ipv, f64::from_bits(bits)));
+            }
+            Some("stats") => {
+                let mut n = || tok.next().and_then(|t| t.parse::<u64>().ok());
+                stats = LadderStats {
+                    profile_evals: n()?,
+                    sampled_evals: n()?,
+                    full_evals: n()?,
+                    pruned: n()?,
+                    full_saved: n()?,
+                };
+            }
+            _ => {}
+        }
+    }
+    let (best, best_fitness) = best?;
+    Some(WorkerResult {
+        best,
+        best_fitness,
+        stats,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Worker mode
+// ---------------------------------------------------------------------------
+
+fn worker_main(o: &Opts, island: usize) {
+    let cfg = island_cfg(o);
+    assert!(island < cfg.islands, "--worker {island} out of range");
+    let out = PathBuf::from(&o.out);
+    let ckpt = Checkpointing::in_dir(out.join("checkpoints"));
+    println!(
+        "[island-{island}] capturing fitness streams at {} scale...",
+        o.scale
+    );
+    let ctx = fitness_ctx(o);
+    let outcome = match run_ipv_island(
+        &ctx,
+        &cfg,
+        island,
+        &ckpt,
+        &mailbox_dir(&out),
+        Substrate::Plru,
+    ) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("[island-{island}] failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "[island-{island}] best {} fitness {:.4} ({} full replays, {} avoided)",
+        outcome.result.best,
+        outcome.result.best_fitness,
+        outcome.stats.full_evals,
+        outcome.stats.full_saved
+    );
+    let text = encode_result(island, &outcome);
+    sim_core::persist::atomic_write(&out.join(result_file(island)), text.as_bytes())
+        .expect("write island result");
+}
+
+// ---------------------------------------------------------------------------
+// Parent mode
+// ---------------------------------------------------------------------------
+
+/// Whether `entry` for file `file` is done and its artifact on disk still
+/// matches the recorded digest.
+fn verified_done(out: &Path, manifest: &Manifest, name: &str) -> bool {
+    manifest.entry(name).is_some_and(|e| {
+        e.status == Status::Done
+            && std::fs::read(out.join(&e.file)).is_ok_and(|bytes| digest(&bytes) == e.digest)
+    })
+}
+
+fn spawn_worker(
+    o: &Opts,
+    cfg: &IslandConfig,
+    island: usize,
+) -> std::io::Result<std::process::Child> {
+    let exe = std::env::current_exe().expect("own executable path");
+    Command::new(exe)
+        .args([
+            "--scale",
+            &o.scale.to_string(),
+            "--out",
+            &o.out,
+            "--islands",
+            &cfg.islands.to_string(),
+            "--migration-every",
+            &cfg.migration_every.to_string(),
+            "--migrants",
+            &cfg.migrants.to_string(),
+            "--mbx-timeout",
+            &o.mbx_timeout_secs.to_string(),
+            "--seed",
+            &o.seed.to_string(),
+            "--worker",
+            &island.to_string(),
+        ])
+        .spawn()
+}
+
+fn parent_main(o: &Opts) {
+    let cfg = island_cfg(o);
+    let out = PathBuf::from(&o.out);
+    let scale_str = o.scale.to_string();
+    let manifest_path = out.join("manifest.json");
+    let artifact_name = "evolved-islands.txt";
+    let ckpt = Checkpointing::in_dir(out.join("checkpoints"));
+
+    let mut manifest = if o.resume {
+        match Manifest::load(&manifest_path) {
+            Some(m) if m.scale == scale_str && m.mode == "islands" => {
+                println!("resuming islands run in {}", out.display());
+                m
+            }
+            Some(m) => {
+                eprintln!(
+                    "evolve-islands: --resume ignored: manifest was recorded at scale={} \
+                     mode={} but this run uses scale={scale_str} mode=islands; starting fresh",
+                    m.scale, m.mode
+                );
+                Manifest::new(&scale_str, "islands")
+            }
+            None => Manifest::new(&scale_str, "islands"),
+        }
+    } else {
+        Manifest::new(&scale_str, "islands")
+    };
+    if !o.resume {
+        // Start clean: stale checkpoints, mailboxes, or results from an
+        // earlier configuration must never leak into this run.
+        ckpt.clear();
+        let _ = std::fs::remove_dir_all(mailbox_dir(&out));
+        for i in 0..cfg.islands {
+            let _ = std::fs::remove_file(out.join(result_file(i)));
+        }
+        let _ = std::fs::remove_file(out.join(artifact_name));
+    }
+    for i in 0..cfg.islands {
+        manifest.entry_mut(&island_name(i), &result_file(i));
+    }
+    manifest.entry_mut("summary", artifact_name);
+    let persist = |m: &Manifest| {
+        if let Err(e) = m.save(&manifest_path) {
+            eprintln!("evolve-islands: could not persist manifest: {e}");
+        }
+    };
+    persist(&manifest);
+
+    if o.resume && verified_done(&out, &manifest, "summary") {
+        println!("already done, skipping (--resume)");
+        return;
+    }
+
+    println!(
+        "evolving {} islands x {} genomes for {} generations at {} scale \
+         (migrate {} every {} gens, ladder {:.3}/{:.3} min {})",
+        cfg.islands,
+        cfg.ga.population,
+        cfg.ga.generations,
+        o.scale,
+        cfg.migrants,
+        cfg.migration_every,
+        cfg.ladder.sampled_frac,
+        cfg.ladder.full_frac,
+        cfg.ladder.min_full,
+    );
+
+    let mut pending: Vec<usize> = (0..cfg.islands)
+        .filter(|&i| !(o.resume && verified_done(&out, &manifest, &island_name(i))))
+        .collect();
+    for i in (0..cfg.islands).filter(|i| !pending.contains(i)) {
+        println!("[island-{i}] already done, skipping (--resume)");
+    }
+
+    for attempt in 0..o.attempts {
+        if pending.is_empty() {
+            break;
+        }
+        if attempt > 0 {
+            let wait = retry_backoff(attempt - 1);
+            eprintln!(
+                "respawning {} island worker(s) in {wait:?} (attempt {})",
+                pending.len(),
+                attempt + 1
+            );
+            std::thread::sleep(wait);
+        }
+        for &i in &pending {
+            let entry = manifest.entry_mut(&island_name(i), &result_file(i));
+            entry.status = Status::Running;
+            entry.attempts += 1;
+        }
+        persist(&manifest);
+
+        let children: Vec<(usize, std::io::Result<std::process::Child>)> = pending
+            .iter()
+            .map(|&i| (i, spawn_worker(o, &cfg, i)))
+            .collect();
+        let mut still_pending = Vec::new();
+        for (i, child) in children {
+            let failure = match child.and_then(|mut c| c.wait()) {
+                Ok(status) if status.success() => match std::fs::read(out.join(result_file(i))) {
+                    Ok(bytes)
+                        if parse_result(&String::from_utf8_lossy(&bytes), llc_assoc(o))
+                            .is_some() =>
+                    {
+                        let entry = manifest.entry_mut(&island_name(i), &result_file(i));
+                        entry.status = Status::Done;
+                        entry.digest = digest(&bytes);
+                        entry.error.clear();
+                        None
+                    }
+                    Ok(_) => Some("worker exited 0 but its result file is unreadable".to_string()),
+                    Err(e) => Some(format!("worker exited 0 without a result file: {e}")),
+                },
+                Ok(status) => Some(format!("worker exited with {status}")),
+                Err(e) => Some(format!("could not run worker: {e}")),
+            };
+            if let Some(err) = failure {
+                eprintln!("[island-{i}] {err}");
+                let entry = manifest.entry_mut(&island_name(i), &result_file(i));
+                entry.status = Status::Failed;
+                entry.error = err;
+                still_pending.push(i);
+            }
+        }
+        persist(&manifest);
+        pending = still_pending;
+    }
+    if !pending.is_empty() {
+        eprintln!(
+            "evolve-islands: {} island(s) failed after {} attempt(s); \
+             re-run with --resume to continue from their checkpoints",
+            pending.len(),
+            o.attempts
+        );
+        std::process::exit(1);
+    }
+
+    // All islands done: compose the deterministic artifact.
+    let assoc = llc_assoc(o);
+    let results: Vec<WorkerResult> = (0..cfg.islands)
+        .map(|i| {
+            let text = std::fs::read_to_string(out.join(result_file(i)))
+                .expect("island result file exists");
+            parse_result(&text, assoc).expect("island result file parses")
+        })
+        .collect();
+    let mut totals = LadderStats::default();
+    for r in &results {
+        totals.absorb(&r.stats);
+    }
+    let global = results
+        .iter()
+        .enumerate()
+        .max_by(|(ia, a), (ib, b)| {
+            a.best_fitness
+                .partial_cmp(&b.best_fitness)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(ib.cmp(ia))
+        })
+        .expect("at least one island");
+
+    let mut artifact = String::new();
+    let _ = writeln!(
+        artifact,
+        "# islands evolved at {scale_str} scale: {} islands x {} pop, {} gens, \
+         migrate {} every {} (fitness = mean linear-CPI speedup over LRU)",
+        cfg.islands, cfg.ga.population, cfg.ga.generations, cfg.migrants, cfg.migration_every
+    );
+    for (i, r) in results.iter().enumerate() {
+        let _ = writeln!(
+            artifact,
+            "ISLAND[{i}] {} # fitness {:.4}",
+            r.best, r.best_fitness
+        );
+    }
+    let _ = writeln!(
+        artifact,
+        "BEST {} # fitness {:.4} (island {})",
+        global.1.best, global.1.best_fitness, global.0
+    );
+    let _ = writeln!(
+        artifact,
+        "# ladder: {} full replays, {} avoided, {} sampled, {} profile-only, {} pruned",
+        totals.full_evals,
+        totals.full_saved,
+        totals.sampled_evals,
+        totals.profile_evals,
+        totals.pruned
+    );
+    print!("\n{artifact}");
+    let artifact_path = out.join(artifact_name);
+    sim_core::persist::atomic_write(&artifact_path, artifact.as_bytes()).expect("write artifact");
+    println!("wrote {}", artifact_path.display());
+    {
+        let entry = manifest.entry_mut("summary", artifact_name);
+        entry.status = Status::Done;
+        entry.digest = digest(artifact.as_bytes());
+    }
+    persist(&manifest);
+    // The artifact is safely on disk; the coordination state has served
+    // its purpose.
+    ckpt.clear();
+    let _ = std::fs::remove_dir_all(mailbox_dir(&out));
+}
+
+/// The genome associativity for this run (the LLC's ways at this scale) —
+/// needed to parse result files without capturing streams.
+fn llc_assoc(o: &Opts) -> usize {
+    o.scale.hierarchy().llc.ways()
+}
+
+// ---------------------------------------------------------------------------
+// Bench mode
+// ---------------------------------------------------------------------------
+
+/// One in-process ring (threads, not processes: the comparison is about
+/// evaluation cost, and in-process keeps both sides' measurement
+/// identical). Returns the per-island outcomes plus the ring's wall time.
+fn bench_ring(
+    ctx: &FitnessContext,
+    cfg: &IslandConfig,
+    dir: &Path,
+) -> (Vec<IslandOutcome<Ipv>>, Duration) {
+    let _ = std::fs::remove_dir_all(dir);
+    let ckpt = Checkpointing::in_dir(dir.join("checkpoints"));
+    let mbx = mailbox_dir(dir);
+    let start = Instant::now();
+    let outcomes = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..cfg.islands)
+            .map(|i| {
+                let ckpt = ckpt.clone();
+                let mbx = mbx.clone();
+                s.spawn(move || {
+                    run_ipv_island(ctx, cfg, i, &ckpt, &mbx, Substrate::Plru)
+                        .expect("bench island completes")
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("bench island thread"))
+            .collect::<Vec<_>>()
+    });
+    let wall = start.elapsed();
+    let _ = std::fs::remove_dir_all(dir);
+    (outcomes, wall)
+}
+
+/// Fitness-vs-wallclock curve of a ring: after generation `g`, the best
+/// full-fidelity fitness anywhere in the ring against the slowest
+/// island's cumulative wall time (islands run concurrently).
+fn ring_curve(outcomes: &[IslandOutcome<Ipv>], generations: usize) -> Vec<(u64, f64)> {
+    (0..generations)
+        .map(|g| {
+            let best = outcomes
+                .iter()
+                .filter_map(|o| o.result.history.get(g).copied())
+                .fold(f64::NEG_INFINITY, f64::max);
+            let cum_ms = outcomes
+                .iter()
+                .map(|o| o.gen_wall_ms.iter().take(g + 1).sum::<u64>())
+                .max()
+                .unwrap_or(0);
+            (cum_ms, best)
+        })
+        .collect()
+}
+
+fn ms_to_reach(curve: &[(u64, f64)], target: f64) -> Option<u64> {
+    curve
+        .iter()
+        .find(|(_, best)| *best >= target - 1e-12)
+        .map(|(ms, _)| *ms)
+}
+
+fn curve_json(curve: &[(u64, f64)]) -> String {
+    curve
+        .iter()
+        .enumerate()
+        .map(|(g, (ms, best))| format!("{{\"gen\": {g}, \"cum_ms\": {ms}, \"best\": {best:.6}}}"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn side_json(
+    name: &str,
+    ladder: &str,
+    outcomes: &[IslandOutcome<Ipv>],
+    wall: Duration,
+    generations: usize,
+) -> String {
+    let mut stats = LadderStats::default();
+    for o in outcomes {
+        stats.absorb(&o.stats);
+    }
+    let best = outcomes
+        .iter()
+        .map(|o| o.result.best_fitness)
+        .fold(f64::NEG_INFINITY, f64::max);
+    format!(
+        "  \"{name}\": {{\n    \"ladder\": \"{ladder}\",\n    \"wall_ms\": {},\n    \
+         \"best_fitness\": {best:.6},\n    \"profile_evals\": {},\n    \
+         \"sampled_evals\": {},\n    \"full_evals\": {},\n    \"pruned\": {},\n    \
+         \"full_saved\": {},\n    \"curve\": [{}]\n  }}",
+        wall.as_millis(),
+        stats.profile_evals,
+        stats.sampled_evals,
+        stats.full_evals,
+        stats.pruned,
+        stats.full_saved,
+        curve_json(&ring_curve(outcomes, generations)),
+    )
+}
+
+fn bench_main(o: &Opts) {
+    let cfg = island_cfg(o);
+    let baseline_cfg = IslandConfig {
+        ladder: LadderConfig::full_only(),
+        ..cfg
+    };
+    let out = PathBuf::from(&o.out);
+    println!(
+        "bench: capturing fitness streams at {} scale ({} islands x {} pop x {} gens)...",
+        o.scale, cfg.islands, cfg.ga.population, cfg.ga.generations
+    );
+    let ctx = fitness_ctx(o);
+    println!("bench: single-fidelity baseline (every viable genome full-replayed)...");
+    let (base, base_wall) = bench_ring(&ctx, &baseline_cfg, &out.join("bench-baseline"));
+    println!("bench: multi-fidelity ladder...");
+    let (ladder, ladder_wall) = bench_ring(&ctx, &cfg, &out.join("bench-ladder"));
+
+    let gens = cfg.ga.generations;
+    let base_curve = ring_curve(&base, gens);
+    let ladder_curve = ring_curve(&ladder, gens);
+    let base_best = base
+        .iter()
+        .map(|o| o.result.best_fitness)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let ladder_best = ladder
+        .iter()
+        .map(|o| o.result.best_fitness)
+        .fold(f64::NEG_INFINITY, f64::max);
+    // Equal-fitness comparison: time for each side to reach the weaker
+    // side's final best (both curves provably get there).
+    let target = base_best.min(ladder_best);
+    let base_ms = ms_to_reach(&base_curve, target).unwrap_or(base_wall.as_millis() as u64);
+    let ladder_ms = ms_to_reach(&ladder_curve, target).unwrap_or(ladder_wall.as_millis() as u64);
+    let speedup = base_ms.max(1) as f64 / ladder_ms.max(1) as f64;
+    let full_saved: u64 = ladder.iter().map(|o| o.stats.full_saved).sum();
+
+    println!(
+        "bench: baseline best {base_best:.4} in {} ms, laddered best {ladder_best:.4} in {} ms",
+        base_wall.as_millis(),
+        ladder_wall.as_millis()
+    );
+    println!(
+        "bench: time to equal fitness {target:.4}: baseline {base_ms} ms, \
+         laddered {ladder_ms} ms -> {speedup:.2}x; {full_saved} full replays avoided"
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"scale\": \"{}\",", o.scale);
+    let _ = writeln!(json, "  \"islands\": {},", cfg.islands);
+    let _ = writeln!(json, "  \"population_per_island\": {},", cfg.ga.population);
+    let _ = writeln!(
+        json,
+        "  \"initial_population_per_island\": {},",
+        cfg.ga.initial_population
+    );
+    let _ = writeln!(json, "  \"generations\": {},", cfg.ga.generations);
+    let _ = writeln!(json, "  \"migration_every\": {},", cfg.migration_every);
+    let _ = writeln!(json, "  \"migrants\": {},", cfg.migrants);
+    let _ = writeln!(
+        json,
+        "  \"cores\": {},",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+    json.push_str(&side_json(
+        "baseline",
+        "full-only (single fidelity)",
+        &base,
+        base_wall,
+        gens,
+    ));
+    json.push_str(",\n");
+    json.push_str(&side_json(
+        "laddered",
+        &format!(
+            "viability -> profile -> sampled {:.3} -> full {:.3} (min {})",
+            cfg.ladder.sampled_frac, cfg.ladder.full_frac, cfg.ladder.min_full
+        ),
+        &ladder,
+        ladder_wall,
+        gens,
+    ));
+    json.push_str(",\n");
+    let _ = writeln!(json, "  \"target_fitness\": {target:.6},");
+    let _ = writeln!(json, "  \"baseline_ms_to_target\": {base_ms},");
+    let _ = writeln!(json, "  \"laddered_ms_to_target\": {ladder_ms},");
+    let _ = writeln!(
+        json,
+        "  \"wallclock_speedup_at_equal_fitness\": {speedup:.4},"
+    );
+    let _ = writeln!(json, "  \"full_replays_saved\": {full_saved}");
+    json.push_str("}\n");
+    let path = out.join("BENCH_evolve.json");
+    sim_core::persist::atomic_write(&path, json.as_bytes()).expect("write bench json");
+    println!("wrote {}", path.display());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let o = parse_opts(&args);
+    if let Some(island) = o.worker {
+        worker_main(&o, island);
+    } else if o.bench {
+        bench_main(&o);
+    } else {
+        parent_main(&o);
+    }
+}

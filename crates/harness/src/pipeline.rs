@@ -22,6 +22,18 @@ pub const DEFAULT_MAX_ATTEMPTS: u64 = 3;
 /// milliseconds (default 500; each retry doubles it). Tests set it to 0.
 pub const RETRY_BASE_MS_ENV: &str = "SIM_RETRY_BASE_MS";
 
+/// Bounded exponential backoff before retry `attempt` (0-based): the
+/// [`RETRY_BASE_MS_ENV`] base (default 500 ms) doubled per attempt,
+/// capped at 64x. Shared by the pipeline's experiment retries and the
+/// `evolve-islands` worker respawn loop.
+pub fn retry_backoff(attempt: u64) -> Duration {
+    let base = std::env::var(RETRY_BASE_MS_ENV)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(500u64);
+    Duration::from_millis(base.saturating_mul(1u64 << attempt.min(6)))
+}
+
 /// One named experiment: a closure producing its table, plus the CSV file
 /// name the table lands in under the output directory.
 pub struct Experiment {
@@ -171,11 +183,7 @@ impl Pipeline {
     }
 
     fn backoff(attempt: u64) -> Duration {
-        let base = std::env::var(RETRY_BASE_MS_ENV)
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(500u64);
-        Duration::from_millis(base.saturating_mul(1u64 << attempt.min(6)))
+        retry_backoff(attempt)
     }
 
     /// Runs the experiments in order. `scale` and `mode` are the run-input

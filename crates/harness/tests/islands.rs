@@ -1,0 +1,153 @@
+//! Island-fleet kill-and-resume integration tests: drive the real
+//! `evolve-islands` binary, kill a worker process mid-migration with a
+//! deterministic injected fault (`SIM_FAULT=exit@...` terminates the
+//! process with exit code 86 at the targeted mailbox write, tmp file
+//! flushed but not committed), resume the fleet with `--resume`, and
+//! require the final artifact — best genomes and ladder accounting — to
+//! be **byte-identical** to an uninterrupted reference run.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+/// `sim_core::persist::FAULT_EXIT_CODE`: the injected-crash exit status.
+const FAULT_EXIT: i32 = 86;
+
+fn temp(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("plru-islands-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn islands(out: &Path, fault: Option<&str>, resume: bool, attempts: &str) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_evolve-islands"));
+    cmd.args([
+        "--smoke",
+        "--mbx-timeout",
+        "20",
+        "--attempts",
+        attempts,
+        "--out",
+    ])
+    .arg(out)
+    .env("SIM_RETRY_BASE_MS", "0")
+    .env_remove("SIM_FAULT");
+    if let Some(f) = fault {
+        cmd.env("SIM_FAULT", f);
+    }
+    if resume {
+        cmd.arg("--resume");
+    }
+    cmd.output().expect("spawn evolve-islands")
+}
+
+fn stdout_of(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+/// Kill island 1's worker process while it commits its epoch-0 migration
+/// mailbox; the fleet must fail visibly, then `--resume` must finish the
+/// run bit-identically to an uninterrupted reference.
+#[test]
+fn killed_island_worker_resumes_bit_identical() {
+    let ref_out = temp("ref");
+    let out = temp("crash");
+
+    let reference = islands(&ref_out, None, false, "3");
+    assert!(
+        reference.status.success(),
+        "reference fleet must pass; stderr: {}",
+        String::from_utf8_lossy(&reference.stderr)
+    );
+    let want = std::fs::read(ref_out.join("evolved-islands.txt")).expect("reference artifact");
+
+    // Crash: island 1's worker exits (code 86) while committing its
+    // epoch-0 mailbox — after the tmp file is flushed, before the rename —
+    // so island 0 starves on the missing mailbox and the whole fleet
+    // fails. `--attempts 1` keeps the parent from healing it in-run.
+    let crashed = islands(&out, Some("exit@mbx-island-1-epoch-0"), false, "1");
+    assert!(
+        !crashed.status.success(),
+        "a killed worker must fail the fleet (is fault injection compiled in?)"
+    );
+    assert_ne!(
+        crashed.status.code(),
+        Some(FAULT_EXIT),
+        "the parent reports the failure; only the worker dies at the fault"
+    );
+    assert!(
+        !out.join("evolved-islands.txt").exists(),
+        "no artifact from a failed fleet"
+    );
+    assert!(
+        !evolve::island::mailbox_dir(&out)
+            .join("mbx-island-1-epoch-0.mbx")
+            .exists(),
+        "the interrupted mailbox must not be committed"
+    );
+    let manifest =
+        harness::manifest::Manifest::load(&out.join("manifest.json")).expect("manifest survives");
+    assert_eq!(
+        manifest.entry("island-1").unwrap().status,
+        harness::manifest::Status::Failed,
+        "the manifest names the dead worker"
+    );
+
+    // Resume: the workers respawn, island 1 re-runs from its seed (its
+    // crash predates its first snapshot), island 0 resumes from its
+    // checkpoint, and the ring replays to the identical result.
+    let resumed = islands(&out, None, true, "3");
+    assert!(
+        resumed.status.success(),
+        "resume must succeed; stderr: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    let got = std::fs::read(out.join("evolved-islands.txt")).expect("resumed artifact");
+    assert_eq!(
+        got, want,
+        "resumed fleet must match the uninterrupted run byte-for-byte"
+    );
+
+    // A second resume short-circuits on the verified summary.
+    let replayed = islands(&out, None, true, "3");
+    assert!(replayed.status.success());
+    assert!(
+        stdout_of(&replayed).contains("already done, skipping"),
+        "a finished fleet must not re-run"
+    );
+
+    for dir in [&ref_out, &out] {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
+
+/// A fresh (non-`--resume`) invocation after a crash starts clean rather
+/// than trusting stale fleet state: the artifact still matches the
+/// reference because the run is deterministic from its seed.
+#[test]
+fn fresh_rerun_after_crash_starts_clean_and_matches() {
+    let ref_out = temp("fresh-ref");
+    let out = temp("fresh");
+
+    let reference = islands(&ref_out, None, false, "3");
+    assert!(reference.status.success());
+    let want = std::fs::read(ref_out.join("evolved-islands.txt")).expect("reference artifact");
+
+    let crashed = islands(&out, Some("exit@mbx-island-1-epoch-0"), false, "1");
+    assert!(!crashed.status.success());
+
+    // No --resume: checkpoints and mailboxes from the crashed run are
+    // cleared, the fleet re-runs from the seed, and the deterministic
+    // artifact comes out identical anyway.
+    let rerun = islands(&out, None, false, "3");
+    assert!(
+        rerun.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&rerun.stderr)
+    );
+    let got = std::fs::read(out.join("evolved-islands.txt")).expect("rerun artifact");
+    assert_eq!(got, want, "a fresh rerun reproduces the reference exactly");
+
+    for dir in [&ref_out, &out] {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

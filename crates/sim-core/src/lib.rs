@@ -26,6 +26,9 @@
 //! * [`mattson`] — single-pass stack-distance profiling: one stream pass
 //!   yields exact LRU hit/miss counts at every associativity for
 //!   inclusion-preserving policies.
+//! * [`sample`] — deterministic set-sampled sub-streams: the exact
+//!   per-set replay of a fixed residue class of sets, the GA's
+//!   mid-fidelity evaluation tier.
 //! * [`overhead`] — storage-overhead accounting used to regenerate the
 //!   paper's Section 3.6 cost comparison.
 //! * [`persist`] — crash-safe atomic artifact writes (tmp + fsync +
@@ -59,6 +62,7 @@ pub mod overhead;
 pub mod persist;
 pub mod policy;
 pub mod pool;
+pub mod sample;
 pub mod shard;
 pub mod simd;
 pub mod slice;
@@ -72,6 +76,7 @@ pub use mattson::StackDistanceProfile;
 pub use overhead::OverheadReport;
 pub use persist::{atomic_write, atomic_write_with};
 pub use policy::{PolicyFactory, ReplacementPolicy, ShardAffinity};
+pub use sample::SampledStream;
 pub use shard::{ShardRun, ShardedStream};
 pub use slice::{
     kernel_soundness_sweep, replay_sliced, KernelSweepReport, SliceKernel, SlicedTree,

@@ -87,6 +87,7 @@ fn lint(args: &[String]) -> usize {
     failures += lint_policy_twins();
     failures += lint_paper_vectors();
     failures += lint_direct_writes(&root);
+    failures += lint_island_atomicity(&root);
     if skip_clippy {
         println!("lint: clippy skipped (--skip-clippy)");
     } else {
@@ -422,7 +423,62 @@ fn lint_direct_writes(root: &Path) -> usize {
     failures
 }
 
-/// Audit 5: clippy with warnings denied, over every target.
+/// Audit 5: island coordination state is crash-safe by construction.
+///
+/// The island fleet's recovery story — kill any worker process, resume
+/// bit-identically — rests on every durable write (GA checkpoints,
+/// migration mailboxes, worker results, the fleet manifest) going
+/// through `sim_core::persist::atomic_write`. The negative direct-write
+/// audit above catches raw `fs::write` calls; this positive audit fails
+/// if the island/checkpoint sources stop routing through the crash-safe
+/// helpers entirely (say, a refactor to a hand-rolled writer whose call
+/// shape the negative audit's pattern list misses).
+fn lint_island_atomicity(root: &Path) -> usize {
+    let checks: &[(&str, &[&str])] = &[
+        (
+            "crates/evolve/src/checkpoint.rs",
+            &["persist::atomic_write", "save_mailbox", "save_island_state"],
+        ),
+        (
+            "crates/evolve/src/island.rs",
+            &[
+                "checkpoint::save_mailbox",
+                "save_island_state",
+                "save_island_final",
+            ],
+        ),
+        (
+            "crates/harness/src/bin/evolve-islands.rs",
+            &["atomic_write"],
+        ),
+        ("crates/harness/src/manifest.rs", &["atomic_write"]),
+    ];
+    let mut failures = 0;
+    for (rel, needles) in checks {
+        let path = root.join(rel);
+        let Ok(source) = std::fs::read_to_string(&path) else {
+            eprintln!("lint(island-atomicity): {rel} is missing or unreadable");
+            failures += 1;
+            continue;
+        };
+        for needle in *needles {
+            if !source.contains(needle) {
+                eprintln!(
+                    "lint(island-atomicity): {rel} no longer references `{needle}`; \
+                     island checkpoint/mailbox/manifest writes must stay on the \
+                     sim_core::persist::atomic_write path"
+                );
+                failures += 1;
+            }
+        }
+    }
+    if failures == 0 {
+        println!("lint: island-atomicity audit ok ({} sources)", checks.len());
+    }
+    failures
+}
+
+/// Audit 6: clippy with warnings denied, over every target.
 fn lint_clippy(root: &Path) -> usize {
     println!("lint: running cargo clippy --workspace --all-targets -- -D warnings");
     let status = Command::new("cargo")
