@@ -1,0 +1,364 @@
+//! The serving-mode driver: one binary, three roles.
+//!
+//! * **Daemon** (default): bind the sim-serve daemon on `--listen`,
+//!   optionally with crash-safe snapshots under `--snapshot-dir`, and run
+//!   until killed. The bound port is published through `--port-file`
+//!   (written atomically, so a watching client never reads a torn file).
+//! * **Client** (`--client`): stream a deterministic access (or KV)
+//!   workload into a tenant session and write the final canonical stats
+//!   to `--out`. `--resume` continues a parked session after a crash,
+//!   skipping whatever the daemon already ingested.
+//! * **Reference** (`--reference`): compute the same tenant's stats
+//!   in-process — no sockets — and write them to `--out`. A serving run
+//!   is correct iff its client output is byte-identical to this.
+//!
+//! The chaos drill (`tests/serve.rs` and the CI `serve` job) SIGKILLs
+//! clients and the daemon mid-stream and then diffs client output against
+//! reference output byte for byte.
+//!
+//! Usage:
+//!
+//! ```text
+//! serve [--listen 127.0.0.1:0] [--snapshot-dir DIR] [--port-file PATH]
+//!       [--snapshot-every N] [--label NAME]
+//! serve --client --connect ADDR --tenant NAME --accesses N --seed S
+//!       [--batch B] [--slow-ms MS] [--kv] [--resume] [--delta-every N]
+//!       [--out FILE]
+//! serve --reference --accesses N --seed S [--kv] --out FILE
+//! ```
+
+use harness::pipeline::retry_backoff;
+use harness::policies;
+use sim_core::persist::atomic_write;
+use sim_core::{Access, AccessKind};
+use sim_serve::protocol::{ClientFrame, GeometrySpec, Hello, KvOp, ServerFrame};
+use sim_serve::session::{canonical_stats, reference_delta, Roster};
+use sim_serve::{Server, ServerConfig, PROTOCOL_VERSION};
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::exit;
+use std::time::Duration;
+
+/// Serving geometry: deliberately small so CI drills replay quickly while
+/// still exercising every policy's set/way logic.
+fn spec() -> GeometrySpec {
+    GeometrySpec {
+        size_bytes: 256 * 1024,
+        ways: 16,
+        line_bytes: 64,
+    }
+}
+
+/// The full serving roster: every baseline plus the paper's GIPPR
+/// configurations. Daemon and `--reference` share this function, which is
+/// what makes byte-for-byte comparison meaningful.
+fn full_roster() -> Roster {
+    let mut roster: Roster = policies::baseline_roster(0xC0FFEE)
+        .into_iter()
+        .map(|(n, f)| (n.to_string(), f))
+        .collect();
+    roster.push((
+        "WI-GIPPR".to_string(),
+        policies::gippr(gippr::vectors::wi_gippr(), "WI-GIPPR"),
+    ));
+    roster.push((
+        "WN1-GIPPR".to_string(),
+        policies::gippr(gippr::vectors::perlbench_wn1(), "WN1-GIPPR"),
+    ));
+    roster.push((
+        "WI-4-DGIPPR".to_string(),
+        policies::dgippr(gippr::vectors::wi_4dgippr().to_vec(), "WI-4-DGIPPR"),
+    ));
+    roster
+}
+
+/// Deterministic xorshift access stream shared by clients and references.
+fn stream(n: usize, seed: u64) -> Vec<Access> {
+    let mut state = seed | 1;
+    (0..n)
+        .map(|i| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let addr = (state % 16384) * 64;
+            let kind = match state % 5 {
+                0 => AccessKind::Write,
+                4 => AccessKind::Writeback,
+                _ => AccessKind::Read,
+            };
+            Access {
+                addr,
+                pc: (i as u64) * 4,
+                kind,
+                icount_delta: (state % 7) as u32 + 1,
+            }
+        })
+        .collect()
+}
+
+/// Deterministic KV workload: skewed key popularity, periodic writes.
+fn kv_stream(n: usize, seed: u64) -> Vec<KvOp> {
+    let mut state = seed | 1;
+    (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            // Zipf-ish: half the traffic on 16 hot keys, the rest spread.
+            let key_id = if state % 2 == 0 {
+                state % 16
+            } else {
+                state % 4096
+            };
+            KvOp {
+                write: state % 10 == 0,
+                key: format!("key:{key_id}"),
+            }
+        })
+        .collect()
+}
+
+struct Cli {
+    mode: Mode,
+    listen: String,
+    snapshot_dir: Option<PathBuf>,
+    port_file: Option<PathBuf>,
+    snapshot_every: u64,
+    label: String,
+    connect: Option<String>,
+    tenant: String,
+    accesses: usize,
+    seed: u64,
+    batch: usize,
+    slow_ms: u64,
+    kv: bool,
+    resume: bool,
+    delta_every: u64,
+    out: Option<PathBuf>,
+}
+
+#[derive(PartialEq)]
+enum Mode {
+    Daemon,
+    Client,
+    Reference,
+}
+
+fn parse_args() -> Cli {
+    let mut cli = Cli {
+        mode: Mode::Daemon,
+        listen: "127.0.0.1:0".to_string(),
+        snapshot_dir: None,
+        port_file: None,
+        snapshot_every: 0,
+        label: "serve".to_string(),
+        connect: None,
+        tenant: "default".to_string(),
+        accesses: 1000,
+        seed: 1,
+        batch: 64,
+        slow_ms: 0,
+        kv: false,
+        resume: false,
+        delta_every: 0,
+        out: None,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> String {
+        *i += 1;
+        args.get(*i)
+            .unwrap_or_else(|| {
+                eprintln!("serve: {flag} needs a value");
+                exit(2);
+            })
+            .clone()
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--client" => cli.mode = Mode::Client,
+            "--reference" => cli.mode = Mode::Reference,
+            "--listen" => cli.listen = value(&mut i, "--listen"),
+            "--snapshot-dir" => cli.snapshot_dir = Some(value(&mut i, "--snapshot-dir").into()),
+            "--port-file" => cli.port_file = Some(value(&mut i, "--port-file").into()),
+            "--snapshot-every" => {
+                cli.snapshot_every = value(&mut i, "--snapshot-every").parse().expect("number")
+            }
+            "--label" => cli.label = value(&mut i, "--label"),
+            "--connect" => cli.connect = Some(value(&mut i, "--connect")),
+            "--tenant" => cli.tenant = value(&mut i, "--tenant"),
+            "--accesses" => cli.accesses = value(&mut i, "--accesses").parse().expect("number"),
+            "--seed" => cli.seed = value(&mut i, "--seed").parse().expect("number"),
+            "--batch" => cli.batch = value(&mut i, "--batch").parse().expect("number"),
+            "--slow-ms" => cli.slow_ms = value(&mut i, "--slow-ms").parse().expect("number"),
+            "--kv" => cli.kv = true,
+            "--resume" => cli.resume = true,
+            "--delta-every" => {
+                cli.delta_every = value(&mut i, "--delta-every").parse().expect("number")
+            }
+            "--out" => cli.out = Some(value(&mut i, "--out").into()),
+            other => {
+                eprintln!("serve: unknown flag {other}");
+                exit(2);
+            }
+        }
+        i += 1;
+    }
+    cli
+}
+
+fn main() {
+    let cli = parse_args();
+    match cli.mode {
+        Mode::Daemon => daemon(cli),
+        Mode::Client => client(cli),
+        Mode::Reference => reference(cli),
+    }
+}
+
+fn daemon(cli: Cli) {
+    let config = ServerConfig {
+        label: cli.label.clone(),
+        snapshot_dir: cli.snapshot_dir.clone(),
+        backoff: retry_backoff,
+        snapshot_every: cli.snapshot_every,
+        ..ServerConfig::default()
+    };
+    let server = match Server::bind_tcp(&cli.listen, full_roster(), config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve: cannot bind {}: {e}", cli.listen);
+            exit(1);
+        }
+    };
+    let addr = server.local_addr().expect("tcp listener has an address");
+    println!(
+        "serve: listening on {addr} ({} sessions restored)",
+        server.session_count()
+    );
+    if let Some(path) = &cli.port_file {
+        // Atomic so a polling client never reads a half-written port.
+        if let Err(e) = atomic_write(path, format!("{addr}\n").as_bytes()) {
+            eprintln!("serve: cannot write port file {}: {e}", path.display());
+            exit(1);
+        }
+    }
+    // Serve until killed: the drill SIGKILLs this process mid-stream.
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+fn client(cli: Cli) {
+    let addr = cli.connect.clone().unwrap_or_else(|| {
+        eprintln!("serve: --client needs --connect ADDR");
+        exit(2);
+    });
+    let mut sock = match TcpStream::connect(&addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve: cannot connect {addr}: {e}");
+            exit(1);
+        }
+    };
+    sock.set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    sock.set_nodelay(true).unwrap();
+
+    sim_serve::protocol::send_client(
+        &mut sock,
+        &ClientFrame::Hello(Hello {
+            version: PROTOCOL_VERSION,
+            tenant: cli.tenant.clone(),
+            resume: cli.resume,
+            kv_mode: cli.kv,
+            geometry: spec(),
+            roster: Vec::new(),
+            delta_every: cli.delta_every,
+        }),
+    )
+    .expect("send hello");
+    let resumed = match sim_serve::protocol::recv_server(&mut sock).expect("hello ack") {
+        ServerFrame::HelloAck { resumed, .. } => resumed as usize,
+        ServerFrame::Error { code, message } => {
+            eprintln!("serve: session rejected ({code:?}): {message}");
+            exit(1);
+        }
+        other => {
+            eprintln!("serve: unexpected frame {other:?}");
+            exit(1);
+        }
+    };
+    if resumed > 0 {
+        println!("serve: resuming after {resumed} ingested accesses");
+    }
+
+    if cli.kv {
+        let ops = kv_stream(cli.accesses, cli.seed);
+        for chunk in ops[resumed.min(ops.len())..].chunks(cli.batch.max(1)) {
+            sim_serve::protocol::send_client(&mut sock, &ClientFrame::KvBatch(chunk.to_vec()))
+                .expect("send kv batch");
+            if cli.slow_ms > 0 {
+                std::thread::sleep(Duration::from_millis(cli.slow_ms));
+            }
+        }
+    } else {
+        let accesses = stream(cli.accesses, cli.seed);
+        for chunk in accesses[resumed.min(accesses.len())..].chunks(cli.batch.max(1)) {
+            sim_serve::protocol::send_client(&mut sock, &ClientFrame::Accesses(chunk.to_vec()))
+                .expect("send batch");
+            if cli.slow_ms > 0 {
+                std::thread::sleep(Duration::from_millis(cli.slow_ms));
+            }
+        }
+    }
+    sim_serve::protocol::send_client(&mut sock, &ClientFrame::Finish).expect("send finish");
+
+    let mut throttled = 0u64;
+    let fin = loop {
+        match sim_serve::protocol::recv_server(&mut sock).expect("server frame") {
+            ServerFrame::Delta(_) => {}
+            ServerFrame::Throttled { coalesced } => throttled += coalesced,
+            ServerFrame::Warning { code, message } => {
+                eprintln!("serve: warning {code}: {message}");
+            }
+            ServerFrame::Final { delta, .. } => break delta,
+            other => {
+                eprintln!("serve: unexpected frame {other:?}");
+                exit(1);
+            }
+        }
+    };
+    if throttled > 0 {
+        println!("serve: {throttled} deltas were coalesced under backpressure");
+    }
+    // Best effort: a clean goodbye keeps the daemon's log quiet.
+    let _ = sim_serve::protocol::send_client(&mut sock, &ClientFrame::Bye);
+    let stats = canonical_stats(&fin);
+    match &cli.out {
+        Some(path) => atomic_write(path, stats.as_bytes()).expect("write stats"),
+        None => {
+            std::io::stdout().write_all(stats.as_bytes()).unwrap();
+        }
+    }
+}
+
+fn reference(cli: Cli) {
+    let accesses = if cli.kv {
+        kv_stream(cli.accesses, cli.seed)
+            .iter()
+            .map(|op| sim_serve::kv::op_to_access(op, u64::from(spec().line_bytes)))
+            .collect()
+    } else {
+        stream(cli.accesses, cli.seed)
+    };
+    let delta = reference_delta(&accesses, &[], &full_roster(), spec()).expect("reference replay");
+    let stats = canonical_stats(&delta);
+    match &cli.out {
+        Some(path) => atomic_write(path, stats.as_bytes()).expect("write stats"),
+        None => {
+            std::io::stdout().write_all(stats.as_bytes()).unwrap();
+        }
+    }
+}

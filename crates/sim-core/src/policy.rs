@@ -44,7 +44,12 @@ pub enum ShardAffinity {
 ///    [`victim`](ReplacementPolicy::victim) followed by
 ///    [`on_evict`](ReplacementPolicy::on_evict); finally
 ///    [`on_fill`](ReplacementPolicy::on_fill) for the incoming block.
-pub trait ReplacementPolicy {
+///
+/// `Send` is a supertrait so long-lived engines (e.g. the serving
+/// daemon's per-tenant sessions) can be handed between worker-pool
+/// threads; every policy is a plain data structure, so this costs
+/// implementors nothing.
+pub trait ReplacementPolicy: Send {
     /// A short human-readable policy name (e.g. `"WN1-4-DGIPPR"`).
     fn name(&self) -> &str;
 

@@ -31,9 +31,14 @@
 //! kind       = 'torn' | 'enospc' | 'corrupt' | 'exit'      (write points)
 //!            | 'panic' | 'stall'                           (task points)
 //!            | 'spawn-fail'                                (pool spawn)
+//!            | 'short-read' | 'short-write'                (connection I/O)
+//!            | 'disconnect' | 'conn-stall'                 (connection I/O)
+//!            | 'accept-fail'                               (listener accept)
 //! option     = 'n=' COUNT    fire on the COUNT-th match (1-based, default 1)
 //!            | 'sticky'      keep firing from the n-th match onward
 //!            | 'keep=' BYTES torn writes keep this payload prefix (default half)
+//!                            (short-read/short-write: bytes delivered
+//!                            before the connection breaks, default half)
 //!            | 'ms=' MILLIS  stall duration (default 200)
 //!            | 'task=' INDEX task faults only hit this task index (default any)
 //! ```
@@ -67,6 +72,14 @@
 //!   for the pool watchdog to notice.
 //! * **Spawn points** ([`on_spawn`]) make `WorkerPool` thread spawns fail,
 //!   driving the graceful-degradation path.
+//! * **Connection points** ([`on_conn`]) guard socket reads and writes in
+//!   the policy-evaluation daemon (`sim-serve`): `short-read` delivers a
+//!   byte prefix then breaks the connection (the classic half-frame), and
+//!   `short-write` is its sending-side twin; `disconnect` severs the
+//!   connection before any byte moves; `conn-stall` delays the operation
+//!   (deadline-wheel fodder). `accept-fail` fires at the listener's accept
+//!   point, which a robust daemon must survive without dropping existing
+//!   sessions.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -93,6 +106,23 @@ pub enum WriteFault {
     Exit,
 }
 
+/// What an instrumented connection operation (socket read/write/accept)
+/// should do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnFault {
+    /// No fault: perform the operation normally.
+    None,
+    /// Deliver only a byte prefix, then break the connection. `keep` is
+    /// the prefix length in bytes; `None` means half the requested
+    /// transfer (the mid-frame disconnect a frame decoder must detect).
+    Short(Option<usize>),
+    /// Sever the connection before any byte moves.
+    Disconnect,
+    /// Delay the operation this many milliseconds, then proceed normally
+    /// (slow-peer and idle-timeout fodder).
+    Stall(u64),
+}
+
 /// What an instrumented pool task should do before running.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TaskFault {
@@ -115,6 +145,11 @@ enum Kind {
     Panic,
     Stall,
     SpawnFail,
+    ShortRead,
+    ShortWrite,
+    Disconnect,
+    ConnStall,
+    AcceptFail,
 }
 
 impl Kind {
@@ -127,12 +162,24 @@ impl Kind {
             "panic" => Kind::Panic,
             "stall" => Kind::Stall,
             "spawn-fail" => Kind::SpawnFail,
+            "short-read" => Kind::ShortRead,
+            "short-write" => Kind::ShortWrite,
+            "disconnect" => Kind::Disconnect,
+            "conn-stall" => Kind::ConnStall,
+            "accept-fail" => Kind::AcceptFail,
             _ => return None,
         })
     }
 
     fn is_write(self) -> bool {
         matches!(self, Kind::Torn | Kind::Enospc | Kind::Corrupt | Kind::Exit)
+    }
+
+    fn is_conn(self) -> bool {
+        matches!(
+            self,
+            Kind::ShortRead | Kind::ShortWrite | Kind::Disconnect | Kind::ConnStall
+        )
     }
 }
 
@@ -278,6 +325,47 @@ impl Plan {
             .iter()
             .any(|c| c.kind == Kind::SpawnFail && c.strike())
     }
+
+    /// Consults connection-point clauses for a socket `op` on the
+    /// connection labeled `label` (first firing clause wins).
+    /// `short-read` clauses only match reads, `short-write` only writes;
+    /// `disconnect` and `conn-stall` match either direction.
+    pub fn conn_fault(&self, op: ConnOp, label: &str) -> ConnFault {
+        for c in &self.clauses {
+            let dir_ok = match c.kind {
+                Kind::ShortRead => op == ConnOp::Read,
+                Kind::ShortWrite => op == ConnOp::Write,
+                Kind::Disconnect | Kind::ConnStall => true,
+                _ => false,
+            };
+            if c.kind.is_conn() && dir_ok && c.matches_label(label) && c.strike() {
+                return match c.kind {
+                    Kind::ShortRead | Kind::ShortWrite => ConnFault::Short(c.keep),
+                    Kind::Disconnect => ConnFault::Disconnect,
+                    Kind::ConnStall => ConnFault::Stall(c.ms),
+                    _ => unreachable!("is_conn gated"),
+                };
+            }
+        }
+        ConnFault::None
+    }
+
+    /// Consults accept-point clauses for the listener labeled `label`;
+    /// `true` means this accept should fail with a transient error.
+    pub fn accept_fault(&self, label: &str) -> bool {
+        self.clauses
+            .iter()
+            .any(|c| c.kind == Kind::AcceptFail && c.matches_label(label) && c.strike())
+    }
+}
+
+/// Direction of an instrumented connection operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnOp {
+    /// Receiving bytes from the peer.
+    Read,
+    /// Sending bytes to the peer.
+    Write,
 }
 
 fn parse_num(v: &str, clause: &str) -> Result<u64, String> {
@@ -435,6 +523,43 @@ pub fn on_spawn() -> bool {
     }
 }
 
+/// Connection-point hook: what the socket `op` on the connection labeled
+/// `label` should do. Inlined to `ConnFault::None` unless `injection` is
+/// on.
+#[inline(always)]
+pub fn on_conn(op: ConnOp, label: &str) -> ConnFault {
+    #[cfg(feature = "injection")]
+    {
+        match current_plan() {
+            Some(plan) => plan.conn_fault(op, label),
+            None => ConnFault::None,
+        }
+    }
+    #[cfg(not(feature = "injection"))]
+    {
+        let _ = (op, label);
+        ConnFault::None
+    }
+}
+
+/// Accept-point hook: whether this listener accept should fail with a
+/// transient error. Inlined to `false` unless `injection` is on.
+#[inline(always)]
+pub fn on_accept(label: &str) -> bool {
+    #[cfg(feature = "injection")]
+    {
+        match current_plan() {
+            Some(plan) => plan.accept_fault(label),
+            None => false,
+        }
+    }
+    #[cfg(not(feature = "injection"))]
+    {
+        let _ = label;
+        false
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -495,6 +620,58 @@ mod tests {
         assert_eq!(plan.task_fault("replay", 0), TaskFault::Stall(9));
         assert_eq!(plan.task_fault("replay", 7), TaskFault::Stall(9));
         assert_eq!(plan.task_fault("other", 0), TaskFault::None);
+    }
+
+    #[test]
+    fn conn_faults_filter_by_direction_and_label() {
+        let plan = Plan::parse(
+            "short-read@tenant-a:keep=5; short-write@tenant-b; disconnect@tenant-c; \
+             conn-stall@tenant-d:ms=7:sticky",
+        )
+        .unwrap();
+        // short-read never matches writes (and vice versa).
+        assert_eq!(plan.conn_fault(ConnOp::Write, "tenant-a"), ConnFault::None);
+        assert_eq!(
+            plan.conn_fault(ConnOp::Read, "tenant-a"),
+            ConnFault::Short(Some(5))
+        );
+        assert_eq!(plan.conn_fault(ConnOp::Read, "tenant-a"), ConnFault::None);
+        assert_eq!(plan.conn_fault(ConnOp::Read, "tenant-b"), ConnFault::None);
+        assert_eq!(
+            plan.conn_fault(ConnOp::Write, "tenant-b"),
+            ConnFault::Short(None)
+        );
+        // disconnect and conn-stall hit both directions.
+        assert_eq!(
+            plan.conn_fault(ConnOp::Write, "tenant-c"),
+            ConnFault::Disconnect
+        );
+        assert_eq!(
+            plan.conn_fault(ConnOp::Read, "tenant-d"),
+            ConnFault::Stall(7)
+        );
+        assert_eq!(
+            plan.conn_fault(ConnOp::Write, "tenant-d"),
+            ConnFault::Stall(7),
+            "sticky keeps firing"
+        );
+    }
+
+    #[test]
+    fn accept_fault_fires_per_plan() {
+        let plan = Plan::parse("accept-fail@serve:n=2").unwrap();
+        assert!(!plan.accept_fault("serve"));
+        assert!(plan.accept_fault("serve"));
+        assert!(!plan.accept_fault("serve"));
+        assert!(!plan.accept_fault("other"), "label mismatch never fires");
+    }
+
+    #[test]
+    fn conn_kinds_do_not_fire_write_or_task_points() {
+        let plan = Plan::parse("short-read; disconnect; accept-fail").unwrap();
+        assert_eq!(plan.write_fault("x.csv"), WriteFault::None);
+        assert_eq!(plan.task_fault("batch", 0), TaskFault::None);
+        assert!(!plan.spawn_fault());
     }
 
     #[test]

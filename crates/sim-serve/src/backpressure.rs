@@ -1,0 +1,330 @@
+//! Bounded per-session delta outbox with explicit backpressure.
+//!
+//! Stats deltas are **cumulative**, which is what makes backpressure safe:
+//! two adjacent deltas can be merged by keeping the later counters and
+//! widening the covered access range, losing nothing but intermediate
+//! granularity. The outbox holds at most `bound` queued deltas plus one
+//! coalesced slot; a consumer too slow to drain gets the merged delta
+//! followed by a clean [`ServerFrame::Throttled`] frame telling it how
+//! many pushes were folded away. Memory is O(bound) per session no matter
+//! how slow the peer is — never unbounded growth, never a silent drop.
+//!
+//! Control frames (warnings, errors, finals) are exempt from coalescing:
+//! they are rare, bounded by session state, and must never be merged away.
+
+use crate::protocol::{Delta, ServerFrame};
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Pure (single-threaded) bounded outbox. [`SharedOutbox`] wraps it for
+/// the server's writer threads; the pure form exists so property tests
+/// can drive arbitrary push/pop interleavings deterministically.
+#[derive(Debug)]
+pub struct DeltaOutbox {
+    bound: usize,
+    deltas: VecDeque<Delta>,
+    /// Merged overflow delta plus the number of pushes folded into it.
+    coalesced: Option<(Delta, u64)>,
+    /// A `Throttled` owed to the consumer right after a coalesced delta.
+    pending_throttle: Option<u64>,
+    control: VecDeque<ServerFrame>,
+    closed: bool,
+}
+
+/// Merges cumulative delta `next` over `prev`: later counters win, the
+/// covered range widens to span both.
+fn merge(prev: &Delta, next: Delta) -> Delta {
+    Delta {
+        covered_from: prev.covered_from.min(next.covered_from),
+        ..next
+    }
+}
+
+impl DeltaOutbox {
+    /// An outbox admitting at most `bound` queued deltas (minimum 1).
+    pub fn new(bound: usize) -> Self {
+        DeltaOutbox {
+            bound: bound.max(1),
+            deltas: VecDeque::new(),
+            coalesced: None,
+            pending_throttle: None,
+            control: VecDeque::new(),
+            closed: false,
+        }
+    }
+
+    /// Number of individually queued deltas (never exceeds the bound).
+    pub fn occupancy(&self) -> usize {
+        self.deltas.len()
+    }
+
+    /// Configured delta bound.
+    pub fn bound(&self) -> usize {
+        self.bound
+    }
+
+    /// True when nothing is waiting to be sent.
+    pub fn is_empty(&self) -> bool {
+        self.deltas.is_empty()
+            && self.coalesced.is_none()
+            && self.pending_throttle.is_none()
+            && self.control.is_empty()
+    }
+
+    /// Enqueues a delta, coalescing instead of growing past the bound.
+    pub fn push_delta(&mut self, d: Delta) {
+        match self.coalesced.take() {
+            // Once coalescing has started it keeps absorbing pushes until
+            // the consumer drains; feeding the queue again first would
+            // reorder the merged range behind newer deltas.
+            Some((held, n)) => self.coalesced = Some((merge(&held, d), n + 1)),
+            None => {
+                if self.deltas.len() < self.bound {
+                    self.deltas.push_back(d);
+                } else {
+                    self.coalesced = Some((d, 1));
+                }
+            }
+        }
+    }
+
+    /// Enqueues a control frame (never coalesced or dropped).
+    pub fn push_control(&mut self, f: ServerFrame) {
+        self.control.push_back(f);
+    }
+
+    /// Marks the outbox closed; [`DeltaOutbox::pop`] drains what remains.
+    pub fn close(&mut self) {
+        self.closed = true;
+    }
+
+    /// True once closed *and* fully drained.
+    pub fn finished(&self) -> bool {
+        self.closed && self.is_empty()
+    }
+
+    /// Takes the next frame to send, oldest work first: queued deltas,
+    /// then the coalesced delta (immediately followed by its `Throttled`
+    /// notice), then control frames.
+    pub fn pop(&mut self) -> Option<ServerFrame> {
+        if let Some(n) = self.pending_throttle.take() {
+            return Some(ServerFrame::Throttled { coalesced: n });
+        }
+        if let Some(d) = self.deltas.pop_front() {
+            return Some(ServerFrame::Delta(d));
+        }
+        if let Some((d, n)) = self.coalesced.take() {
+            self.pending_throttle = Some(n);
+            return Some(ServerFrame::Delta(d));
+        }
+        self.control.pop_front()
+    }
+}
+
+/// Thread-safe outbox: the session thread pushes, the connection's writer
+/// thread blocks on [`SharedOutbox::pop_wait`].
+#[derive(Debug)]
+pub struct SharedOutbox {
+    inner: Mutex<DeltaOutbox>,
+    ready: Condvar,
+}
+
+impl SharedOutbox {
+    /// A shared outbox with the given delta bound.
+    pub fn new(bound: usize) -> Self {
+        SharedOutbox {
+            inner: Mutex::new(DeltaOutbox::new(bound)),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, DeltaOutbox> {
+        // A poisoned outbox mutex means a pushing thread panicked; the
+        // queue itself is still structurally sound, so keep draining.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Enqueues a delta (coalescing under pressure) and wakes the writer.
+    pub fn push_delta(&self, d: Delta) {
+        self.lock().push_delta(d);
+        self.ready.notify_all();
+    }
+
+    /// Enqueues a control frame and wakes the writer.
+    pub fn push_control(&self, f: ServerFrame) {
+        self.lock().push_control(f);
+        self.ready.notify_all();
+    }
+
+    /// Closes the outbox; the writer exits once it has drained.
+    pub fn close(&self) {
+        self.lock().close();
+        self.ready.notify_all();
+    }
+
+    /// Blocks up to `patience` for the next frame. `None` means either
+    /// closed-and-drained (check [`SharedOutbox::finished`]) or a timeout
+    /// with nothing queued.
+    pub fn pop_wait(&self, patience: Duration) -> Option<ServerFrame> {
+        let mut guard = self.lock();
+        loop {
+            if let Some(frame) = guard.pop() {
+                return Some(frame);
+            }
+            if guard.closed {
+                return None;
+            }
+            let (g, timeout) = self
+                .ready
+                .wait_timeout(guard, patience)
+                .unwrap_or_else(|e| e.into_inner());
+            guard = g;
+            if timeout.timed_out() {
+                return guard.pop();
+            }
+        }
+    }
+
+    /// True once closed and drained.
+    pub fn finished(&self) -> bool {
+        self.lock().finished()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::PolicyRow;
+    use sim_core::CacheStats;
+
+    /// A cumulative delta covering accesses `[from, to)` with counters
+    /// derived from `to` so merged counters can be checked exactly.
+    fn delta(seq: u64, from: u64, to: u64) -> Delta {
+        Delta {
+            seq,
+            covered_from: from,
+            covered_to: to,
+            instructions: to * 10,
+            rows: vec![PolicyRow {
+                name: "LRU".into(),
+                stats: CacheStats {
+                    accesses: to,
+                    hits: to / 2,
+                    misses: to - to / 2,
+                    evictions: 0,
+                    writebacks: 0,
+                    bypasses: 0,
+                },
+            }],
+        }
+    }
+
+    #[test]
+    fn fifo_below_bound() {
+        let mut ob = DeltaOutbox::new(4);
+        for i in 0..3 {
+            ob.push_delta(delta(i, i * 10, (i + 1) * 10));
+        }
+        for i in 0..3 {
+            match ob.pop() {
+                Some(ServerFrame::Delta(d)) => assert_eq!(d.seq, i),
+                other => panic!("expected delta, got {other:?}"),
+            }
+        }
+        assert!(ob.pop().is_none());
+    }
+
+    #[test]
+    fn overflow_coalesces_and_throttles() {
+        let mut ob = DeltaOutbox::new(2);
+        for i in 0..5 {
+            ob.push_delta(delta(i, i * 10, (i + 1) * 10));
+        }
+        assert_eq!(ob.occupancy(), 2);
+
+        // Two queued deltas come out intact.
+        for i in 0..2 {
+            match ob.pop() {
+                Some(ServerFrame::Delta(d)) => assert_eq!(d.seq, i),
+                other => panic!("{other:?}"),
+            }
+        }
+        // Then the merge of deltas 2..=4: latest counters, widened range.
+        match ob.pop() {
+            Some(ServerFrame::Delta(d)) => {
+                assert_eq!(d.seq, 4);
+                assert_eq!(d.covered_from, 20);
+                assert_eq!(d.covered_to, 50);
+                assert_eq!(d.rows[0].stats.accesses, 50);
+            }
+            other => panic!("{other:?}"),
+        }
+        // And the clean throttle notice: 3 pushes were folded together.
+        match ob.pop() {
+            Some(ServerFrame::Throttled { coalesced }) => assert_eq!(coalesced, 3),
+            other => panic!("{other:?}"),
+        }
+        assert!(ob.pop().is_none());
+    }
+
+    #[test]
+    fn coalescing_persists_until_drained() {
+        let mut ob = DeltaOutbox::new(1);
+        ob.push_delta(delta(0, 0, 10));
+        ob.push_delta(delta(1, 10, 20)); // starts coalescing
+                                         // Pop the queued delta; slot stays in coalesced mode...
+        assert!(matches!(ob.pop(), Some(ServerFrame::Delta(d)) if d.seq == 0));
+        // ...so this push merges rather than re-entering the queue out of
+        // order.
+        ob.push_delta(delta(2, 20, 30));
+        match ob.pop() {
+            Some(ServerFrame::Delta(d)) => {
+                assert_eq!(d.seq, 2);
+                assert_eq!((d.covered_from, d.covered_to), (10, 30));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            ob.pop(),
+            Some(ServerFrame::Throttled { coalesced: 2 })
+        ));
+    }
+
+    #[test]
+    fn control_frames_survive_pressure() {
+        let mut ob = DeltaOutbox::new(1);
+        for i in 0..10 {
+            ob.push_delta(delta(i, i, i + 1));
+        }
+        ob.push_control(ServerFrame::Warning {
+            code: 1,
+            message: "w".into(),
+        });
+        ob.push_control(ServerFrame::Bye);
+        let mut kinds = Vec::new();
+        while let Some(f) = ob.pop() {
+            kinds.push(match f {
+                ServerFrame::Delta(_) => "delta",
+                ServerFrame::Throttled { .. } => "throttled",
+                ServerFrame::Warning { .. } => "warning",
+                ServerFrame::Bye => "bye",
+                _ => "other",
+            });
+        }
+        assert_eq!(kinds, ["delta", "delta", "throttled", "warning", "bye"]);
+    }
+
+    #[test]
+    fn shared_outbox_close_drains() {
+        let ob = SharedOutbox::new(2);
+        ob.push_delta(delta(0, 0, 10));
+        ob.close();
+        assert!(matches!(
+            ob.pop_wait(Duration::from_millis(10)),
+            Some(ServerFrame::Delta(_))
+        ));
+        assert!(ob.pop_wait(Duration::from_millis(10)).is_none());
+        assert!(ob.finished());
+    }
+}

@@ -1,0 +1,798 @@
+//! Per-tenant replay sessions: roster fan-out, incremental stats, and
+//! crash-safe snapshots.
+//!
+//! A session owns one cache engine per roster policy and streams every
+//! ingested access through all of them, fanned across the global worker
+//! pool (each policy is an independent deterministic machine, so parallel
+//! fan-out is bit-identical to a sequential loop). Cumulative stats are
+//! cut into [`Delta`]s every `delta_every` accesses.
+//!
+//! # Snapshot model: journal replay
+//!
+//! Policies are deliberately opaque (`Box<dyn ReplacementPolicy>` with no
+//! serialization surface), so a snapshot does not try to freeze engine
+//! state. Instead it records the session *inputs*: the config plus the
+//! full access journal, embedded as a standard `traces` container (CRC'd,
+//! length-checked) behind a CRC'd meta block. Restoring replays the
+//! journal through freshly built engines — determinism then guarantees the
+//! restored session is **bit-identical** to the one that was killed, at
+//! the cost of replay time and journal memory. That trade is the right
+//! one for a what-if analysis daemon: correctness is observable, and the
+//! journal doubles as the tenant's captured trace.
+//!
+//! Snapshots are written through [`sim_core::persist::atomic_write`] with
+//! retry-and-backoff, so a torn write can never destroy the previous good
+//! snapshot and a transient `ENOSPC` is ridden out rather than fatal.
+
+use crate::kv;
+use crate::protocol::{put_str, put_u16, put_u32, put_u64};
+use crate::protocol::{Cursor, Delta, GeometrySpec, KvOp, PolicyRow, ProtoError};
+use sim_core::persist::atomic_write;
+use sim_core::{pool, Access, CacheGeometry, PolicyFactory, SetAssocCache};
+use std::error::Error;
+use std::fmt;
+use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::Mutex;
+use std::time::Duration;
+use traces::{TraceReader, TraceWriter};
+
+/// Snapshot file magic (the `.ssn` sibling of the `PLRUTRC1` container).
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"PLRUSSN1";
+
+/// Snapshot format version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Backoff schedule used between snapshot write retries; the harness
+/// passes `pipeline::retry_backoff` so the daemon shares the pipeline's
+/// tunable (`SIM_RETRY_BASE_MS`) schedule.
+pub type BackoffFn = fn(u64) -> Duration;
+
+/// A named-policy registry: the roster a server can evaluate.
+pub type Roster = Vec<(String, PolicyFactory)>;
+
+/// A compact default roster for in-crate tests and embedded use. The
+/// harness `serve` binary passes its full 12-policy roster instead.
+pub fn default_roster() -> Roster {
+    use sim_core::policy::factory;
+    let entries: Vec<(&str, PolicyFactory)> = vec![
+        ("LRU", factory(|g| Box::new(baselines::TrueLru::new(g)))),
+        (
+            "PseudoLRU",
+            factory(|g| Box::new(gippr::PlruPolicy::new(g))),
+        ),
+        ("FIFO", factory(|g| Box::new(baselines::FifoPolicy::new(g)))),
+        (
+            "SRRIP",
+            factory(|g| Box::new(baselines::SrripPolicy::new(g))),
+        ),
+        (
+            "WI-GIPPR",
+            factory(|g| {
+                Box::new(
+                    gippr::GipprPolicy::with_name(g, gippr::vectors::wi_gippr(), "WI-GIPPR")
+                        .expect("16-way IPV fits 16-way geometry"),
+                )
+            }),
+        ),
+    ];
+    entries
+        .into_iter()
+        .map(|(n, f)| (n.to_string(), f))
+        .collect()
+}
+
+/// Why a session could not be opened.
+#[derive(Debug)]
+pub enum SessionError {
+    /// The requested geometry is not a valid cache shape.
+    BadGeometry(String),
+    /// A requested policy name is not in the server roster.
+    UnknownPolicy(String),
+    /// A policy factory rejected (panicked on) the requested geometry.
+    PolicyConstruction(String),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::BadGeometry(msg) => write!(f, "invalid geometry: {msg}"),
+            SessionError::UnknownPolicy(name) => write!(f, "unknown policy {name:?}"),
+            SessionError::PolicyConstruction(name) => {
+                write!(f, "policy {name:?} cannot be built for this geometry")
+            }
+        }
+    }
+}
+
+impl Error for SessionError {}
+
+/// Why a snapshot could not be restored.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The file is not a snapshot.
+    BadMagic,
+    /// Unsupported snapshot format version.
+    BadVersion(u32),
+    /// The file ended inside the header or meta block.
+    Truncated,
+    /// The meta block fails its CRC.
+    MetaCrc,
+    /// The meta block decodes to nonsense.
+    BadMeta(&'static str),
+    /// The embedded journal container is damaged.
+    Journal(traces::TraceError),
+    /// The config is valid but the session cannot be rebuilt (e.g. the
+    /// roster changed across daemon builds).
+    Session(SessionError),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::BadMagic => write!(f, "not a session snapshot (bad magic)"),
+            SnapshotError::BadVersion(v) => write!(f, "unsupported snapshot version {v}"),
+            SnapshotError::Truncated => write!(f, "snapshot truncated"),
+            SnapshotError::MetaCrc => write!(f, "snapshot meta block fails its crc"),
+            SnapshotError::BadMeta(what) => write!(f, "snapshot meta malformed: {what}"),
+            SnapshotError::Journal(e) => write!(f, "snapshot journal damaged: {e}"),
+            SnapshotError::Session(e) => write!(f, "snapshot cannot be rebuilt: {e}"),
+        }
+    }
+}
+
+impl Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SnapshotError::Journal(e) => Some(e),
+            SnapshotError::Session(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Immutable per-session configuration (everything a snapshot must
+/// remember besides the journal).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionConfig {
+    /// Tenant identity (snapshot files are keyed by it).
+    pub tenant: String,
+    /// Cache shape every roster engine is built with.
+    pub geometry: GeometrySpec,
+    /// KV-mode flag (affects only how frames are lowered, but recorded so
+    /// a resumed session keeps rejecting the wrong frame kind).
+    pub kv_mode: bool,
+    /// Cut a delta every this many accesses.
+    pub delta_every: u64,
+    /// Resolved roster names, in evaluation order.
+    pub roster: Vec<String>,
+}
+
+/// One tenant's live replay session.
+pub struct Session {
+    config: SessionConfig,
+    engines: Vec<Mutex<SetAssocCache>>,
+    /// Every access ever ingested, in order — the snapshot payload.
+    journal: Vec<Access>,
+    instructions: u64,
+    delta_seq: u64,
+    /// Accesses covered by the last cut delta (`covered_from` of the next).
+    last_delta_at: u64,
+    /// True once snapshots have been given up on (degraded mode).
+    ephemeral: bool,
+}
+
+fn build_engines(
+    names: &[String],
+    registry: &Roster,
+    geom: &CacheGeometry,
+) -> Result<Vec<Mutex<SetAssocCache>>, SessionError> {
+    names
+        .iter()
+        .map(|name| {
+            let factory = registry
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, f)| f)
+                .ok_or_else(|| SessionError::UnknownPolicy(name.clone()))?;
+            // Factories assert geometry compatibility by panicking (they
+            // are built for trusted batch configs); a serving daemon must
+            // turn that into a typed per-session error instead.
+            let policy = catch_unwind(AssertUnwindSafe(|| factory(geom)))
+                .map_err(|_| SessionError::PolicyConstruction(name.clone()))?;
+            Ok(Mutex::new(SetAssocCache::new(*geom, policy)))
+        })
+        .collect()
+}
+
+fn geometry_of(spec: &GeometrySpec) -> Result<CacheGeometry, SessionError> {
+    CacheGeometry::new(
+        spec.size_bytes,
+        spec.ways as usize,
+        u64::from(spec.line_bytes),
+    )
+    .map_err(|e| SessionError::BadGeometry(e.to_string()))
+}
+
+impl Session {
+    /// Opens a fresh session. An empty `roster` request resolves to the
+    /// full registry.
+    pub fn new(
+        tenant: &str,
+        spec: GeometrySpec,
+        kv_mode: bool,
+        delta_every: u64,
+        requested: &[String],
+        registry: &Roster,
+    ) -> Result<Session, SessionError> {
+        let geom = geometry_of(&spec)?;
+        let roster: Vec<String> = if requested.is_empty() {
+            registry.iter().map(|(n, _)| n.clone()).collect()
+        } else {
+            requested.to_vec()
+        };
+        let engines = build_engines(&roster, registry, &geom)?;
+        Ok(Session {
+            config: SessionConfig {
+                tenant: tenant.to_string(),
+                geometry: spec,
+                kv_mode,
+                delta_every: delta_every.max(1),
+                roster,
+            },
+            engines,
+            journal: Vec::new(),
+            instructions: 0,
+            delta_seq: 0,
+            last_delta_at: 0,
+            ephemeral: false,
+        })
+    }
+
+    /// Session configuration.
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
+    }
+
+    /// Total accesses ingested (the resume point a client skips to).
+    pub fn ingested(&self) -> u64 {
+        self.journal.len() as u64
+    }
+
+    /// True once the session has degraded to ephemeral (no snapshots).
+    pub fn is_ephemeral(&self) -> bool {
+        self.ephemeral
+    }
+
+    /// Degrades the session: snapshots are abandoned, everything else
+    /// keeps working.
+    pub fn degrade_to_ephemeral(&mut self) {
+        self.ephemeral = true;
+    }
+
+    /// Runs `batch` through every engine and appends it to the journal.
+    fn apply(&mut self, batch: &[Access]) {
+        if batch.is_empty() {
+            return;
+        }
+        self.instructions += batch.iter().map(|a| u64::from(a.icount_delta)).sum::<u64>();
+        self.journal.extend_from_slice(batch);
+        let engines = &self.engines;
+        pool::global().run_labeled(engines.len(), engines.len(), "serve", |i| {
+            let mut eng = engines[i].lock().unwrap_or_else(|e| e.into_inner());
+            for a in batch {
+                eng.access_fast(a);
+            }
+        });
+    }
+
+    /// Ingests a batch of raw accesses; returns a delta when the
+    /// `delta_every` boundary was crossed.
+    pub fn ingest(&mut self, batch: &[Access]) -> Option<Delta> {
+        self.apply(batch);
+        if self.ingested() - self.last_delta_at >= self.config.delta_every {
+            Some(self.cut_delta())
+        } else {
+            None
+        }
+    }
+
+    /// Ingests a KV-mode batch (keys lowered to line addresses).
+    pub fn ingest_kv(&mut self, ops: &[KvOp]) -> Option<Delta> {
+        let line = u64::from(self.config.geometry.line_bytes);
+        let batch: Vec<Access> = ops.iter().map(|op| kv::op_to_access(op, line)).collect();
+        self.ingest(&batch)
+    }
+
+    /// The cumulative stats as they stand, without cutting a delta.
+    pub fn current_delta(&self) -> Delta {
+        Delta {
+            seq: self.delta_seq,
+            covered_from: self.last_delta_at,
+            covered_to: self.ingested(),
+            instructions: self.instructions,
+            rows: self
+                .config
+                .roster
+                .iter()
+                .zip(&self.engines)
+                .map(|(name, eng)| PolicyRow {
+                    name: name.clone(),
+                    stats: *eng.lock().unwrap_or_else(|e| e.into_inner()).stats(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Cuts a delta: returns the cumulative stats and advances the
+    /// sequence / coverage watermark.
+    pub fn cut_delta(&mut self) -> Delta {
+        let d = self.current_delta();
+        self.delta_seq += 1;
+        self.last_delta_at = self.ingested();
+        d
+    }
+
+    /// The roster entry with the lowest MPKI right now.
+    pub fn best(&self) -> Option<(String, f64)> {
+        let d = self.current_delta();
+        (0..d.rows.len())
+            .map(|i| (d.rows[i].name.clone(), d.mpki(i)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+    }
+
+    // -- snapshots ---------------------------------------------------------
+
+    /// Serializes the session (config + journal) into snapshot bytes.
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        let mut meta = Vec::new();
+        put_u32(&mut meta, SNAPSHOT_VERSION);
+        put_str(&mut meta, &self.config.tenant);
+        meta.push(u8::from(self.config.kv_mode));
+        put_u64(&mut meta, self.config.geometry.size_bytes);
+        put_u32(&mut meta, self.config.geometry.ways);
+        put_u32(&mut meta, self.config.geometry.line_bytes);
+        put_u64(&mut meta, self.config.delta_every);
+        put_u64(&mut meta, self.delta_seq);
+        put_u16(&mut meta, self.config.roster.len() as u16);
+        for name in &self.config.roster {
+            put_str(&mut meta, name);
+        }
+
+        let mut out = Vec::new();
+        out.extend_from_slice(SNAPSHOT_MAGIC);
+        put_u32(&mut out, meta.len() as u32);
+        out.extend_from_slice(&meta);
+        let mut crc = traces::format::Crc32::new();
+        crc.update(&meta);
+        put_u32(&mut out, crc.finish());
+
+        let mut w = TraceWriter::new(&mut out).expect("vec sink cannot fail");
+        for a in &self.journal {
+            w.write(a).expect("vec sink cannot fail");
+        }
+        w.finish().expect("vec sink cannot fail");
+        out
+    }
+
+    /// Rebuilds a session from snapshot bytes by replaying the journal
+    /// through fresh engines. Deterministic engines make the result
+    /// bit-identical to the snapshotted session.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`SnapshotError`] for any damage; never panics on malformed
+    /// input.
+    pub fn restore(bytes: &[u8], registry: &Roster) -> Result<Session, SnapshotError> {
+        if bytes.len() < 12 {
+            return Err(SnapshotError::Truncated);
+        }
+        if &bytes[0..8] != SNAPSHOT_MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let meta_len = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")) as usize;
+        let meta_end = 12usize
+            .checked_add(meta_len)
+            .filter(|&e| e + 4 <= bytes.len())
+            .ok_or(SnapshotError::Truncated)?;
+        let meta = &bytes[12..meta_end];
+        let stored_crc =
+            u32::from_le_bytes(bytes[meta_end..meta_end + 4].try_into().expect("4 bytes"));
+        let mut crc = traces::format::Crc32::new();
+        crc.update(meta);
+        if crc.finish() != stored_crc {
+            return Err(SnapshotError::MetaCrc);
+        }
+
+        let bad = |e: ProtoError| match e {
+            ProtoError::BadPayload(what) => SnapshotError::BadMeta(what),
+            _ => SnapshotError::BadMeta("undecodable field"),
+        };
+        let mut c = Cursor::new(meta);
+        let version = c.u32().map_err(bad)?;
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::BadVersion(version));
+        }
+        let tenant = c.string().map_err(bad)?;
+        let kv_mode = match c.u8().map_err(bad)? {
+            0 => false,
+            1 => true,
+            _ => return Err(SnapshotError::BadMeta("kv flag")),
+        };
+        let spec = GeometrySpec {
+            size_bytes: c.u64().map_err(bad)?,
+            ways: c.u32().map_err(bad)?,
+            line_bytes: c.u32().map_err(bad)?,
+        };
+        let delta_every = c.u64().map_err(bad)?;
+        let delta_seq = c.u64().map_err(bad)?;
+        let n = c.u16().map_err(bad)? as usize;
+        let mut roster = Vec::with_capacity(n.min(256));
+        for _ in 0..n {
+            roster.push(c.string().map_err(bad)?);
+        }
+        c.finish().map_err(bad)?;
+        if roster.is_empty() {
+            return Err(SnapshotError::BadMeta("empty roster"));
+        }
+
+        let journal: Vec<Access> = TraceReader::new(&bytes[meta_end + 4..])
+            .map_err(SnapshotError::Journal)?
+            .collect::<Result<_, _>>()
+            .map_err(SnapshotError::Journal)?;
+
+        let mut session = Session::new(&tenant, spec, kv_mode, delta_every, &roster, registry)
+            .map_err(SnapshotError::Session)?;
+        session.apply(&journal);
+        // The resumed session owes no delta for the replayed prefix; the
+        // next delta covers post-resume traffic and continues the stored
+        // sequence numbering.
+        session.delta_seq = delta_seq;
+        session.last_delta_at = session.ingested();
+        Ok(session)
+    }
+}
+
+/// Writes snapshot bytes to `path` atomically, retrying transient
+/// failures (the `ENOSPC` case) up to `attempts` times with `backoff`
+/// sleeps in between.
+///
+/// # Errors
+///
+/// The last write error once every attempt is exhausted; the previous
+/// snapshot at `path`, if any, is untouched in that case.
+pub fn write_snapshot(
+    path: &Path,
+    bytes: &[u8],
+    backoff: BackoffFn,
+    attempts: u32,
+) -> io::Result<()> {
+    let mut last = None;
+    for attempt in 0..attempts.max(1) {
+        match atomic_write(path, bytes) {
+            Ok(()) => return Ok(()),
+            Err(e) => {
+                last = Some(e);
+                if attempt + 1 < attempts {
+                    std::thread::sleep(backoff(u64::from(attempt)));
+                }
+            }
+        }
+    }
+    Err(last.unwrap_or_else(|| io::Error::other("snapshot write made no attempts")))
+}
+
+/// Canonical stats rendering used for byte-for-byte comparison between a
+/// served session and a single-process reference run. Excludes delta
+/// sequence numbers (which depend on push cadence); includes every
+/// counter and the exact MPKI bits.
+pub fn canonical_stats(d: &Delta) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "accesses={} instructions={}",
+        d.covered_to, d.instructions
+    );
+    for (i, row) in d.rows.iter().enumerate() {
+        let s = &row.stats;
+        let _ = writeln!(
+            out,
+            "{} accesses={} hits={} misses={} evictions={} writebacks={} bypasses={} mpki_bits={:016x}",
+            row.name, s.accesses, s.hits, s.misses, s.evictions, s.writebacks, s.bypasses,
+            d.mpki(i).to_bits()
+        );
+    }
+    out
+}
+
+/// Single-threaded, single-process reference replay: the ground truth the
+/// chaos drill compares daemon output against. Intentionally avoids the
+/// worker pool and the session plumbing.
+///
+/// # Errors
+///
+/// [`SessionError`] if the geometry or roster cannot be built.
+pub fn reference_delta(
+    accesses: &[Access],
+    requested: &[String],
+    registry: &Roster,
+    spec: GeometrySpec,
+) -> Result<Delta, SessionError> {
+    let geom = geometry_of(&spec)?;
+    let roster: Vec<String> = if requested.is_empty() {
+        registry.iter().map(|(n, _)| n.clone()).collect()
+    } else {
+        requested.to_vec()
+    };
+    let engines = build_engines(&roster, registry, &geom)?;
+    let mut rows = Vec::with_capacity(engines.len());
+    for (name, eng) in roster.iter().zip(engines) {
+        let mut eng = eng.into_inner().unwrap_or_else(|e| e.into_inner());
+        for a in accesses {
+            eng.access_fast(a);
+        }
+        rows.push(PolicyRow {
+            name: name.clone(),
+            stats: *eng.stats(),
+        });
+    }
+    Ok(Delta {
+        seq: 0,
+        covered_from: 0,
+        covered_to: accesses.len() as u64,
+        instructions: accesses.iter().map(|a| u64::from(a.icount_delta)).sum(),
+        rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::AccessKind;
+
+    fn spec() -> GeometrySpec {
+        GeometrySpec {
+            size_bytes: 64 * 1024,
+            ways: 16,
+            line_bytes: 64,
+        }
+    }
+
+    /// Deterministic access stream mixing hits, misses, and writebacks.
+    fn stream(n: usize, seed: u64) -> Vec<Access> {
+        let mut state = seed | 1;
+        (0..n)
+            .map(|i| {
+                // xorshift64
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let addr = (state % 4096) * 64;
+                let kind = match state % 5 {
+                    0 => AccessKind::Write,
+                    4 => AccessKind::Writeback,
+                    _ => AccessKind::Read,
+                };
+                Access {
+                    addr,
+                    pc: (i as u64) * 4,
+                    kind,
+                    icount_delta: (state % 7) as u32 + 1,
+                }
+            })
+            .collect()
+    }
+
+    fn names(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn unknown_policy_is_typed() {
+        let reg = default_roster();
+        let err = Session::new("t", spec(), false, 100, &names(&["NoSuch"]), &reg)
+            .err()
+            .unwrap();
+        assert!(matches!(err, SessionError::UnknownPolicy(_)), "{err}");
+    }
+
+    #[test]
+    fn bad_geometry_is_typed() {
+        let reg = default_roster();
+        let bad = GeometrySpec {
+            size_bytes: 1000, // not a power of two
+            ways: 16,
+            line_bytes: 64,
+        };
+        let err = Session::new("t", bad, false, 100, &[], &reg).err().unwrap();
+        assert!(matches!(err, SessionError::BadGeometry(_)), "{err}");
+    }
+
+    #[test]
+    fn incompatible_policy_geometry_is_typed_not_a_panic() {
+        let reg = default_roster();
+        // WI-GIPPR's IPV is 16-way; an 8-way geometry makes its factory
+        // panic, which the session must absorb into a typed error.
+        let eight_way = GeometrySpec {
+            size_bytes: 64 * 1024,
+            ways: 8,
+            line_bytes: 64,
+        };
+        let err = Session::new("t", eight_way, false, 100, &names(&["WI-GIPPR"]), &reg)
+            .err()
+            .unwrap();
+        assert!(matches!(err, SessionError::PolicyConstruction(_)), "{err}");
+    }
+
+    #[test]
+    fn deltas_cut_on_boundary_and_match_reference() {
+        let reg = default_roster();
+        let mut s = Session::new("t", spec(), false, 100, &[], &reg).unwrap();
+        let accesses = stream(250, 7);
+        let mut deltas = Vec::new();
+        for chunk in accesses.chunks(50) {
+            if let Some(d) = s.ingest(chunk) {
+                deltas.push(d);
+            }
+        }
+        // 250 accesses at delta_every=100: deltas after 100 and 200.
+        assert_eq!(deltas.len(), 2);
+        assert_eq!(deltas[0].seq, 0);
+        assert_eq!((deltas[0].covered_from, deltas[0].covered_to), (0, 100));
+        assert_eq!((deltas[1].covered_from, deltas[1].covered_to), (100, 200));
+
+        let final_delta = s.cut_delta();
+        assert_eq!(final_delta.covered_to, 250);
+        let reference = reference_delta(&accesses, &[], &reg, spec()).unwrap();
+        assert_eq!(
+            canonical_stats(&final_delta),
+            canonical_stats(&reference),
+            "pooled fan-out must equal the sequential reference"
+        );
+    }
+
+    #[test]
+    fn kv_mode_matches_hand_lowered_stream() {
+        let reg = default_roster();
+        let roster = names(&["LRU", "PseudoLRU"]);
+        let mut s = Session::new("t", spec(), true, 1000, &roster, &reg).unwrap();
+        let ops: Vec<KvOp> = (0..200)
+            .map(|i| KvOp {
+                write: i % 3 == 0,
+                key: format!("user:{}", i % 40),
+            })
+            .collect();
+        s.ingest_kv(&ops);
+        let lowered: Vec<Access> = ops.iter().map(|op| kv::op_to_access(op, 64)).collect();
+        let reference = reference_delta(&lowered, &roster, &reg, spec()).unwrap();
+        assert_eq!(canonical_stats(&s.cut_delta()), canonical_stats(&reference));
+    }
+
+    #[test]
+    fn snapshot_restore_is_bit_identical() {
+        let reg = default_roster();
+        let accesses = stream(300, 42);
+        let (head, tail) = accesses.split_at(180);
+
+        // Uninterrupted session.
+        let mut full = Session::new("t", spec(), false, 64, &[], &reg).unwrap();
+        full.ingest(head);
+        let snap = full.snapshot_bytes();
+        full.ingest(tail);
+
+        // Killed-and-restored session finishing the same stream.
+        let mut resumed = Session::restore(&snap, &reg).unwrap();
+        assert_eq!(resumed.ingested(), 180);
+        assert_eq!(resumed.config().tenant, "t");
+        resumed.ingest(tail);
+
+        assert_eq!(
+            canonical_stats(&full.cut_delta()),
+            canonical_stats(&resumed.cut_delta())
+        );
+        // Stronger: the snapshots the two sessions would write next are
+        // byte-identical too.
+        assert_eq!(full.snapshot_bytes(), resumed.snapshot_bytes());
+    }
+
+    #[test]
+    fn malformed_snapshots_are_typed_never_panic() {
+        let reg = default_roster();
+        let mut s = Session::new("t", spec(), false, 64, &names(&["LRU"]), &reg).unwrap();
+        s.ingest(&stream(50, 3));
+        let good = s.snapshot_bytes();
+
+        // Truncations at every prefix length.
+        for cut in 0..good.len() {
+            let _ = Session::restore(&good[..cut], &reg);
+        }
+        // Bad magic.
+        let mut bad = good.clone();
+        bad[0] ^= 0xff;
+        assert!(matches!(
+            Session::restore(&bad, &reg),
+            Err(SnapshotError::BadMagic)
+        ));
+        // Meta corruption trips the meta CRC.
+        let mut bad = good.clone();
+        bad[14] ^= 0x01;
+        assert!(matches!(
+            Session::restore(&bad, &reg),
+            Err(SnapshotError::MetaCrc)
+        ));
+        // Journal corruption trips the container CRC chain.
+        let mut bad = good.clone();
+        let late = good.len() - 20;
+        bad[late] ^= 0x01;
+        assert!(matches!(
+            Session::restore(&bad, &reg),
+            Err(SnapshotError::Journal(_))
+        ));
+        // Single-bit flips anywhere must never panic and never restore a
+        // session that then lies about its length.
+        for i in 0..good.len() {
+            let mut flipped = good.clone();
+            flipped[i] ^= 0x04;
+            let _ = Session::restore(&flipped, &reg);
+        }
+    }
+
+    #[test]
+    fn snapshot_roster_mismatch_is_typed() {
+        let reg = default_roster();
+        let mut s = Session::new("t", spec(), false, 64, &names(&["LRU"]), &reg).unwrap();
+        s.ingest(&stream(10, 3));
+        let snap = s.snapshot_bytes();
+        let empty: Roster = Vec::new();
+        assert!(matches!(
+            Session::restore(&snap, &empty),
+            Err(SnapshotError::Session(SessionError::UnknownPolicy(_)))
+        ));
+    }
+
+    #[test]
+    fn write_snapshot_retries_then_succeeds() {
+        if !sim_fault::COMPILED_IN {
+            return;
+        }
+        let dir = std::env::temp_dir().join(format!("sim-serve-retry-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tenant.ssn");
+        let zero = |_attempt: u64| Duration::from_millis(0);
+        sim_fault::with_plan("enospc@tenant.ssn:n=1;enospc@tenant.ssn:n=2", || {
+            write_snapshot(&path, b"payload", zero, 4).unwrap();
+        });
+        assert_eq!(std::fs::read(&path).unwrap(), b"payload");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn write_snapshot_sticky_enospc_exhausts_and_preserves_old() {
+        if !sim_fault::COMPILED_IN {
+            return;
+        }
+        let dir = std::env::temp_dir().join(format!("sim-serve-enospc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tenant.ssn");
+        std::fs::write(&path, b"old-good-snapshot").unwrap(); // lint: direct-write (test fixture)
+        let zero = |_attempt: u64| Duration::from_millis(0);
+        sim_fault::with_plan("enospc@tenant.ssn:sticky", || {
+            let err = write_snapshot(&path, b"new", zero, 3).unwrap_err();
+            assert!(err.to_string().contains("no space left"), "{err}");
+        });
+        assert_eq!(std::fs::read(&path).unwrap(), b"old-good-snapshot");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn best_policy_is_reported() {
+        let reg = default_roster();
+        let mut s = Session::new("t", spec(), false, 1000, &[], &reg).unwrap();
+        s.ingest(&stream(500, 11));
+        let (name, mpki) = s.best().unwrap();
+        assert!(s.config().roster.contains(&name));
+        assert!(mpki.is_finite());
+    }
+}

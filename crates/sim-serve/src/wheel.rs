@@ -1,0 +1,173 @@
+//! Hashed timing wheel for connection deadlines.
+//!
+//! The server gives every connection an idle deadline: each ingest frame
+//! pushes it out, and a connection whose deadline passes — an idle client,
+//! or the half-open remnant of a peer that vanished without a FIN — gets
+//! its socket shut down, which unblocks the reader thread and tears the
+//! connection down through the normal error path.
+//!
+//! The wheel is **tick-based and pure**: it knows nothing about wall
+//! clocks or threads, so tests drive it deterministically. The server maps
+//! real time onto ticks in its sweeper loop. Rescheduling is lazy: a
+//! reschedule just records the new deadline and drops a new cookie into
+//! the wheel; stale cookies from earlier deadlines are recognized and
+//! discarded when their slot comes around, which keeps `schedule` O(1)
+//! instead of hunting through slots to remove the old entry.
+
+use std::collections::HashMap;
+
+/// Cookie stored in a slot: who, and for which deadline the cookie was
+/// minted (stale cookies are detected by comparing against the live
+/// deadline).
+#[derive(Debug, Clone, Copy)]
+struct Cookie {
+    id: u64,
+    deadline: u64,
+}
+
+/// A hashed timing wheel over abstract ticks.
+#[derive(Debug)]
+pub struct DeadlineWheel {
+    slots: Vec<Vec<Cookie>>,
+    /// The live deadline per id; the single source of truth.
+    armed: HashMap<u64, u64>,
+    /// Last tick fully processed by [`DeadlineWheel::advance`].
+    now: u64,
+}
+
+impl DeadlineWheel {
+    /// A wheel with `slots` buckets (minimum 1). More slots means fewer
+    /// stale-cookie rescans for long deadlines; correctness never depends
+    /// on the count.
+    pub fn new(slots: usize) -> Self {
+        DeadlineWheel {
+            slots: (0..slots.max(1)).map(|_| Vec::new()).collect(),
+            armed: HashMap::new(),
+            now: 0,
+        }
+    }
+
+    /// Last processed tick.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Number of armed deadlines.
+    pub fn armed_len(&self) -> usize {
+        self.armed.len()
+    }
+
+    /// Arms (or re-arms) `id` to expire at `deadline`. A deadline at or
+    /// before the current tick fires on the next [`DeadlineWheel::advance`]
+    /// call.
+    pub fn schedule(&mut self, id: u64, deadline: u64) {
+        // A deadline already behind the wheel would land in a slot the
+        // cursor has passed; clamp it to the next tick so it still fires.
+        let deadline = deadline.max(self.now + 1);
+        self.armed.insert(id, deadline);
+        let slot = (deadline % self.slots.len() as u64) as usize;
+        self.slots[slot].push(Cookie { id, deadline });
+    }
+
+    /// Disarms `id`; any cookies it left in the wheel become stale.
+    pub fn cancel(&mut self, id: u64) {
+        self.armed.remove(&id);
+    }
+
+    /// Advances the wheel to `now`, returning every id whose live deadline
+    /// fell in `(previous now, now]`. Ids fire at most once per arming.
+    pub fn advance(&mut self, now: u64) -> Vec<u64> {
+        let mut expired = Vec::new();
+        while self.now < now {
+            self.now += 1;
+            let tick = self.now;
+            let slot = (tick % self.slots.len() as u64) as usize;
+            self.slots[slot].retain(|cookie| {
+                if cookie.deadline > tick {
+                    // A later rotation's cookie; keep it spinning.
+                    return true;
+                }
+                // This cookie's moment. It fires only if it is still the
+                // live deadline; reschedules and cancels made it stale.
+                if self.armed.get(&cookie.id) == Some(&cookie.deadline) {
+                    self.armed.remove(&cookie.id);
+                    expired.push(cookie.id);
+                }
+                false
+            });
+        }
+        expired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expires_at_exact_tick() {
+        let mut w = DeadlineWheel::new(8);
+        w.schedule(1, 5);
+        assert!(w.advance(4).is_empty());
+        assert_eq!(w.advance(5), vec![1]);
+        assert_eq!(w.armed_len(), 0);
+        assert!(w.advance(100).is_empty());
+    }
+
+    #[test]
+    fn reschedule_pushes_deadline_out() {
+        let mut w = DeadlineWheel::new(8);
+        w.schedule(1, 3);
+        w.schedule(1, 10); // activity arrived; idle deadline moves
+        assert!(w.advance(9).is_empty(), "stale cookie must not fire");
+        assert_eq!(w.advance(10), vec![1]);
+    }
+
+    #[test]
+    fn cancel_disarms() {
+        let mut w = DeadlineWheel::new(8);
+        w.schedule(1, 3);
+        w.cancel(1);
+        assert!(w.advance(20).is_empty());
+    }
+
+    #[test]
+    fn multi_rotation_deadlines_survive() {
+        // Deadline far beyond one rotation of a tiny wheel: the cookie
+        // must ride through several scans of its slot untouched.
+        let mut w = DeadlineWheel::new(4);
+        w.schedule(1, 19);
+        assert!(w.advance(18).is_empty());
+        assert_eq!(w.advance(19), vec![1]);
+    }
+
+    #[test]
+    fn many_ids_fire_in_deadline_order() {
+        let mut w = DeadlineWheel::new(4);
+        for id in 0..10u64 {
+            w.schedule(id, 1 + id);
+        }
+        let mut fired = Vec::new();
+        for tick in 1..=10 {
+            fired.extend(w.advance(tick));
+        }
+        assert_eq!(fired, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn past_deadline_clamps_to_next_tick() {
+        let mut w = DeadlineWheel::new(8);
+        w.advance(50);
+        w.schedule(1, 10); // already in the past
+        assert_eq!(w.advance(51), vec![1]);
+    }
+
+    #[test]
+    fn rearm_after_fire_works() {
+        let mut w = DeadlineWheel::new(8);
+        w.schedule(1, 2);
+        assert_eq!(w.advance(2), vec![1]);
+        w.schedule(1, 6);
+        assert_eq!(w.advance(6), vec![1]);
+    }
+}

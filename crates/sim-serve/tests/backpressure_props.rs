@@ -1,0 +1,153 @@
+//! Property tests for the backpressure math (satellite of PR 10).
+//!
+//! Two invariants, checked over arbitrary push/pop interleavings:
+//!
+//! 1. **Bounded memory** — the number of frames the outbox holds never
+//!    exceeds `bound + 2 + |control|` (queued deltas, one coalesced slot,
+//!    one owed `Throttled`, rare control frames), no matter how slow the
+//!    consumer is.
+//! 2. **Exactly-once coverage** — a consumer that eventually drains
+//!    receives deltas whose covered ranges tile `[0, total)` contiguously
+//!    with no gap, no overlap, and no reordering, and every `Throttled`
+//!    frame's count equals the number of pushes folded into the delta
+//!    immediately preceding it.
+
+use proptest::prelude::*;
+use sim_core::CacheStats;
+use sim_serve::protocol::{Delta, PolicyRow, ServerFrame};
+use sim_serve::DeltaOutbox;
+
+/// Cumulative delta covering `[from, to)`; counters derive from `to` so a
+/// merged delta's counters are exactly the latest constituent's.
+fn delta(seq: u64, from: u64, to: u64) -> Delta {
+    Delta {
+        seq,
+        covered_from: from,
+        covered_to: to,
+        instructions: to * 3,
+        rows: vec![PolicyRow {
+            name: "PLRU".into(),
+            stats: CacheStats {
+                accesses: to,
+                hits: to / 3,
+                misses: to - to / 3,
+                evictions: 0,
+                writebacks: 0,
+                bypasses: 0,
+            },
+        }],
+    }
+}
+
+/// One step of a producer/consumer schedule: `true` = the producer pushes
+/// the next delta in sequence, `false` = the consumer pops one frame.
+fn schedule() -> impl Strategy<Value = Vec<bool>> {
+    proptest::collection::vec(any::<bool>(), 1..200)
+}
+
+proptest! {
+    /// Invariant 1: occupancy stays bounded under arbitrary interleavings
+    /// and any bound.
+    #[test]
+    fn occupancy_never_exceeds_bound(steps in schedule(), bound in 1usize..8) {
+        let mut ob = DeltaOutbox::new(bound);
+        let mut seq = 0u64;
+        let mut cursor = 0u64;
+        for push in steps {
+            if push {
+                let next = cursor + 1 + seq % 5;
+                ob.push_delta(delta(seq, cursor, next));
+                (seq, cursor) = (seq + 1, next);
+            } else {
+                let _ = ob.pop();
+            }
+            prop_assert!(
+                ob.occupancy() <= ob.bound(),
+                "queued {} > bound {}",
+                ob.occupancy(),
+                ob.bound()
+            );
+        }
+    }
+
+    /// Invariant 2: draining after an arbitrary interleaving yields
+    /// contiguous, exactly-once coverage of everything pushed, with each
+    /// Throttled count matching the folds in the delta right before it.
+    #[test]
+    fn drained_consumer_sees_every_delta_exactly_once(
+        steps in schedule(),
+        bound in 1usize..8,
+    ) {
+        let mut ob = DeltaOutbox::new(bound);
+        let mut seq = 0u64;
+        let mut cursor = 0u64;
+        let mut received: Vec<ServerFrame> = Vec::new();
+        for push in steps {
+            if push {
+                let next = cursor + 1 + seq % 5;
+                ob.push_delta(delta(seq, cursor, next));
+                (seq, cursor) = (seq + 1, next);
+            } else if let Some(f) = ob.pop() {
+                received.push(f);
+            }
+        }
+        while let Some(f) = ob.pop() {
+            received.push(f);
+        }
+        prop_assert!(ob.is_empty());
+
+        // Tile check: covered ranges are contiguous from 0 to the last
+        // pushed boundary; seqs strictly increase; counters always match
+        // the range end (cumulative semantics survive merging).
+        let mut expect_from = 0u64;
+        let mut last_seq = None;
+        let mut last_delta_span: Option<(u64, u64)> = None; // (first_seq_possible, seq)
+        let mut folded_total = 0u64;
+        for f in &received {
+            match f {
+                ServerFrame::Delta(d) => {
+                    prop_assert_eq!(d.covered_from, expect_from, "gap or overlap");
+                    prop_assert!(d.covered_to > d.covered_from);
+                    if let Some(prev) = last_seq {
+                        prop_assert!(d.seq > prev, "reordered deltas");
+                    }
+                    prop_assert_eq!(d.rows[0].stats.accesses, d.covered_to);
+                    expect_from = d.covered_to;
+                    last_delta_span = Some((last_seq.map_or(0, |s| s + 1), d.seq));
+                    last_seq = Some(d.seq);
+                }
+                ServerFrame::Throttled { coalesced } => {
+                    // A Throttled frame always directly follows the merged
+                    // delta and counts exactly the pushes folded into it.
+                    let (first, last) = last_delta_span
+                        .take()
+                        .expect("Throttled without a preceding delta");
+                    // (`coalesced == 1` is legal: one push routed through
+                    // the overflow slot and drained before a second merge.)
+                    prop_assert_eq!(*coalesced, last - first + 1);
+                    folded_total += *coalesced;
+                }
+                other => prop_assert!(false, "unexpected frame {:?}", other),
+            }
+        }
+        // Everything pushed is accounted for: full coverage up to the
+        // producer's cursor, and every push is either its own delta or
+        // folded into a throttle-announced merge.
+        prop_assert_eq!(expect_from, cursor, "coverage must reach the last push");
+        let delivered_individually = received
+            .iter()
+            .filter(|f| matches!(f, ServerFrame::Delta(_)))
+            .count() as u64;
+        // Each Throttled accounts for `coalesced` pushes delivered as one
+        // delta, i.e. (coalesced - 1) pushes that did NOT get their own.
+        let throttles = received
+            .iter()
+            .filter(|f| matches!(f, ServerFrame::Throttled { .. }))
+            .count() as u64;
+        prop_assert_eq!(
+            delivered_individually + folded_total - throttles,
+            seq,
+            "every push delivered exactly once"
+        );
+    }
+}

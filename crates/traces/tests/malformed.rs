@@ -1,0 +1,140 @@
+//! Malformed-container corpus: the trace reader must answer every damaged
+//! input with a typed [`TraceError`] — never a panic, never a silent
+//! success, and never an allocation sized by attacker-controlled counts
+//! (the reader streams; the footer count is only *verified*, so a footer
+//! claiming `u64::MAX` records costs nothing).
+
+use proptest::prelude::*;
+use sim_core::Access;
+use traces::format::{TraceError, TraceReader, TraceWriter, MAGIC};
+
+/// A well-formed container holding `n` deterministic records.
+fn valid_container(n: usize) -> Vec<u8> {
+    let mut w = TraceWriter::new(Vec::new()).unwrap();
+    for i in 0..n {
+        let a = if i % 3 == 0 {
+            Access::write((i as u64) * 64, i as u64)
+        } else {
+            Access::read((i as u64) * 192 + 7, i as u64)
+        };
+        w.write(&a.with_icount_delta((i % 9) as u32)).unwrap();
+    }
+    w.finish().unwrap()
+}
+
+/// Drives the reader to completion, returning the first error (if any).
+fn scan(bytes: &[u8]) -> Result<usize, TraceError> {
+    let mut reader = TraceReader::new(bytes)?;
+    let mut n = 0;
+    for item in &mut reader {
+        item?;
+        n += 1;
+    }
+    Ok(n)
+}
+
+#[test]
+fn oversized_record_count_is_rejected_without_allocation() {
+    // Patch the footer's record count to u64::MAX. A reader that trusted
+    // it for preallocation would try to reserve ~300 EiB; ours streams and
+    // reports the mismatch.
+    let mut bytes = valid_container(5);
+    let len = bytes.len();
+    let count_at = len - 12; // footer: count u64 | crc u32
+    bytes[count_at..count_at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+    match scan(&bytes) {
+        Err(TraceError::CountMismatch { expected, got }) => {
+            assert_eq!(expected, u64::MAX);
+            assert_eq!(got, 5);
+        }
+        other => panic!("expected CountMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn empty_and_header_only_inputs_are_truncation() {
+    assert!(matches!(scan(&[]), Err(TraceError::Truncated)));
+    assert!(matches!(scan(&MAGIC[..4]), Err(TraceError::Truncated)));
+    // Magic alone, no version word.
+    assert!(matches!(scan(&MAGIC[..]), Err(TraceError::Truncated)));
+    // Wrong magic is its own error, not truncation.
+    assert!(matches!(
+        scan(b"NOTATRCE\x01\x00\x00\x00"),
+        Err(TraceError::BadMagic(_))
+    ));
+    // Future version.
+    let mut v = Vec::from(&MAGIC[..]);
+    v.extend_from_slice(&99u32.to_le_bytes());
+    assert!(matches!(scan(&v), Err(TraceError::BadVersion(99))));
+}
+
+proptest! {
+    /// Any truncation of a valid container yields a typed error — except
+    /// cutting at the exact end, which is the valid file itself.
+    #[test]
+    fn truncation_never_panics(n in 0usize..40, frac in 0usize..1000) {
+        let bytes = valid_container(n);
+        let cut = frac * bytes.len() / 1000;
+        let result = scan(&bytes[..cut]);
+        if cut == bytes.len() {
+            prop_assert_eq!(result.unwrap(), n);
+        } else {
+            prop_assert!(result.is_err(), "cut at {} of {} accepted", cut, bytes.len());
+        }
+    }
+
+    /// Flipping any single byte of a valid container is always detected:
+    /// structural damage surfaces as BadKind/Truncated/BadMagic/BadVersion
+    /// mid-stream, payload damage as a CRC or count mismatch at the
+    /// footer. No flip may pass silently, and none may panic.
+    #[test]
+    fn single_byte_corruption_is_always_detected(
+        n in 1usize..30,
+        pos_frac in 0usize..1000,
+        xor in 1u8..255,
+    ) {
+        let mut bytes = valid_container(n);
+        let pos = pos_frac * (bytes.len() - 1) / 999;
+        bytes[pos] ^= xor;
+        prop_assert!(
+            scan(&bytes).is_err(),
+            "flip of byte {} by {:#04x} went undetected",
+            pos,
+            xor
+        );
+    }
+
+    /// Arbitrary garbage after a valid header parses to a typed error,
+    /// never a panic. (Garbage that happens to spell a valid empty tail is
+    /// astronomically unlikely but legal, hence no assertion on Err.)
+    #[test]
+    fn arbitrary_garbage_never_panics(garbage in proptest::collection::vec(0u8..255, 0..256)) {
+        let _ = scan(&garbage);
+        let mut with_header = Vec::from(&MAGIC[..]);
+        with_header.extend_from_slice(&1u32.to_le_bytes());
+        with_header.extend_from_slice(&garbage);
+        let _ = scan(&with_header);
+    }
+
+    /// Concatenating a truncated copy in front of a valid container must
+    /// not let records from the second leak into the first's count.
+    #[test]
+    fn reader_stops_at_first_error(n in 1usize..20, cut_frac in 0usize..999) {
+        let bytes = valid_container(n);
+        let cut = 12 + cut_frac * (bytes.len() - 12) / 999; // keep the header
+        let mut spliced = Vec::from(&bytes[..cut]);
+        spliced.extend_from_slice(&valid_container(n + 1));
+        let mut reader = TraceReader::new(&spliced[..]).unwrap();
+        let mut seen_err = false;
+        let mut after_err = 0;
+        for item in &mut reader {
+            if seen_err {
+                after_err += 1;
+            }
+            if item.is_err() {
+                seen_err = true;
+            }
+        }
+        prop_assert_eq!(after_err, 0, "reader kept yielding after an error");
+    }
+}

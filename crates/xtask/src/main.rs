@@ -423,16 +423,17 @@ fn lint_direct_writes(root: &Path) -> usize {
     failures
 }
 
-/// Audit 5: island coordination state is crash-safe by construction.
+/// Audit 5: crash-recovery state is crash-safe by construction.
 ///
-/// The island fleet's recovery story — kill any worker process, resume
-/// bit-identically — rests on every durable write (GA checkpoints,
-/// migration mailboxes, worker results, the fleet manifest) going
-/// through `sim_core::persist::atomic_write`. The negative direct-write
-/// audit above catches raw `fs::write` calls; this positive audit fails
-/// if the island/checkpoint sources stop routing through the crash-safe
-/// helpers entirely (say, a refactor to a hand-rolled writer whose call
-/// shape the negative audit's pattern list misses).
+/// Two subsystems promise kill-anywhere, resume-bit-identically: the
+/// island fleet (GA checkpoints, migration mailboxes, worker results,
+/// the fleet manifest) and the serving daemon (per-tenant session
+/// snapshots, the published port file). Both rest on every durable
+/// write going through `sim_core::persist::atomic_write`. The negative
+/// direct-write audit above catches raw `fs::write` calls; this
+/// positive audit fails if those sources stop routing through the
+/// crash-safe helpers entirely (say, a refactor to a hand-rolled writer
+/// whose call shape the negative audit's pattern list misses).
 fn lint_island_atomicity(root: &Path) -> usize {
     let checks: &[(&str, &[&str])] = &[
         (
@@ -452,6 +453,20 @@ fn lint_island_atomicity(root: &Path) -> usize {
             &["atomic_write"],
         ),
         ("crates/harness/src/manifest.rs", &["atomic_write"]),
+        // Serving daemon: session snapshots retry through atomic_write...
+        (
+            "crates/sim-serve/src/session.rs",
+            &["persist::atomic_write", "write_snapshot"],
+        ),
+        // ...and the server parks sessions only via that snapshot path.
+        (
+            "crates/sim-serve/src/server.rs",
+            &["write_snapshot", "snapshot_session"],
+        ),
+        // Port file and client stats files are poll-read by other
+        // processes, so a torn write is an immediate race.
+        ("crates/harness/src/bin/serve.rs", &["atomic_write"]),
+        ("crates/harness/src/bin/bench-serve.rs", &["atomic_write"]),
     ];
     let mut failures = 0;
     for (rel, needles) in checks {
